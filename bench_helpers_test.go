@@ -1,0 +1,50 @@
+package gnnvault_test
+
+import (
+	"sync"
+	"testing"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/substitute"
+)
+
+// Shared trained state so per-query benchmarks do not retrain per run.
+var (
+	benchOnce  sync.Once
+	benchDS    *datasets.Dataset
+	benchBB    *core.Backbone
+	benchOrig  *core.Backbone
+	benchVault map[core.RectifierDesign]*core.Vault
+)
+
+func setupBench(tb testing.TB) {
+	benchOnce.Do(func() {
+		benchDS = datasets.Load("cora")
+		train := core.TrainConfig{Epochs: 60, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+		spec := core.SpecForDataset("cora")
+		benchOrig = core.TrainOriginal(benchDS, spec, train)
+		benchBB = core.TrainBackbone(benchDS, spec, substitute.KindKNN,
+			substitute.KNN(benchDS.X, 2), train)
+		benchVault = map[core.RectifierDesign]*core.Vault{}
+		for _, design := range core.Designs {
+			rec := core.TrainRectifier(benchDS, benchBB, design, train)
+			v, err := core.Deploy(benchBB, rec, benchDS.Graph, enclave.DefaultCostModel())
+			if err != nil {
+				tb.Fatalf("deploy %s: %v", design, err)
+			}
+			benchVault[design] = v
+		}
+	})
+}
+
+func deployedVault(tb testing.TB, design core.RectifierDesign) (*datasets.Dataset, *core.Vault) {
+	setupBench(tb)
+	return benchDS, benchVault[design]
+}
+
+func trainedOriginal(tb testing.TB) (*datasets.Dataset, *core.Backbone) {
+	setupBench(tb)
+	return benchDS, benchOrig
+}

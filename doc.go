@@ -1,0 +1,18 @@
+// Package gnnvault is a from-scratch Go reproduction of "Graph in the
+// Vault: Protecting Edge GNN Inference with Trusted Execution Environment"
+// (DAC 2025): a partition-before-training deployment where a public GCN
+// backbone trained on a feature-derived substitute graph runs in the
+// untrusted world, and a small private rectifier holding the real
+// adjacency runs inside a (simulated) SGX enclave.
+//
+// The implementation lives under internal/: mat (dense kernels), graph
+// (sparse adjacency + generators), nn (backprop layers + Adam), datasets
+// (synthetic stand-ins for the paper's datasets), substitute (KNN / cosine
+// / random substitute graphs), core (backbone, rectifiers, vault
+// deployment), enclave (SGX software model), attack (link stealing), and
+// experiments (one generator per paper table/figure).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root-level
+// bench_test.go regenerates every table and figure via `go test -bench`.
+package gnnvault

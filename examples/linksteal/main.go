@@ -1,0 +1,77 @@
+// Linksteal walks through the paper's security analysis (Table IV) on one
+// dataset: it trains the unprotected GNN, the GNNVault backbone, and the
+// feature-only DNN baseline, then mounts the six-metric link-stealing
+// attack on each observation surface and explains the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gnnvault/internal/attack"
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/substitute"
+)
+
+func main() {
+	dataset := flag.String("dataset", "citeseer", "built-in dataset")
+	epochs := flag.Int("epochs", 120, "training epochs")
+	flag.Parse()
+
+	ds := datasets.Load(*dataset)
+	spec := core.SpecForDataset(*dataset)
+	train := core.TrainConfig{Epochs: *epochs, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+
+	fmt.Printf("threat model: honest-but-curious user, full control of the normal\n")
+	fmt.Printf("world, wants the %d private edges of %s\n\n", ds.Graph.NumUndirectedEdges(), *dataset)
+
+	fmt.Println("training M_org (unprotected GNN on the real adjacency)…")
+	orig := core.TrainOriginal(ds, spec, train)
+	fmt.Println("training M_gv backbone (GNNVault: KNN substitute graph only)…")
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), train)
+	fmt.Println("training M_base (DNN on raw features — no graph at all)…")
+	dnn := core.TrainBackbone(ds, spec, substitute.KindDNN, nil, train)
+
+	sample := attack.SamplePairs(ds.Graph, 400, 7)
+	fmt.Printf("\nattack sample: %d node pairs, balanced edges/non-edges\n", len(sample.Pairs))
+
+	surfaces := []struct {
+		name string
+		auc  map[attack.Metric]float64
+	}{
+		{"M_org ", attack.Run(orig.Embeddings(ds.X), sample)},
+		{"M_gv  ", attack.Run(bb.Embeddings(ds.X), sample)},
+		{"M_base", attack.Run(dnn.Embeddings(ds.X), sample)},
+	}
+
+	fmt.Printf("\n%-10s", "metric")
+	for _, s := range surfaces {
+		fmt.Printf("  %s", s.name)
+	}
+	fmt.Println()
+	for _, m := range attack.Metrics {
+		fmt.Printf("%-10s", m)
+		for _, s := range surfaces {
+			fmt.Printf("  %.3f ", s.auc[m])
+		}
+		fmt.Println()
+	}
+
+	var worstOrg, worstGV, base float64
+	for _, m := range attack.Metrics {
+		if surfaces[0].auc[m] > worstOrg {
+			worstOrg = surfaces[0].auc[m]
+		}
+		if surfaces[1].auc[m] > worstGV {
+			worstGV = surfaces[1].auc[m]
+		}
+		if surfaces[2].auc[m] > base {
+			base = surfaces[2].auc[m]
+		}
+	}
+	fmt.Printf("\nworst-case leakage: unprotected %.3f → GNNVault %.3f (feature-only floor %.3f)\n",
+		worstOrg, worstGV, base)
+	fmt.Println("GNNVault's residual AUC comes from public features correlating with")
+	fmt.Println("edges — information the attacker already had — not from the enclave.")
+}

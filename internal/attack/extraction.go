@@ -1,0 +1,118 @@
+package attack
+
+import (
+	"math/rand"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+)
+
+// Model extraction (the "model steal" arm of the paper's threat model,
+// Fig. 1): the attacker queries the deployed model on every node and trains
+// a surrogate from the responses. What the deployment exposes determines
+// the attack strength:
+//
+//   - an unprotected deployment answers with logits → the attacker can
+//     distil the victim (soft targets carry dark knowledge);
+//   - GNNVault answers with labels only → the attacker gets hard targets,
+//     and the substitute graph is all the structure they have.
+//
+// Fidelity — agreement between surrogate and victim predictions on held-out
+// nodes — is the standard extraction metric.
+
+// ExtractionConfig parameterises a surrogate-training run.
+type ExtractionConfig struct {
+	// HiddenDims are the surrogate GCN's hidden widths.
+	HiddenDims []int
+	// Epochs / LR for Adam.
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// DefaultExtractionConfig is a reasonable attacker budget.
+func DefaultExtractionConfig() ExtractionConfig {
+	return ExtractionConfig{HiddenDims: []int{64, 32}, Epochs: 150, LR: 0.01, Seed: 1}
+}
+
+// Surrogate is an extracted model plus its evaluation hooks.
+type Surrogate struct {
+	Model *nn.Model
+}
+
+// Predict returns the surrogate's argmax labels.
+func (s *Surrogate) Predict(x *mat.Matrix) []int {
+	return s.Model.Forward(x, false).ArgmaxRows()
+}
+
+// buildSurrogate assembles the attacker's GCN over the graph they can see
+// (the public substitute graph; nil degenerates to an MLP).
+func buildSurrogate(rng *rand.Rand, inDim, classes int, hidden []int, public *graph.Graph) *nn.Model {
+	dims := append(append([]int{}, hidden...), classes)
+	var adj *graph.NormAdjacency
+	if public != nil {
+		adj = graph.Normalize(public)
+	}
+	var layers []nn.Layer
+	prev := inDim
+	for i, d := range dims {
+		if adj != nil {
+			layers = append(layers, nn.NewGCNConv(rng, prev, d, adj))
+		} else {
+			layers = append(layers, nn.NewDense(rng, prev, d))
+		}
+		if i < len(dims)-1 {
+			layers = append(layers, nn.NewReLU())
+		}
+		prev = d
+	}
+	return nn.NewModel(layers...)
+}
+
+// ExtractFromLogits trains a surrogate by distilling the victim's exposed
+// logits (softened to probabilities) on the query nodes — the attack an
+// unprotected deployment permits.
+func ExtractFromLogits(x *mat.Matrix, public *graph.Graph, victimLogits *mat.Matrix, queryMask []int, cfg ExtractionConfig) *Surrogate {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := buildSurrogate(rng, x.Cols, victimLogits.Cols, cfg.HiddenDims, public)
+	targets := nn.Softmax(victimLogits)
+	opt := nn.NewAdam(cfg.LR, 0)
+	for e := 0; e < cfg.Epochs; e++ {
+		out := m.Forward(x, true)
+		_, dOut := nn.SoftCrossEntropy(out, targets, queryMask)
+		m.Backward(dOut)
+		opt.Step(m.Params())
+	}
+	return &Surrogate{Model: m}
+}
+
+// ExtractFromLabels trains a surrogate from hard label responses only —
+// all a GNNVault deployment gives the attacker.
+func ExtractFromLabels(x *mat.Matrix, public *graph.Graph, victimLabels []int, classes int, queryMask []int, cfg ExtractionConfig) *Surrogate {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := buildSurrogate(rng, x.Cols, classes, cfg.HiddenDims, public)
+	opt := nn.NewAdam(cfg.LR, 0)
+	for e := 0; e < cfg.Epochs; e++ {
+		out := m.Forward(x, true)
+		_, dOut := nn.MaskedCrossEntropy(out, victimLabels, queryMask)
+		m.Backward(dOut)
+		opt.Step(m.Params())
+	}
+	return &Surrogate{Model: m}
+}
+
+// Fidelity returns the fraction of nodes in mask where the surrogate
+// reproduces the victim's prediction — the extraction success metric.
+func Fidelity(surrogate, victim []int, mask []int) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	agree := 0
+	for _, i := range mask {
+		if surrogate[i] == victim[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(mask))
+}

@@ -1,0 +1,129 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+)
+
+// victimSetup builds a synthetic victim whose logits are a simple linear
+// function of class-clustered features, so extraction has a well-defined
+// target.
+func victimSetup(seed int64) (x *mat.Matrix, g *graph.Graph, logits *mat.Matrix, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n, d, classes := 150, 12, 3
+	x = mat.New(n, d)
+	labels = make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		row := x.Row(i)
+		for j := range row {
+			row[j] = 0.3 * rng.NormFloat64()
+		}
+		row[c] += 2
+	}
+	g, _ = graph.PlantedPartition(graph.PlantedPartitionConfig{
+		Nodes: n, Classes: classes, AvgDegree: 5, Homophily: 0.9, Seed: seed,
+	})
+	// Victim logits: strong signal on the true class plus noise.
+	logits = mat.New(n, classes)
+	for i := 0; i < n; i++ {
+		for j := 0; j < classes; j++ {
+			v := 0.2 * rng.NormFloat64()
+			if j == labels[i] {
+				v += 3
+			}
+			logits.Set(i, j, v)
+		}
+	}
+	return x, g, logits, labels
+}
+
+func queryAll(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestExtractFromLogitsHighFidelity(t *testing.T) {
+	x, g, logits, _ := victimSetup(1)
+	cfg := ExtractionConfig{HiddenDims: []int{32}, Epochs: 200, LR: 0.02, Seed: 1}
+	mask := queryAll(x.Rows)
+	s := ExtractFromLogits(x, g, logits, mask, cfg)
+	fid := Fidelity(s.Predict(x), logits.ArgmaxRows(), mask)
+	if fid < 0.9 {
+		t.Fatalf("logit-distillation fidelity = %v, want > 0.9 on separable victim", fid)
+	}
+}
+
+func TestExtractFromLabelsWorks(t *testing.T) {
+	x, g, logits, _ := victimSetup(2)
+	cfg := ExtractionConfig{HiddenDims: []int{32}, Epochs: 200, LR: 0.02, Seed: 2}
+	mask := queryAll(x.Rows)
+	s := ExtractFromLabels(x, g, logits.ArgmaxRows(), logits.Cols, mask, cfg)
+	fid := Fidelity(s.Predict(x), logits.ArgmaxRows(), mask)
+	if fid < 0.8 {
+		t.Fatalf("hard-label fidelity = %v, want > 0.8 on separable victim", fid)
+	}
+}
+
+func TestExtractMLPWhenNoGraph(t *testing.T) {
+	x, _, logits, _ := victimSetup(3)
+	cfg := ExtractionConfig{HiddenDims: []int{16}, Epochs: 60, LR: 0.02, Seed: 3}
+	s := ExtractFromLogits(x, nil, logits, queryAll(x.Rows), cfg)
+	if _, ok := s.Model.Layers[0].(*nn.Dense); !ok {
+		t.Fatal("nil graph should produce an MLP surrogate")
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	if f := Fidelity([]int{1, 2, 3}, []int{1, 0, 3}, []int{0, 1, 2}); f != 2.0/3.0 {
+		t.Fatalf("Fidelity = %v", f)
+	}
+	if f := Fidelity(nil, nil, nil); f != 0 {
+		t.Fatalf("empty Fidelity = %v", f)
+	}
+}
+
+func TestDefaultExtractionConfig(t *testing.T) {
+	cfg := DefaultExtractionConfig()
+	if cfg.Epochs <= 0 || cfg.LR <= 0 || len(cfg.HiddenDims) == 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}
+
+func TestSoftCrossEntropyGradientSigns(t *testing.T) {
+	logits := mat.FromSlice(1, 2, []float64{0, 0})
+	targets := mat.FromSlice(1, 2, []float64{1, 0})
+	loss, grad := nn.SoftCrossEntropy(logits, targets, []int{0})
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if grad.At(0, 0) >= 0 || grad.At(0, 1) <= 0 {
+		t.Fatalf("gradient signs wrong: %v", grad.Data)
+	}
+}
+
+func TestSoftCrossEntropyPanics(t *testing.T) {
+	cases := map[string]func(){
+		"shape":      func() { nn.SoftCrossEntropy(mat.New(1, 2), mat.New(1, 3), []int{0}) },
+		"empty mask": func() { nn.SoftCrossEntropy(mat.New(1, 2), mat.New(1, 2), nil) },
+		"mask range": func() { nn.SoftCrossEntropy(mat.New(1, 2), mat.New(1, 2), []int{5}) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,211 @@
+// Package attack implements the link-stealing attack of He et al. (USENIX
+// Security '21) used for the paper's security analysis (Table IV): an
+// honest-but-curious attacker observes node embeddings in the untrusted
+// world and scores node pairs by embedding similarity, betting that GNN
+// message passing makes connected nodes more similar than unconnected ones.
+//
+// Six distance metrics are evaluated, matching the paper: Euclidean,
+// correlation, cosine, Chebyshev, Bray-Curtis, and Canberra. Attack
+// strength is reported as ROC-AUC over a balanced sample of edges and
+// non-edges; 0.5 means the observations leak nothing.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/metrics"
+)
+
+// Metric names a pairwise distance on embeddings.
+type Metric string
+
+// The six similarity metrics of Table IV.
+const (
+	Euclidean   Metric = "euclidean"
+	Correlation Metric = "correlation"
+	Cosine      Metric = "cosine"
+	Chebyshev   Metric = "chebyshev"
+	BrayCurtis  Metric = "braycurtis"
+	Canberra    Metric = "canberra"
+)
+
+// Metrics lists all supported metrics in the paper's Table IV order.
+var Metrics = []Metric{Euclidean, Correlation, Cosine, Chebyshev, BrayCurtis, Canberra}
+
+// Distance returns the metric distance between two equal-length vectors.
+// Smaller means more similar (more likely connected).
+func Distance(m Metric, a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("attack: vector length mismatch %d vs %d", len(a), len(b)))
+	}
+	switch m {
+	case Euclidean:
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	case Correlation:
+		return 1 - pearson(a, b)
+	case Cosine:
+		return 1 - cosineSim(a, b)
+	case Chebyshev:
+		mx := 0.0
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > mx {
+				mx = d
+			}
+		}
+		return mx
+	case BrayCurtis:
+		num, den := 0.0, 0.0
+		for i := range a {
+			num += math.Abs(a[i] - b[i])
+			den += math.Abs(a[i] + b[i])
+		}
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	case Canberra:
+		s := 0.0
+		for i := range a {
+			den := math.Abs(a[i]) + math.Abs(b[i])
+			if den > 0 {
+				s += math.Abs(a[i]-b[i]) / den
+			}
+		}
+		return s
+	default:
+		panic(fmt.Sprintf("attack: unknown metric %q", m))
+	}
+}
+
+func cosineSim(a, b []float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	ma, mb := 0.0, 0.0
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	cov, va, vb := 0.0, 0.0, 0.0
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// PairSample is a balanced set of node pairs: every positive is a real
+// edge, every negative a verified non-edge.
+type PairSample struct {
+	Pairs    []graph.Edge
+	Positive []bool
+}
+
+// SamplePairs draws up to numPos edges (all edges if the graph has fewer)
+// and an equal number of uniform non-edges. Deterministic in seed.
+func SamplePairs(g *graph.Graph, numPos int, seed int64) PairSample {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.UndirectedEdges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	if numPos > len(edges) {
+		numPos = len(edges)
+	}
+	ps := PairSample{}
+	for _, e := range edges[:numPos] {
+		ps.Pairs = append(ps.Pairs, e)
+		ps.Positive = append(ps.Positive, true)
+	}
+	n := g.N()
+	for neg := 0; neg < numPos; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		ps.Pairs = append(ps.Pairs, graph.Edge{U: u, V: v})
+		ps.Positive = append(ps.Positive, false)
+		neg++
+	}
+	return ps
+}
+
+// AUC runs the attack with one metric on one observation surface: for each
+// sampled pair the score is the summed negative distance across all
+// observed embedding matrices (the paper's "using all intermediate
+// embeddings"), z-scored per matrix so no single layer's scale dominates.
+func AUC(m Metric, observations []*mat.Matrix, sample PairSample) float64 {
+	if len(observations) == 0 {
+		panic("attack: no observations")
+	}
+	scores := make([]float64, len(sample.Pairs))
+	dists := make([]float64, len(sample.Pairs))
+	for _, obs := range observations {
+		for i, p := range sample.Pairs {
+			dists[i] = Distance(m, obs.Row(p.U), obs.Row(p.V))
+		}
+		mean, std := meanStd(dists)
+		for i := range scores {
+			scores[i] -= (dists[i] - mean) / std
+		}
+	}
+	return metrics.ROCAUC(scores, sample.Positive)
+}
+
+// Run evaluates every metric against the same observation surface and
+// sample, producing one Table IV cell set.
+func Run(observations []*mat.Matrix, sample PairSample) map[Metric]float64 {
+	out := make(map[Metric]float64, len(Metrics))
+	for _, m := range Metrics {
+		out[m] = AUC(m, observations, sample)
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 1
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= n
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / n)
+	if std == 0 {
+		std = 1
+	}
+	return mean, std
+}

@@ -1,0 +1,256 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+)
+
+func TestDistanceEuclidean(t *testing.T) {
+	if d := Distance(Euclidean, []float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("euclidean = %v, want 5", d)
+	}
+}
+
+func TestDistanceCosine(t *testing.T) {
+	if d := Distance(Cosine, []float64{1, 0}, []float64{1, 0}); math.Abs(d) > 1e-12 {
+		t.Fatalf("cosine identical = %v, want 0", d)
+	}
+	if d := Distance(Cosine, []float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("cosine orthogonal = %v, want 1", d)
+	}
+}
+
+func TestDistanceCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8} // perfectly correlated
+	if d := Distance(Correlation, a, b); math.Abs(d) > 1e-12 {
+		t.Fatalf("correlation = %v, want 0", d)
+	}
+	c := []float64{4, 3, 2, 1} // anti-correlated
+	if d := Distance(Correlation, a, c); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("anti-correlation = %v, want 2", d)
+	}
+}
+
+func TestDistanceChebyshev(t *testing.T) {
+	if d := Distance(Chebyshev, []float64{1, 5, 2}, []float64{2, 1, 2}); d != 4 {
+		t.Fatalf("chebyshev = %v, want 4", d)
+	}
+}
+
+func TestDistanceBrayCurtis(t *testing.T) {
+	// |1-3|+|2-2| / |1+3|+|2+2| = 2/8.
+	if d := Distance(BrayCurtis, []float64{1, 2}, []float64{3, 2}); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("braycurtis = %v, want 0.25", d)
+	}
+	if d := Distance(BrayCurtis, []float64{0, 0}, []float64{0, 0}); d != 0 {
+		t.Fatalf("braycurtis zeros = %v", d)
+	}
+}
+
+func TestDistanceCanberra(t *testing.T) {
+	// |1-3|/(1+3) + |0-0|/0(skipped) = 0.5.
+	if d := Distance(Canberra, []float64{1, 0}, []float64{3, 0}); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("canberra = %v, want 0.5", d)
+	}
+}
+
+func TestDistanceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Distance(Euclidean, []float64{1}, []float64{1, 2})
+}
+
+func TestDistanceUnknownMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown metric did not panic")
+		}
+	}()
+	Distance(Metric("hamming"), []float64{1}, []float64{1})
+}
+
+func TestPropDistanceSymmetricNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 8)
+		b := make([]float64, 8)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		for _, m := range Metrics {
+			d1 := Distance(m, a, b)
+			d2 := Distance(m, b, a)
+			if math.Abs(d1-d2) > 1e-9 {
+				return false
+			}
+			// Correlation/cosine/braycurtis can be slightly negative-free;
+			// all our metrics are ≥ 0 up to fp error except correlation
+			// which lives in [0,2].
+			if d1 < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistanceIdentityIsMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 6)
+		for i := range a {
+			a[i] = rng.NormFloat64() + 2 // keep away from 0 for canberra
+		}
+		for _, m := range Metrics {
+			if Distance(m, a, a) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePairsBalanced(t *testing.T) {
+	g := graph.Random(60, 150, 1)
+	s := SamplePairs(g, 80, 2)
+	pos, neg := 0, 0
+	for i, p := range s.Positive {
+		pair := s.Pairs[i]
+		if p {
+			pos++
+			if !g.HasEdge(pair.U, pair.V) {
+				t.Fatal("positive pair is not an edge")
+			}
+		} else {
+			neg++
+			if g.HasEdge(pair.U, pair.V) {
+				t.Fatal("negative pair is an edge")
+			}
+		}
+	}
+	if pos != 80 || neg != 80 {
+		t.Fatalf("pos=%d neg=%d, want 80/80", pos, neg)
+	}
+}
+
+func TestSamplePairsClampsToEdgeCount(t *testing.T) {
+	g := graph.Random(20, 10, 3)
+	s := SamplePairs(g, 1000, 4)
+	if len(s.Pairs) != 20 { // 10 pos + 10 neg
+		t.Fatalf("pairs = %d, want 20", len(s.Pairs))
+	}
+}
+
+func TestSamplePairsDeterministic(t *testing.T) {
+	g := graph.Random(40, 80, 5)
+	a := SamplePairs(g, 50, 6)
+	b := SamplePairs(g, 50, 6)
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] || a.Positive[i] != b.Positive[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+// embeddingsLeaky builds embeddings where connected nodes are near-copies,
+// so the attack should succeed; embeddingsOpaque is pure noise.
+func embeddingsLeaky(g *graph.Graph, seed int64) *mat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	// Positive-mean like post-ReLU GNN activations.
+	emb := mat.RandNormal(rng, n, 8, 1.5, 1)
+	// Average each node with its neighbours (one message-passing round)
+	// which is exactly why GNN embeddings leak links.
+	sm := mat.New(n, 8)
+	for u := 0; u < n; u++ {
+		row := sm.Row(u)
+		copy(row, emb.Row(u))
+		for _, v := range g.Neighbors(u) {
+			for j, x := range emb.Row(v) {
+				row[j] += x
+			}
+		}
+		for j := range row {
+			row[j] /= float64(g.Degree(u) + 1)
+		}
+	}
+	return sm
+}
+
+func TestAUCDetectsLeakyEmbeddings(t *testing.T) {
+	g := graph.Random(100, 250, 7)
+	leaky := embeddingsLeaky(g, 7)
+	s := SamplePairs(g, 120, 8)
+	for _, m := range Metrics {
+		auc := AUC(m, []*mat.Matrix{leaky}, s)
+		if auc < 0.7 {
+			t.Errorf("%s: AUC = %v on leaky embeddings, want > 0.7", m, auc)
+		}
+	}
+}
+
+func TestAUCNearChanceOnNoise(t *testing.T) {
+	g := graph.Random(100, 250, 9)
+	rng := rand.New(rand.NewSource(10))
+	noise := mat.RandNormal(rng, 100, 8, 0, 1)
+	s := SamplePairs(g, 120, 11)
+	for _, m := range Metrics {
+		auc := AUC(m, []*mat.Matrix{noise}, s)
+		if auc < 0.35 || auc > 0.65 {
+			t.Errorf("%s: AUC = %v on noise, want ≈ 0.5", m, auc)
+		}
+	}
+}
+
+func TestAUCMultiLayerObservations(t *testing.T) {
+	g := graph.Random(80, 200, 12)
+	leaky := embeddingsLeaky(g, 12)
+	rng := rand.New(rand.NewSource(13))
+	noise := mat.RandNormal(rng, 80, 8, 0, 1)
+	s := SamplePairs(g, 100, 14)
+	// Adding a noise layer must not destroy the signal completely.
+	auc := AUC(Cosine, []*mat.Matrix{leaky, noise}, s)
+	if auc < 0.6 {
+		t.Fatalf("multi-layer AUC = %v, want > 0.6", auc)
+	}
+}
+
+func TestAUCNoObservationsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no observations did not panic")
+		}
+	}()
+	AUC(Cosine, nil, PairSample{})
+}
+
+func TestRunAllMetrics(t *testing.T) {
+	g := graph.Random(60, 150, 15)
+	leaky := embeddingsLeaky(g, 15)
+	s := SamplePairs(g, 80, 16)
+	res := Run([]*mat.Matrix{leaky}, s)
+	if len(res) != len(Metrics) {
+		t.Fatalf("got %d metrics, want %d", len(res), len(Metrics))
+	}
+	for m, auc := range res {
+		if auc < 0 || auc > 1 {
+			t.Errorf("%s: AUC %v out of range", m, auc)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gnnvault/internal/bundle"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/graph"
+)
+
+// Export packages a deployed vault into the on-disk bundle format a model
+// vendor ships to devices: public backbone parameters and substitute graph
+// in the clear, rectifier parameters and private adjacency sealed to the
+// rectifier enclave's measurement.
+func (v *Vault) Export(dataset string) ([]byte, error) {
+	if v.Backbone.SubGraph == nil {
+		return nil, fmt.Errorf("core: export requires a GNN backbone (DNN backbones have no substitute graph)")
+	}
+	man := bundle.Manifest{
+		Dataset:        dataset,
+		ModelSpec:      v.Backbone.Spec.Name,
+		Design:         string(v.rectifier.Design),
+		Conv:           string(v.rectifier.Conv),
+		Classes:        v.Backbone.BlockDims[len(v.Backbone.BlockDims)-1],
+		FeatureDim:     v.Backbone.FeatureDim,
+		Nodes:          v.privateGraph.N(),
+		ThetaBackbone:  v.Backbone.NumParams(),
+		ThetaRectifier: v.rectifier.NumParams(),
+	}
+	b := bundle.New(v.Enclave.Measurement(), man)
+	b.Add(bundle.SectionBackboneParams, v.Backbone.Model.MarshalParams())
+	b.Add(bundle.SectionSubstituteCOO, graph.MarshalCOO(v.Backbone.SubGraph))
+	b.Add(bundle.SectionSealedRectifier, v.sealedParams)
+	b.Add(bundle.SectionSealedGraph, v.sealedGraph)
+	return b.Marshal()
+}
+
+// Import reconstructs a deployable Vault from a bundle on a device: it
+// rebuilds the public backbone from the clear sections, launches a
+// rectifier enclave of the architecture named in the manifest, verifies
+// the measurement matches the bundle's, and unseals the private sections
+// inside it.
+func Import(data []byte, cost enclave.CostModel) (*Vault, error) {
+	b, err := bundle.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	man := b.Manifest
+	spec := SpecByName(man.ModelSpec)
+	spec.Conv = ConvKind(man.Conv)
+
+	subCOO, ok := b.Section(bundle.SectionSubstituteCOO)
+	if !ok {
+		return nil, fmt.Errorf("core: bundle missing substitute graph")
+	}
+	sub, err := graph.UnmarshalCOO(subCOO)
+	if err != nil {
+		return nil, fmt.Errorf("core: substitute graph: %w", err)
+	}
+
+	// Rebuild the public backbone.
+	rng := rand.New(rand.NewSource(0)) // weights are overwritten below
+	adj := graph.Normalize(sub)
+	model, dims, convIdx := buildBackboneModel(rng, spec, man.FeatureDim, man.Classes, sub, adj)
+	bbParams, ok := b.Section(bundle.SectionBackboneParams)
+	if !ok {
+		return nil, fmt.Errorf("core: bundle missing backbone parameters")
+	}
+	if err := model.UnmarshalParams(bbParams); err != nil {
+		return nil, fmt.Errorf("core: backbone parameters: %w", err)
+	}
+	bb := &Backbone{
+		Spec: spec, Kind: "imported", Model: model,
+		SubGraph: sub, adj: adj, FeatureDim: man.FeatureDim,
+		BlockDims: dims, convIdx: convIdx,
+	}
+
+	// Launch the rectifier enclave and verify the measurement before
+	// trusting the sealed sections to it. The private graph is only known
+	// after unsealing, so the rectifier is built in two phases: identity
+	// first (for the measurement), wiring after.
+	sealedGraph, ok := b.Section(bundle.SectionSealedGraph)
+	if !ok {
+		return nil, fmt.Errorf("core: bundle missing sealed graph")
+	}
+	sealedRec, ok := b.Section(bundle.SectionSealedRectifier)
+	if !ok {
+		return nil, fmt.Errorf("core: bundle missing sealed rectifier")
+	}
+	probe := &Rectifier{
+		Design:       RectifierDesign(man.Design),
+		Conv:         spec.Conv,
+		BackboneDims: dims,
+		Dims:         append(append([]int{}, spec.RectifierHidden...), man.Classes),
+	}
+	encl := enclave.New(cost, probe.Identity())
+	if encl.Measurement() != b.Measurement {
+		return nil, fmt.Errorf("core: enclave measurement mismatch: bundle was built for a different rectifier build")
+	}
+	cooBytes, err := encl.Unseal(sealedGraph)
+	if err != nil {
+		return nil, fmt.Errorf("core: unsealing private graph: %w", err)
+	}
+	private, err := graph.UnmarshalCOO(cooBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: private graph: %w", err)
+	}
+	rec := NewRectifierConv(rng, RectifierDesign(man.Design), spec.Conv,
+		dims, spec.RectifierHidden, man.Classes, private)
+	recParams, err := encl.Unseal(sealedRec)
+	if err != nil {
+		return nil, fmt.Errorf("core: unsealing rectifier: %w", err)
+	}
+	if err := rec.UnmarshalParams(recParams); err != nil {
+		return nil, fmt.Errorf("core: rectifier parameters: %w", err)
+	}
+
+	if err := encl.Alloc(rec.ParamBytes()); err != nil {
+		return nil, fmt.Errorf("core: rectifier parameters do not fit EPC: %w", err)
+	}
+	if err := encl.Alloc(rec.Adjacency().NumBytes()); err != nil {
+		return nil, fmt.Errorf("core: private adjacency does not fit EPC: %w", err)
+	}
+	rec.SetSerial(true)
+	return &Vault{
+		Backbone:     bb,
+		Enclave:      encl,
+		rectifier:    rec,
+		privateGraph: private,
+		sealedParams: sealedRec,
+		sealedGraph:  sealedGraph,
+	}, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+	"gnnvault/internal/substitute"
+)
+
+// TrainRectifier freezes the backbone and trains a rectifier of the given
+// design over ds's real private adjacency (paper step 3, Fig. 2). The
+// backbone embeddings are computed once in inference mode — the backbone
+// receives no gradient.
+func TrainRectifier(ds *datasets.Dataset, bb *Backbone, design RectifierDesign, cfg TrainConfig) *Rectifier {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	rec := NewRectifierConv(rng, design, bb.Spec.Conv, bb.BlockDims, bb.Spec.RectifierHidden, ds.NumClasses, ds.Graph)
+
+	all := bb.Embeddings(ds.X)
+	embs := selectEmbeddings(all, rec.RequiredEmbeddings())
+
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		out := rec.Forward(embs, true)
+		_, dOut := nn.MaskedCrossEntropy(out, ds.Labels, ds.TrainMask)
+		rec.Backward(dOut)
+		opt.Step(rec.Params())
+	}
+	return rec
+}
+
+// selectEmbeddings picks the blocks a rectifier consumes.
+func selectEmbeddings(all []*mat.Matrix, idx []int) []*mat.Matrix {
+	out := make([]*mat.Matrix, len(idx))
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out
+}
+
+// RectifierAccuracy evaluates prec: rectified predictions on a node mask.
+func RectifierAccuracy(ds *datasets.Dataset, bb *Backbone, rec *Rectifier, mask []int) float64 {
+	embs := selectEmbeddings(bb.Embeddings(ds.X), rec.RequiredEmbeddings())
+	out := rec.Forward(embs, false)
+	return nn.Accuracy(out, ds.Labels, mask)
+}
+
+// PipelineResult bundles everything one GNNVault training run produces,
+// with the paper's Table II quantities precomputed.
+type PipelineResult struct {
+	Original  *Backbone // reference GNN trained on the real graph (p_org)
+	Backbone  *Backbone
+	Rectifier *Rectifier
+
+	POrg float64 // original model test accuracy
+	PBB  float64 // public backbone test accuracy
+	PRec float64 // rectified test accuracy
+}
+
+// DeltaP returns the protection performance Δp = p_rec − p_bb.
+func (p *PipelineResult) DeltaP() float64 { return p.PRec - p.PBB }
+
+// AccuracyDegradation returns p_org − p_rec (lower is better).
+func (p *PipelineResult) AccuracyDegradation() float64 { return p.POrg - p.PRec }
+
+// PipelineConfig parameterises a full partition-before-training run.
+type PipelineConfig struct {
+	Spec    ModelSpec
+	Design  RectifierDesign
+	SubKind substitute.Kind
+	KNNK    int // k for the KNN substitute graph (paper default 2)
+	Train   TrainConfig
+	// SkipOriginal avoids training the reference model when only
+	// p_bb/p_rec are needed (saves the most expensive third of a run).
+	SkipOriginal bool
+}
+
+// DefaultPipelineConfig is Table II's setup: KNN(k=2) substitute graph,
+// parallel rectifier, spec chosen per dataset.
+func DefaultPipelineConfig(dataset string) PipelineConfig {
+	return PipelineConfig{
+		Spec:    SpecForDataset(dataset),
+		Design:  Parallel,
+		SubKind: substitute.KindKNN,
+		KNNK:    2,
+		Train:   DefaultTrainConfig(),
+	}
+}
+
+// RunPipeline executes the four GNNVault steps on ds: substitute graph,
+// backbone, rectifier, and evaluation. Deployment into an enclave is a
+// separate step (Deploy).
+func RunPipeline(ds *datasets.Dataset, cfg PipelineConfig) *PipelineResult {
+	sub := substitute.Build(cfg.SubKind, ds.X, cfg.KNNK, ds.Graph.NumUndirectedEdges(), cfg.Train.Seed)
+	bb := TrainBackbone(ds, cfg.Spec, cfg.SubKind, sub, cfg.Train)
+	rec := TrainRectifier(ds, bb, cfg.Design, cfg.Train)
+
+	res := &PipelineResult{
+		Backbone:  bb,
+		Rectifier: rec,
+		PBB:       bb.TestAccuracy(ds.X, ds.Labels, ds.TestMask),
+		PRec:      RectifierAccuracy(ds, bb, rec, ds.TestMask),
+	}
+	if !cfg.SkipOriginal {
+		res.Original = TrainOriginal(ds, cfg.Spec, cfg.Train)
+		res.POrg = res.Original.TestAccuracy(ds.X, ds.Labels, ds.TestMask)
+	}
+	return res
+}
+
+// RectifierActivations runs the rectifier in inference mode and returns its
+// per-layer activations (post-ReLU hidden layers plus the final logits).
+// Used by the Fig. 4 silhouette analysis; note these tensors exist only
+// inside the enclave in a real deployment.
+func RectifierActivations(ds *datasets.Dataset, bb *Backbone, rec *Rectifier) []*mat.Matrix {
+	embs := selectEmbeddings(bb.Embeddings(ds.X), rec.RequiredEmbeddings())
+	return rec.ForwardCollect(embs)
+}

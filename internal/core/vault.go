@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+)
+
+// Vault is a deployed GNNVault instance (paper step 4, Fig. 2): the public
+// backbone and substitute graph live in the untrusted world; the rectifier
+// parameters and the real COO adjacency are sealed inside the enclave. The
+// only output that ever leaves the enclave is the predicted class label per
+// node — logits stay inside (paper Sec. IV-E).
+type Vault struct {
+	Backbone *Backbone
+	Enclave  *enclave.Enclave
+
+	// rectifier and privateGraph are enclave-resident state. They are
+	// unexported: untrusted callers of this package cannot reach them.
+	rectifier    *Rectifier
+	privateGraph *graph.Graph
+
+	sealedParams []byte
+	sealedGraph  []byte
+}
+
+// InferenceBreakdown is the Fig. 6 decomposition of one inference pass.
+type InferenceBreakdown struct {
+	BackboneTime time.Duration // measured, normal world (parallel kernels)
+	TransferTime time.Duration // modelled: ECALL transitions + marshalling
+	EnclaveTime  time.Duration // measured in-enclave compute ×slowdown + paging
+	PeakEPCBytes int64
+	BytesIn      int64
+	ECalls       int
+}
+
+// Total returns the end-to-end inference latency.
+func (b InferenceBreakdown) Total() time.Duration {
+	return b.BackboneTime + b.TransferTime + b.EnclaveTime
+}
+
+// Deploy provisions a trained GNNVault onto a device: it creates an enclave
+// measured over the sealed rectifier+graph payloads, allocates EPC for the
+// persistent state (parameters, normalised adjacency, precomputed degrees),
+// and returns the deployment handle.
+//
+// Deploy fails with enclave.ErrEPCExhausted if the persistent state cannot
+// fit the EPC — the check that motivates Table I's DenseA column.
+func Deploy(bb *Backbone, rec *Rectifier, private *graph.Graph, cost enclave.CostModel) (*Vault, error) {
+	params := rec.MarshalParams()
+	coo := graph.MarshalCOO(private)
+
+	// The measurement covers the enclave's code identity — design, conv
+	// kind and layer dimensions — as MRENCLAVE covers code and initial
+	// data pages. Weights and the private graph are provisioned as sealed
+	// blobs after launch, so two devices running the same rectifier build
+	// measure identically and can exchange sealed state.
+	encl := enclave.New(cost, rec.Identity())
+	sealedParams, err := encl.Seal(params)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing rectifier params: %w", err)
+	}
+	sealedGraph, err := encl.Seal(coo)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing private graph: %w", err)
+	}
+
+	// Persistent EPC residents: parameters + normalised COO adjacency.
+	if err := encl.Alloc(rec.ParamBytes()); err != nil {
+		return nil, fmt.Errorf("core: rectifier parameters do not fit EPC: %w", err)
+	}
+	if err := encl.Alloc(rec.Adjacency().NumBytes()); err != nil {
+		return nil, fmt.Errorf("core: private adjacency does not fit EPC: %w", err)
+	}
+
+	rec.SetSerial(true) // enclave execution is single-threaded
+	return &Vault{
+		Backbone:     bb,
+		Enclave:      encl,
+		rectifier:    rec,
+		privateGraph: private,
+		sealedParams: sealedParams,
+		sealedGraph:  sealedGraph,
+	}, nil
+}
+
+// SealedArtifacts returns the encrypted blobs persisted on untrusted
+// storage. Exposed so tests and examples can demonstrate that the at-rest
+// payloads are ciphertext.
+func (v *Vault) SealedArtifacts() (params, coo []byte) {
+	return v.sealedParams, v.sealedGraph
+}
+
+// Design returns the deployed rectifier's communication scheme.
+func (v *Vault) Design() RectifierDesign { return v.rectifier.Design }
+
+// RectifierParams returns θ_rec of the deployed rectifier.
+func (v *Vault) RectifierParams() int { return v.rectifier.NumParams() }
+
+// Predict runs one full GNNVault inference over the node features:
+// backbone in the normal world, one-way transfer of the required
+// embeddings, rectification inside the enclave, label-only output.
+func (v *Vault) Predict(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
+	var bd InferenceBreakdown
+	v.Enclave.ResetLedger()
+
+	// Normal world: backbone forward (parallel kernels, GPU-class side).
+	start := time.Now()
+	all := v.Backbone.Embeddings(x)
+	bd.BackboneTime = time.Since(start)
+
+	// One-way transfer of exactly the embeddings the design requires.
+	ch, uplink := enclave.NewChannel(v.Enclave)
+	needed := selectEmbeddings(all, v.rectifier.RequiredEmbeddings())
+	for _, e := range needed {
+		if err := uplink.Send(e); err != nil {
+			return nil, bd, fmt.Errorf("core: transferring embeddings: %w", err)
+		}
+	}
+	uplink.Close()
+
+	// Enclave: rectify and reduce to labels. Only `labels` crosses back
+	// (modelled as the ECALL result payload: 8 bytes per node).
+	var labels []int
+	err := v.Enclave.Ecall(0, int64(x.Rows)*8, func() error {
+		embs := make([]*mat.Matrix, 0, len(needed))
+		for {
+			m, ok := ch.Recv()
+			if !ok {
+				break
+			}
+			embs = append(embs, m)
+		}
+		actBytes := v.rectifier.ActivationBytes(x.Rows)
+		if err := v.Enclave.Alloc(actBytes); err != nil {
+			return err
+		}
+		defer v.Enclave.Free(actBytes)
+		logits := v.rectifier.Forward(embs, false)
+		labels = logits.ArgmaxRows() // label-only output
+		return nil
+	})
+	ch.Drain()
+	if err != nil {
+		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)
+	}
+
+	l := v.Enclave.Ledger()
+	bd.TransferTime = l.TransferTime()
+	bd.EnclaveTime = l.EnclaveTime()
+	bd.PeakEPCBytes = l.PeakEPCBytes
+	bd.BytesIn = l.BytesIn
+	bd.ECalls = l.ECalls
+	return labels, bd, nil
+}
+
+// UnprotectedInference measures the baseline of Fig. 6: the original GNN
+// running entirely on the normal-world CPU (single-threaded, as the paper's
+// CPU baseline), returning its labels and wall time.
+func UnprotectedInference(orig *Backbone, x *mat.Matrix) ([]int, time.Duration) {
+	orig.Model.SetSerial(true)
+	defer orig.Model.SetSerial(false)
+	start := time.Now()
+	logits := orig.Model.Forward(x, false)
+	elapsed := time.Since(start)
+	return logits.ArgmaxRows(), elapsed
+}
+
+// EnclaveMemoryEstimate returns the static Fig. 6 (bottom) estimate for a
+// rectifier deployment over n nodes: persistent parameters + adjacency +
+// transferred embeddings + peak activations.
+func EnclaveMemoryEstimate(rec *Rectifier, backboneDims []int, n int) int64 {
+	embBytes := int64(0)
+	for _, i := range rec.RequiredEmbeddings() {
+		embBytes += int64(backboneDims[i]) * int64(n) * 8
+	}
+	return rec.ParamBytes() + rec.Adjacency().NumBytes() + embBytes + rec.ActivationBytes(n)
+}
+
+// FullModelMemoryEstimate returns what hosting the *entire* original GNN in
+// the enclave would cost: all parameters, the adjacency, the input features
+// and the widest activation — the quantity the paper compares against the
+// 128 MB PRM to argue full-model enclaving is impractical.
+func FullModelMemoryEstimate(orig *Backbone, n, featureDim int) int64 {
+	adj := int64(0)
+	if orig.adj != nil {
+		adj = orig.adj.NumBytes()
+	}
+	widest := featureDim
+	for _, d := range orig.BlockDims {
+		if d > widest {
+			widest = d
+		}
+	}
+	actBytes := int64(widest) * int64(n) * 8 * 2 // in+out coexist
+	featBytes := int64(featureDim) * int64(n) * 8
+	return orig.Model.ParamBytes() + adj + featBytes + actBytes
+}
+
+// VerifyLabelOnly is a compile-time style assertion helper used in tests:
+// it re-runs Predict and confirms the outputs are class indices, not
+// logits.
+func VerifyLabelOnly(labels []int, classes int) error {
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			return fmt.Errorf("core: output %d = %d outside label space [0,%d)", i, l, classes)
+		}
+	}
+	return nil
+}
+
+// compile-time check that nn.Param stays usable for rectifier training.
+var _ = nn.Param{}
+
+// PredictNodes answers queries for specific nodes (the paper's attacker
+// "can query the GNN model with any chosen node"). GNN inference is
+// full-graph — message passing needs every node's features — so the whole
+// pipeline runs, but only the requested labels leave this function.
+func (v *Vault) PredictNodes(x *mat.Matrix, nodes []int) ([]int, error) {
+	all, _, err := v.Predict(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(nodes))
+	for i, u := range nodes {
+		if u < 0 || u >= len(all) {
+			return nil, fmt.Errorf("core: query node %d out of range %d", u, len(all))
+		}
+		out[i] = all[u]
+	}
+	return out, nil
+}
+
+// PredictStreamed is the layer-by-layer variant of Predict for the
+// parallel rectifier (the paper's Fig. 3b narrative: backbone and
+// rectifier run layer-by-layer in parallel). Each backbone embedding is
+// sent in its own ECALL and freed as soon as the matching rectifier layer
+// consumed it, trading more world transitions for a smaller peak EPC
+// footprint. Other designs need the full payload at once and fall back to
+// Predict.
+func (v *Vault) PredictStreamed(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
+	if v.rectifier.Design != Parallel {
+		return v.Predict(x)
+	}
+	var bd InferenceBreakdown
+	v.Enclave.ResetLedger()
+
+	start := time.Now()
+	all := v.Backbone.Embeddings(x)
+	bd.BackboneTime = time.Since(start)
+
+	needed := selectEmbeddings(all, v.rectifier.RequiredEmbeddings())
+	var labels []int
+	var prev *mat.Matrix
+	actBytes := v.rectifier.ActivationBytes(x.Rows)
+	if err := v.Enclave.Alloc(actBytes); err != nil {
+		return nil, bd, fmt.Errorf("core: streamed inference: %w", err)
+	}
+	defer v.Enclave.Free(actBytes)
+	for k, emb := range needed {
+		k, emb := k, emb
+		resultBytes := int64(0)
+		if k == len(needed)-1 {
+			resultBytes = int64(x.Rows) * 8 // the final labels
+		}
+		err := v.Enclave.Ecall(emb.NumBytes(), resultBytes, func() error {
+			if err := v.Enclave.Alloc(emb.NumBytes()); err != nil {
+				return err
+			}
+			defer v.Enclave.Free(emb.NumBytes())
+			prev = v.rectifier.forwardLayer(k, prev, emb)
+			if k == len(needed)-1 {
+				labels = prev.ArgmaxRows()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: streamed inference layer %d: %w", k, err)
+		}
+	}
+
+	l := v.Enclave.Ledger()
+	bd.TransferTime = l.TransferTime()
+	bd.EnclaveTime = l.EnclaveTime()
+	bd.PeakEPCBytes = l.PeakEPCBytes
+	bd.BytesIn = l.BytesIn
+	bd.ECalls = l.ECalls
+	return labels, bd, nil
+}

@@ -1,0 +1,210 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadAllBuiltins(t *testing.T) {
+	for _, name := range Names {
+		ds := Load(name)
+		if ds.Name != name {
+			t.Errorf("%s: name = %q", name, ds.Name)
+		}
+		if ds.X.Rows != ds.Graph.N() || len(ds.Labels) != ds.X.Rows {
+			t.Errorf("%s: inconsistent sizes", name)
+		}
+		if len(ds.TrainMask)+len(ds.TestMask) != ds.X.Rows {
+			t.Errorf("%s: split does not partition nodes", name)
+		}
+		if ds.Paper.Nodes == 0 {
+			t.Errorf("%s: missing paper stats", name)
+		}
+	}
+}
+
+func TestLoadUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset did not panic")
+		}
+	}()
+	Load("imagenet")
+}
+
+func TestGenerateInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Generate(Config{Nodes: -1, Classes: 2, FeatureDim: 4})
+}
+
+func TestSplitTwentyPerClass(t *testing.T) {
+	ds := Load("cora")
+	counts := make(map[int]int)
+	for _, i := range ds.TrainMask {
+		counts[ds.Labels[i]]++
+	}
+	for c := 0; c < ds.NumClasses; c++ {
+		if counts[c] != 20 {
+			t.Errorf("class %d has %d train nodes, want 20", c, counts[c])
+		}
+	}
+}
+
+func TestSplitDisjoint(t *testing.T) {
+	ds := Load("citeseer")
+	seen := make(map[int]bool)
+	for _, i := range ds.TrainMask {
+		seen[i] = true
+	}
+	for _, i := range ds.TestMask {
+		if seen[i] {
+			t.Fatalf("node %d in both train and test", i)
+		}
+	}
+}
+
+func TestFeaturesRowNormalised(t *testing.T) {
+	ds := Load("cora")
+	for i := 0; i < ds.X.Rows; i++ {
+		s := 0.0
+		for _, v := range ds.X.Row(i) {
+			if v < 0 {
+				t.Fatalf("negative feature at row %d", i)
+			}
+			s += v
+		}
+		if s != 0 && math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d L1 norm = %v, want 1", i, s)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Load("pubmed")
+	b := Load("pubmed")
+	if !a.X.Equal(b.X) || !a.Graph.Equal(b.Graph) {
+		t.Fatal("Load is not deterministic")
+	}
+}
+
+func TestHomophilyMatchesConfig(t *testing.T) {
+	for _, name := range Names {
+		ds := Load(name)
+		cfg := ConfigOf(name)
+		h := ds.Graph.Homophily(ds.Labels)
+		// Generated homophily tracks the config within sampling noise and
+		// the cross-class collision rate.
+		if h < cfg.Homophily-0.15 || h > cfg.Homophily+0.12 {
+			t.Errorf("%s: homophily %v, config %v", name, h, cfg.Homophily)
+		}
+	}
+}
+
+func TestFeaturesClassCorrelated(t *testing.T) {
+	// Mean intra-class feature cosine similarity should exceed the
+	// inter-class one — this is the property that makes KNN substitute
+	// graphs work.
+	ds := Load("cora")
+	rng := rand.New(rand.NewSource(1))
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for trial := 0; trial < 4000; trial++ {
+		i, j := rng.Intn(ds.X.Rows), rng.Intn(ds.X.Rows)
+		if i == j {
+			continue
+		}
+		c := cosine(ds.X.Row(i), ds.X.Row(j))
+		if ds.Labels[i] == ds.Labels[j] {
+			intra += c
+			nIntra++
+		} else {
+			inter += c
+			nInter++
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Skip("no pairs sampled")
+	}
+	if intra/float64(nIntra) <= 1.5*inter/float64(nInter) {
+		t.Fatalf("features not class-correlated: intra %v vs inter %v",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func TestSplitSmallClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := []int{0, 0, 0, 1, 1, 2} // class 2 has a single node
+	train, test := Split(rng, labels, 3, 20)
+	if len(train)+len(test) != len(labels) {
+		t.Fatal("split lost nodes")
+	}
+	// Every class must keep at least one node out of training.
+	inTest := make(map[int]bool)
+	for _, i := range test {
+		inTest[labels[i]] = true
+	}
+	for c := 0; c < 3; c++ {
+		if !inTest[c] {
+			t.Fatalf("class %d has no test node", c)
+		}
+	}
+}
+
+func TestPropSplitPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		classes := 2 + rng.Intn(5)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(classes)
+		}
+		train, test := Split(rng, labels, classes, 1+rng.Intn(10))
+		seen := make(map[int]int)
+		for _, i := range train {
+			seen[i]++
+		}
+		for _, i := range test {
+			seen[i]++
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigOfReturnsCopy(t *testing.T) {
+	cfg := ConfigOf("cora")
+	cfg.Nodes = 1
+	if ConfigOf("cora").Nodes == 1 {
+		t.Fatal("ConfigOf exposed internal state")
+	}
+}

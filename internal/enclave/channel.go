@@ -1,0 +1,94 @@
+package enclave
+
+import (
+	"errors"
+
+	"gnnvault/internal/mat"
+)
+
+// GNNVault's deployment requires strictly one-directional data flow from
+// the untrusted environment into the enclave (paper Sec. IV-B): the
+// backbone pushes node embeddings in, and nothing but the final class
+// labels ever comes out. The Channel / Uplink pair enforces that shape in
+// the type system: untrusted code holds only an Uplink, which has no
+// receive or read-back operation.
+
+// ErrChannelClosed is returned when sending on a closed channel.
+var ErrChannelClosed = errors.New("enclave: channel closed")
+
+// Channel is the enclave-side endpoint of the one-way embedding stream.
+// Only code running inside the enclave boundary should hold a *Channel.
+type Channel struct {
+	enclave  *Enclave
+	queue    []*mat.Matrix
+	received []*mat.Matrix // popped but still enclave-resident
+	closed   bool
+}
+
+// NewChannel creates a one-way channel into e and returns both endpoints.
+// The *Uplink is handed to the untrusted world; the *Channel stays inside.
+func NewChannel(e *Enclave) (*Channel, *Uplink) {
+	c := &Channel{enclave: e}
+	return c, &Uplink{ch: c}
+}
+
+// Uplink is the untrusted-world endpoint: send-only, by construction.
+type Uplink struct {
+	ch *Channel
+}
+
+// Send copies one embedding matrix into the enclave, paying the modelled
+// ECALL and marshalling cost for its payload. The matrix is deep-copied so
+// later mutation in the untrusted world cannot reach enclave state.
+func (u *Uplink) Send(m *mat.Matrix) error {
+	if u.ch.closed {
+		return ErrChannelClosed
+	}
+	var cp *mat.Matrix
+	err := u.ch.enclave.Ecall(m.NumBytes(), 0, func() error {
+		if err := u.ch.enclave.Alloc(m.NumBytes()); err != nil {
+			return err
+		}
+		cp = m.Clone()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	u.ch.queue = append(u.ch.queue, cp)
+	return nil
+}
+
+// Close marks the stream complete for this inference.
+func (u *Uplink) Close() { u.ch.closed = true }
+
+// Recv pops the next embedding inside the enclave. The matrix stays
+// EPC-resident (and accounted) until Drain. ok is false when the queue is
+// empty.
+func (c *Channel) Recv() (m *mat.Matrix, ok bool) {
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	m = c.queue[0]
+	c.queue = c.queue[1:]
+	c.received = append(c.received, m)
+	return m, true
+}
+
+// Drain releases every embedding this channel brought into the enclave —
+// queued and received — and their EPC accounting; called at the end of an
+// inference pass.
+func (c *Channel) Drain() {
+	for _, m := range c.queue {
+		c.enclave.Free(m.NumBytes())
+	}
+	for _, m := range c.received {
+		c.enclave.Free(m.NumBytes())
+	}
+	c.queue = nil
+	c.received = nil
+	c.closed = false
+}
+
+// Pending returns the number of embeddings waiting inside the enclave.
+func (c *Channel) Pending() int { return len(c.queue) }

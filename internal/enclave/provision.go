@@ -1,0 +1,142 @@
+package enclave
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Secret provisioning: how the model vendor's rectifier weights and private
+// graph reach the device enclave in the first place. The flow models SGX
+// remote attestation followed by an authenticated ECDH key exchange:
+//
+//  1. the vendor sends a nonce;
+//  2. the enclave generates an ephemeral X25519 key pair *inside* the
+//     enclave and returns its public key inside an attestation report whose
+//     report data binds (nonce, public key);
+//  3. the vendor verifies the report against the expected measurement,
+//     derives the shared secret, and wraps the payload with AES-GCM;
+//  4. the enclave unwraps the payload and (typically) re-seals it under its
+//     sealing key for storage.
+//
+// The MAC on the report stands in for the Intel attestation signature — in
+// this simulation the vendor verifies through a Verifier bound to the same
+// platform key, mirroring how a real verifier trusts Intel's QE.
+
+// ProvisioningSession is the enclave-side state of one provisioning run.
+type ProvisioningSession struct {
+	enclave *Enclave
+	priv    *ecdh.PrivateKey
+	// Report binds the enclave identity and the session public key to the
+	// vendor's nonce.
+	Report AttestationReport
+}
+
+// BeginProvisioning starts a provisioning session: the enclave generates an
+// ephemeral key pair and produces an attestation report over
+// SHA-256(nonce ‖ publicKey).
+func (e *Enclave) BeginProvisioning(nonce [32]byte) (*ProvisioningSession, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: provisioning keygen: %w", err)
+	}
+	s := &ProvisioningSession{enclave: e, priv: priv}
+	s.Report = e.Report(bindReportData(nonce, priv.PublicKey().Bytes()))
+	return s, nil
+}
+
+// PublicKey returns the session's ephemeral public key bytes.
+func (s *ProvisioningSession) PublicKey() []byte { return s.priv.PublicKey().Bytes() }
+
+// Receive unwraps a payload the vendor encrypted to this session and
+// returns the plaintext (now enclave-resident).
+func (s *ProvisioningSession) Receive(vendorPub, wrapped []byte) ([]byte, error) {
+	key, err := sessionKey(s.priv, vendorPub)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(wrapped) < aead.NonceSize() {
+		return nil, fmt.Errorf("enclave: wrapped payload too short")
+	}
+	pt, err := aead.Open(nil, wrapped[:aead.NonceSize()], wrapped[aead.NonceSize():], s.enclave.measurement[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: provisioning unwrap failed: %w", err)
+	}
+	return pt, nil
+}
+
+// Vendor is the model owner's side of provisioning. It knows the expected
+// enclave measurement and (in this simulation) shares the platform report
+// key with the target platform, standing in for Intel's attestation
+// service.
+type Vendor struct {
+	Expected [32]byte
+	platform *Enclave // used only to verify report MACs
+}
+
+// NewVendor creates a vendor that will only provision enclaves measuring
+// expected, verifying reports against the given platform.
+func NewVendor(expected [32]byte, platform *Enclave) *Vendor {
+	return &Vendor{Expected: expected, platform: platform}
+}
+
+// Provision verifies the session report against the vendor's nonce and
+// expected measurement, then wraps payload for the enclave. It returns the
+// vendor's ephemeral public key and the wrapped ciphertext.
+func (v *Vendor) Provision(nonce [32]byte, report AttestationReport, enclavePub, payload []byte) (vendorPub, wrapped []byte, err error) {
+	if report.Measurement != v.Expected {
+		return nil, nil, fmt.Errorf("enclave: refusing to provision: measurement %x, want %x",
+			report.Measurement[:4], v.Expected[:4])
+	}
+	if report.ReportData != bindReportData(nonce, enclavePub) {
+		return nil, nil, fmt.Errorf("enclave: report does not bind this nonce and key")
+	}
+	if !v.platform.VerifyReport(report) {
+		return nil, nil, fmt.Errorf("enclave: attestation report MAC invalid")
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("enclave: vendor keygen: %w", err)
+	}
+	key, err := sessionKey(priv, enclavePub)
+	if err != nil {
+		return nil, nil, err
+	}
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(n); err != nil {
+		return nil, nil, fmt.Errorf("enclave: nonce: %w", err)
+	}
+	wrapped = aead.Seal(n, n, payload, report.Measurement[:])
+	return priv.PublicKey().Bytes(), wrapped, nil
+}
+
+func bindReportData(nonce [32]byte, pub []byte) [32]byte {
+	h := sha256.New()
+	h.Write(nonce[:])
+	h.Write(pub)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func sessionKey(priv *ecdh.PrivateKey, peerPub []byte) ([]byte, error) {
+	peer, err := ecdh.X25519().NewPublicKey(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: bad peer key: %w", err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: ECDH: %w", err)
+	}
+	key := sha256.Sum256(append([]byte("gnnvault-provision-v1|"), shared...))
+	return key[:], nil
+}

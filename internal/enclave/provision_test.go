@@ -1,0 +1,155 @@
+package enclave
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func freshNonce(t *testing.T) [32]byte {
+	t.Helper()
+	var n [32]byte
+	if _, err := rand.Read(n[:]); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestProvisioningHappyPath(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+
+	sess, err := device.BeginProvisioning(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("rectifier weights + private COO graph")
+	vendorPub, wrapped, err := vendor.Provision(nonce, sess.Report, sess.PublicKey(), secret)
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if bytes.Contains(wrapped, secret) {
+		t.Fatal("wrapped payload contains plaintext")
+	}
+	got, err := sess.Receive(vendorPub, wrapped)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("provisioned payload differs")
+	}
+}
+
+func TestProvisioningRejectsWrongMeasurement(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	evil := New(DefaultCostModel(), []byte("patched-rectifier"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+
+	sess, err := evil.BeginProvisioning(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := vendor.Provision(nonce, sess.Report, sess.PublicKey(), []byte("secret")); err == nil {
+		t.Fatal("vendor provisioned an enclave with the wrong measurement")
+	}
+}
+
+func TestProvisioningRejectsReplayedNonce(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+	other := freshNonce(t)
+
+	sess, err := device.BeginProvisioning(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vendor challenged with `other`, but the report binds `nonce`.
+	if _, _, err := vendor.Provision(other, sess.Report, sess.PublicKey(), []byte("secret")); err == nil {
+		t.Fatal("stale report accepted")
+	}
+}
+
+func TestProvisioningRejectsSubstitutedKey(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+
+	sess, err := device.BeginProvisioning(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A MITM swaps in their own key; the report no longer matches it.
+	mitm, err := device.BeginProvisioning(freshNonce(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := vendor.Provision(nonce, sess.Report, mitm.PublicKey(), []byte("secret")); err == nil {
+		t.Fatal("key substitution not detected")
+	}
+}
+
+func TestProvisioningRejectsForgedReport(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+
+	sess, err := device.BeginProvisioning(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := sess.Report
+	forged.MAC[0] ^= 1
+	if _, _, err := vendor.Provision(nonce, forged, sess.PublicKey(), []byte("secret")); err == nil {
+		t.Fatal("forged report MAC accepted")
+	}
+}
+
+func TestProvisioningWrongSessionCannotUnwrap(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+
+	sess, err := device.BeginProvisioning(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendorPub, wrapped, err := vendor.Provision(nonce, sess.Report, sess.PublicKey(), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second session (different ephemeral key) must not decrypt it.
+	sess2, err := device.BeginProvisioning(freshNonce(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.Receive(vendorPub, wrapped); err == nil {
+		t.Fatal("payload decrypted by the wrong session")
+	}
+}
+
+func TestProvisioningTamperedPayloadFails(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	vendor := NewVendor(device.Measurement(), device)
+	nonce := freshNonce(t)
+
+	sess, _ := device.BeginProvisioning(nonce)
+	vendorPub, wrapped, err := vendor.Provision(nonce, sess.Report, sess.PublicKey(), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped[len(wrapped)-1] ^= 1
+	if _, err := sess.Receive(vendorPub, wrapped); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+}
+
+func TestProvisioningBadPeerKey(t *testing.T) {
+	device := New(DefaultCostModel(), []byte("rectifier-build-1"))
+	sess, _ := device.BeginProvisioning(freshNonce(t))
+	if _, err := sess.Receive([]byte{1, 2, 3}, []byte("xxxx")); err == nil {
+		t.Fatal("malformed vendor key accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// Measure computes the enclave measurement (the MRENCLAVE analogue): a
+// SHA-256 hash over the concatenated initial contents, each prefixed with
+// its length so distinct partitions cannot collide.
+func Measure(contents ...[]byte) [32]byte {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, c := range contents {
+		n := uint64(len(c))
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write(c)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// DeriveSealKey derives the enclave's sealing key from its measurement,
+// modelling MRENCLAVE-bound sealing (EGETKEY): only an enclave with the
+// same measurement can unseal.
+func DeriveSealKey(measurement [32]byte) []byte {
+	h := sha256.Sum256(append([]byte("gnnvault-seal-v1|"), measurement[:]...))
+	return h[:]
+}
+
+// Seal encrypts data under the enclave's sealing key with AES-256-GCM.
+// The nonce is prepended to the ciphertext. Sealed blobs are what GNNVault
+// stores on the untrusted filesystem: rectifier parameters and the private
+// COO adjacency.
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	aead, err := newAEAD(e.sealKey)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("enclave: nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, data, e.measurement[:]), nil
+}
+
+// Unseal authenticates and decrypts a blob produced by Seal on an enclave
+// with the same measurement.
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	aead, err := newAEAD(e.sealKey)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < aead.NonceSize() {
+		return nil, fmt.Errorf("enclave: sealed blob too short (%d bytes)", len(blob))
+	}
+	nonce, ct := blob[:aead.NonceSize()], blob[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, e.measurement[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: unseal failed (wrong enclave identity or tampered blob): %w", err)
+	}
+	return pt, nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// AttestationReport is a minimal local-attestation structure: the
+// measurement plus a MAC over caller-supplied report data, as produced by
+// EREPORT. It lets the model owner verify they are talking to the intended
+// rectifier enclave before provisioning secrets.
+type AttestationReport struct {
+	Measurement [32]byte
+	ReportData  [32]byte
+	MAC         [32]byte
+}
+
+// Report produces an attestation report binding reportData to this
+// enclave's identity.
+func (e *Enclave) Report(reportData [32]byte) AttestationReport {
+	mac := sha256.New()
+	mac.Write(e.sealKey) // stand-in for the platform report key
+	mac.Write(e.measurement[:])
+	mac.Write(reportData[:])
+	var m [32]byte
+	copy(m[:], mac.Sum(nil))
+	return AttestationReport{Measurement: e.measurement, ReportData: reportData, MAC: m}
+}
+
+// VerifyReport checks a report against an expected measurement, using the
+// verifier enclave's knowledge of the report key (local attestation between
+// enclaves with the same sealing authority).
+func (e *Enclave) VerifyReport(r AttestationReport) bool {
+	if r.Measurement != e.measurement {
+		return false
+	}
+	want := e.Report(r.ReportData)
+	return want.MAC == r.MAC
+}

@@ -1,0 +1,95 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V): Table I (datasets), Table II (rectifier designs),
+// Table III (backbone types), Table IV (link-stealing security analysis),
+// Fig. 4 (latent-space rectification), Fig. 5 (substitute-graph ablations)
+// and Fig. 6 (inference overhead and enclave memory).
+//
+// Every experiment returns structured rows plus a formatted text rendering,
+// so cmd/experiments can print paper-style tables and EXPERIMENTS.md can
+// quote them. All runs are deterministic in Options.Seed.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+)
+
+// Options scales experiment cost. The zero value is upgraded to the
+// paper-faithful defaults by normalise().
+type Options struct {
+	// Epochs for every training run (default 200).
+	Epochs int
+	// Datasets restricts the dataset list (default: all six).
+	Datasets []string
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// AttackPairs is the balanced pair-sample size per class for Table IV
+	// (default 400).
+	AttackPairs int
+}
+
+func (o Options) normalise() Options {
+	if o.Epochs <= 0 {
+		o.Epochs = 200
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = append([]string{}, datasets.Names...)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.AttackPairs <= 0 {
+		o.AttackPairs = 400
+	}
+	return o
+}
+
+func (o Options) train() core.TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = o.Epochs
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// table renders rows as an aligned plain-text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f", v*100) }
+func mparam(n int) string   { return fmt.Sprintf("%.4f", float64(n)/1e6) }
+func mb(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<20)) }

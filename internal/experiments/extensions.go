@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnnvault/internal/attack"
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/substitute"
+)
+
+// The experiments in this file go beyond the paper's evaluation:
+// ExtArchitectures implements its stated future work (GraphSAGE and GAT
+// under the GNNVault strategy), and ExtLabelOnly quantifies the Sec. IV-E
+// design decision to keep logits inside the enclave.
+
+// ExtArchRow is one (dataset, architecture) result.
+type ExtArchRow struct {
+	Dataset string
+	Conv    core.ConvKind
+	POrg    float64
+	PBB     float64
+	PRec    float64
+}
+
+// ExtArchitectures runs the GNNVault pipeline with GCN, GraphSAGE, and GAT
+// convolutions (backbone and rectifier alike) — the paper's future-work
+// section realised. The partition-before-training strategy should hold for
+// every architecture: p_bb ≪ p_rec ≈ p_org.
+func ExtArchitectures(opts Options) ([]ExtArchRow, string) {
+	opts = opts.normalise()
+	names := opts.Datasets
+	if len(names) > 2 {
+		names = names[:2]
+	}
+	var rows []ExtArchRow
+	var cells [][]string
+	for _, name := range names {
+		ds := datasets.Load(name)
+		for _, conv := range core.ConvKinds {
+			spec := core.SpecForDataset(name)
+			spec.Conv = conv
+			cfg := core.PipelineConfig{
+				Spec: spec, Design: core.Parallel,
+				SubKind: substitute.KindKNN, KNNK: 2,
+				Train: opts.train(),
+			}
+			res := core.RunPipeline(ds, cfg)
+			row := ExtArchRow{
+				Dataset: name, Conv: conv,
+				POrg: res.POrg, PBB: res.PBB, PRec: res.PRec,
+			}
+			rows = append(rows, row)
+			cells = append(cells, []string{name, string(conv),
+				pct(row.POrg), pct(row.PBB), pct(row.PRec), pct(row.PRec - row.PBB)})
+		}
+	}
+	text := "Extension — GNNVault across architectures (future work of the paper)\n" +
+		table([]string{"Dataset", "Conv", "p_org", "p_bb", "p_rec", "Δp"}, cells)
+	return rows, text
+}
+
+// ExtLabelOnlyRow quantifies one output-exposure policy.
+type ExtLabelOnlyRow struct {
+	Dataset string
+	Surface string // what the attacker observes
+	// WorstAUC is the maximum link-stealing AUC across the six metrics.
+	WorstAUC float64
+}
+
+// ExtLabelOnly justifies the paper's label-only output rule (Sec. IV-E):
+// it mounts the link-stealing attack on three progressively smaller
+// observation surfaces of the *protected* deployment — all backbone
+// embeddings, the rectified logits (as if the enclave returned them), and
+// the rectified labels alone (one-hot encoded). Logit exposure re-leaks
+// edge information that the enclave isolation had removed; labels leak the
+// least.
+func ExtLabelOnly(opts Options) ([]ExtLabelOnlyRow, string) {
+	opts = opts.normalise()
+	names := opts.Datasets
+	if len(names) > 1 {
+		names = names[:1]
+	}
+	var rows []ExtLabelOnlyRow
+	var cells [][]string
+	for _, name := range names {
+		ds := datasets.Load(name)
+		cfg := core.PipelineConfig{
+			Spec: core.SpecForDataset(name), Design: core.Parallel,
+			SubKind: substitute.KindKNN, KNNK: 2,
+			Train: opts.train(), SkipOriginal: true,
+		}
+		res := core.RunPipeline(ds, cfg)
+		sample := attack.SamplePairs(ds.Graph, opts.AttackPairs, opts.Seed+42)
+
+		recActs := core.RectifierActivations(ds, res.Backbone, res.Rectifier)
+		logits := recActs[len(recActs)-1]
+		labels := oneHot(logits.ArgmaxRows(), ds.NumClasses)
+
+		surfaces := []struct {
+			name string
+			obs  []*mat.Matrix
+		}{
+			{"backbone embeddings (deployed)", res.Backbone.Embeddings(ds.X)},
+			{"rectified logits (if leaked)", []*mat.Matrix{logits}},
+			{"labels only (paper's policy)", []*mat.Matrix{labels}},
+		}
+		for _, s := range surfaces {
+			worst := 0.0
+			for _, m := range attack.Metrics {
+				if auc := attack.AUC(m, s.obs, sample); auc > worst {
+					worst = auc
+				}
+			}
+			rows = append(rows, ExtLabelOnlyRow{Dataset: name, Surface: s.name, WorstAUC: worst})
+			cells = append(cells, []string{name, s.name, fmt.Sprintf("%.3f", worst)})
+		}
+	}
+	text := "Extension — output exposure vs link leakage (worst AUC over 6 metrics)\n" +
+		table([]string{"Dataset", "Attacker observes", "Worst AUC"}, cells)
+	return rows, text
+}
+
+func oneHot(labels []int, classes int) *mat.Matrix {
+	m := mat.New(len(labels), classes)
+	for i, l := range labels {
+		m.Set(i, l, 1)
+	}
+	return m
+}
+
+// ExtSilhouetteGap is a compact numeric summary of Fig. 4 used by the
+// ablation bench: the silhouette gap closed by the rectifier.
+func ExtSilhouetteGap(opts Options) (backbone, rectifier, original float64) {
+	res, _ := Fig4(opts)
+	last := func(s []float64) float64 { return s[len(s)-1] }
+	return last(res.BackboneSilhouette), last(res.RectifierSilhouette), last(res.OriginalSilhouette)
+}
+
+// ExtExtractionRow is one model-extraction result.
+type ExtExtractionRow struct {
+	Dataset  string
+	Victim   string  // what the attacker queries
+	Fidelity float64 // agreement with the victim's predictions (test nodes)
+	TestAcc  float64 // surrogate's own test accuracy
+}
+
+// ExtExtraction runs the model-stealing arm of the threat model: an
+// attacker who can query the deployment on every node trains a surrogate
+// from the responses, using only public knowledge (features + KNN
+// substitute graph). Against an unprotected deployment the victim's logits
+// are observable and the surrogate distils them; against GNNVault only the
+// label-only output is available. The gap between the surrogate's accuracy
+// and p_org is the model IP that stays protected.
+func ExtExtraction(opts Options) ([]ExtExtractionRow, string) {
+	opts = opts.normalise()
+	names := opts.Datasets
+	if len(names) > 1 {
+		names = names[:1]
+	}
+	var rows []ExtExtractionRow
+	var cells [][]string
+	for _, name := range names {
+		ds := datasets.Load(name)
+		cfg := core.PipelineConfig{
+			Spec: core.SpecForDataset(name), Design: core.Parallel,
+			SubKind: substitute.KindKNN, KNNK: 2,
+			Train: opts.train(),
+		}
+		res := core.RunPipeline(ds, cfg)
+		public := substitute.KNN(ds.X, 2)
+		queries := make([]int, ds.X.Rows)
+		for i := range queries {
+			queries[i] = i
+		}
+		exCfg := attack.DefaultExtractionConfig()
+		exCfg.Epochs = opts.Epochs
+		exCfg.Seed = opts.Seed
+
+		// Unprotected: victim logits observable.
+		origLogits := res.Original.Logits(ds.X)
+		sLogit := attack.ExtractFromLogits(ds.X, public, origLogits, queries, exCfg)
+		origPred := origLogits.ArgmaxRows()
+		rowU := ExtExtractionRow{
+			Dataset:  name,
+			Victim:   "unprotected (logits)",
+			Fidelity: attack.Fidelity(sLogit.Predict(ds.X), origPred, ds.TestMask),
+			TestAcc:  accuracyOf(sLogit.Predict(ds.X), ds.Labels, ds.TestMask),
+		}
+
+		// GNNVault: label-only responses from the rectified model.
+		recActs := core.RectifierActivations(ds, res.Backbone, res.Rectifier)
+		vaultLabels := recActs[len(recActs)-1].ArgmaxRows()
+		sLabel := attack.ExtractFromLabels(ds.X, public, vaultLabels, ds.NumClasses, queries, exCfg)
+		rowG := ExtExtractionRow{
+			Dataset:  name,
+			Victim:   "GNNVault (labels only)",
+			Fidelity: attack.Fidelity(sLabel.Predict(ds.X), vaultLabels, ds.TestMask),
+			TestAcc:  accuracyOf(sLabel.Predict(ds.X), ds.Labels, ds.TestMask),
+		}
+		rows = append(rows, rowU, rowG)
+		for _, r := range []ExtExtractionRow{rowU, rowG} {
+			cells = append(cells, []string{name, r.Victim, pct(r.Fidelity), pct(r.TestAcc)})
+		}
+		cells = append(cells, []string{name, "reference p_org / p_bb",
+			pct(res.POrg), pct(res.PBB)})
+	}
+	text := "Extension — model extraction with public knowledge only\n" +
+		table([]string{"Dataset", "Victim surface", "Fidelity", "Surrogate acc"}, cells)
+	return rows, text
+}
+
+func accuracyOf(pred, labels []int, mask []int) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, i := range mask {
+		if pred[i] == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(mask))
+}
+
+// ExtStreamingRow compares the batched and streamed deployment paths of
+// the parallel rectifier.
+type ExtStreamingRow struct {
+	Dataset      string
+	Mode         string
+	ECalls       int
+	PeakEPCBytes int64
+	Total        string
+}
+
+// ExtStreaming is the deployment-path ablation: batched transfer (all
+// embeddings enter the enclave, then one compute ECALL) versus streamed
+// layer-by-layer execution (one ECALL per rectifier layer, embeddings freed
+// as consumed). Streamed cuts the peak EPC footprint — the constraint
+// Sec. III-C is about — at no accuracy cost.
+func ExtStreaming(opts Options) ([]ExtStreamingRow, string) {
+	opts = opts.normalise()
+	name := opts.Datasets[0]
+	ds := datasets.Load(name)
+	cfg := core.PipelineConfig{
+		Spec: core.SpecForDataset(name), Design: core.Parallel,
+		SubKind: substitute.KindKNN, KNNK: 2,
+		Train: opts.train(), SkipOriginal: true,
+	}
+	res := core.RunPipeline(ds, cfg)
+	vault, err := core.Deploy(res.Backbone, res.Rectifier, ds.Graph, enclaveDefaultCost())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtStreaming deploy: %v", err))
+	}
+	var rows []ExtStreamingRow
+	var cells [][]string
+	run := func(mode string, fn func(*mat.Matrix) ([]int, core.InferenceBreakdown, error)) {
+		if _, _, err := fn(ds.X); err != nil { // warm-up
+			panic(err)
+		}
+		_, bd, err := fn(ds.X)
+		if err != nil {
+			panic(err)
+		}
+		r := ExtStreamingRow{
+			Dataset: name, Mode: mode, ECalls: bd.ECalls,
+			PeakEPCBytes: bd.PeakEPCBytes, Total: bd.Total().String(),
+		}
+		rows = append(rows, r)
+		cells = append(cells, []string{name, mode,
+			fmt.Sprintf("%d", r.ECalls), mb(r.PeakEPCBytes), r.Total})
+	}
+	run("batched", vault.Predict)
+	run("streamed", vault.PredictStreamed)
+	text := "Extension — batched vs streamed parallel-rectifier deployment\n" +
+		table([]string{"Dataset", "Mode", "ECALLs", "peak EPC(MB)", "total"}, cells)
+	return rows, text
+}
+
+func enclaveDefaultCost() enclave.CostModel { return enclave.DefaultCostModel() }

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnnvault/internal/attack"
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/substitute"
+)
+
+// Table1Row pairs the paper's dataset statistics with the synthetic
+// stand-in actually used in this reproduction.
+type Table1Row struct {
+	Dataset                                     string
+	PaperNodes, PaperEdges, PaperFeats, Classes int
+	PaperDenseAMB                               float64
+	Nodes, Edges, Feats                         int
+	DenseAMB                                    float64
+	Homophily                                   float64
+}
+
+// Table1 reproduces Table I: dataset statistics and the dense-adjacency
+// memory cost that motivates COO storage in the enclave.
+func Table1(opts Options) ([]Table1Row, string) {
+	opts = opts.normalise()
+	var rows []Table1Row
+	var cells [][]string
+	for _, name := range opts.Datasets {
+		ds := datasets.Load(name)
+		r := Table1Row{
+			Dataset:    name,
+			PaperNodes: ds.Paper.Nodes, PaperEdges: ds.Paper.Edges,
+			PaperFeats: ds.Paper.Features, Classes: ds.Paper.Classes,
+			PaperDenseAMB: ds.Paper.DenseAMB,
+			Nodes:         ds.Graph.N(),
+			Edges:         ds.Graph.NumDirectedEdges(),
+			Feats:         ds.X.Cols,
+			DenseAMB:      float64(ds.Graph.DenseAdjacencyBytes()) / (1 << 20),
+			Homophily:     ds.Graph.Homophily(ds.Labels),
+		}
+		rows = append(rows, r)
+		cells = append(cells, []string{
+			name,
+			fmt.Sprintf("%d/%d", r.PaperNodes, r.Nodes),
+			fmt.Sprintf("%d/%d", r.PaperEdges, r.Edges),
+			fmt.Sprintf("%d/%d", r.PaperFeats, r.Feats),
+			fmt.Sprintf("%d", r.Classes),
+			fmt.Sprintf("%.2f/%.2f", r.PaperDenseAMB, r.DenseAMB),
+			fmt.Sprintf("%.2f", r.Homophily),
+		})
+	}
+	text := "Table I — datasets (paper/synthetic)\n" + table(
+		[]string{"Dataset", "#Node", "#Edge", "#Feature", "#Class", "DenseA(MB)", "Homophily"}, cells)
+	return rows, text
+}
+
+// Table2Cell is one rectifier design's outcome on one dataset.
+type Table2Cell struct {
+	PRec, DeltaP float64
+	ThetaRec     int
+}
+
+// Table2Row is one dataset row of Table II.
+type Table2Row struct {
+	Dataset string
+	POrg    float64
+	ThetaBB int
+	PBB     float64
+	Designs map[core.RectifierDesign]Table2Cell
+}
+
+// Table2 reproduces Table II: GNNVault performance with the KNN(k=2)
+// substitute graph across the three rectifier designs.
+func Table2(opts Options) ([]Table2Row, string) {
+	opts = opts.normalise()
+	var rows []Table2Row
+	var cells [][]string
+	for _, name := range opts.Datasets {
+		ds := datasets.Load(name)
+		spec := core.SpecForDataset(name)
+		train := opts.train()
+
+		orig := core.TrainOriginal(ds, spec, train)
+		sub := substitute.KNN(ds.X, 2)
+		bb := core.TrainBackbone(ds, spec, substitute.KindKNN, sub, train)
+
+		row := Table2Row{
+			Dataset: name,
+			POrg:    orig.TestAccuracy(ds.X, ds.Labels, ds.TestMask),
+			ThetaBB: bb.NumParams(),
+			PBB:     bb.TestAccuracy(ds.X, ds.Labels, ds.TestMask),
+			Designs: map[core.RectifierDesign]Table2Cell{},
+		}
+		for _, design := range core.Designs {
+			rec := core.TrainRectifier(ds, bb, design, train)
+			pRec := core.RectifierAccuracy(ds, bb, rec, ds.TestMask)
+			row.Designs[design] = Table2Cell{
+				PRec:     pRec,
+				DeltaP:   pRec - row.PBB,
+				ThetaRec: rec.NumParams(),
+			}
+		}
+		rows = append(rows, row)
+
+		c := []string{name, pct(row.POrg), mparam(row.ThetaBB), pct(row.PBB)}
+		for _, design := range core.Designs {
+			cell := row.Designs[design]
+			c = append(c, pct(cell.PRec), pct(cell.DeltaP), mparam(cell.ThetaRec))
+		}
+		cells = append(cells, c)
+	}
+	text := "Table II — GNNVault with KNN graph (k=2)\n" + table(
+		[]string{"Dataset", "p_org", "θ_bb(M)", "p_bb",
+			"par p_rec", "par Δp", "par θ_rec(M)",
+			"ser p_rec", "ser Δp", "ser θ_rec(M)",
+			"cas p_rec", "cas Δp", "cas θ_rec(M)"}, cells)
+	return rows, text
+}
+
+// Table3Cell is (p_bb, p_rec) for one backbone kind.
+type Table3Cell struct {
+	PBB, PRec float64
+}
+
+// Table3Row is one dataset row of Table III.
+type Table3Row struct {
+	Dataset string
+	Kinds   map[substitute.Kind]Table3Cell
+}
+
+// Table3Kinds is the paper's backbone ordering for Table III.
+var Table3Kinds = []substitute.Kind{
+	substitute.KindDNN, substitute.KindRandom, substitute.KindCosine, substitute.KindKNN,
+}
+
+// Table3 reproduces Table III: backbone designs compared (DNN vs random vs
+// cosine vs KNN substitute graphs), each with a parallel rectifier;
+// GNN substitutes are density-matched to the real graph.
+func Table3(opts Options) ([]Table3Row, string) {
+	opts = opts.normalise()
+	var rows []Table3Row
+	var cells [][]string
+	for _, name := range opts.Datasets {
+		ds := datasets.Load(name)
+		spec := core.SpecForDataset(name)
+		train := opts.train()
+		row := Table3Row{Dataset: name, Kinds: map[substitute.Kind]Table3Cell{}}
+		c := []string{name}
+		for _, kind := range Table3Kinds {
+			sub := substitute.Build(kind, ds.X, 2, ds.Graph.NumUndirectedEdges(), opts.Seed)
+			bb := core.TrainBackbone(ds, spec, kind, sub, train)
+			rec := core.TrainRectifier(ds, bb, core.Parallel, train)
+			cell := Table3Cell{
+				PBB:  bb.TestAccuracy(ds.X, ds.Labels, ds.TestMask),
+				PRec: core.RectifierAccuracy(ds, bb, rec, ds.TestMask),
+			}
+			row.Kinds[kind] = cell
+			c = append(c, pct(cell.PBB), pct(cell.PRec))
+		}
+		rows = append(rows, row)
+		cells = append(cells, c)
+	}
+	text := "Table III — backbone designs (p_bb / p_rec per kind)\n" + table(
+		[]string{"Dataset", "DNN p_bb", "DNN p_rec", "rand p_bb", "rand p_rec",
+			"cos p_bb", "cos p_rec", "knn p_bb", "knn p_rec"}, cells)
+	return rows, text
+}
+
+// Table4Row holds link-stealing AUCs for one dataset × one metric.
+type Table4Row struct {
+	Dataset string
+	Metric  attack.Metric
+	MOrg    float64 // attack on the unprotected GNN's embeddings
+	MGV     float64 // attack on GNNVault's untrusted-world observations
+	MBase   float64 // attack on a DNN's embeddings (feature-only baseline)
+}
+
+// Table4 reproduces Table IV: link-stealing ROC-AUC on the unprotected
+// model (M_org), on GNNVault's attacker-observable surface (M_gv: the
+// public backbone's embeddings — the rectifier's activations never leave
+// the enclave), and on the feature-only DNN baseline (M_base).
+func Table4(opts Options) ([]Table4Row, string) {
+	opts = opts.normalise()
+	var rows []Table4Row
+	var cells [][]string
+	for _, name := range opts.Datasets {
+		ds := datasets.Load(name)
+		spec := core.SpecForDataset(name)
+		train := opts.train()
+
+		orig := core.TrainOriginal(ds, spec, train)
+		bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), train)
+		dnn := core.TrainBackbone(ds, spec, substitute.KindDNN, nil, train)
+
+		sample := attack.SamplePairs(ds.Graph, opts.AttackPairs, opts.Seed+42)
+		aucOrg := attack.Run(orig.Embeddings(ds.X), sample)
+		aucGV := attack.Run(bb.Embeddings(ds.X), sample)
+		aucBase := attack.Run(dnn.Embeddings(ds.X), sample)
+
+		for _, m := range attack.Metrics {
+			r := Table4Row{Dataset: name, Metric: m,
+				MOrg: aucOrg[m], MGV: aucGV[m], MBase: aucBase[m]}
+			rows = append(rows, r)
+			cells = append(cells, []string{name, string(m),
+				fmt.Sprintf("%.3f", r.MOrg),
+				fmt.Sprintf("%.3f", r.MGV),
+				fmt.Sprintf("%.3f", r.MBase)})
+		}
+	}
+	text := "Table IV — link stealing attack ROC-AUC\n" + table(
+		[]string{"Dataset", "Metric", "M_org", "M_gv", "M_base"}, cells)
+	return rows, text
+}

@@ -1,0 +1,91 @@
+package graph
+
+// Aggregation operators for the non-GCN architectures (the paper's stated
+// future work: GraphSAGE and GAT). GraphSAGE needs the row-stochastic mean
+// aggregator D⁻¹A, which — unlike the symmetric GCN normalisation — is not
+// its own transpose, so the backward pass needs an explicit transpose
+// operator.
+
+// MeanAdjacency returns the row-normalised neighbour-mean operator D⁻¹A
+// (no self loops; isolated nodes get an all-zero row). This is GraphSAGE's
+// mean aggregator.
+func MeanAdjacency(g *Graph) *NormAdjacency {
+	n := g.N()
+	na := &NormAdjacency{
+		N:      n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, 0, len(g.edges)),
+		Val:    make([]float64, 0, len(g.edges)),
+	}
+	for u := 0; u < n; u++ {
+		deg := g.Degree(u)
+		if deg > 0 {
+			inv := 1.0 / float64(deg)
+			for _, v := range g.Neighbors(u) {
+				na.ColIdx = append(na.ColIdx, v)
+				na.Val = append(na.Val, inv)
+			}
+		}
+		na.RowPtr[u+1] = len(na.ColIdx)
+	}
+	return na
+}
+
+// SelfLoopAdjacency returns the unnormalised adjacency structure with self
+// loops and unit values, in CSR. GAT uses the *structure* (attention
+// recomputes the values per forward pass).
+func SelfLoopAdjacency(g *Graph) *NormAdjacency {
+	n := g.N()
+	na := &NormAdjacency{
+		N:      n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, 0, len(g.edges)+n),
+		Val:    make([]float64, 0, len(g.edges)+n),
+	}
+	for u := 0; u < n; u++ {
+		inserted := false
+		for _, v := range g.Neighbors(u) {
+			if !inserted && u < v {
+				na.ColIdx = append(na.ColIdx, u)
+				na.Val = append(na.Val, 1)
+				inserted = true
+			}
+			na.ColIdx = append(na.ColIdx, v)
+			na.Val = append(na.Val, 1)
+		}
+		if !inserted {
+			na.ColIdx = append(na.ColIdx, u)
+			na.Val = append(na.Val, 1)
+		}
+		na.RowPtr[u+1] = len(na.ColIdx)
+	}
+	return na
+}
+
+// Transpose returns the CSR of naᵀ. Used for backward passes through
+// non-symmetric operators (mean aggregation, attention).
+func (na *NormAdjacency) Transpose() *NormAdjacency {
+	t := &NormAdjacency{
+		N:      na.N,
+		RowPtr: make([]int, na.N+1),
+		ColIdx: make([]int, len(na.ColIdx)),
+		Val:    make([]float64, len(na.Val)),
+	}
+	for _, j := range na.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < na.N; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	fill := make([]int, na.N)
+	for i := 0; i < na.N; i++ {
+		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
+			j := na.ColIdx[p]
+			pos := t.RowPtr[j] + fill[j]
+			t.ColIdx[pos] = i
+			t.Val[pos] = na.Val[p]
+			fill[j]++
+		}
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PlantedPartitionConfig parameterises a stochastic block model graph with
+// controllable homophily — the generator used to synthesise the paper's
+// datasets (see DESIGN.md, substitutions table).
+type PlantedPartitionConfig struct {
+	Nodes     int     // number of nodes
+	Classes   int     // number of communities / labels
+	AvgDegree float64 // target mean degree
+	Homophily float64 // fraction of edge endpoints landing inside the class, in [0,1]
+	ClassSkew float64 // 0 = balanced classes; >0 adds geometric imbalance
+	Seed      int64
+}
+
+// PlantedPartition samples a graph and its node labels from a stochastic
+// block model. Edges are sampled by repeatedly drawing (source, target)
+// pairs: targets are intra-class with probability Homophily, inter-class
+// otherwise.
+func PlantedPartition(cfg PlantedPartitionConfig) (*Graph, []int) {
+	if cfg.Nodes <= 0 || cfg.Classes <= 0 {
+		panic(fmt.Sprintf("graph: invalid planted partition config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	labels := assignLabels(rng, cfg.Nodes, cfg.Classes, cfg.ClassSkew)
+
+	byClass := make([][]int, cfg.Classes)
+	for u, c := range labels {
+		byClass[c] = append(byClass[c], u)
+	}
+
+	wantEdges := int(cfg.AvgDegree * float64(cfg.Nodes) / 2)
+	seen := make(map[[2]int]bool, wantEdges)
+	edges := make([]Edge, 0, wantEdges)
+	maxAttempts := wantEdges * 50
+	for attempts := 0; len(edges) < wantEdges && attempts < maxAttempts; attempts++ {
+		u := rng.Intn(cfg.Nodes)
+		var v int
+		if rng.Float64() < cfg.Homophily {
+			peers := byClass[labels[u]]
+			if len(peers) < 2 {
+				continue
+			}
+			v = peers[rng.Intn(len(peers))]
+		} else {
+			v = rng.Intn(cfg.Nodes)
+		}
+		if u == v {
+			continue
+		}
+		key := [2]int{min2(u, v), max2(u, v)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, Edge{key[0], key[1]})
+	}
+	return New(cfg.Nodes, edges), labels
+}
+
+func assignLabels(rng *rand.Rand, n, classes int, skew float64) []int {
+	labels := make([]int, n)
+	if skew <= 0 {
+		for i := range labels {
+			labels[i] = i % classes
+		}
+		rng.Shuffle(n, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+		return labels
+	}
+	// Geometric class weights: class c has weight (1+skew)^{-c}.
+	weights := make([]float64, classes)
+	total := 0.0
+	w := 1.0
+	for c := range weights {
+		weights[c] = w
+		total += w
+		w /= 1 + skew
+	}
+	for i := range labels {
+		r := rng.Float64() * total
+		for c, wc := range weights {
+			r -= wc
+			if r <= 0 {
+				labels[i] = c
+				break
+			}
+		}
+	}
+	// Guarantee every class appears at least twice so the 20-per-class
+	// splits in datasets never starve.
+	for c := 0; c < classes; c++ {
+		labels[2*c%n] = c
+		labels[(2*c+1)%n] = c
+	}
+	return labels
+}
+
+// Random returns an Erdős–Rényi-style graph with exactly numUndirected
+// edges sampled without replacement (by rejection). Used for the paper's
+// "random substitute graph" backbone baseline and Fig. 5 sweeps.
+func Random(n, numUndirected int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	maxPossible := n * (n - 1) / 2
+	if numUndirected > maxPossible {
+		numUndirected = maxPossible
+	}
+	seen := make(map[[2]int]bool, numUndirected)
+	edges := make([]Edge, 0, numUndirected)
+	for len(edges) < numUndirected {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		key := [2]int{min2(u, v), max2(u, v)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, Edge{key[0], key[1]})
+	}
+	return New(n, edges)
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"gnnvault/internal/mat"
+)
+
+// NormAdjacency is the GCN-normalised adjacency Â = D̃^{-1/2} (A + I) D̃^{-1/2}
+// in CSR form, where D̃ is the degree matrix of A + I. It is the operator
+// applied in every GCN layer's message-passing step (Eq. 1 of the paper).
+//
+// Values are stored per non-zero so the structure supports both the forward
+// product Â·H and (because Â is symmetric) the backward product Âᵀ·dH with
+// the same kernel.
+type NormAdjacency struct {
+	N      int
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// Normalize builds the symmetric GCN normalisation of g with self loops.
+// The paper stores the private adjacency in COO with a precomputed degree
+// vector; this constructor is that precomputation.
+func Normalize(g *Graph) *NormAdjacency {
+	n := g.N()
+	invSqrt := make([]float64, n)
+	for u := 0; u < n; u++ {
+		invSqrt[u] = 1.0 / math.Sqrt(float64(g.Degree(u)+1)) // +1 self loop
+	}
+	nnz := len(g.edges) + n
+	na := &NormAdjacency{
+		N:      n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(u)
+		// Merge the self loop into the sorted neighbour run.
+		inserted := false
+		for _, v := range nb {
+			if !inserted && u < v {
+				na.ColIdx = append(na.ColIdx, u)
+				na.Val = append(na.Val, invSqrt[u]*invSqrt[u])
+				inserted = true
+			}
+			na.ColIdx = append(na.ColIdx, v)
+			na.Val = append(na.Val, invSqrt[u]*invSqrt[v])
+		}
+		if !inserted {
+			na.ColIdx = append(na.ColIdx, u)
+			na.Val = append(na.Val, invSqrt[u]*invSqrt[u])
+		}
+		na.RowPtr[u+1] = len(na.ColIdx)
+	}
+	return na
+}
+
+// NNZ returns the number of stored non-zeros.
+func (na *NormAdjacency) NNZ() int { return len(na.Val) }
+
+// NumBytes returns the in-memory footprint of the normalised adjacency
+// (8-byte value + 8-byte index per non-zero, plus the row pointer array),
+// used for enclave EPC accounting.
+func (na *NormAdjacency) NumBytes() int64 {
+	return int64(len(na.Val))*16 + int64(len(na.RowPtr))*8
+}
+
+// MulDense returns Â·H where H is a dense N×d matrix. This is the
+// message-passing step; it is parallelised over row bands in the normal
+// world.
+func (na *NormAdjacency) MulDense(h *mat.Matrix) *mat.Matrix {
+	return na.mulDense(h, true)
+}
+
+// MulDenseSerial is MulDense restricted to the calling goroutine, used to
+// model single-threaded in-enclave execution.
+func (na *NormAdjacency) MulDenseSerial(h *mat.Matrix) *mat.Matrix {
+	return na.mulDense(h, false)
+}
+
+func (na *NormAdjacency) mulDense(h *mat.Matrix, parallel bool) *mat.Matrix {
+	if h.Rows != na.N {
+		panic(fmt.Sprintf("graph: MulDense rows %d != n %d", h.Rows, na.N))
+	}
+	out := mat.New(na.N, h.Cols)
+	body := func(lo, hi int) {
+		d := h.Cols
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*d : (i+1)*d]
+			for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
+				v := na.Val[p]
+				hrow := h.Data[na.ColIdx[p]*d : (na.ColIdx[p]+1)*d]
+				for j, hv := range hrow {
+					orow[j] += v * hv
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if !parallel || workers <= 1 || na.N < 256 {
+		body(0, na.N)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (na.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > na.N {
+			hi = na.N
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Dense materialises Â as a dense matrix. Tests only.
+func (na *NormAdjacency) Dense() *mat.Matrix {
+	d := mat.New(na.N, na.N)
+	for i := 0; i < na.N; i++ {
+		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
+			d.Set(i, na.ColIdx[p], na.Val[p])
+		}
+	}
+	return d
+}
+
+// RowSumsOfSquares returns Σ_j Â[i,j]² per row; used by tests to check the
+// normalisation invariants.
+func (na *NormAdjacency) RowSumsOfSquares() []float64 {
+	out := make([]float64, na.N)
+	for i := 0; i < na.N; i++ {
+		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
+			out[i] += na.Val[p] * na.Val[p]
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package graph
+
+// Analysis utilities used to characterise the synthetic datasets against
+// their published originals (DESIGN.md's substitution argument) and by the
+// CLI's info command.
+
+// ConnectedComponents returns the number of connected components and a
+// per-node component id.
+func ConnectedComponents(g *Graph) (count int, component []int) {
+	n := g.N()
+	component = make([]int, n)
+	for i := range component {
+		component[i] = -1
+	}
+	var stack []int
+	for start := 0; start < n; start++ {
+		if component[start] != -1 {
+			continue
+		}
+		component[start] = count
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if component[v] == -1 {
+					component[v] = count
+					stack = append(stack, v)
+				}
+			}
+		}
+		count++
+	}
+	return count, component
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient:
+// for each node, the fraction of its neighbour pairs that are themselves
+// connected (0 for nodes of degree < 2).
+func ClusteringCoefficient(g *Graph) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(u)
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(nb[i], nb[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+	}
+	return total / float64(n)
+}
+
+// DegreeHistogram returns counts per degree, indexed by degree (the slice
+// length is maxDegree+1).
+func DegreeHistogram(g *Graph) []int {
+	maxDeg := 0
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for u := 0; u < g.N(); u++ {
+		hist[g.Degree(u)]++
+	}
+	return hist
+}
+
+// BFSDistances returns hop distances from src (-1 for unreachable nodes).
+func BFSDistances(g *Graph, src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// EffectiveDiameter returns the 90th-percentile of finite pairwise BFS
+// distances sampled from up to sampleSrc source nodes (deterministic:
+// evenly spaced sources). Returns 0 for graphs with < 2 nodes.
+func EffectiveDiameter(g *Graph, sampleSrc int) int {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if sampleSrc <= 0 || sampleSrc > n {
+		sampleSrc = n
+	}
+	var finite []int
+	for s := 0; s < sampleSrc; s++ {
+		src := s * n / sampleSrc
+		for _, d := range BFSDistances(g, src) {
+			if d > 0 {
+				finite = append(finite, d)
+			}
+		}
+	}
+	if len(finite) == 0 {
+		return 0
+	}
+	// Counting sort up to the max distance.
+	maxD := 0
+	for _, d := range finite {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	counts := make([]int, maxD+1)
+	for _, d := range finite {
+		counts[d]++
+	}
+	target := (len(finite)*9 + 9) / 10 // ceil(0.9·n)
+	seen := 0
+	for d, c := range counts {
+		seen += c
+		if seen >= target {
+			return d
+		}
+	}
+	return maxD
+}

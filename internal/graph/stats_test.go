@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	count, comp := ConnectedComponents(g)
+	if count != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Fatalf("component ids wrong: %v", comp)
+	}
+}
+
+func TestConnectedComponentsComplete(t *testing.T) {
+	g := Random(10, 45, 1) // K10
+	if count, _ := ConnectedComponents(g); count != 1 {
+		t.Fatalf("complete graph components = %d", count)
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	g := New(3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	if c := ClusteringCoefficient(g); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	g := New(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	if c := ClusteringCoefficient(g); c != 0 {
+		t.Fatalf("star clustering = %v, want 0", c)
+	}
+}
+
+func TestClusteringCoefficientEmpty(t *testing.T) {
+	if c := ClusteringCoefficient(New(0, nil)); c != 0 {
+		t.Fatalf("empty graph clustering = %v", c)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := New(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	hist := DegreeHistogram(g)
+	// Node 0 has degree 3; nodes 1..3 degree 1.
+	if hist[1] != 3 || hist[3] != 1 {
+		t.Fatalf("hist = %v", hist)
+	}
+}
+
+func TestBFSDistancesPath(t *testing.T) {
+	g := pathGraph(5)
+	dist := BFSDistances(g, 0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist = %v", dist)
+		}
+	}
+}
+
+func TestBFSDistancesUnreachable(t *testing.T) {
+	g := New(3, []Edge{{0, 1}})
+	dist := BFSDistances(g, 0)
+	if dist[2] != -1 {
+		t.Fatalf("unreachable node dist = %d", dist[2])
+	}
+}
+
+func TestEffectiveDiameterPath(t *testing.T) {
+	g := pathGraph(11)
+	d := EffectiveDiameter(g, 0) // all sources
+	if d < 5 || d > 10 {
+		t.Fatalf("path effective diameter = %d", d)
+	}
+}
+
+func TestEffectiveDiameterDegenerate(t *testing.T) {
+	if EffectiveDiameter(New(1, nil), 0) != 0 {
+		t.Fatal("single node diameter should be 0")
+	}
+	if EffectiveDiameter(New(3, nil), 0) != 0 {
+		t.Fatal("edgeless graph diameter should be 0")
+	}
+}
+
+func TestEffectiveDiameterSampled(t *testing.T) {
+	g := Random(200, 800, 2)
+	full := EffectiveDiameter(g, 0)
+	sampled := EffectiveDiameter(g, 20)
+	if sampled < full-2 || sampled > full+2 {
+		t.Fatalf("sampled diameter %d far from full %d", sampled, full)
+	}
+}

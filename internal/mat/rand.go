@@ -1,0 +1,35 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform returns a rows×cols matrix with entries drawn i.i.d. from
+// U[lo, hi) using rng.
+func RandUniform(rng *rand.Rand, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + span*rng.Float64()
+	}
+	return m
+}
+
+// RandNormal returns a rows×cols matrix with entries drawn i.i.d. from
+// N(mean, std²) using rng.
+func RandNormal(rng *rand.Rand, rows, cols int, mean, std float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = mean + std*rng.NormFloat64()
+	}
+	return m
+}
+
+// Glorot returns a fanIn×fanOut weight matrix initialised with the
+// Glorot/Xavier uniform scheme, U[-a, a] with a = sqrt(6/(fanIn+fanOut)).
+// This is the initialisation used by the reference GCN implementation.
+func Glorot(rng *rand.Rand, fanIn, fanOut int) *Matrix {
+	a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, fanIn, fanOut, -a, a)
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gnnvault/internal/mat"
+)
+
+// TSNEConfig parameterises the exact (O(n²)) t-SNE used to reproduce the
+// latent-space panels of the paper's Fig. 4.
+type TSNEConfig struct {
+	Perplexity float64 // default 30
+	LearnRate  float64 // default 100
+	Iterations int     // default 300
+	Seed       int64
+}
+
+// TSNE embeds the rows of x into 2-D with t-distributed stochastic
+// neighbour embedding (van der Maaten & Hinton, 2008): Gaussian input
+// affinities with per-point bandwidth calibrated to the target perplexity
+// by bisection, Student-t output affinities, gradient descent with
+// momentum and early exaggeration.
+func TSNE(x *mat.Matrix, cfg TSNEConfig) *mat.Matrix {
+	n := x.Rows
+	if n == 0 {
+		return mat.New(0, 2)
+	}
+	if cfg.Perplexity <= 0 {
+		cfg.Perplexity = 30
+	}
+	if cfg.Perplexity > float64(n-1)/3 {
+		cfg.Perplexity = math.Max(2, float64(n-1)/3)
+	}
+	if cfg.LearnRate <= 0 {
+		cfg.LearnRate = 100
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 300
+	}
+
+	p := jointAffinities(x, cfg.Perplexity)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	y := mat.RandNormal(rng, n, 2, 0, 1e-4)
+
+	gains := mat.New(n, 2)
+	for i := range gains.Data {
+		gains.Data[i] = 1
+	}
+	update := mat.New(n, 2)
+
+	const exaggeration = 4.0
+	exaggerated := true
+	for i := range p.Data {
+		p.Data[i] *= exaggeration
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if exaggerated && iter >= cfg.Iterations/4 {
+			for i := range p.Data {
+				p.Data[i] /= exaggeration
+			}
+			exaggerated = false
+		}
+		momentum := 0.5
+		if iter >= 50 {
+			momentum = 0.8
+		}
+		grad := tsneGradient(p, y)
+		for i := range y.Data {
+			// Adaptive gains (standard t-SNE trick).
+			if (grad.Data[i] > 0) != (update.Data[i] > 0) {
+				gains.Data[i] += 0.2
+			} else {
+				gains.Data[i] *= 0.8
+				if gains.Data[i] < 0.01 {
+					gains.Data[i] = 0.01
+				}
+			}
+			update.Data[i] = momentum*update.Data[i] - cfg.LearnRate*gains.Data[i]*grad.Data[i]
+			y.Data[i] += update.Data[i]
+		}
+		centre(y)
+	}
+	return y
+}
+
+// jointAffinities returns the symmetrised input probabilities P with
+// per-point σ chosen by bisection to hit the target perplexity.
+func jointAffinities(x *mat.Matrix, perplexity float64) *mat.Matrix {
+	n := x.Rows
+	d2 := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			dist := euclid(xi, x.Row(j))
+			d2.Set(i, j, dist*dist)
+			d2.Set(j, i, dist*dist)
+		}
+	}
+	logU := math.Log(perplexity)
+	p := mat.New(n, n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		beta := 1.0
+		betaMin, betaMax := math.Inf(-1), math.Inf(1)
+		for tries := 0; tries < 50; tries++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-d2.At(i, j) * beta)
+				sum += row[j]
+			}
+			if sum == 0 {
+				sum = 1e-300
+			}
+			// Shannon entropy of the conditional distribution.
+			h := 0.0
+			for j := 0; j < n; j++ {
+				if row[j] > 0 {
+					pj := row[j] / sum
+					h -= pj * math.Log(pj)
+				}
+			}
+			diff := h - logU
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high → sharpen
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		if sum == 0 {
+			sum = 1e-300
+		}
+		for j := 0; j < n; j++ {
+			p.Set(i, j, row[j]/sum)
+		}
+	}
+	// Symmetrise and normalise to a joint distribution.
+	total := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p.At(i, j) + p.At(j, i)) / (2 * float64(n))
+			v = math.Max(v, 1e-12)
+			p.Set(i, j, v)
+			p.Set(j, i, v)
+			total += 2 * v
+		}
+		p.Set(i, i, 0)
+	}
+	_ = total
+	return p
+}
+
+func tsneGradient(p, y *mat.Matrix) *mat.Matrix {
+	n := y.Rows
+	// Student-t numerators and their sum.
+	num := mat.New(n, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		yi := y.Row(i)
+		for j := i + 1; j < n; j++ {
+			d := euclid(yi, y.Row(j))
+			v := 1 / (1 + d*d)
+			num.Set(i, j, v)
+			num.Set(j, i, v)
+			sum += 2 * v
+		}
+	}
+	if sum == 0 {
+		sum = 1e-300
+	}
+	grad := mat.New(n, 2)
+	for i := 0; i < n; i++ {
+		yi := y.Row(i)
+		grow := grad.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			q := math.Max(num.At(i, j)/sum, 1e-12)
+			mult := 4 * (p.At(i, j) - q) * num.At(i, j)
+			yj := y.Row(j)
+			grow[0] += mult * (yi[0] - yj[0])
+			grow[1] += mult * (yi[1] - yj[1])
+		}
+	}
+	return grad
+}
+
+func centre(y *mat.Matrix) {
+	var mx, my float64
+	for i := 0; i < y.Rows; i++ {
+		mx += y.At(i, 0)
+		my += y.At(i, 1)
+	}
+	mx /= float64(y.Rows)
+	my /= float64(y.Rows)
+	for i := 0; i < y.Rows; i++ {
+		y.Set(i, 0, y.At(i, 0)-mx)
+		y.Set(i, 1, y.At(i, 1)-my)
+	}
+}
+
+// TSNEToCSV renders 2-D coordinates plus labels as CSV lines ("x,y,label"),
+// the artifact cmd/experiments emits for plotting Fig. 4's panels.
+func TSNEToCSV(y *mat.Matrix, labels []int) string {
+	if y.Cols != 2 || y.Rows != len(labels) {
+		panic(fmt.Sprintf("metrics: TSNEToCSV wants Nx2 + labels, got %s + %d", y.Shape(), len(labels)))
+	}
+	out := "x,y,label\n"
+	for i := 0; i < y.Rows; i++ {
+		out += fmt.Sprintf("%.4f,%.4f,%d\n", y.At(i, 0), y.At(i, 1), labels[i])
+	}
+	return out
+}

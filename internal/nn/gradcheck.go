@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"math"
+
+	"gnnvault/internal/mat"
+)
+
+// GradCheck compares the analytic parameter gradients of loss(model(x))
+// against central finite differences and returns the worst relative error
+// across all parameters checked. It is the correctness oracle for the
+// hand-derived backward passes.
+//
+// lossFn must be deterministic in the parameters (run dropout-free).
+// maxPerParam bounds the number of scalar entries probed per parameter
+// matrix (0 = all).
+func GradCheck(model *Model, x *mat.Matrix, lossFn func(out *mat.Matrix) (float64, *mat.Matrix), maxPerParam int) float64 {
+	// Analytic pass.
+	ZeroGrad(model.Params())
+	out := model.Forward(x, true)
+	_, dOut := lossFn(out)
+	model.Backward(dOut)
+
+	const h = 1e-5
+	worst := 0.0
+	for _, p := range model.Params() {
+		n := len(p.W.Data)
+		step := 1
+		if maxPerParam > 0 && n > maxPerParam {
+			step = n / maxPerParam
+		}
+		for i := 0; i < n; i += step {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + h
+			lp, _ := lossFn(model.Forward(x, false))
+			p.W.Data[i] = orig - h
+			lm, _ := lossFn(model.Forward(x, false))
+			p.W.Data[i] = orig
+
+			numeric := (lp - lm) / (2 * h)
+			analytic := p.Grad.Data[i]
+			denom := math.Max(math.Abs(numeric)+math.Abs(analytic), 1e-8)
+			rel := math.Abs(numeric-analytic) / denom
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}

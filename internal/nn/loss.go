@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"gnnvault/internal/mat"
+)
+
+// Softmax returns row-wise softmax probabilities of logits, computed with
+// the max-subtraction trick for numerical stability.
+func Softmax(logits *mat.Matrix) *mat.Matrix {
+	out := mat.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		orow := out.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// MaskedCrossEntropy computes the mean softmax cross-entropy over the rows
+// listed in mask (the labelled training nodes in semi-supervised node
+// classification) and the gradient of that loss w.r.t. the logits.
+//
+// The gradient is (softmax - onehot)/|mask| on masked rows and zero
+// elsewhere, which is exactly the full-batch GCN training signal.
+func MaskedCrossEntropy(logits *mat.Matrix, labels []int, mask []int) (loss float64, dLogits *mat.Matrix) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: labels length %d != rows %d", len(labels), logits.Rows))
+	}
+	if len(mask) == 0 {
+		panic("nn: empty training mask")
+	}
+	probs := Softmax(logits)
+	dLogits = mat.New(logits.Rows, logits.Cols)
+	inv := 1.0 / float64(len(mask))
+	for _, i := range mask {
+		if i < 0 || i >= logits.Rows {
+			panic(fmt.Sprintf("nn: mask index %d out of range %d", i, logits.Rows))
+		}
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d out of range %d classes", y, logits.Cols))
+		}
+		p := probs.At(i, y)
+		loss -= math.Log(math.Max(p, 1e-300)) * inv
+		prow := probs.Row(i)
+		drow := dLogits.Row(i)
+		for j, pv := range prow {
+			drow[j] = pv * inv
+		}
+		drow[y] -= inv
+	}
+	return loss, dLogits
+}
+
+// Accuracy returns the fraction of rows in mask whose argmax prediction
+// matches the label.
+func Accuracy(logits *mat.Matrix, labels []int, mask []int) float64 {
+	if len(mask) == 0 {
+		return 0
+	}
+	pred := logits.ArgmaxRows()
+	correct := 0
+	for _, i := range mask {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(mask))
+}
+
+// SoftCrossEntropy computes the mean cross-entropy between row-wise target
+// probability distributions and the softmax of logits, over the rows in
+// mask, plus its gradient w.r.t. the logits. It is the distillation loss a
+// model-extraction attacker uses when the victim exposes logits.
+func SoftCrossEntropy(logits, targets *mat.Matrix, mask []int) (loss float64, dLogits *mat.Matrix) {
+	if !logits.SameShape(targets) {
+		panic(fmt.Sprintf("nn: SoftCrossEntropy shape mismatch %s vs %s", logits.Shape(), targets.Shape()))
+	}
+	if len(mask) == 0 {
+		panic("nn: empty training mask")
+	}
+	probs := Softmax(logits)
+	dLogits = mat.New(logits.Rows, logits.Cols)
+	inv := 1.0 / float64(len(mask))
+	for _, i := range mask {
+		if i < 0 || i >= logits.Rows {
+			panic(fmt.Sprintf("nn: mask index %d out of range %d", i, logits.Rows))
+		}
+		prow := probs.Row(i)
+		trow := targets.Row(i)
+		drow := dLogits.Row(i)
+		for j := range prow {
+			loss -= trow[j] * math.Log(math.Max(prow[j], 1e-300)) * inv
+			drow[j] = (prow[j] - trow[j]) * inv
+		}
+	}
+	return loss, dLogits
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+
+	"gnnvault/internal/mat"
+)
+
+// Adam implements the Adam optimiser (Kingma & Ba) with optional decoupled
+// L2 weight decay, matching the training recipe typical for GCN
+// semi-supervised node classification.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m map[*mat.Matrix]*mat.Matrix
+	v map[*mat.Matrix]*mat.Matrix
+}
+
+// NewAdam returns an Adam optimiser with the standard β/ε defaults.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR:          lr,
+		Beta1:       0.9,
+		Beta2:       0.999,
+		Eps:         1e-8,
+		WeightDecay: weightDecay,
+		m:           make(map[*mat.Matrix]*mat.Matrix),
+		v:           make(map[*mat.Matrix]*mat.Matrix),
+	}
+}
+
+// Step applies one Adam update to every parameter and zeroes the gradient
+// accumulators afterwards.
+func (a *Adam) Step(params []Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p.W]
+		if !ok {
+			m = mat.New(p.W.Rows, p.W.Cols)
+			a.m[p.W] = m
+		}
+		v, ok := a.v[p.W]
+		if !ok {
+			v = mat.New(p.W.Rows, p.W.Cols)
+			a.v[p.W] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if a.WeightDecay != 0 {
+				g += a.WeightDecay * p.W.Data[i]
+			}
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// ZeroGrad clears all gradient accumulators without updating parameters.
+func ZeroGrad(params []Param) {
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = 0
+		}
+	}
+}
