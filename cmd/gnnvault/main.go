@@ -7,6 +7,11 @@
 //	gnnvault train  -dataset cora -design parallel -epochs 200
 //	gnnvault attack -dataset cora -pairs 400
 //	gnnvault info   -dataset cora
+//	gnnvault serve  -dataset cora -workers 4 -clients 16
+//
+// `serve` deploys the vault behind the concurrent batched worker pool
+// (internal/serve) and drives a synthetic query stream through it,
+// reporting throughput, latency, and micro-batching statistics.
 //
 // `train` executes the full partition-before-training pipeline, deploys
 // into the simulated SGX enclave, runs one inference, and reports the
@@ -48,6 +53,8 @@ func main() {
 		cmdInfer(args)
 	case "stats":
 		cmdStats(args)
+	case "serve":
+		cmdServe(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -55,13 +62,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gnnvault <train|attack|info|package|infer> [flags]
+	fmt.Fprintln(os.Stderr, `usage: gnnvault <train|attack|info|package|infer|stats|serve> [flags]
   train   -dataset cora -design parallel|series|cascaded -sub knn|cosine|random|dnn -epochs N
   attack  -dataset cora -pairs N -epochs N
   info    -dataset cora
   package -dataset cora -design parallel -out vault.gnv
   infer   -bundle vault.gnv
-  stats   -dataset cora`)
+  stats   -dataset cora
+  serve   -dataset cora -workers N -clients N -requests N -batch N`)
 }
 
 func loadDataset(name string) *datasets.Dataset {

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/serve"
+	"gnnvault/internal/substitute"
+)
+
+// cmdServe trains and deploys a vault, then serves a synthetic stream of
+// concurrent label queries through the batched worker pool, reporting
+// throughput, latency, and batching statistics — the steady-state serving
+// story the execution-plan refactor exists for.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dataset := fs.String("dataset", "cora", "built-in dataset name")
+	design := fs.String("design", "parallel", "rectifier design: parallel|series|cascaded")
+	sub := fs.String("sub", "knn", "substitute graph: knn|cosine|random|dnn")
+	epochs := fs.Int("epochs", 100, "training epochs")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 2, "inference workers (each pre-plans a workspace)")
+	batch := fs.Int("batch", 8, "max requests coalesced per worker wake-up")
+	clients := fs.Int("clients", 8, "concurrent synthetic clients")
+	requests := fs.Int("requests", 25, "requests per client")
+	fs.Parse(args) //nolint:errcheck
+
+	ds := loadDataset(*dataset)
+	cfg := core.PipelineConfig{
+		Spec:    core.SpecForDataset(*dataset),
+		Design:  core.RectifierDesign(*design),
+		SubKind: substitute.Kind(*sub),
+		KNNK:    2,
+		Train:   core.TrainConfig{Epochs: *epochs, LR: 0.01, WeightDecay: 5e-4, Seed: *seed},
+	}
+	fmt.Printf("training GNNVault on %s (%s rectifier) …\n", *dataset, cfg.Design)
+	res := core.RunPipeline(ds, cfg)
+	vault, err := core.Deploy(res.Backbone, res.Rectifier, ds.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deploy failed:", err)
+		os.Exit(1)
+	}
+
+	if *workers <= 0 {
+		*workers = 2 // serve.Config's default, surfaced so the banner is honest
+	}
+	srv, err := serve.New(vault, serve.Config{Workers: *workers, MaxBatch: *batch})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "server start failed:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("serving with %d workers (EPC in use %.2f MB of %d MB), %d clients × %d requests\n",
+		*workers, float64(vault.Enclave.EPCUsed())/(1<<20), vault.Enclave.EPCLimit()>>20,
+		*clients, *requests)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, *clients)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < *requests; r++ {
+				if _, err := srv.Predict(ds.X); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fmt.Fprintln(os.Stderr, "serving error:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	st := srv.Stats()
+	fmt.Printf("\nserved %d requests in %v\n", st.Completed, wall.Round(time.Millisecond))
+	fmt.Printf("  throughput  %.1f req/s (%.1f req/s over uptime)\n",
+		float64(st.Completed)/wall.Seconds(), st.Throughput)
+	fmt.Printf("  latency     avg %v, max %v\n",
+		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	fmt.Printf("  batching    %d wake-ups, %.2f requests per batch\n", st.Batches, st.AvgBatch)
+	fmt.Printf("  errors      %d\n", st.Errors)
+}

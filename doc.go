@@ -12,7 +12,8 @@
 // deployment), enclave (SGX software model), attack (link stealing), and
 // experiments (one generator per paper table/figure).
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The root-level
-// bench_test.go regenerates every table and figure via `go test -bench`.
+// See README.md for a walkthrough and package map, and DESIGN.md for the
+// system inventory and substitution rules. The root-level bench_test.go
+// regenerates every paper table and figure via `go test -bench`, and
+// serve_bench_test.go measures the steady-state serving path.
 package gnnvault

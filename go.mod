@@ -1,0 +1,3 @@
+module gnnvault
+
+go 1.24

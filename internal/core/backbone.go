@@ -32,19 +32,25 @@ type Backbone struct {
 	convIdx []int
 }
 
-// blockOutputs extracts the per-block embeddings from a ForwardCollect
-// activation list: the post-activation output of each hidden block and the
-// final logits. These are the tensors that cross into the enclave.
-func (b *Backbone) blockOutputs(acts []*mat.Matrix) []*mat.Matrix {
-	out := make([]*mat.Matrix, 0, len(b.convIdx))
+// appendBlockOutputs extracts the per-block embeddings from a
+// ForwardCollect activation list into dst: the post-activation output of
+// each hidden block and the final logits. These are the tensors that cross
+// into the enclave. Shared by the allocating and workspace paths so the
+// block-selection rule lives in one place.
+func (b *Backbone) appendBlockOutputs(dst []*mat.Matrix, acts []*mat.Matrix) []*mat.Matrix {
 	for i, ci := range b.convIdx {
 		idx := ci
 		if i < len(b.convIdx)-1 {
 			idx = ci + 1 // the ReLU following the conv
 		}
-		out = append(out, acts[idx])
+		dst = append(dst, acts[idx])
 	}
-	return out
+	return dst
+}
+
+// blockOutputs is the allocating form of appendBlockOutputs.
+func (b *Backbone) blockOutputs(acts []*mat.Matrix) []*mat.Matrix {
+	return b.appendBlockOutputs(make([]*mat.Matrix, 0, len(b.convIdx)), acts)
 }
 
 // Embeddings runs the backbone in inference mode and returns the per-block

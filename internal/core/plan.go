@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+)
+
+// Execution plans. A deployed vault answers a stream of inference requests;
+// re-allocating every activation per call makes steady-state throughput
+// garbage-collector-bound. Plan splits inference into a one-time setup —
+// size every buffer from the layer specs, charge the enclave's EPC ledger
+// once for the rectifier's working set, pre-bind the ECALL body — and a hot
+// PredictInto step that reuses the workspace and touches zero fresh heap.
+// This mirrors how a real enclave operates: EPC pages are committed at
+// initialisation, not malloc'd per request.
+
+// BackboneWorkspace is the normal-world half of an inference plan: one
+// scratch buffer chain for the backbone model plus the reused per-block
+// embedding list.
+type BackboneWorkspace struct {
+	Rows   int
+	model  *nn.ModelWorkspace
+	blocks []*mat.Matrix
+}
+
+// Plan sizes a backbone workspace for inference over rows nodes.
+func (b *Backbone) Plan(rows int) *BackboneWorkspace {
+	return &BackboneWorkspace{
+		Rows:   rows,
+		model:  b.Model.PlanWorkspace(rows, b.FeatureDim),
+		blocks: make([]*mat.Matrix, 0, len(b.convIdx)),
+	}
+}
+
+// NumBytes returns the workspace buffer footprint.
+func (ws *BackboneWorkspace) NumBytes() int64 { return ws.model.NumBytes() }
+
+// EmbeddingsWS is Embeddings into a planned workspace. The returned
+// matrices alias workspace buffers and are overwritten by the next call.
+func (b *Backbone) EmbeddingsWS(x *mat.Matrix, ws *BackboneWorkspace) []*mat.Matrix {
+	_, acts := b.Model.ForwardCollectWS(x, ws.model)
+	ws.blocks = b.appendBlockOutputs(ws.blocks[:0], acts)
+	return ws.blocks
+}
+
+// LogitsWS is Logits into a planned workspace.
+func (b *Backbone) LogitsWS(x *mat.Matrix, ws *BackboneWorkspace) *mat.Matrix {
+	return b.Model.ForwardWS(x, ws.model)
+}
+
+// RectifierWorkspace is the enclave-side half of an inference plan:
+// per-layer conv and ReLU scratch plus the concatenation buffers the design
+// wiring needs. Its NumBytes is what Deploy-time EPC accounting charges for
+// one planned inference stream.
+type RectifierWorkspace struct {
+	Rows     int
+	convs    []*nn.LayerWorkspace
+	relus    []*nn.LayerWorkspace
+	convWS   []nn.WorkspaceLayer
+	concat   []*mat.Matrix // non-nil where layer k's input must be assembled
+	wantEmbs int
+}
+
+// Plan sizes a rectifier workspace for inference over rows nodes (rows must
+// equal the private graph's node count; the kernels check at execution).
+func (r *Rectifier) Plan(rows int) *RectifierWorkspace {
+	ws := &RectifierWorkspace{
+		Rows:     rows,
+		concat:   make([]*mat.Matrix, len(r.convs)),
+		wantEmbs: len(r.RequiredEmbeddings()),
+	}
+	for k, conv := range r.convs {
+		wl, ok := conv.(nn.WorkspaceLayer)
+		if !ok {
+			panic(fmt.Sprintf("core: rectifier conv %T does not support workspace inference", conv))
+		}
+		// Layers whose input is a concatenation (parallel k>0, cascaded
+		// k=0 over multiple blocks) need an assembly buffer; the rest
+		// alias an embedding or the previous activation directly.
+		needsConcat := (r.Design == Parallel && k > 0) ||
+			(r.Design == Cascaded && k == 0 && ws.wantEmbs > 1)
+		if needsConcat {
+			ws.concat[k] = mat.New(rows, r.inDim(k))
+		}
+		cws, _ := wl.PlanWorkspace(rows, r.inDim(k))
+		ws.convWS = append(ws.convWS, wl)
+		ws.convs = append(ws.convs, cws)
+		if k < len(r.convs)-1 {
+			rws, _ := r.relus[k].PlanWorkspace(rows, r.Dims[k])
+			ws.relus = append(ws.relus, rws)
+		}
+	}
+	return ws
+}
+
+// NumBytes returns the rectifier workspace's buffer footprint: the quantity
+// the enclave charges against the EPC once at plan time.
+func (ws *RectifierWorkspace) NumBytes() int64 {
+	n := int64(0)
+	for _, c := range ws.convs {
+		n += c.NumBytes()
+	}
+	for _, rl := range ws.relus {
+		n += rl.NumBytes()
+	}
+	for _, m := range ws.concat {
+		if m != nil {
+			n += m.NumBytes()
+		}
+	}
+	return n
+}
+
+// ForwardWS rectifies the transferred embeddings into logits using only
+// workspace memory. embs must match RequiredEmbeddings, in order; the
+// result aliases the workspace.
+func (r *Rectifier) ForwardWS(embs []*mat.Matrix, ws *RectifierWorkspace) *mat.Matrix {
+	if len(embs) != ws.wantEmbs {
+		panic(fmt.Sprintf("core: rectifier %s wants %d embeddings, got %d", r.Design, ws.wantEmbs, len(embs)))
+	}
+	var h *mat.Matrix
+	for k := range r.convs {
+		var in *mat.Matrix
+		switch {
+		case k == 0 && ws.concat[0] != nil:
+			mat.HConcatInto(ws.concat[0], embs...)
+			in = ws.concat[0]
+		case k == 0:
+			in = embs[0]
+		case ws.concat[k] != nil: // parallel wiring
+			mat.HConcatInto(ws.concat[k], h, embs[k])
+			in = ws.concat[k]
+		default: // cascaded/series: layer input is exactly prev
+			in = h
+		}
+		z := ws.convWS[k].ForwardWS(in, ws.convs[k])
+		if k < len(r.convs)-1 {
+			h = r.relus[k].ForwardWS(z, ws.relus[k])
+		} else {
+			h = z
+		}
+	}
+	return h
+}
+
+// Workspace is a full inference plan for one vault: backbone scratch in the
+// normal world, rectifier scratch charged against the EPC, the label
+// output buffer, and the pre-bound ECALL body. A Workspace belongs to one
+// goroutine at a time; a serving fleet plans one per worker.
+type Workspace struct {
+	Rows int
+
+	v       *Vault
+	bb      *BackboneWorkspace
+	rect    *RectifierWorkspace
+	needed  []int
+	embs    []*mat.Matrix
+	labels  []int
+	payload int64 // transferred embedding bytes per call
+	epc     int64 // EPC charged at plan time
+	ecall   func() error
+
+	released bool
+}
+
+// Plan builds a reusable inference workspace for batches of rows nodes
+// (rows must equal the deployed graph's node count — GNN inference is
+// full-graph). The enclave is charged once, here, for the rectifier's
+// scratch plus the transferred-embedding residency; Plan fails with
+// enclave.ErrEPCExhausted wrapped if that working set does not fit, which
+// bounds how many concurrent workspaces one enclave can serve.
+func (v *Vault) Plan(rows int) (*Workspace, error) {
+	if n := v.privateGraph.N(); rows != n {
+		return nil, fmt.Errorf("core: plan rows %d != deployed graph nodes %d", rows, n)
+	}
+	ws := &Workspace{
+		Rows:   rows,
+		v:      v,
+		bb:     v.Backbone.Plan(rows),
+		rect:   v.rectifier.Plan(rows),
+		needed: v.rectifier.RequiredEmbeddings(),
+		labels: make([]int, rows),
+	}
+	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
+	for _, i := range ws.needed {
+		ws.payload += int64(v.Backbone.BlockDims[i]) * int64(rows) * 8
+	}
+	ws.epc = ws.rect.NumBytes() + ws.payload
+	if err := v.Enclave.Alloc(ws.epc); err != nil {
+		return nil, fmt.Errorf("core: inference workspace does not fit EPC: %w", err)
+	}
+	// Pre-bound ECALL body: everything it touches lives in ws, so the hot
+	// path never materialises a new closure.
+	ws.ecall = func() error {
+		logits := v.rectifier.ForwardWS(ws.embs, ws.rect)
+		logits.ArgmaxRowsInto(ws.labels)
+		return nil
+	}
+	return ws, nil
+}
+
+// EnclaveBytes returns the EPC charged for this workspace at plan time.
+func (ws *Workspace) EnclaveBytes() int64 { return ws.epc }
+
+// Release returns the workspace's EPC to the enclave. The workspace must
+// not be used afterwards.
+func (ws *Workspace) Release() {
+	if ws.released {
+		return
+	}
+	ws.released = true
+	ws.v.Enclave.Free(ws.epc)
+}
+
+// PredictInto is Predict over a planned workspace: backbone forward in the
+// normal world, one modelled ECALL carrying exactly the embeddings the
+// design requires, rectification and label reduction inside the enclave —
+// all into pre-sized buffers, with zero steady-state heap allocation.
+//
+// The returned label slice is owned by the workspace and overwritten by the
+// next call. The breakdown is computed from enclave-ledger deltas; when
+// several workspaces share one enclave concurrently, the wall-clock fields
+// remain exact but the modelled enclave components may interleave.
+func (v *Vault) PredictInto(x *mat.Matrix, ws *Workspace) ([]int, InferenceBreakdown, error) {
+	var bd InferenceBreakdown
+	if ws.released {
+		return nil, bd, fmt.Errorf("core: PredictInto on released workspace")
+	}
+	if ws.v != v {
+		return nil, bd, fmt.Errorf("core: workspace planned for a different vault")
+	}
+	if x.Rows != ws.Rows {
+		return nil, bd, fmt.Errorf("core: input rows %d != planned rows %d", x.Rows, ws.Rows)
+	}
+	if x.Cols != v.Backbone.FeatureDim {
+		return nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
+	}
+	before := v.Enclave.Ledger()
+	v.Enclave.ResetPeak()
+
+	// Normal world: backbone forward into workspace buffers.
+	start := time.Now()
+	blocks := v.Backbone.EmbeddingsWS(x, ws.bb)
+	bd.BackboneTime = time.Since(start)
+
+	// One-way transfer of exactly the embeddings the design requires,
+	// modelled as a single ECALL (the buffers are EPC-resident since plan
+	// time). Only the labels cross back: 8 bytes per node.
+	ws.embs = ws.embs[:0]
+	for _, i := range ws.needed {
+		ws.embs = append(ws.embs, blocks[i])
+	}
+	if err := v.Enclave.Ecall(ws.payload, int64(ws.Rows)*8, ws.ecall); err != nil {
+		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)
+	}
+
+	fillBreakdown(&bd, before, v.Enclave.Ledger())
+	return ws.labels, bd, nil
+}
+
+// Nodes returns the node count of the deployed private graph — the batch
+// height every inference over this vault uses.
+func (v *Vault) Nodes() int { return v.privateGraph.N() }

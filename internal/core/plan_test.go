@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/substitute"
+)
+
+// planTestVault trains a small vault quickly for plan/workspace tests.
+func planTestVault(t testing.TB, design RectifierDesign) (*datasets.Dataset, *Vault) {
+	t.Helper()
+	ds := datasets.Load("cora")
+	cfg := TrainConfig{Epochs: 20, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+	spec := SpecForDataset("cora")
+	bb := TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), cfg)
+	rec := TrainRectifier(ds, bb, design, cfg)
+	v, err := Deploy(bb, rec, ds.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	return ds, v
+}
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	for _, design := range Designs {
+		design := design
+		t.Run(string(design), func(t *testing.T) {
+			ds, v := planTestVault(t, design)
+			want, _, err := v.Predict(ds.X)
+			if err != nil {
+				t.Fatalf("Predict: %v", err)
+			}
+			ws, err := v.Plan(ds.X.Rows)
+			if err != nil {
+				t.Fatalf("Plan: %v", err)
+			}
+			defer ws.Release()
+			for pass := 0; pass < 3; pass++ { // reuse must be stable
+				got, bd, err := v.PredictInto(ds.X, ws)
+				if err != nil {
+					t.Fatalf("PredictInto pass %d: %v", pass, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("pass %d: %d labels, want %d", pass, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("pass %d: label[%d] = %d, want %d", pass, i, got[i], want[i])
+					}
+				}
+				if bd.ECalls != 1 {
+					t.Fatalf("pass %d: %d ECALLs, want 1", pass, bd.ECalls)
+				}
+				if bd.BytesIn == 0 || bd.TransferTime <= 0 {
+					t.Fatalf("pass %d: transfer not modelled: %+v", pass, bd)
+				}
+			}
+		})
+	}
+}
+
+func TestRectifierForwardWSMatchesForward(t *testing.T) {
+	for _, design := range Designs {
+		design := design
+		t.Run(string(design), func(t *testing.T) {
+			ds, v := planTestVault(t, design)
+			embs := selectEmbeddings(v.Backbone.Embeddings(ds.X), v.rectifier.RequiredEmbeddings())
+			want := v.rectifier.Forward(embs, false)
+			ws := v.rectifier.Plan(ds.X.Rows)
+			got := v.rectifier.ForwardWS(embs, ws)
+			if !got.EqualApprox(want, 1e-12) {
+				t.Fatal("ForwardWS disagrees with Forward")
+			}
+		})
+	}
+}
+
+func TestBackboneEmbeddingsWSMatchesEmbeddings(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	want := v.Backbone.Embeddings(ds.X)
+	ws := v.Backbone.Plan(ds.X.Rows)
+	got := v.Backbone.EmbeddingsWS(ds.X, ws)
+	if len(got) != len(want) {
+		t.Fatalf("%d blocks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].EqualApprox(want[i], 1e-12) {
+			t.Fatalf("block %d disagrees", i)
+		}
+	}
+}
+
+// TestPredictIntoAllocFree is the hot-path regression test: after warm-up,
+// steady-state PredictInto must perform zero heap allocations. Parallel
+// kernels are pinned to one worker because goroutine spawns allocate; the
+// enclave side is single-threaded (serial kernels) by construction.
+func TestPredictIntoAllocFree(t *testing.T) {
+	mat.SetMaxWorkers(1)
+	defer mat.SetMaxWorkers(0)
+
+	ds, v := planTestVault(t, Parallel)
+	ws, err := v.Plan(ds.X.Rows)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	defer ws.Release()
+	if _, _, err := v.PredictInto(ds.X, ws); err != nil { // warm-up
+		t.Fatalf("warm-up: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := v.PredictInto(ds.X, ws); err != nil {
+			t.Fatalf("PredictInto: %v", err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state PredictInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPlanChargesEPCOnceAndReleaseReturnsIt(t *testing.T) {
+	ds, v := planTestVault(t, Series)
+	base := v.Enclave.EPCUsed()
+	ws, err := v.Plan(ds.X.Rows)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	charged := v.Enclave.EPCUsed() - base
+	if charged != ws.EnclaveBytes() || charged <= 0 {
+		t.Fatalf("EPC charged %d, workspace reports %d", charged, ws.EnclaveBytes())
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := v.PredictInto(ds.X, ws); err != nil {
+			t.Fatalf("PredictInto: %v", err)
+		}
+		if got := v.Enclave.EPCUsed(); got != base+charged {
+			t.Fatalf("per-call EPC drift: %d, want %d", got, base+charged)
+		}
+	}
+	ws.Release()
+	ws.Release() // idempotent
+	if got := v.Enclave.EPCUsed(); got != base {
+		t.Fatalf("EPC after release %d, want %d", got, base)
+	}
+}
+
+func TestPlanFailsWhenEPCExhausted(t *testing.T) {
+	ds := datasets.Load("cora")
+	cfg := TrainConfig{Epochs: 5, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+	spec := SpecForDataset("cora")
+	bb := TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), cfg)
+	rec := TrainRectifier(ds, bb, Parallel, cfg)
+	cost := enclave.DefaultCostModel()
+	v, err := Deploy(bb, rec, ds.Graph, cost)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	// Exhaust the EPC with workspaces until Plan refuses.
+	persistent := v.Enclave.EPCUsed()
+	perWS := int64(0)
+	var held []*Workspace
+	defer func() {
+		for _, ws := range held {
+			ws.Release()
+		}
+	}()
+	for i := 0; i < 1<<16; i++ {
+		ws, err := v.Plan(ds.X.Rows)
+		if err != nil {
+			if !errors.Is(err, enclave.ErrEPCExhausted) {
+				t.Fatalf("Plan failed with %v, want ErrEPCExhausted", err)
+			}
+			if perWS == 0 {
+				t.Fatal("first Plan already failed")
+			}
+			return
+		}
+		perWS = ws.EnclaveBytes()
+		held = append(held, ws)
+		if persistent+int64(i+1)*perWS > v.Enclave.EPCLimit() {
+			t.Fatalf("Plan succeeded beyond the EPC limit (%d workspaces)", i+1)
+		}
+	}
+	t.Fatal("EPC never exhausted")
+}
+
+func TestPlanRowMismatchRejected(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	if _, err := v.Plan(ds.X.Rows + 1); err == nil {
+		t.Fatal("Plan accepted a row count != graph nodes")
+	}
+	ws, err := v.Plan(ds.X.Rows)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	defer ws.Release()
+	bad := mat.New(ds.X.Rows-1, ds.X.Cols)
+	if _, _, err := v.PredictInto(bad, ws); err == nil {
+		t.Fatal("PredictInto accepted mismatched rows")
+	}
+	ws2, _ := v.Plan(ds.X.Rows)
+	ws2.Release()
+	if _, _, err := v.PredictInto(ds.X, ws2); err == nil {
+		t.Fatal("PredictInto accepted a released workspace")
+	}
+}

@@ -106,7 +106,8 @@ func (v *Vault) RectifierParams() int { return v.rectifier.NumParams() }
 // embeddings, rectification inside the enclave, label-only output.
 func (v *Vault) Predict(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
 	var bd InferenceBreakdown
-	v.Enclave.ResetLedger()
+	before := v.Enclave.Ledger()
+	v.Enclave.ResetPeak()
 
 	// Normal world: backbone forward (parallel kernels, GPU-class side).
 	start := time.Now()
@@ -149,13 +150,20 @@ func (v *Vault) Predict(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
 		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)
 	}
 
-	l := v.Enclave.Ledger()
-	bd.TransferTime = l.TransferTime()
-	bd.EnclaveTime = l.EnclaveTime()
-	bd.PeakEPCBytes = l.PeakEPCBytes
-	bd.BytesIn = l.BytesIn
-	bd.ECalls = l.ECalls
+	fillBreakdown(&bd, before, v.Enclave.Ledger())
 	return labels, bd, nil
+}
+
+// fillBreakdown derives the enclave components of a breakdown from
+// before/after ledger snapshots, so inference paths never reset the shared
+// ledger (which would corrupt concurrent callers' deltas). PeakEPCBytes is
+// the ledger's running peak, rebased per call via ResetPeak.
+func fillBreakdown(bd *InferenceBreakdown, before, after enclave.Ledger) {
+	bd.TransferTime = after.TransferTime() - before.TransferTime()
+	bd.EnclaveTime = after.EnclaveTime() - before.EnclaveTime()
+	bd.PeakEPCBytes = after.PeakEPCBytes
+	bd.BytesIn = after.BytesIn - before.BytesIn
+	bd.ECalls = after.ECalls - before.ECalls
 }
 
 // UnprotectedInference measures the baseline of Fig. 6: the original GNN
@@ -247,7 +255,8 @@ func (v *Vault) PredictStreamed(x *mat.Matrix) ([]int, InferenceBreakdown, error
 		return v.Predict(x)
 	}
 	var bd InferenceBreakdown
-	v.Enclave.ResetLedger()
+	before := v.Enclave.Ledger()
+	v.Enclave.ResetPeak()
 
 	start := time.Now()
 	all := v.Backbone.Embeddings(x)
@@ -283,11 +292,6 @@ func (v *Vault) PredictStreamed(x *mat.Matrix) ([]int, InferenceBreakdown, error
 		}
 	}
 
-	l := v.Enclave.Ledger()
-	bd.TransferTime = l.TransferTime()
-	bd.EnclaveTime = l.EnclaveTime()
-	bd.PeakEPCBytes = l.PeakEPCBytes
-	bd.BytesIn = l.BytesIn
-	bd.ECalls = l.ECalls
+	fillBreakdown(&bd, before, v.Enclave.Ledger())
 	return labels, bd, nil
 }

@@ -25,6 +25,7 @@ package enclave
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -103,7 +104,14 @@ var ErrEPCExhausted = errors.New("enclave: EPC exhausted")
 
 // Enclave models one trusted compartment: an EPC allocator, a cost ledger,
 // a measurement, and a sealing identity.
+//
+// EPC accounting and the ledger are goroutine-safe so one deployed enclave
+// can serve a pool of inference workers (the paper's edge device answering
+// a request stream). Ecall bodies themselves run on the calling goroutine
+// without holding the lock — in-enclave code must still be single-threaded
+// per call, and bodies may re-enter Alloc/Free.
 type Enclave struct {
+	mu          sync.Mutex
 	cost        CostModel
 	epcUsed     int64
 	ledger      Ledger
@@ -129,13 +137,36 @@ func New(cost CostModel, initContents ...[]byte) *Enclave {
 func (e *Enclave) Measurement() [32]byte { return e.measurement }
 
 // Ledger returns a snapshot of the accumulated cost ledger.
-func (e *Enclave) Ledger() Ledger { return e.ledger }
+func (e *Enclave) Ledger() Ledger {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ledger
+}
 
 // ResetLedger clears the cost counters (EPC usage is preserved).
-func (e *Enclave) ResetLedger() { e.ledger = Ledger{PeakEPCBytes: e.epcUsed} }
+func (e *Enclave) ResetLedger() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ledger = Ledger{PeakEPCBytes: e.epcUsed}
+}
+
+// ResetPeak rebases the ledger's EPC peak to the current usage without
+// touching any other counter. Inference paths call it per request so
+// PeakEPCBytes reports the call's own high-water mark; when several
+// requests share the enclave concurrently the peak is a property of the
+// enclave, not of one call.
+func (e *Enclave) ResetPeak() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ledger.PeakEPCBytes = e.epcUsed
+}
 
 // EPCUsed returns the current accounted EPC allocation.
-func (e *Enclave) EPCUsed() int64 { return e.epcUsed }
+func (e *Enclave) EPCUsed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epcUsed
+}
 
 // EPCLimit returns the configured EPC capacity.
 func (e *Enclave) EPCLimit() int64 { return e.cost.EPCBytes }
@@ -148,6 +179,8 @@ func (e *Enclave) Alloc(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("enclave: negative allocation %d", n)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	newUsed := e.epcUsed + n
 	if newUsed > e.cost.EPCBytes {
 		if !e.AllowPaging {
@@ -168,6 +201,8 @@ func (e *Enclave) Alloc(n int64) error {
 
 // Free releases n bytes of accounted enclave memory.
 func (e *Enclave) Free(n int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if n < 0 || n > e.epcUsed {
 		panic(fmt.Sprintf("enclave: bad free %d (used %d)", n, e.epcUsed))
 	}
@@ -181,6 +216,7 @@ func (e *Enclave) Free(n int64) {
 // fn runs on the calling goroutine; in-enclave code must be written
 // single-threaded (the nn layers' Serial mode) for the model to be honest.
 func (e *Enclave) Ecall(payloadBytes, resultBytes int64, fn func() error) error {
+	e.mu.Lock()
 	e.ledger.ECalls++
 	e.ledger.BytesIn += payloadBytes
 	e.ledger.BytesOut += resultBytes
@@ -189,15 +225,22 @@ func (e *Enclave) Ecall(payloadBytes, resultBytes int64, fn func() error) error 
 		ns := float64(payloadBytes+resultBytes) / e.cost.TransferBytesPerSec * 1e9
 		e.ledger.TransferNs += int64(ns)
 	}
+	e.mu.Unlock()
+	// fn runs without the lock so it may re-enter Alloc/Free (and so a slow
+	// body does not block unrelated ledger reads).
 	start := time.Now()
 	err := fn()
 	elapsed := time.Since(start)
+	e.mu.Lock()
 	e.ledger.ComputeNs += int64(float64(elapsed.Nanoseconds()) * e.cost.ComputeSlowdown)
+	e.mu.Unlock()
 	return err
 }
 
 // Ocall models a call out of the enclave (fixed transition cost only).
 func (e *Enclave) Ocall() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.ledger.OCalls++
 	e.ledger.TransitionNs += e.cost.OCallLatency.Nanoseconds()
 }

@@ -5,8 +5,8 @@
 // and Fig. 6 (inference overhead and enclave memory).
 //
 // Every experiment returns structured rows plus a formatted text rendering,
-// so cmd/experiments can print paper-style tables and EXPERIMENTS.md can
-// quote them. All runs are deterministic in Options.Seed.
+// so cmd/experiments can print paper-style tables for comparison against
+// the paper. All runs are deterministic in Options.Seed.
 package experiments
 
 import (

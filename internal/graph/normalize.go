@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"gnnvault/internal/mat"
@@ -73,39 +72,47 @@ func (na *NormAdjacency) NumBytes() int64 {
 
 // MulDense returns Â·H where H is a dense N×d matrix. This is the
 // message-passing step; it is parallelised over row bands in the normal
-// world.
+// world. Allocating wrapper over MulDenseInto.
 func (na *NormAdjacency) MulDense(h *mat.Matrix) *mat.Matrix {
-	return na.mulDense(h, true)
+	out := mat.New(na.N, h.Cols)
+	na.mulDenseInto(out, h, true)
+	return out
 }
 
 // MulDenseSerial is MulDense restricted to the calling goroutine, used to
 // model single-threaded in-enclave execution.
 func (na *NormAdjacency) MulDenseSerial(h *mat.Matrix) *mat.Matrix {
-	return na.mulDense(h, false)
+	out := mat.New(na.N, h.Cols)
+	na.mulDenseInto(out, h, false)
+	return out
 }
 
-func (na *NormAdjacency) mulDense(h *mat.Matrix, parallel bool) *mat.Matrix {
+// MulDenseInto computes dst = Â·H without allocating. dst must be N×H.Cols
+// and must not alias h. Parallelised over row bands; the worker count
+// honours mat.SetMaxWorkers.
+func (na *NormAdjacency) MulDenseInto(dst, h *mat.Matrix) {
+	na.mulDenseInto(dst, h, true)
+}
+
+// MulDenseSerialInto is MulDenseInto restricted to the calling goroutine,
+// the form in-enclave (single-threaded) code must use.
+func (na *NormAdjacency) MulDenseSerialInto(dst, h *mat.Matrix) {
+	na.mulDenseInto(dst, h, false)
+}
+
+func (na *NormAdjacency) mulDenseInto(dst, h *mat.Matrix, parallel bool) {
 	if h.Rows != na.N {
 		panic(fmt.Sprintf("graph: MulDense rows %d != n %d", h.Rows, na.N))
 	}
-	out := mat.New(na.N, h.Cols)
-	body := func(lo, hi int) {
-		d := h.Cols
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*d : (i+1)*d]
-			for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
-				v := na.Val[p]
-				hrow := h.Data[na.ColIdx[p]*d : (na.ColIdx[p]+1)*d]
-				for j, hv := range hrow {
-					orow[j] += v * hv
-				}
-			}
-		}
+	if dst.Rows != na.N || dst.Cols != h.Cols {
+		panic(fmt.Sprintf("graph: MulDenseInto destination %s, want %dx%d", dst.Shape(), na.N, h.Cols))
 	}
-	workers := runtime.GOMAXPROCS(0)
+	mat.RequireNoAlias(dst, h, "graph: MulDenseInto")
+	dst.Zero()
+	workers := mat.WorkerCount(na.N)
 	if !parallel || workers <= 1 || na.N < 256 {
-		body(0, na.N)
-		return out
+		na.mulDenseRange(dst, h, 0, na.N)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (na.N + workers - 1) / workers
@@ -121,11 +128,25 @@ func (na *NormAdjacency) mulDense(h *mat.Matrix, parallel bool) *mat.Matrix {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
+			na.mulDenseRange(dst, h, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+}
+
+// mulDenseRange accumulates rows [lo,hi) of out = Â·H.
+func (na *NormAdjacency) mulDenseRange(out, h *mat.Matrix, lo, hi int) {
+	d := h.Cols
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*d : (i+1)*d]
+		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
+			v := na.Val[p]
+			hrow := h.Data[na.ColIdx[p]*d : (na.ColIdx[p]+1)*d]
+			for j, hv := range hrow {
+				orow[j] += v * hv
+			}
+		}
+	}
 }
 
 // Dense materialises Â as a dense matrix. Tests only.

@@ -3,7 +3,6 @@ package mat
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // parallelThreshold is the number of multiply-accumulate operations below
@@ -15,9 +14,16 @@ const parallelThreshold = 1 << 16
 // lower it; 0 means use GOMAXPROCS.
 var maxWorkers = 0
 
-// SetMaxWorkers overrides the worker count used by parallel kernels.
-// n <= 0 restores the default (GOMAXPROCS).
+// SetMaxWorkers overrides the worker count used by parallel kernels (here
+// and in graph's sparse products). n <= 0 restores the default
+// (GOMAXPROCS). Setting 1 makes every kernel run inline on the calling
+// goroutine, which the allocation-regression tests rely on.
 func SetMaxWorkers(n int) { maxWorkers = n }
+
+// WorkerCount returns the effective parallel worker count for a kernel
+// spanning rows rows, honouring SetMaxWorkers. Exported so sibling packages
+// (graph's sparse kernels) share the same knob.
+func WorkerCount(rows int) int { return workerCount(rows) }
 
 func workerCount(rows int) int {
 	w := maxWorkers
@@ -37,33 +43,14 @@ func workerCount(rows int) int {
 //
 // The kernel is cache-blocked over k and parallelised over row bands of a,
 // which is the dominant pattern in GNN inference (tall-skinny activations
-// times small weight matrices).
+// times small weight matrices). This is the allocating wrapper over
+// MatMulInto.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %s · %s", a.Shape(), b.Shape()))
 	}
 	out := New(a.Rows, b.Cols)
-	ops := a.Rows * a.Cols * b.Cols
-	if ops < parallelThreshold {
-		matMulRange(a, b, out, 0, a.Rows)
-		return out
-	}
-	workers := workerCount(a.Rows)
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.Rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	matMulInto(out, a, b, true)
 	return out
 }
 
@@ -74,7 +61,7 @@ func MatMulSerial(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMulSerial inner dimension mismatch %s · %s", a.Shape(), b.Shape()))
 	}
 	out := New(a.Rows, b.Cols)
-	matMulRange(a, b, out, 0, a.Rows)
+	matMulInto(out, a, b, false)
 	return out
 }
 
@@ -99,106 +86,20 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 
 // MatMulTransA returns aᵀ·b without materialising the transpose of a.
 // Shapes: a is n×m, b is n×p, result is m×p. This is the gradient kernel
-// dW = Hᵀ·dY in dense and GCN layers.
+// dW = Hᵀ·dY in dense and GCN layers. Allocating wrapper over
+// MatMulTransAInto.
 func MatMulTransA(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: MatMulTransA outer dimension mismatch %s ᵀ· %s", a.Shape(), b.Shape()))
-	}
-	m, p := a.Cols, b.Cols
-	out := New(m, p)
-	ops := a.Rows * m * p
-	if ops < parallelThreshold {
-		for i := 0; i < a.Rows; i++ {
-			arow := a.Row(i)
-			brow := b.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				orow := out.Data[k*p : (k+1)*p]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-		return out
-	}
-	// Parallelise over output rows (columns of a) with per-worker column
-	// ranges, avoiding any write contention.
-	workers := workerCount(m)
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		kLo := w * chunk
-		kHi := min(kLo+chunk, m)
-		if kLo >= kHi {
-			break
-		}
-		wg.Add(1)
-		go func(kLo, kHi int) {
-			defer wg.Done()
-			for i := 0; i < a.Rows; i++ {
-				arow := a.Row(i)
-				brow := b.Row(i)
-				for k := kLo; k < kHi; k++ {
-					av := arow[k]
-					if av == 0 {
-						continue
-					}
-					orow := out.Data[k*p : (k+1)*p]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
-				}
-			}
-		}(kLo, kHi)
-	}
-	wg.Wait()
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(out, a, b)
 	return out
 }
 
 // MatMulTransB returns a·bᵀ without materialising the transpose of b.
 // Shapes: a is n×m, b is p×m, result is n×p. This is the gradient kernel
-// dH = dY·Wᵀ in dense and GCN layers.
+// dH = dY·Wᵀ in dense and GCN layers. Allocating wrapper over
+// MatMulTransBInto.
 func MatMulTransB(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MatMulTransB inner dimension mismatch %s · %s ᵀ", a.Shape(), b.Shape()))
-	}
-	n, p, m := a.Rows, b.Rows, a.Cols
-	out := New(n, p)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*m : (i+1)*m]
-			orow := out.Data[i*p : (i+1)*p]
-			for j := 0; j < p; j++ {
-				brow := b.Data[j*m : (j+1)*m]
-				s := 0.0
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
-		}
-	}
-	if n*m*p < parallelThreshold {
-		body(0, n)
-		return out
-	}
-	workers := workerCount(n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(out, a, b)
 	return out
 }

@@ -190,19 +190,10 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 }
 
 // AddRowVector adds the 1×Cols vector v to every row of m, returning a new
-// matrix. Used for bias addition.
+// matrix. Used for bias addition. Allocating wrapper over AddBiasInto.
 func (m *Matrix) AddRowVector(v []float64) *Matrix {
-	if len(v) != m.Cols {
-		panic(fmt.Sprintf("mat: AddRowVector length %d != cols %d", len(v), m.Cols))
-	}
 	r := New(m.Rows, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		out := r.Data[i*r.Cols : (i+1)*r.Cols]
-		for j, x := range row {
-			out[j] = x + v[j]
-		}
-	}
+	AddBiasInto(r, m, v)
 	return r
 }
 
@@ -248,18 +239,10 @@ func (m *Matrix) Norm() float64 {
 }
 
 // ArgmaxRows returns, for each row, the column index of its maximum value.
+// Allocating wrapper over ArgmaxRowsInto.
 func (m *Matrix) ArgmaxRows() []int {
 	out := make([]int, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		best, bestJ := math.Inf(-1), 0
-		for j, v := range row {
-			if v > best {
-				best, bestJ = v, j
-			}
-		}
-		out[i] = bestJ
-	}
+	m.ArgmaxRowsInto(out)
 	return out
 }
 
@@ -295,6 +278,7 @@ func (m *Matrix) SliceCols(lo, hi int) *Matrix {
 }
 
 // HConcat returns [m | o], the horizontal concatenation of m and o.
+// Allocating wrapper over HConcatInto.
 func HConcat(ms ...*Matrix) *Matrix {
 	if len(ms) == 0 {
 		return New(0, 0)
@@ -308,14 +292,7 @@ func HConcat(ms ...*Matrix) *Matrix {
 		cols += m.Cols
 	}
 	r := New(rows, cols)
-	for i := 0; i < rows; i++ {
-		out := r.Row(i)
-		off := 0
-		for _, m := range ms {
-			copy(out[off:off+m.Cols], m.Row(i))
-			off += m.Cols
-		}
-	}
+	HConcatInto(r, ms...)
 	return r
 }
 

@@ -9,41 +9,9 @@ import (
 	"gnnvault/internal/mat"
 )
 
-func TestMeanAdjacencyRowsStochastic(t *testing.T) {
-	g := graph.Random(20, 40, 1)
-	agg := graph.MeanAdjacency(g)
-	for i := 0; i < 20; i++ {
-		sum := 0.0
-		for p := agg.RowPtr[i]; p < agg.RowPtr[i+1]; p++ {
-			sum += agg.Val[p]
-		}
-		if g.Degree(i) == 0 {
-			if sum != 0 {
-				t.Fatalf("isolated node row sum = %v", sum)
-			}
-		} else if math.Abs(sum-1) > 1e-12 {
-			t.Fatalf("row %d sum = %v, want 1", i, sum)
-		}
-	}
-}
-
-func TestTransposeMatchesDense(t *testing.T) {
-	g := graph.Random(15, 30, 2)
-	agg := graph.MeanAdjacency(g)
-	if !agg.Transpose().Dense().EqualApprox(agg.Dense().T(), 1e-12) {
-		t.Fatal("CSR transpose disagrees with dense transpose")
-	}
-}
-
-func TestSelfLoopAdjacencyStructure(t *testing.T) {
-	g := graph.New(3, []graph.Edge{{U: 0, V: 1}})
-	st := graph.SelfLoopAdjacency(g)
-	d := st.Dense()
-	want := mat.FromSlice(3, 3, []float64{1, 1, 0, 1, 1, 0, 0, 0, 1})
-	if !d.EqualApprox(want, 1e-12) {
-		t.Fatalf("self-loop structure = %v", d.Data)
-	}
-}
+// The structural tests for graph.MeanAdjacency / graph.SelfLoopAdjacency /
+// graph.Transpose moved to internal/graph/aggregate_test.go, next to the
+// code they exercise.
 
 func TestSAGEConvShapesAndParams(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+)
+
+// wsTestLayers builds one of each workspace-capable layer over a shared
+// random graph, paired with its input width.
+func wsTestLayers(rng *rand.Rand, g *graph.Graph) []struct {
+	name  string
+	layer WorkspaceLayer
+	inDim int
+} {
+	adj := graph.Normalize(g)
+	return []struct {
+		name  string
+		layer WorkspaceLayer
+		inDim int
+	}{
+		{"gcn", NewGCNConv(rng, 6, 4, adj), 6},
+		{"dense", NewDense(rng, 6, 4), 6},
+		{"relu", NewReLU(), 5},
+		{"dropout", NewDropout(rng, 0.5), 5},
+		{"sage", NewSAGEConv(rng, 6, 4, g), 6},
+		{"gat", NewGATConv(rng, 6, 4, g), 6},
+		{"multihead", NewMultiHeadGAT(rng, 6, 4, 2, g), 6},
+	}
+}
+
+func TestForwardWSMatchesForwardPerLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	g := graph.Random(18, 36, 30)
+	x := map[int]*mat.Matrix{
+		6: mat.RandNormal(rng, 18, 6, 0, 1),
+		5: mat.RandNormal(rng, 18, 5, 0, 1),
+	}
+	for _, tc := range wsTestLayers(rng, g) {
+		t.Run(tc.name, func(t *testing.T) {
+			in := x[tc.inDim]
+			want := tc.layer.Forward(in, false)
+			ws, outCols := tc.layer.PlanWorkspace(18, tc.inDim)
+			if want.Cols != outCols {
+				t.Fatalf("planned out width %d, forward produced %d", outCols, want.Cols)
+			}
+			for pass := 0; pass < 2; pass++ { // reuse must be stable
+				got := tc.layer.ForwardWS(in, ws)
+				if !got.EqualApprox(want, 1e-12) {
+					t.Fatalf("pass %d: ForwardWS disagrees with Forward", pass)
+				}
+			}
+		})
+	}
+}
+
+func TestForwardWSSerialMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.Random(20, 40, 31)
+	x := mat.RandNormal(rng, 20, 6, 0, 1)
+	for _, tc := range wsTestLayers(rng, g) {
+		gc, ok := tc.layer.(GraphConv)
+		if !ok || tc.inDim != 6 {
+			continue
+		}
+		ws, _ := tc.layer.PlanWorkspace(20, 6)
+		par := tc.layer.ForwardWS(x, ws).Clone()
+		gc.SetSerialMode(true)
+		ser := tc.layer.ForwardWS(x, ws)
+		gc.SetSerialMode(false)
+		if !par.EqualApprox(ser, 1e-12) {
+			t.Fatalf("%s: serial ForwardWS disagrees with parallel", tc.name)
+		}
+	}
+}
+
+func TestModelForwardWSMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := graph.Random(25, 50, 32)
+	adj := graph.Normalize(g)
+	m := NewModel(
+		NewGCNConv(rng, 8, 16, adj),
+		NewReLU(),
+		NewDropout(rng, 0.5), // identity at inference
+		NewSAGEConv(rng, 16, 8, g),
+		NewReLU(),
+		NewGATConv(rng, 8, 3, g),
+	)
+	x := mat.RandNormal(rng, 25, 8, 0, 1)
+	want, wantActs := m.ForwardCollect(x, false)
+	ws := m.PlanWorkspace(25, 8)
+	for pass := 0; pass < 3; pass++ {
+		got, acts := m.ForwardCollectWS(x, ws)
+		if !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("pass %d: output disagrees", pass)
+		}
+		if len(acts) != len(wantActs) {
+			t.Fatalf("pass %d: %d activations, want %d", pass, len(acts), len(wantActs))
+		}
+		for i := range acts {
+			if !acts[i].EqualApprox(wantActs[i], 1e-12) {
+				t.Fatalf("pass %d: activation %d disagrees", pass, i)
+			}
+		}
+		if out2 := m.ForwardWS(x, ws); !out2.EqualApprox(want, 1e-12) {
+			t.Fatalf("pass %d: ForwardWS disagrees", pass)
+		}
+	}
+}
+
+// TestModelForwardWSAllocFree pins the serving property: a planned serial
+// model forward performs zero steady-state allocations.
+func TestModelForwardWSAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := graph.Random(40, 80, 33)
+	adj := graph.Normalize(g)
+	m := NewModel(NewGCNConv(rng, 10, 8, adj), NewReLU(), NewGCNConv(rng, 8, 3, adj))
+	m.SetSerial(true)
+	x := mat.RandNormal(rng, 40, 10, 0, 1)
+	ws := m.PlanWorkspace(40, 10)
+	m.ForwardWS(x, ws) // warm-up
+	allocs := testing.AllocsPerRun(10, func() {
+		m.ForwardWS(x, ws)
+	})
+	if allocs > 0 {
+		t.Fatalf("serial ForwardWS allocates %.1f objects/op", allocs)
+	}
+}
+
+func TestWorkspaceNumBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := graph.Random(10, 20, 34)
+	adj := graph.Normalize(g)
+	m := NewModel(NewGCNConv(rng, 4, 3, adj), NewReLU())
+	ws := m.PlanWorkspace(10, 4)
+	// GCN: two 10×3 buffers; ReLU: one 10×3 buffer. 3 × 10 × 3 × 8 bytes.
+	if got, want := ws.NumBytes(), int64(3*10*3*8); got != want {
+		t.Fatalf("NumBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPlanWorkspaceDimMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g := graph.Random(8, 16, 35)
+	m := NewModel(NewSAGEConv(rng, 4, 2, g))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched plan width did not panic")
+		}
+	}()
+	m.PlanWorkspace(8, 5)
+}

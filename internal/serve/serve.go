@@ -1,0 +1,249 @@
+// Package serve is the concurrent batched inference front-end over a
+// deployed vault: the paper's edge device answering a stream of label
+// queries. A Server owns a pool of workers, each holding its own
+// pre-planned core.Workspace (so the hot path allocates nothing), pulls
+// requests off a bounded queue, micro-batches whatever is waiting, and
+// maintains throughput and latency counters.
+//
+// Micro-batching here coalesces queued requests into one worker wake-up:
+// GNN inference is full-graph, so requests cannot be fused into a wider
+// matrix, but draining the queue in batches amortises scheduling and keeps
+// each worker's workspace cache-hot across consecutive requests.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/mat"
+)
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the worker pool.
+type Config struct {
+	// Workers is the number of inference workers, each with its own
+	// planned workspace (and therefore its own EPC charge). Default 2.
+	Workers int
+	// MaxBatch caps how many queued requests one worker drains per
+	// wake-up. Default 8.
+	MaxBatch int
+	// QueueDepth bounds the request queue; Predict blocks when it is
+	// full (backpressure). Default Workers·MaxBatch·2.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.Workers * c.MaxBatch * 2
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's counters since New.
+type Stats struct {
+	Requests  uint64 // accepted by Predict
+	Completed uint64 // answered successfully
+	Errors    uint64 // answered with an error
+	Batches   uint64 // worker wake-ups (micro-batches)
+
+	AvgBatch   float64       // Completed+Errors per batch
+	AvgLatency time.Duration // mean enqueue→answer time
+	MaxLatency time.Duration
+	Throughput float64 // completed requests per second of uptime
+	Uptime     time.Duration
+}
+
+type request struct {
+	x    *mat.Matrix
+	out  []int
+	err  error
+	enq  time.Time
+	done chan struct{}
+}
+
+// Server is a pool of inference workers over one deployed vault.
+type Server struct {
+	vault *core.Vault
+	cfg   Config
+	reqs  chan *request
+	pool  sync.Pool
+
+	// sendMu lets Close wait out in-flight Predict sends before closing
+	// the queue channel.
+	sendMu sync.RWMutex
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	start  time.Time
+
+	requests  atomic.Uint64
+	completed atomic.Uint64
+	errors    atomic.Uint64
+	batches   atomic.Uint64
+	latencyNs atomic.Int64
+	maxLatNs  atomic.Int64
+}
+
+// New plans one workspace per worker against v and starts the pool. It
+// fails — releasing anything it planned — if the combined workspaces do not
+// fit the enclave's EPC, which is the real bound on worker concurrency for
+// an enclave-backed deployment.
+func New(v *core.Vault, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	rows := v.Nodes()
+	workspaces := make([]*core.Workspace, 0, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		ws, err := v.Plan(rows)
+		if err != nil {
+			for _, w := range workspaces {
+				w.Release()
+			}
+			return nil, fmt.Errorf("serve: planning workspace for worker %d/%d: %w", i+1, cfg.Workers, err)
+		}
+		workspaces = append(workspaces, ws)
+	}
+	s := &Server{
+		vault: v,
+		cfg:   cfg,
+		reqs:  make(chan *request, cfg.QueueDepth),
+		start: time.Now(),
+	}
+	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	for _, ws := range workspaces {
+		s.wg.Add(1)
+		go s.worker(ws)
+	}
+	return s, nil
+}
+
+// Predict enqueues one inference over x and blocks until a worker answers.
+// The returned slice is freshly allocated and owned by the caller. Safe for
+// concurrent use; blocks for backpressure when the queue is full.
+func (s *Server) Predict(x *mat.Matrix) ([]int, error) {
+	req := s.pool.Get().(*request)
+	req.x = x
+	req.out = make([]int, x.Rows)
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	out, err := req.out, req.err
+	req.x, req.out, req.err = nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// worker drains the queue in micro-batches, answering every request with
+// its own pre-planned workspace.
+func (s *Server) worker(ws *core.Workspace) {
+	defer s.wg.Done()
+	defer ws.Release()
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	for {
+		req, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+		// Coalesce whatever else is already queued, up to MaxBatch.
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.batches.Add(1)
+		for _, r := range batch {
+			s.answer(r, ws)
+		}
+	}
+}
+
+func (s *Server) answer(r *request, ws *core.Workspace) {
+	labels, _, err := s.vault.PredictInto(r.x, ws)
+	if err != nil {
+		r.err = err
+		s.errors.Add(1)
+	} else {
+		copy(r.out, labels) // the workspace's label buffer is reused
+		s.completed.Add(1)
+	}
+	lat := time.Since(r.enq).Nanoseconds()
+	s.latencyNs.Add(lat)
+	for {
+		cur := s.maxLatNs.Load()
+		if lat <= cur || s.maxLatNs.CompareAndSwap(cur, lat) {
+			break
+		}
+	}
+	r.done <- struct{}{}
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:   s.requests.Load(),
+		Completed:  s.completed.Load(),
+		Errors:     s.errors.Load(),
+		Batches:    s.batches.Load(),
+		MaxLatency: time.Duration(s.maxLatNs.Load()),
+		Uptime:     time.Since(s.start),
+	}
+	answered := st.Completed + st.Errors
+	if answered > 0 {
+		st.AvgLatency = time.Duration(s.latencyNs.Load() / int64(answered))
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(answered) / float64(st.Batches)
+	}
+	if sec := st.Uptime.Seconds(); sec > 0 {
+		st.Throughput = float64(st.Completed) / sec
+	}
+	return st
+}
+
+// Close stops accepting requests, waits for queued work to finish, and
+// releases every worker workspace (returning their EPC to the enclave).
+// Idempotent.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		s.wg.Wait()
+		return
+	}
+	// Wait out in-flight Predict sends, then close the queue so workers
+	// drain and exit.
+	s.sendMu.Lock()
+	close(s.reqs)
+	s.sendMu.Unlock()
+	s.wg.Wait()
+}

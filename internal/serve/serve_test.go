@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/substitute"
+)
+
+var (
+	serveOnce  sync.Once
+	serveDS    *datasets.Dataset
+	serveVault *core.Vault
+)
+
+// testVault trains one small vault shared across the package's tests.
+func testVault(t testing.TB) (*datasets.Dataset, *core.Vault) {
+	t.Helper()
+	serveOnce.Do(func() {
+		serveDS = datasets.Load("cora")
+		cfg := core.TrainConfig{Epochs: 20, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+		spec := core.SpecForDataset("cora")
+		bb := core.TrainBackbone(serveDS, spec, substitute.KindKNN, substitute.KNN(serveDS.X, 2), cfg)
+		rec := core.TrainRectifier(serveDS, bb, core.Parallel, cfg)
+		v, err := core.Deploy(bb, rec, serveDS.Graph, enclave.DefaultCostModel())
+		if err != nil {
+			panic(err)
+		}
+		serveVault = v
+	})
+	return serveDS, serveVault
+}
+
+func TestServerMatchesDirectPredict(t *testing.T) {
+	ds, v := testVault(t)
+	want, _, err := v.Predict(ds.X)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	s, err := New(v, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	got, err := s.Predict(ds.X)
+	if err != nil {
+		t.Fatalf("server Predict: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestServerConcurrentHammer drives the server from many goroutines at
+// once; run under -race it is the concurrency regression test for the
+// whole plan/workspace/enclave stack.
+func TestServerConcurrentHammer(t *testing.T) {
+	ds, v := testVault(t)
+	want, _, err := v.Predict(ds.X)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	s, err := New(v, Config{Workers: 4, MaxBatch: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	const clients, perClient = 16, 5
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				got, err := s.Predict(ds.X)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errCh <- errors.New("concurrent result diverged from sequential Predict")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Completed != clients*perClient {
+		t.Fatalf("completed %d, want %d", st.Completed, clients*perClient)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("%d errors", st.Errors)
+	}
+	if st.Batches == 0 || st.Batches > st.Completed {
+		t.Fatalf("batches %d outside (0, %d]", st.Batches, st.Completed)
+	}
+	if st.AvgBatch < 1 {
+		t.Fatalf("avg batch %f < 1", st.AvgBatch)
+	}
+	if st.AvgLatency <= 0 || st.MaxLatency < st.AvgLatency {
+		t.Fatalf("latency stats inconsistent: avg %v max %v", st.AvgLatency, st.MaxLatency)
+	}
+	if st.Throughput <= 0 {
+		t.Fatalf("throughput %f", st.Throughput)
+	}
+}
+
+func TestServerBadInputSurfacesError(t *testing.T) {
+	ds, v := testVault(t)
+	s, err := New(v, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Predict(mat.New(ds.X.Rows-1, ds.X.Cols)); err == nil {
+		t.Fatal("mismatched rows did not error")
+	}
+	// Wrong feature width must surface as an error, not panic the worker.
+	if _, err := s.Predict(mat.New(ds.X.Rows, ds.X.Cols+3)); err == nil {
+		t.Fatal("mismatched cols did not error")
+	}
+	if got, err := s.Predict(ds.X); err != nil || len(got) != ds.X.Rows {
+		t.Fatalf("server unhealthy after bad requests: %v", err)
+	}
+	if st := s.Stats(); st.Errors != 2 {
+		t.Fatalf("errors %d, want 2", st.Errors)
+	}
+}
+
+func TestServerCloseReleasesEPCAndRejects(t *testing.T) {
+	ds, v := testVault(t)
+	base := v.Enclave.EPCUsed()
+	s, err := New(v, Config{Workers: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if used := v.Enclave.EPCUsed(); used <= base {
+		t.Fatalf("workers did not charge EPC: %d vs %d", used, base)
+	}
+	if _, err := s.Predict(ds.X); err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if used := v.Enclave.EPCUsed(); used != base {
+		t.Fatalf("EPC after close %d, want %d", used, base)
+	}
+	if _, err := s.Predict(ds.X); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestServerTooManyWorkersFailsCleanly(t *testing.T) {
+	_, v := testVault(t)
+	base := v.Enclave.EPCUsed()
+	// The cora workspace is ~1.5 MB; thousands of workers cannot fit 96 MB.
+	if _, err := New(v, Config{Workers: 1 << 14}); err == nil {
+		t.Fatal("oversubscribed pool did not fail")
+	} else if !errors.Is(err, enclave.ErrEPCExhausted) {
+		t.Fatalf("error %v, want ErrEPCExhausted", err)
+	}
+	if used := v.Enclave.EPCUsed(); used != base {
+		t.Fatalf("failed New leaked EPC: %d vs %d", used, base)
+	}
+}

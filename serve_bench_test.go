@@ -1,0 +1,58 @@
+package gnnvault_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/serve"
+)
+
+// BenchmarkVaultPredictInto is BenchmarkVaultPredict over a planned
+// workspace: the steady-state serving hot path. Compare B/op and allocs/op
+// against BenchmarkVaultPredict to see what the execution-plan refactor
+// buys.
+func BenchmarkVaultPredictInto(b *testing.B) {
+	for _, design := range core.Designs {
+		b.Run(string(design), func(b *testing.B) {
+			ds, vault := deployedVault(b, design)
+			ws, err := vault.Plan(ds.X.Rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ws.Release()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := vault.PredictInto(ds.X, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServe measures end-to-end serving throughput: concurrent
+// clients pushing label queries through the batched worker pool, each
+// worker reusing its own pre-planned workspace.
+func BenchmarkServe(b *testing.B) {
+	ds, vault := deployedVault(b, core.Parallel)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv, err := serve.New(vault, serve.Config{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := srv.Predict(ds.X); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
