@@ -1,0 +1,195 @@
+// Command doclint enforces the repo's documentation bar in CI:
+//
+//	doclint [-md dir] [pkgdir ...]
+//
+// For every package directory given, it fails if the package has no
+// package comment, or if any exported top-level identifier — function,
+// type, var, const, or method on an exported receiver — lacks a doc
+// comment (a group doc on a var/const/type block counts for its members).
+// Test files are skipped; runnable Example functions are vetted by `go
+// vet` in the same CI job.
+//
+// With -md it additionally walks *.md files under the given directory and
+// fails on relative links to files that do not exist, catching doc drift
+// like renamed files still referenced from README.md or DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	mdRoot := flag.String("md", "", "also check relative links in *.md files under this directory")
+	flag.Parse()
+
+	problems := 0
+	for _, dir := range flag.Args() {
+		problems += lintPackage(dir)
+	}
+	if *mdRoot != "" {
+		problems += lintMarkdown(*mdRoot)
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", problems)
+		os.Exit(1)
+	}
+}
+
+// lintPackage reports every exported identifier in dir's non-test files
+// that lacks a doc comment, returning the problem count.
+func lintPackage(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	problems := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Fprintf(os.Stderr, "%s: package %s has no package comment\n", dir, pkg.Name)
+			problems++
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				problems += lintDecl(fset, decl)
+			}
+		}
+	}
+	return problems
+}
+
+// lintDecl checks one top-level declaration, returning the problem count.
+func lintDecl(fset *token.FileSet, decl ast.Decl) int {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return 0
+		}
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return 0 // method on an unexported type: internal API
+		}
+		complain(fset, d.Pos(), "func", d.Name.Name)
+		return 1
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return 0 // a group doc covers every member of the block
+		}
+		problems := 0
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil {
+					complain(fset, s.Pos(), "type", s.Name.Name)
+					problems++
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						complain(fset, s.Pos(), "value", name.Name)
+						problems++
+					}
+				}
+			}
+		}
+		return problems
+	}
+	return 0
+}
+
+// exportedReceiver reports whether a method's receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// complain prints one missing-doc finding with its position.
+func complain(fset *token.FileSet, pos token.Pos, kind, name string) {
+	fmt.Fprintf(os.Stderr, "%s: exported %s %s is missing a doc comment\n",
+		fset.Position(pos), kind, name)
+}
+
+// mdLink matches markdown links and images; group 1 is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintMarkdown checks every *.md under root for relative links to
+// missing files, returning the problem count.
+func lintMarkdown(root string) int {
+	problems := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue // external or intra-document
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken link %q (%s does not exist)\n",
+					path, m[1], resolved)
+				problems++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: walking %s: %v\n", root, err)
+		problems++
+	}
+	return problems
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"gnnvault/internal/registry"
+	"gnnvault/internal/serve"
+)
+
+// apiServer exposes the serving fleet over HTTP/JSON:
+//
+//	POST /predict  {"vault":"cora/parallel","nodes":[0,1,2]}  → labels
+//	GET  /vaults                                              → fleet catalog
+//	GET  /stats                                               → serving + scheduler + EPC counters
+//
+// Queries run full-graph over the vault's deployed dataset features (GNN
+// inference is full-graph); "nodes" selects which labels to return,
+// defaulting to all. Only class labels ever leave the enclave, so labels
+// are all the API can serve.
+type apiServer struct {
+	fl  *fleet
+	srv *serve.MultiServer
+}
+
+// runHTTP serves the fleet API until the process is interrupted.
+func runHTTP(addr string, fl *fleet, srv *serve.MultiServer) {
+	api := &apiServer{fl: fl, srv: srv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", api.handlePredict)
+	mux.HandleFunc("GET /vaults", api.handleVaults)
+	mux.HandleFunc("GET /stats", api.handleStats)
+	fmt.Printf("HTTP API on %s: POST /predict, GET /vaults, GET /stats\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "http server:", err)
+		os.Exit(1)
+	}
+}
+
+// predictRequest is the POST /predict payload.
+type predictRequest struct {
+	// Vault is the fleet member to query, "dataset/design".
+	Vault string `json:"vault"`
+	// Nodes are the node indices whose labels to return; empty means all.
+	Nodes []int `json:"nodes"`
+}
+
+// predictResponse is the POST /predict answer.
+type predictResponse struct {
+	Vault     string  `json:"vault"`
+	Nodes     []int   `json:"nodes,omitempty"`
+	Labels    []int   `json:"labels"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (a *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var info *vaultInfo
+	for i := range a.fl.vaults {
+		if a.fl.vaults[i].ID == req.Vault {
+			info = &a.fl.vaults[i]
+			break
+		}
+	}
+	if info == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %q", registry.ErrUnknownVault, req.Vault))
+		return
+	}
+	for _, n := range req.Nodes {
+		if n < 0 || n >= info.Nodes {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("node %d out of range [0,%d)", n, info.Nodes))
+			return
+		}
+	}
+
+	start := time.Now()
+	labels, err := a.srv.Predict(info.ID, a.fl.data[info.Dataset].X)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := predictResponse{
+		Vault:     info.ID,
+		Nodes:     req.Nodes,
+		Labels:    labels,
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if len(req.Nodes) > 0 {
+		picked := make([]int, len(req.Nodes))
+		for i, n := range req.Nodes {
+			picked[i] = labels[n]
+		}
+		resp.Labels = picked
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *apiServer) handleVaults(w http.ResponseWriter, r *http.Request) {
+	type vaultEntry struct {
+		vaultInfo
+		Resident   bool   `json:"resident"`
+		Workspaces int    `json:"workspaces"`
+		Requests   uint64 `json:"requests"`
+		Plans      uint64 `json:"plans"`
+		Evictions  uint64 `json:"evictions"`
+	}
+	rst := a.fl.reg.Stats()
+	byID := map[string]registry.VaultStats{}
+	for _, vs := range rst.PerVault {
+		byID[vs.ID] = vs
+	}
+	out := make([]vaultEntry, 0, len(a.fl.vaults))
+	for _, info := range a.fl.vaults {
+		vs := byID[info.ID]
+		out = append(out, vaultEntry{
+			vaultInfo:  info,
+			Resident:   vs.Resident,
+			Workspaces: vs.Workspaces,
+			Requests:   vs.Requests,
+			Plans:      vs.Plans,
+			Evictions:  vs.Evictions,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"vaults": out})
+}
+
+func (a *apiServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	rst := a.fl.reg.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serving": map[string]any{
+			"requests":       st.Requests,
+			"completed":      st.Completed,
+			"errors":         st.Errors,
+			"batches":        st.Batches,
+			"avg_batch":      st.AvgBatch,
+			"avg_latency_ms": float64(st.AvgLatency.Microseconds()) / 1e3,
+			"max_latency_ms": float64(st.MaxLatency.Microseconds()) / 1e3,
+			"throughput_rps": st.Throughput,
+			"uptime_s":       st.Uptime.Seconds(),
+		},
+		"scheduler": map[string]any{
+			"vaults":    rst.Vaults,
+			"resident":  rst.Resident,
+			"requests":  rst.Requests,
+			"plans":     rst.Plans,
+			"evictions": rst.Evictions,
+		},
+		"enclave": map[string]any{
+			"epc_used_bytes":  rst.EPCUsed,
+			"epc_free_bytes":  rst.EPCFree,
+			"epc_limit_bytes": rst.EPCLimit,
+			"epc_used_mb":     float64(rst.EPCUsed) / (1 << 20),
+			"epc_limit_mb":    float64(rst.EPCLimit) / (1 << 20),
+		},
+	})
+}
+
+// writeJSON sends one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "http encode:", err)
+	}
+}
+
+// httpError sends a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

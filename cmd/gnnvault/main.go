@@ -7,11 +7,16 @@
 //	gnnvault train  -dataset cora -design parallel -epochs 200
 //	gnnvault attack -dataset cora -pairs 400
 //	gnnvault info   -dataset cora
-//	gnnvault serve  -dataset cora -workers 4 -clients 16
+//	gnnvault serve  -dataset cora,citeseer -design parallel,series -workers 4
+//	gnnvault serve  -dataset cora -http :8080
 //
-// `serve` deploys the vault behind the concurrent batched worker pool
-// (internal/serve) and drives a synthetic query stream through it,
-// reporting throughput, latency, and micro-batching statistics.
+// `serve` deploys a fleet of vaults — every dataset × design pair — into
+// one shared enclave behind the EPC-aware registry (internal/registry) and
+// the routed worker pool (internal/serve). It either drives a synthetic
+// concurrent query stream (default) or exposes an HTTP/JSON API (-http)
+// with /predict, /vaults, and /stats endpoints, reporting throughput,
+// latency, micro-batching, and workspace plan/evict churn. See the README
+// ops guide for flags, endpoints, and how to read the statistics.
 //
 // `train` executes the full partition-before-training pipeline, deploys
 // into the simulated SGX enclave, runs one inference, and reports the
@@ -69,7 +74,8 @@ func usage() {
   package -dataset cora -design parallel -out vault.gnv
   infer   -bundle vault.gnv
   stats   -dataset cora
-  serve   -dataset cora -workers N -clients N -requests N -batch N`)
+  serve   -dataset a,b -design x,y -workers N -clients N -requests N -batch N
+          -epc-mb N -ws-per-vault N [-http :8080]`)
 }
 
 func loadDataset(name string) *datasets.Dataset {

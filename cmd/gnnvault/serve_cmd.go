@@ -4,75 +4,164 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
+	"gnnvault/internal/registry"
 	"gnnvault/internal/serve"
 	"gnnvault/internal/substitute"
 )
 
-// cmdServe trains and deploys a vault, then serves a synthetic stream of
-// concurrent label queries through the batched worker pool, reporting
-// throughput, latency, and batching statistics — the steady-state serving
-// story the execution-plan refactor exists for.
+// vaultInfo describes one deployed member of the serving fleet.
+type vaultInfo struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	Design  string `json:"design"`
+	Nodes   int    `json:"nodes"`
+	Params  int    `json:"rectifier_params"`
+}
+
+// fleet is the multi-vault serving state: one enclave, one registry, the
+// deployed vaults, and each dataset's public features for query routing.
+type fleet struct {
+	encl   *enclave.Enclave
+	reg    *registry.Registry
+	vaults []vaultInfo
+	data   map[string]*datasets.Dataset
+}
+
+// cmdServe trains and deploys a fleet of vaults — every requested dataset ×
+// design pair — into one shared enclave behind the EPC-aware registry, then
+// serves label queries through the routed worker pool: either a synthetic
+// concurrent stream (default) or an HTTP/JSON API (-http). Lowering -epc-mb
+// below the fleet's working set makes the scheduler's plan/evict churn
+// visible in the reported stats.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	dataset := fs.String("dataset", "cora", "built-in dataset name")
-	design := fs.String("design", "parallel", "rectifier design: parallel|series|cascaded")
+	dataset := fs.String("dataset", "cora", "comma-separated built-in dataset names")
+	design := fs.String("design", "parallel", "comma-separated rectifier designs: parallel|series|cascaded")
 	sub := fs.String("sub", "knn", "substitute graph: knn|cosine|random|dnn")
 	epochs := fs.Int("epochs", 100, "training epochs")
 	seed := fs.Int64("seed", 1, "random seed")
-	workers := fs.Int("workers", 2, "inference workers (each pre-plans a workspace)")
+	workers := fs.Int("workers", 2, "inference workers shared across the fleet")
 	batch := fs.Int("batch", 8, "max requests coalesced per worker wake-up")
+	wsPerVault := fs.Int("ws-per-vault", 2, "max concurrent inference workspaces per vault")
+	epcMB := fs.Int64("epc-mb", 96, "enclave EPC capacity in MB (lower it to force eviction churn)")
 	clients := fs.Int("clients", 8, "concurrent synthetic clients")
 	requests := fs.Int("requests", 25, "requests per client")
+	httpAddr := fs.String("http", "", "serve the HTTP/JSON API on this address (e.g. :8080) instead of the synthetic stream")
 	fs.Parse(args) //nolint:errcheck
-
-	ds := loadDataset(*dataset)
-	cfg := core.PipelineConfig{
-		Spec:    core.SpecForDataset(*dataset),
-		Design:  core.RectifierDesign(*design),
-		SubKind: substitute.Kind(*sub),
-		KNNK:    2,
-		Train:   core.TrainConfig{Epochs: *epochs, LR: 0.01, WeightDecay: 5e-4, Seed: *seed},
-	}
-	fmt.Printf("training GNNVault on %s (%s rectifier) …\n", *dataset, cfg.Design)
-	res := core.RunPipeline(ds, cfg)
-	vault, err := core.Deploy(res.Backbone, res.Rectifier, ds.Graph, enclave.DefaultCostModel())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "deploy failed:", err)
-		os.Exit(1)
-	}
 
 	if *workers <= 0 {
 		*workers = 2 // serve.Config's default, surfaced so the banner is honest
 	}
-	srv, err := serve.New(vault, serve.Config{Workers: *workers, MaxBatch: *batch})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "server start failed:", err)
-		os.Exit(1)
-	}
-	defer srv.Close()
-	fmt.Printf("serving with %d workers (EPC in use %.2f MB of %d MB), %d clients × %d requests\n",
-		*workers, float64(vault.Enclave.EPCUsed())/(1<<20), vault.Enclave.EPCLimit()>>20,
-		*clients, *requests)
+	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault)
+	srv := serve.NewMulti(fl.reg, serve.Config{Workers: *workers, MaxBatch: *batch})
+	defer func() {
+		srv.Close()
+		fl.reg.Close()
+	}()
 
+	fmt.Printf("fleet of %d vaults on one enclave (EPC %.2f MB used of %d MB), %d workers\n",
+		len(fl.vaults), float64(fl.encl.EPCUsed())/(1<<20), fl.encl.EPCLimit()>>20, *workers)
+
+	if *httpAddr != "" {
+		runHTTP(*httpAddr, fl, srv)
+		return
+	}
+	runSyntheticStream(fl, srv, *clients, *requests)
+}
+
+// buildFleet trains one backbone per dataset and one rectifier per
+// dataset × design pair, then deploys every pair into a single enclave
+// measured over all rectifier identities.
+func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int) *fleet {
+	dsNames := splitCSV(datasetCSV)
+	designs := splitCSV(designCSV)
+	if len(dsNames) == 0 || len(designs) == 0 {
+		fmt.Fprintln(os.Stderr, "serve: need at least one dataset and one design")
+		os.Exit(2)
+	}
+
+	type trained struct {
+		info vaultInfo
+		bb   *core.Backbone
+		rec  *core.Rectifier
+		ds   *datasets.Dataset
+	}
+	var fleetMembers []trained
+	var identities [][]byte
+	data := map[string]*datasets.Dataset{}
+	for _, name := range dsNames {
+		ds := loadDataset(name)
+		data[name] = ds
+		train := core.TrainConfig{Epochs: epochs, LR: 0.01, WeightDecay: 5e-4, Seed: seed}
+		spec := core.SpecForDataset(name)
+		kind := substitute.Kind(sub)
+		subGraph := substitute.Build(kind, ds.X, 2, ds.Graph.NumUndirectedEdges(), seed)
+		fmt.Printf("training backbone on %s (%s substitute) …\n", name, kind)
+		bb := core.TrainBackbone(ds, spec, kind, subGraph, train)
+		for _, d := range designs {
+			fmt.Printf("training %s rectifier on %s …\n", d, name)
+			rec := core.TrainRectifier(ds, bb, core.RectifierDesign(d), train)
+			fleetMembers = append(fleetMembers, trained{
+				info: vaultInfo{
+					ID:      name + "/" + d,
+					Dataset: name,
+					Design:  d,
+					Nodes:   ds.Graph.N(),
+					Params:  rec.NumParams(),
+				},
+				bb: bb, rec: rec, ds: ds,
+			})
+			identities = append(identities, rec.Identity())
+		}
+	}
+
+	cost := enclave.DefaultCostModel()
+	cost.EPCBytes = epcMB << 20
+	encl := enclave.New(cost, identities...)
+	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault})
+	fl := &fleet{encl: encl, reg: reg, data: data}
+	for _, m := range fleetMembers {
+		v, err := core.DeployInto(encl, m.bb, m.rec, m.ds.Graph)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deploy %s failed: %v\n", m.info.ID, err)
+			os.Exit(1)
+		}
+		if err := reg.Register(m.info.ID, v); err != nil {
+			fmt.Fprintf(os.Stderr, "register %s failed: %v\n", m.info.ID, err)
+			os.Exit(1)
+		}
+		fl.vaults = append(fl.vaults, m.info)
+	}
+	return fl
+}
+
+// runSyntheticStream drives concurrent clients round-robin across the
+// fleet and prints serving + scheduler statistics.
+func runSyntheticStream(fl *fleet, srv *serve.MultiServer, clients, requests int) {
+	fmt.Printf("synthetic stream: %d clients × %d requests across %d vaults\n",
+		clients, requests, len(fl.vaults))
 	start := time.Now()
 	var wg sync.WaitGroup
-	errs := make(chan error, *clients)
-	for c := 0; c < *clients; c++ {
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
-			for r := 0; r < *requests; r++ {
-				if _, err := srv.Predict(ds.X); err != nil {
-					errs <- err
+			for r := 0; r < requests; r++ {
+				info := fl.vaults[(c+r)%len(fl.vaults)]
+				if _, err := srv.Predict(info.ID, fl.data[info.Dataset].X); err != nil {
+					errs <- fmt.Errorf("%s: %w", info.ID, err)
 					return
 				}
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	close(errs)
@@ -83,6 +172,7 @@ func cmdServe(args []string) {
 	wall := time.Since(start)
 
 	st := srv.Stats()
+	rst := fl.reg.Stats()
 	fmt.Printf("\nserved %d requests in %v\n", st.Completed, wall.Round(time.Millisecond))
 	fmt.Printf("  throughput  %.1f req/s (%.1f req/s over uptime)\n",
 		float64(st.Completed)/wall.Seconds(), st.Throughput)
@@ -90,4 +180,23 @@ func cmdServe(args []string) {
 		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
 	fmt.Printf("  batching    %d wake-ups, %.2f requests per batch\n", st.Batches, st.AvgBatch)
 	fmt.Printf("  errors      %d\n", st.Errors)
+	fmt.Printf("  scheduler   %d plans, %d evictions, %d/%d vaults resident\n",
+		rst.Plans, rst.Evictions, rst.Resident, rst.Vaults)
+	fmt.Printf("  EPC         %.2f MB used of %d MB\n",
+		float64(rst.EPCUsed)/(1<<20), rst.EPCLimit>>20)
+	for _, vs := range rst.PerVault {
+		fmt.Printf("    %-20s requests %-5d plans %-3d evictions %-3d resident %v\n",
+			vs.ID, vs.Requests, vs.Plans, vs.Evictions, vs.Resident)
+	}
+}
+
+// splitCSV splits a comma-separated flag value, dropping empty items.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -9,11 +9,17 @@
 // (sparse adjacency + generators), nn (backprop layers + Adam), datasets
 // (synthetic stand-ins for the paper's datasets), substitute (KNN / cosine
 // / random substitute graphs), core (backbone, rectifiers, vault
-// deployment), enclave (SGX software model), attack (link stealing), and
-// experiments (one generator per paper table/figure).
+// deployment and allocation-free inference plans), enclave (SGX software
+// model), registry (EPC-aware scheduling of a multi-vault fleet on one
+// enclave), serve (single-vault and fleet-routing batched serving),
+// attack (link stealing), and experiments (one generator per paper
+// table/figure).
 //
-// See README.md for a walkthrough and package map, and DESIGN.md for the
-// system inventory and substitution rules. The root-level bench_test.go
-// regenerates every paper table and figure via `go test -bench`, and
-// serve_bench_test.go measures the steady-state serving path.
+// See README.md for a walkthrough, package map, and serving ops guide,
+// and DESIGN.md for the system inventory, substitution rules, and the
+// registry's eviction policy and EPC accounting invariants. The
+// root-level bench_test.go regenerates every paper table and figure via
+// `go test -bench`, serve_bench_test.go measures the steady-state serving
+// path, and registry_bench_test.go sweeps the multi-vault fleet across
+// the EPC cliff.
 package gnnvault

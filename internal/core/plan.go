@@ -173,6 +173,9 @@ type Workspace struct {
 // enclave.ErrEPCExhausted wrapped if that working set does not fit, which
 // bounds how many concurrent workspaces one enclave can serve.
 func (v *Vault) Plan(rows int) (*Workspace, error) {
+	if v.undeployed.Load() {
+		return nil, fmt.Errorf("core: plan on undeployed vault")
+	}
 	if n := v.privateGraph.N(); rows != n {
 		return nil, fmt.Errorf("core: plan rows %d != deployed graph nodes %d", rows, n)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"gnnvault/internal/enclave"
@@ -26,6 +27,13 @@ type Vault struct {
 
 	sealedParams []byte
 	sealedGraph  []byte
+
+	// persistentBytes is the EPC held by the vault's resident state
+	// (rectifier parameters + private adjacency), returned by Undeploy.
+	// undeployed is atomic so Undeploy is idempotent under the concurrent
+	// serving the enclave's goroutine-safe ledger invites.
+	persistentBytes int64
+	undeployed      atomic.Bool
 }
 
 // InferenceBreakdown is the Fig. 6 decomposition of one inference pass.
@@ -51,15 +59,27 @@ func (b InferenceBreakdown) Total() time.Duration {
 // Deploy fails with enclave.ErrEPCExhausted if the persistent state cannot
 // fit the EPC — the check that motivates Table I's DenseA column.
 func Deploy(bb *Backbone, rec *Rectifier, private *graph.Graph, cost enclave.CostModel) (*Vault, error) {
-	params := rec.MarshalParams()
-	coo := graph.MarshalCOO(private)
-
 	// The measurement covers the enclave's code identity — design, conv
 	// kind and layer dimensions — as MRENCLAVE covers code and initial
 	// data pages. Weights and the private graph are provisioned as sealed
 	// blobs after launch, so two devices running the same rectifier build
 	// measure identically and can exchange sealed state.
-	encl := enclave.New(cost, rec.Identity())
+	return DeployInto(enclave.New(cost, rec.Identity()), bb, rec, private)
+}
+
+// DeployInto provisions a trained GNNVault into an existing enclave, so one
+// enclave (one device's EPC) can host several deployed vaults — the
+// multi-vault serving setup managed by internal/registry. It seals the
+// rectifier parameters and real adjacency under the enclave's identity and
+// charges the EPC for the persistent residents; on failure nothing stays
+// allocated.
+//
+// A multi-vault enclave's measurement covers whatever identities the caller
+// passed to enclave.New, typically every hosted rectifier's Identity.
+func DeployInto(encl *enclave.Enclave, bb *Backbone, rec *Rectifier, private *graph.Graph) (*Vault, error) {
+	params := rec.MarshalParams()
+	coo := graph.MarshalCOO(private)
+
 	sealedParams, err := encl.Seal(params)
 	if err != nil {
 		return nil, fmt.Errorf("core: sealing rectifier params: %w", err)
@@ -70,22 +90,42 @@ func Deploy(bb *Backbone, rec *Rectifier, private *graph.Graph, cost enclave.Cos
 	}
 
 	// Persistent EPC residents: parameters + normalised COO adjacency.
-	if err := encl.Alloc(rec.ParamBytes()); err != nil {
+	paramBytes := rec.ParamBytes()
+	adjBytes := rec.Adjacency().NumBytes()
+	if err := encl.Alloc(paramBytes); err != nil {
 		return nil, fmt.Errorf("core: rectifier parameters do not fit EPC: %w", err)
 	}
-	if err := encl.Alloc(rec.Adjacency().NumBytes()); err != nil {
+	if err := encl.Alloc(adjBytes); err != nil {
+		encl.Free(paramBytes)
 		return nil, fmt.Errorf("core: private adjacency does not fit EPC: %w", err)
 	}
 
 	rec.SetSerial(true) // enclave execution is single-threaded
 	return &Vault{
-		Backbone:     bb,
-		Enclave:      encl,
-		rectifier:    rec,
-		privateGraph: private,
-		sealedParams: sealedParams,
-		sealedGraph:  sealedGraph,
+		Backbone:        bb,
+		Enclave:         encl,
+		rectifier:       rec,
+		privateGraph:    private,
+		sealedParams:    sealedParams,
+		sealedGraph:     sealedGraph,
+		persistentBytes: paramBytes + adjBytes,
 	}, nil
+}
+
+// PersistentBytes returns the EPC held by the vault's resident state
+// (rectifier parameters + private adjacency), charged at deploy time and
+// released only by Undeploy.
+func (v *Vault) PersistentBytes() int64 { return v.persistentBytes }
+
+// Undeploy returns the vault's persistent EPC to the enclave, making room
+// for other tenants of a shared enclave. The vault must not be used for
+// inference afterwards, and any planned workspaces must be released first.
+// Idempotent.
+func (v *Vault) Undeploy() {
+	if v.undeployed.Swap(true) {
+		return
+	}
+	v.Enclave.Free(v.persistentBytes)
 }
 
 // SealedArtifacts returns the encrypted blobs persisted on untrusted

@@ -105,9 +105,11 @@ var ErrEPCExhausted = errors.New("enclave: EPC exhausted")
 // Enclave models one trusted compartment: an EPC allocator, a cost ledger,
 // a measurement, and a sealing identity.
 //
-// EPC accounting and the ledger are goroutine-safe so one deployed enclave
-// can serve a pool of inference workers (the paper's edge device answering
-// a request stream). Ecall bodies themselves run on the calling goroutine
+// EPC accounting and the ledger are goroutine-safe so one enclave can
+// serve a pool of inference workers, and can host several deployed vaults
+// at once (core.DeployInto + internal/registry — the paper's edge device
+// answering a request stream for many models). Ecall bodies themselves run
+// on the calling goroutine
 // without holding the lock — in-enclave code must still be single-threaded
 // per call, and bodies may re-enter Alloc/Free.
 type Enclave struct {
@@ -170,6 +172,17 @@ func (e *Enclave) EPCUsed() int64 {
 
 // EPCLimit returns the configured EPC capacity.
 func (e *Enclave) EPCLimit() int64 { return e.cost.EPCBytes }
+
+// EPCFree returns the unallocated EPC headroom. With paging enabled usage
+// may exceed capacity, in which case EPCFree reports zero.
+func (e *Enclave) EPCFree() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if free := e.cost.EPCBytes - e.epcUsed; free > 0 {
+		return free
+	}
+	return 0
+}
 
 // Alloc accounts an allocation of n bytes of enclave memory. If the
 // allocation pushes usage beyond the EPC and paging is disabled, it fails;

@@ -1,0 +1,72 @@
+package registry_test
+
+import (
+	"fmt"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/substitute"
+)
+
+// Example deploys two vaults into one enclave whose EPC only admits a
+// single inference workspace, so serving the second vault must evict the
+// first — the plan/evict churn the registry's stats make visible.
+func Example() {
+	ds := datasets.Load("cora")
+	cfg := core.TrainConfig{Epochs: 3, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+	spec := core.SpecForDataset("cora")
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), cfg)
+	rec := core.TrainRectifier(ds, bb, core.Parallel, cfg)
+
+	// Capacity planning: measure the two EPC quanta — persistent state per
+	// deployed vault and bytes per planned workspace — on a roomy throwaway
+	// deployment, then size the real device to hold two vaults but only one
+	// workspace.
+	scratch, err := core.Deploy(bb, rec, ds.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		panic(err)
+	}
+	ws, err := scratch.Plan(scratch.Nodes())
+	if err != nil {
+		panic(err)
+	}
+	persist, wsBytes := scratch.PersistentBytes(), ws.EnclaveBytes()
+	ws.Release()
+
+	cost := enclave.DefaultCostModel()
+	cost.EPCBytes = 2*persist + wsBytes + wsBytes/2
+	encl := enclave.New(cost, rec.Identity())
+	reg := registry.New(encl, registry.Config{WorkspacesPerVault: 1})
+	for _, id := range []string{"cora/a", "cora/b"} {
+		v, err := core.DeployInto(encl, bb, rec, ds.Graph)
+		if err != nil {
+			panic(err)
+		}
+		if err := reg.Register(id, v); err != nil {
+			panic(err)
+		}
+	}
+	defer reg.Close()
+
+	// a is cold (plan), a again is hot (cached workspace), b evicts a.
+	for _, id := range []string{"cora/a", "cora/a", "cora/b"} {
+		v, ws, err := reg.Acquire(id)
+		if err != nil {
+			panic(err)
+		}
+		if _, _, err := v.PredictInto(ds.X, ws); err != nil {
+			panic(err)
+		}
+		reg.Release(id, ws)
+	}
+
+	st := reg.Stats()
+	fmt.Printf("requests=%d plans=%d evictions=%d resident=%d/%d\n",
+		st.Requests, st.Plans, st.Evictions, st.Resident, st.Vaults)
+	fmt.Println("EPC within capacity:", st.EPCUsed <= st.EPCLimit)
+	// Output:
+	// requests=3 plans=2 evictions=1 resident=1/2
+	// EPC within capacity: true
+}

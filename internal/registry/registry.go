@@ -1,0 +1,389 @@
+// Package registry schedules many deployed vaults onto one enclave's
+// scarce EPC: the multi-tenant edge device hosting several GNNVault
+// deployments (datasets × rectifier designs) behind a single trusted
+// compartment.
+//
+// Every vault charges the EPC twice: once at deploy time for its persistent
+// residents (rectifier parameters + private adjacency, held until
+// core.Vault.Undeploy), and once per planned inference workspace
+// (core.Vault.Plan). The Registry manages the second, elastic, part:
+// workspaces are planned lazily on the first request for a vault, cached on
+// a per-vault free list while the vault is hot, and evicted — least
+// recently served first — when admitting another vault's workspace would
+// exceed the EPC. Plan and eviction counts are recorded per vault so the
+// memory/latency trade is visible in Stats: a fleet that fits the EPC
+// serves every request from cached workspaces at zero allocation, while an
+// oversubscribed fleet pays a measured re-plan cost on every cold vault.
+//
+// Acquire blocks while the EPC is full but other requests still hold
+// workspaces, and fails only when no admission order could ever fit the
+// request. See DESIGN.md ("Multi-vault registry and EPC scheduling") for
+// the eviction policy and the accounting invariants the tests enforce.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/enclave"
+)
+
+// ErrClosed is returned by Acquire after Close.
+var ErrClosed = errors.New("registry: closed")
+
+// ErrUnknownVault is returned by Acquire for an unregistered vault ID.
+var ErrUnknownVault = errors.New("registry: unknown vault")
+
+// Config tunes the scheduler.
+type Config struct {
+	// WorkspacesPerVault caps how many concurrent inference workspaces one
+	// vault may hold (its maximum worker parallelism). Default 2, matching
+	// serve.Config's worker default.
+	WorkspacesPerVault int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkspacesPerVault <= 0 {
+		c.WorkspacesPerVault = 2
+	}
+	return c
+}
+
+// entry is one registered vault's residency state.
+type entry struct {
+	id    string
+	vault *core.Vault
+
+	free  []*core.Workspace // planned, idle workspaces (cap fixed at Register)
+	inUse int               // workspaces currently checked out via Acquire
+
+	lastServed uint64 // registry clock at the vault's last acquire/release
+	requests   uint64
+	plans      uint64
+	evictions  uint64
+}
+
+// resident reports whether the vault holds any workspace EPC.
+func (e *entry) resident() bool { return e.inUse > 0 || len(e.free) > 0 }
+
+// Registry schedules per-vault inference workspaces for a fleet of vaults
+// deployed into one shared enclave. All methods are safe for concurrent
+// use.
+type Registry struct {
+	encl *enclave.Enclave
+	cfg  Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	vaults map[string]*entry
+	clock  uint64 // logical last-served time, bumped on every acquire/release
+	inUse  int    // workspaces checked out across all vaults
+	closed bool
+
+	plans     uint64
+	evictions uint64
+	requests  uint64
+}
+
+// New creates an empty registry over the shared enclave. The enclave is
+// typically created with enclave.New over every hosted rectifier's
+// Identity, then populated via core.DeployInto and Register.
+func New(encl *enclave.Enclave, cfg Config) *Registry {
+	r := &Registry{
+		encl:   encl,
+		cfg:    cfg.withDefaults(),
+		vaults: map[string]*entry{},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Register adds a deployed vault under id. The vault must be deployed into
+// the registry's enclave (core.DeployInto) so its EPC accounting lands in
+// the shared ledger.
+func (r *Registry) Register(id string, v *core.Vault) error {
+	if v.Enclave != r.encl {
+		return fmt.Errorf("registry: vault %q deployed into a different enclave", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if _, dup := r.vaults[id]; dup {
+		return fmt.Errorf("registry: vault %q already registered", id)
+	}
+	r.vaults[id] = &entry{
+		id:    id,
+		vault: v,
+		// Fixed capacity so the hot-path Release append never allocates.
+		free: make([]*core.Workspace, 0, r.cfg.WorkspacesPerVault),
+	}
+	return nil
+}
+
+// Remove releases the vault's cached workspaces (without counting them as
+// evictions — removal is administrative, not EPC pressure) and unregisters
+// it. The vault's persistent EPC stays charged; call core.Vault.Undeploy to
+// release that too. Remove fails while any of the vault's workspaces are
+// checked out.
+func (r *Registry) Remove(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.vaults[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVault, id)
+	}
+	if e.inUse > 0 {
+		return fmt.Errorf("registry: vault %q has %d workspaces in use", id, e.inUse)
+	}
+	r.releaseAllLocked(e) // administrative removal, not EPC pressure
+	delete(r.vaults, id)
+	r.cond.Broadcast() // freed EPC may admit a waiting Acquire
+	return nil
+}
+
+// IDs returns the registered vault IDs, sorted.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.vaults))
+	for id := range r.vaults {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Vault returns the registered vault for id, or nil.
+func (r *Registry) Vault(id string) *core.Vault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.vaults[id]; ok {
+		return e.vault
+	}
+	return nil
+}
+
+// Acquire checks out one inference workspace for the vault registered
+// under id, planning it lazily on first use. When the vault is hot (a
+// cached workspace is free) Acquire is a map lookup and a slice pop —
+// no allocation, no enclave traffic. When it is cold, Acquire plans a new
+// workspace, evicting idle vaults in least-recently-served order until the
+// plan fits the EPC; the plan and each eviction are counted in Stats.
+//
+// If the vault is at its workspace cap, or the EPC cannot admit the plan
+// while other requests hold workspaces, Acquire blocks until a Release or
+// Remove changes the picture. It fails with enclave.ErrEPCExhausted
+// (wrapped) only when nothing is checked out anywhere and no eviction
+// could make the plan fit — the request is simply too big for the device.
+//
+// Every successful Acquire must be paired with Release.
+func (r *Registry) Acquire(id string) (*core.Vault, *core.Workspace, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, nil, ErrClosed
+		}
+		e, ok := r.vaults[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %q", ErrUnknownVault, id)
+		}
+		if n := len(e.free); n > 0 {
+			ws := e.free[n-1]
+			e.free = e.free[:n-1]
+			r.checkoutLocked(e)
+			return e.vault, ws, nil
+		}
+		if e.inUse < r.cfg.WorkspacesPerVault {
+			ws, err := r.planLocked(e)
+			if err == nil {
+				r.checkoutLocked(e)
+				return e.vault, ws, nil
+			}
+			if !errors.Is(err, enclave.ErrEPCExhausted) {
+				return nil, nil, err
+			}
+			if r.inUse == 0 {
+				// Nothing left to wait for: every workspace is evicted and
+				// the plan still does not fit.
+				return nil, nil, fmt.Errorf("registry: vault %q cannot be admitted: %w", id, err)
+			}
+		}
+		// Either the vault is at its workspace cap or the EPC is full of
+		// in-flight workspaces; wait for a Release/Remove and retry.
+		r.cond.Wait()
+	}
+}
+
+// checkoutLocked records one workspace handed to a caller.
+func (r *Registry) checkoutLocked(e *entry) {
+	e.inUse++
+	r.inUse++
+	e.requests++
+	r.requests++
+	r.clock++
+	e.lastServed = r.clock
+}
+
+// planLocked plans one workspace for e, evicting idle vaults LRU-first
+// while the enclave reports EPC exhaustion. Planning happens under the
+// registry lock: admission is a critical section, so two cold requests
+// cannot both out-evict each other.
+func (r *Registry) planLocked(e *entry) (*core.Workspace, error) {
+	for {
+		ws, err := e.vault.Plan(e.vault.Nodes())
+		if err == nil {
+			e.plans++
+			r.plans++
+			return ws, nil
+		}
+		if !errors.Is(err, enclave.ErrEPCExhausted) {
+			return nil, err
+		}
+		victim := r.lruIdleLocked(e)
+		if victim == nil {
+			return nil, err
+		}
+		r.evictLocked(victim)
+	}
+}
+
+// lruIdleLocked returns the least-recently-served vault that holds
+// workspace EPC but has none checked out (evicting a busy vault would pull
+// buffers out from under a running inference), or nil. The requesting
+// vault's own cache is never a victim.
+func (r *Registry) lruIdleLocked(requester *entry) *entry {
+	var victim *entry
+	for _, e := range r.vaults {
+		if e == requester || e.inUse > 0 || len(e.free) == 0 {
+			continue
+		}
+		if victim == nil || e.lastServed < victim.lastServed {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// evictLocked releases every cached workspace of e to make room for
+// another vault, counting each as an eviction.
+func (r *Registry) evictLocked(e *entry) {
+	n := uint64(len(e.free))
+	r.releaseAllLocked(e)
+	e.evictions += n
+	r.evictions += n
+}
+
+// releaseAllLocked returns e's cached workspace EPC to the enclave
+// without touching the eviction counters — for administrative paths
+// (Remove, Close) that are not EPC pressure.
+func (r *Registry) releaseAllLocked(e *entry) {
+	for _, ws := range e.free {
+		ws.Release()
+	}
+	e.free = e.free[:0]
+}
+
+// Release returns a workspace checked out by Acquire to the vault's free
+// list and refreshes the vault's last-served time. Never allocates.
+func (r *Registry) Release(id string, ws *core.Workspace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.vaults[id]
+	if !ok || e.inUse <= 0 {
+		panic(fmt.Sprintf("registry: release of %q without matching acquire", id))
+	}
+	e.inUse--
+	r.inUse--
+	r.clock++
+	e.lastServed = r.clock
+	if r.closed {
+		// Close already ran; late releases free their EPC immediately.
+		ws.Release()
+		r.cond.Broadcast()
+		return
+	}
+	e.free = append(e.free, ws)
+	r.cond.Broadcast()
+}
+
+// VaultStats is one vault's slice of the registry counters.
+type VaultStats struct {
+	ID         string
+	Resident   bool   // holds at least one planned workspace
+	Workspaces int    // cached + checked out
+	Requests   uint64 // successful Acquires
+	Plans      uint64 // workspaces planned (cold starts)
+	Evictions  uint64 // workspaces evicted to admit other vaults
+}
+
+// Stats is a snapshot of the scheduler's counters since New.
+type Stats struct {
+	Vaults    int // registered
+	Resident  int // holding workspace EPC
+	Requests  uint64
+	Plans     uint64
+	Evictions uint64
+
+	EPCUsed  int64 // persistent + workspace bytes currently charged
+	EPCFree  int64 // headroom before the next plan must evict
+	EPCLimit int64
+
+	PerVault []VaultStats // sorted by ID
+}
+
+// Stats returns a snapshot of the registry and per-vault counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Vaults:    len(r.vaults),
+		Requests:  r.requests,
+		Plans:     r.plans,
+		Evictions: r.evictions,
+		EPCUsed:   r.encl.EPCUsed(),
+		EPCFree:   r.encl.EPCFree(),
+		EPCLimit:  r.encl.EPCLimit(),
+		PerVault:  make([]VaultStats, 0, len(r.vaults)),
+	}
+	for _, e := range r.vaults {
+		if e.resident() {
+			st.Resident++
+		}
+		st.PerVault = append(st.PerVault, VaultStats{
+			ID:         e.id,
+			Resident:   e.resident(),
+			Workspaces: e.inUse + len(e.free),
+			Requests:   e.requests,
+			Plans:      e.plans,
+			Evictions:  e.evictions,
+		})
+	}
+	sort.Slice(st.PerVault, func(i, j int) bool { return st.PerVault[i].ID < st.PerVault[j].ID })
+	return st
+}
+
+// Close evicts every cached workspace and fails all further Acquires with
+// ErrClosed. Workspaces still checked out are released (and their EPC
+// freed) as their holders call Release, so after Close and all in-flight
+// Releases the enclave is back to its deploy-time baseline. Registered
+// vaults stay deployed. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	// Plain release, not evictLocked: shutdown is not EPC pressure and must
+	// not inflate the eviction counters.
+	for _, e := range r.vaults {
+		r.releaseAllLocked(e)
+	}
+	r.cond.Broadcast()
+}

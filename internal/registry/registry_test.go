@@ -1,0 +1,379 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/substitute"
+)
+
+// Shared trained model state: every test deploys fresh vaults (cheap) from
+// one trained backbone+rectifier pair (expensive).
+var (
+	regOnce    sync.Once
+	regDS      *datasets.Dataset
+	regBB      *core.Backbone
+	regRec     *core.Rectifier
+	regPersist int64 // persistent EPC per deployed vault
+	regWSBytes int64 // EPC per planned workspace
+)
+
+func trained(t testing.TB) {
+	t.Helper()
+	regOnce.Do(func() {
+		regDS = datasets.Load("cora")
+		cfg := core.TrainConfig{Epochs: 10, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+		spec := core.SpecForDataset("cora")
+		regBB = core.TrainBackbone(regDS, spec, substitute.KindKNN, substitute.KNN(regDS.X, 2), cfg)
+		regRec = core.TrainRectifier(regDS, regBB, core.Parallel, cfg)
+		// Measure the two EPC quanta on a throwaway roomy deployment.
+		v, err := core.Deploy(regBB, regRec, regDS.Graph, enclave.DefaultCostModel())
+		if err != nil {
+			panic(err)
+		}
+		regPersist = v.PersistentBytes()
+		ws, err := v.Plan(v.Nodes())
+		if err != nil {
+			panic(err)
+		}
+		regWSBytes = ws.EnclaveBytes()
+		ws.Release()
+	})
+}
+
+// newFleet deploys n vaults (sharing the trained backbone/rectifier) into
+// one enclave whose EPC fits every vault's persistent state plus exactly
+// `admit` planned workspaces, and registers them as v0…v(n-1).
+func newFleet(t testing.TB, n, admit int, cfg Config) (*enclave.Enclave, *Registry, []string) {
+	t.Helper()
+	trained(t)
+	cost := enclave.DefaultCostModel()
+	cost.EPCBytes = int64(n)*regPersist + int64(admit)*regWSBytes + regWSBytes/2
+	encl := enclave.New(cost, regRec.Identity())
+	reg := New(encl, cfg)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "v" + string(rune('0'+i))
+		v, err := core.DeployInto(encl, regBB, regRec, regDS.Graph)
+		if err != nil {
+			t.Fatalf("deploy %s: %v", ids[i], err)
+		}
+		if err := reg.Register(ids[i], v); err != nil {
+			t.Fatalf("register %s: %v", ids[i], err)
+		}
+	}
+	return encl, reg, ids
+}
+
+// serveOne acquires, predicts, and releases one request for id.
+func serveOne(t testing.TB, reg *Registry, id string) {
+	t.Helper()
+	v, ws, err := reg.Acquire(id)
+	if err != nil {
+		t.Fatalf("acquire %s: %v", id, err)
+	}
+	if _, _, err := v.PredictInto(regDS.X, ws); err != nil {
+		t.Fatalf("predict %s: %v", id, err)
+	}
+	reg.Release(id, ws)
+}
+
+func TestRegistryLazyPlanAndHotReuse(t *testing.T) {
+	_, reg, ids := newFleet(t, 2, 4, Config{})
+	defer reg.Close()
+
+	serveOne(t, reg, ids[0])
+	serveOne(t, reg, ids[0]) // hot: must reuse the cached workspace
+	serveOne(t, reg, ids[1])
+
+	st := reg.Stats()
+	if st.Requests != 3 || st.Plans != 2 || st.Evictions != 0 {
+		t.Fatalf("requests/plans/evictions = %d/%d/%d, want 3/2/0",
+			st.Requests, st.Plans, st.Evictions)
+	}
+	if st.Resident != 2 {
+		t.Fatalf("resident %d, want 2", st.Resident)
+	}
+	if got := st.PerVault[0]; got.ID != ids[0] || got.Requests != 2 || got.Plans != 1 {
+		t.Fatalf("per-vault stats for %s: %+v", ids[0], got)
+	}
+	if st.EPCFree != st.EPCLimit-st.EPCUsed {
+		t.Fatalf("EPCFree %d != limit %d - used %d", st.EPCFree, st.EPCLimit, st.EPCUsed)
+	}
+}
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	_, reg, ids := newFleet(t, 1, 2, Config{})
+	defer reg.Close()
+	if err := reg.Register(ids[0], reg.Vault(ids[0])); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	other, err := core.Deploy(regBB, regRec, regDS.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("foreign", other); err == nil {
+		t.Fatal("vault from a different enclave accepted")
+	}
+	if _, _, err := reg.Acquire("nope"); !errors.Is(err, ErrUnknownVault) {
+		t.Fatalf("unknown vault: %v, want ErrUnknownVault", err)
+	}
+}
+
+// TestRegistryLRUEviction pins the eviction order: with room for two
+// resident vaults, admitting a third evicts the least recently served.
+func TestRegistryLRUEviction(t *testing.T) {
+	_, reg, ids := newFleet(t, 3, 2, Config{WorkspacesPerVault: 1})
+	defer reg.Close()
+	a, b, c := ids[0], ids[1], ids[2]
+
+	serveOne(t, reg, a)
+	serveOne(t, reg, b)
+	serveOne(t, reg, c) // must evict a (LRU)
+
+	st := reg.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+	resident := map[string]bool{}
+	for _, vs := range st.PerVault {
+		resident[vs.ID] = vs.Resident
+	}
+	if resident[a] || !resident[b] || !resident[c] {
+		t.Fatalf("residency after admitting %s: %v", c, resident)
+	}
+
+	serveOne(t, reg, a) // must evict b, now the LRU
+	st = reg.Stats()
+	for _, vs := range st.PerVault {
+		if vs.ID == b && vs.Resident {
+			t.Fatalf("%s still resident after LRU eviction", b)
+		}
+	}
+	if st.Evictions != 2 || st.Plans != 4 {
+		t.Fatalf("evictions/plans = %d/%d, want 2/4", st.Evictions, st.Plans)
+	}
+}
+
+func TestRegistryAcquireBlocksUntilRelease(t *testing.T) {
+	_, reg, ids := newFleet(t, 1, 1, Config{WorkspacesPerVault: 1})
+	defer reg.Close()
+	id := ids[0]
+
+	_, ws, err := reg.Acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		_, ws2, err := reg.Acquire(id)
+		if err != nil {
+			t.Error(err)
+		} else {
+			reg.Release(id, ws2)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second acquire did not block at the workspace cap")
+	default:
+	}
+	reg.Release(id, ws)
+	<-acquired
+}
+
+// TestRegistryUnservableRequestFails covers the only legitimate failure:
+// a workspace that cannot fit the EPC even with every other vault evicted.
+func TestRegistryUnservableRequestFails(t *testing.T) {
+	trained(t)
+	cost := enclave.DefaultCostModel()
+	cost.EPCBytes = regPersist + regWSBytes/2 // persistent fits, workspace never
+	encl := enclave.New(cost, regRec.Identity())
+	v, err := core.DeployInto(encl, regBB, regRec, regDS.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := New(encl, Config{})
+	defer reg.Close()
+	if err := reg.Register("big", v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Acquire("big"); !errors.Is(err, enclave.ErrEPCExhausted) {
+		t.Fatalf("unservable acquire: %v, want ErrEPCExhausted", err)
+	}
+}
+
+func TestRegistryRemoveAndUndeploy(t *testing.T) {
+	encl, reg, ids := newFleet(t, 2, 4, Config{})
+	defer reg.Close()
+	id := ids[0]
+
+	v, ws, err := reg.Acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Remove(id); err == nil {
+		t.Fatal("Remove succeeded with a workspace checked out")
+	}
+	reg.Release(id, ws)
+	if err := reg.Remove(id); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, _, err := reg.Acquire(id); !errors.Is(err, ErrUnknownVault) {
+		t.Fatalf("acquire after remove: %v", err)
+	}
+	if st := reg.Stats(); st.Evictions != 0 {
+		t.Fatalf("administrative Remove counted %d evictions, want 0", st.Evictions)
+	}
+	before := encl.EPCUsed()
+	v.Undeploy()
+	v.Undeploy() // idempotent
+	if got := encl.EPCUsed(); got != before-v.PersistentBytes() {
+		t.Fatalf("Undeploy freed %d bytes, want %d", before-got, v.PersistentBytes())
+	}
+	if _, err := v.Plan(v.Nodes()); err == nil {
+		t.Fatal("Plan on undeployed vault succeeded")
+	}
+}
+
+func TestRegistryCloseRejectsAndDrains(t *testing.T) {
+	encl, reg, ids := newFleet(t, 2, 4, Config{})
+	baseline := int64(2) * regPersist
+
+	serveOne(t, reg, ids[0])
+	_, ws, err := reg.Acquire(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	reg.Close() // idempotent
+	if _, _, err := reg.Acquire(ids[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: %v, want ErrClosed", err)
+	}
+	// The checked-out workspace still holds EPC until its holder releases.
+	if got := encl.EPCUsed(); got != baseline+regWSBytes {
+		t.Fatalf("EPC after close with one in-flight workspace: %d, want %d",
+			got, baseline+regWSBytes)
+	}
+	reg.Release(ids[1], ws)
+	if got := encl.EPCUsed(); got != baseline {
+		t.Fatalf("EPC after drain %d, want deploy-time baseline %d", got, baseline)
+	}
+}
+
+// TestRegistryHotPathAllocFree pins the scheduler's fast path: once a
+// vault is resident, acquire→predict→release touches zero fresh heap.
+func TestRegistryHotPathAllocFree(t *testing.T) {
+	mat.SetMaxWorkers(1)
+	defer mat.SetMaxWorkers(0)
+	_, reg, ids := newFleet(t, 1, 2, Config{})
+	defer reg.Close()
+	id := ids[0]
+	serveOne(t, reg, id) // warm-up: plan + first predict
+
+	allocs := testing.AllocsPerRun(10, func() {
+		v, ws, err := reg.Acquire(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := v.PredictInto(regDS.X, ws); err != nil {
+			t.Fatal(err)
+		}
+		reg.Release(id, ws)
+	})
+	if allocs > 0 {
+		t.Fatalf("hot acquire/predict/release allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRegistryEvictionHammer is the -race regression test for the whole
+// scheduler: concurrent clients hit more vaults than the EPC admits, so
+// plans, evictions, and blocked admissions interleave constantly. The EPC
+// must never exceed capacity and must return to the deploy-time baseline
+// once the registry is closed and drained.
+func TestRegistryEvictionHammer(t *testing.T) {
+	const vaults, admit = 4, 2
+	encl, reg, ids := newFleet(t, vaults, admit, Config{WorkspacesPerVault: 1})
+	baseline := int64(vaults) * regPersist
+
+	stop := make(chan struct{})
+	var overCap atomic.Bool
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() { // capacity invariant, sampled while the hammer runs
+		defer monitor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if encl.EPCUsed() > encl.EPCLimit() {
+					overCap.Store(true)
+					return
+				}
+			}
+		}
+	}()
+
+	const clients, perClient = 8, 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < perClient; r++ {
+				id := ids[rng.Intn(len(ids))]
+				v, ws, err := reg.Acquire(id)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_, _, err = v.PredictInto(regDS.X, ws)
+				reg.Release(id, ws)
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if overCap.Load() {
+		t.Fatal("EPC usage exceeded capacity during the hammer")
+	}
+
+	st := reg.Stats()
+	if st.Requests != clients*perClient {
+		t.Fatalf("requests %d, want %d", st.Requests, clients*perClient)
+	}
+	if st.Plans <= uint64(admit) {
+		t.Fatalf("plans %d: oversubscribed fleet should re-plan beyond the %d admitted", st.Plans, admit)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite oversubscription")
+	}
+
+	reg.Close()
+	if got := encl.EPCUsed(); got != baseline {
+		t.Fatalf("EPC after close %d, want baseline %d", got, baseline)
+	}
+	if used := encl.EPCUsed(); used > encl.EPCLimit() {
+		t.Fatalf("ledger above capacity after close: %d > %d", used, encl.EPCLimit())
+	}
+}

@@ -1,0 +1,42 @@
+package serve_test
+
+import (
+	"fmt"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/serve"
+	"gnnvault/internal/substitute"
+)
+
+// ExampleServer deploys one vault and answers label queries through the
+// batched worker pool — the single-tenant serving path.
+func ExampleServer() {
+	ds := datasets.Load("cora")
+	cfg := core.TrainConfig{Epochs: 3, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+	spec := core.SpecForDataset("cora")
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), cfg)
+	rec := core.TrainRectifier(ds, bb, core.Parallel, cfg)
+	vault, err := core.Deploy(bb, rec, ds.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		panic(err)
+	}
+
+	srv, err := serve.New(vault, serve.Config{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	labels, err := srv.Predict(ds.X)
+	if err != nil {
+		panic(err)
+	}
+	st := srv.Stats()
+	fmt.Println("one label per node:", len(labels) == vault.Nodes())
+	fmt.Printf("completed=%d errors=%d\n", st.Completed, st.Errors)
+	// Output:
+	// one label per node: true
+	// completed=1 errors=0
+}

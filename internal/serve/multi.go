@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnnvault/internal/mat"
+	"gnnvault/internal/registry"
+)
+
+// mrequest is one queued multi-vault inference: a request plus the vault
+// ID it is routed to.
+type mrequest struct {
+	vault string
+	x     *mat.Matrix
+	out   []int
+	err   error
+	enq   time.Time
+	done  chan struct{}
+}
+
+// MultiServer routes label queries across a fleet of vaults sharing one
+// enclave. Workers pull requests off a single bounded queue and check
+// workspaces out of a registry.Registry per request, so which vaults hold
+// EPC at any moment follows the traffic: hot vaults keep cached
+// workspaces (and stay on the allocation-free path), cold vaults pay a
+// plan — and possibly evict an idle tenant — on their next request. The
+// registry's Stats expose that churn.
+type MultiServer struct {
+	reg  *registry.Registry
+	cfg  Config
+	reqs chan *mrequest
+	pool sync.Pool
+
+	// sendMu lets Close wait out in-flight Predict sends before closing
+	// the queue channel (same protocol as Server).
+	sendMu sync.RWMutex
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	start  time.Time
+
+	counters
+}
+
+// NewMulti starts a worker pool over the registry's vault fleet. Unlike
+// New, nothing is planned up front: workspace residency is entirely
+// demand-driven, so a fleet larger than the EPC starts instantly and pages
+// vaults in as traffic arrives. The caller keeps ownership of the
+// registry; Close stops the workers without closing it.
+func NewMulti(reg *registry.Registry, cfg Config) *MultiServer {
+	cfg = cfg.withDefaults()
+	s := &MultiServer{
+		reg:   reg,
+		cfg:   cfg,
+		reqs:  make(chan *mrequest, cfg.QueueDepth),
+		start: time.Now(),
+	}
+	s.pool.New = func() any { return &mrequest{done: make(chan struct{}, 1)} }
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Predict enqueues one inference over x for the vault registered under
+// vaultID and blocks until a worker answers. The returned slice is freshly
+// allocated and owned by the caller. Safe for concurrent use; blocks for
+// backpressure when the queue is full. Unknown vault IDs surface as
+// registry.ErrUnknownVault.
+func (s *MultiServer) Predict(vaultID string, x *mat.Matrix) ([]int, error) {
+	req := s.pool.Get().(*mrequest)
+	req.vault = vaultID
+	req.x = x
+	req.out = make([]int, x.Rows)
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	out, err := req.out, req.err
+	req.x, req.out, req.err = nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// worker drains the queue in micro-batches. Within a batch, consecutive
+// requests for the same vault share one workspace checkout, so a burst of
+// same-vault traffic pays the registry exactly once.
+func (s *MultiServer) worker() {
+	defer s.wg.Done()
+	batch := make([]*mrequest, 0, s.cfg.MaxBatch)
+	for {
+		req, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.batches.Add(1)
+		s.answerBatch(batch)
+	}
+}
+
+// answerBatch serves one drained batch, grouping consecutive same-vault
+// requests under a single workspace checkout.
+func (s *MultiServer) answerBatch(batch []*mrequest) {
+	for i := 0; i < len(batch); {
+		id := batch[i].vault
+		j := i
+		for j < len(batch) && batch[j].vault == id {
+			j++
+		}
+		v, ws, err := s.reg.Acquire(id)
+		if err != nil {
+			for ; i < j; i++ {
+				s.answer(batch[i], nil, err)
+			}
+			continue
+		}
+		for ; i < j; i++ {
+			labels, _, perr := v.PredictInto(batch[i].x, ws)
+			s.answer(batch[i], labels, perr)
+		}
+		s.reg.Release(id, ws)
+	}
+}
+
+// answer completes one request with either labels or an error.
+func (s *MultiServer) answer(r *mrequest, labels []int, err error) {
+	if err != nil {
+		r.err = err
+	} else {
+		copy(r.out, labels) // the workspace's label buffer is reused
+	}
+	s.observe(err, r.enq)
+	r.done <- struct{}{}
+}
+
+// Stats returns a snapshot of the serving counters. Scheduler-side
+// counters (plans, evictions, per-vault residency) live in the registry's
+// own Stats.
+func (s *MultiServer) Stats() Stats {
+	return s.snapshot(s.start)
+}
+
+// Close stops accepting requests and waits for queued work to finish.
+// Workspace EPC is returned to the registry as each in-flight checkout is
+// released; the registry itself (and the deployed vaults) remain usable.
+// Idempotent.
+func (s *MultiServer) Close() {
+	if s.closed.Swap(true) {
+		s.wg.Wait()
+		return
+	}
+	s.sendMu.Lock()
+	close(s.reqs)
+	s.sendMu.Unlock()
+	s.wg.Wait()
+}

@@ -1,14 +1,21 @@
-// Package serve is the concurrent batched inference front-end over a
-// deployed vault: the paper's edge device answering a stream of label
-// queries. A Server owns a pool of workers, each holding its own
-// pre-planned core.Workspace (so the hot path allocates nothing), pulls
-// requests off a bounded queue, micro-batches whatever is waiting, and
-// maintains throughput and latency counters.
+// Package serve is the concurrent batched inference front-end of the
+// simulated edge device: a pool of workers answering a stream of label
+// queries over deployed vaults.
+//
+// Two front-ends share the worker machinery. Server is the single-tenant
+// form — one vault, one pre-planned core.Workspace per worker, so the hot
+// path allocates nothing. MultiServer is the multi-tenant form: requests
+// carry a vault ID and the shared worker pool routes them across a
+// registry.Registry, which plans workspaces lazily and evicts
+// least-recently-served vaults when the enclave's EPC cannot hold every
+// tenant (see DESIGN.md, "Multi-vault registry and EPC scheduling").
 //
 // Micro-batching here coalesces queued requests into one worker wake-up:
 // GNN inference is full-graph, so requests cannot be fused into a wider
 // matrix, but draining the queue in batches amortises scheduling and keeps
-// each worker's workspace cache-hot across consecutive requests.
+// each worker's workspace cache-hot across consecutive requests. The
+// multi-vault worker additionally serves consecutive same-vault requests
+// in a drained batch under one workspace checkout.
 package serve
 
 import (
@@ -73,6 +80,58 @@ type request struct {
 	done chan struct{}
 }
 
+// counters aggregates the serving statistics shared by Server and
+// MultiServer.
+type counters struct {
+	requests  atomic.Uint64
+	completed atomic.Uint64
+	errors    atomic.Uint64
+	batches   atomic.Uint64
+	latencyNs atomic.Int64
+	maxLatNs  atomic.Int64
+}
+
+// observe records one answered request: its outcome and its
+// enqueue→answer latency.
+func (c *counters) observe(err error, enq time.Time) {
+	if err != nil {
+		c.errors.Add(1)
+	} else {
+		c.completed.Add(1)
+	}
+	lat := time.Since(enq).Nanoseconds()
+	c.latencyNs.Add(lat)
+	for {
+		cur := c.maxLatNs.Load()
+		if lat <= cur || c.maxLatNs.CompareAndSwap(cur, lat) {
+			break
+		}
+	}
+}
+
+// snapshot derives a Stats from the counters and the server start time.
+func (c *counters) snapshot(start time.Time) Stats {
+	st := Stats{
+		Requests:   c.requests.Load(),
+		Completed:  c.completed.Load(),
+		Errors:     c.errors.Load(),
+		Batches:    c.batches.Load(),
+		MaxLatency: time.Duration(c.maxLatNs.Load()),
+		Uptime:     time.Since(start),
+	}
+	answered := st.Completed + st.Errors
+	if answered > 0 {
+		st.AvgLatency = time.Duration(c.latencyNs.Load() / int64(answered))
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(answered) / float64(st.Batches)
+	}
+	if sec := st.Uptime.Seconds(); sec > 0 {
+		st.Throughput = float64(st.Completed) / sec
+	}
+	return st
+}
+
 // Server is a pool of inference workers over one deployed vault.
 type Server struct {
 	vault *core.Vault
@@ -87,12 +146,7 @@ type Server struct {
 	wg     sync.WaitGroup
 	start  time.Time
 
-	requests  atomic.Uint64
-	completed atomic.Uint64
-	errors    atomic.Uint64
-	batches   atomic.Uint64
-	latencyNs atomic.Int64
-	maxLatNs  atomic.Int64
+	counters
 }
 
 // New plans one workspace per worker against v and starts the pool. It
@@ -193,43 +247,16 @@ func (s *Server) answer(r *request, ws *core.Workspace) {
 	labels, _, err := s.vault.PredictInto(r.x, ws)
 	if err != nil {
 		r.err = err
-		s.errors.Add(1)
 	} else {
 		copy(r.out, labels) // the workspace's label buffer is reused
-		s.completed.Add(1)
 	}
-	lat := time.Since(r.enq).Nanoseconds()
-	s.latencyNs.Add(lat)
-	for {
-		cur := s.maxLatNs.Load()
-		if lat <= cur || s.maxLatNs.CompareAndSwap(cur, lat) {
-			break
-		}
-	}
+	s.observe(err, r.enq)
 	r.done <- struct{}{}
 }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
-	st := Stats{
-		Requests:   s.requests.Load(),
-		Completed:  s.completed.Load(),
-		Errors:     s.errors.Load(),
-		Batches:    s.batches.Load(),
-		MaxLatency: time.Duration(s.maxLatNs.Load()),
-		Uptime:     time.Since(s.start),
-	}
-	answered := st.Completed + st.Errors
-	if answered > 0 {
-		st.AvgLatency = time.Duration(s.latencyNs.Load() / int64(answered))
-	}
-	if st.Batches > 0 {
-		st.AvgBatch = float64(answered) / float64(st.Batches)
-	}
-	if sec := st.Uptime.Seconds(); sec > 0 {
-		st.Throughput = float64(st.Completed) / sec
-	}
-	return st
+	return s.snapshot(s.start)
 }
 
 // Close stops accepting requests, waits for queued work to finish, and

@@ -1,0 +1,125 @@
+package gnnvault_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/serve"
+)
+
+// Shared trained state for the registry benchmarks: one backbone+rectifier
+// pair, deployed many times to form fleets of varying size.
+var (
+	regBenchOnce    sync.Once
+	regBenchRec     *core.Rectifier
+	regBenchPersist int64 // persistent EPC per deployed vault
+	regBenchWS      int64 // EPC per planned inference workspace
+)
+
+func setupRegistryBench(tb testing.TB) {
+	setupBench(tb)
+	regBenchOnce.Do(func() {
+		train := core.TrainConfig{Epochs: 20, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+		regBenchRec = core.TrainRectifier(benchDS, benchBB, core.Parallel, train)
+		v, err := core.Deploy(benchBB, regBenchRec, benchDS.Graph, enclave.DefaultCostModel())
+		if err != nil {
+			panic(err)
+		}
+		regBenchPersist = v.PersistentBytes()
+		ws, err := v.Plan(v.Nodes())
+		if err != nil {
+			panic(err)
+		}
+		regBenchWS = ws.EnclaveBytes()
+		ws.Release()
+	})
+}
+
+// registryFleet deploys n vaults into one enclave whose EPC holds every
+// vault's persistent state but only `admit` planned workspaces.
+func registryFleet(tb testing.TB, n, admit int) (*enclave.Enclave, *registry.Registry, []string) {
+	setupRegistryBench(tb)
+	cost := enclave.DefaultCostModel()
+	cost.EPCBytes = int64(n)*regBenchPersist + int64(admit)*regBenchWS + regBenchWS/2
+	encl := enclave.New(cost, regBenchRec.Identity())
+	reg := registry.New(encl, registry.Config{WorkspacesPerVault: 1})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("cora/%02d", i)
+		v, err := core.DeployInto(encl, benchBB, regBenchRec, benchDS.Graph)
+		if err != nil {
+			tb.Fatalf("deploy %s: %v", ids[i], err)
+		}
+		if err := reg.Register(ids[i], v); err != nil {
+			tb.Fatalf("register %s: %v", ids[i], err)
+		}
+	}
+	return encl, reg, ids
+}
+
+// BenchmarkRegistryServe sweeps the fleet size across the EPC cliff. The
+// enclave admits two inference workspaces, so fleets of one or two vaults
+// serve entirely from cached workspaces (plans/op ≈ 0), while four- and
+// eight-vault fleets oversubscribe the EPC and pay plan + eviction churn
+// on cold vaults — the memory/latency trade the registry's stats price.
+// The hot sub-benchmark pins the fast path itself: acquire → PredictInto →
+// release on a resident vault is allocation-free.
+func BenchmarkRegistryServe(b *testing.B) {
+	b.Run("hot", func(b *testing.B) {
+		_, reg, ids := registryFleet(b, 1, 2)
+		defer reg.Close()
+		v, ws, err := reg.Acquire(ids[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := v.PredictInto(benchDS.X, ws); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		reg.Release(ids[0], ws)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, ws, err := reg.Acquire(ids[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := v.PredictInto(benchDS.X, ws); err != nil {
+				b.Fatal(err)
+			}
+			reg.Release(ids[0], ws)
+		}
+	})
+
+	const admit = 2
+	for _, vaults := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("vaults=%d", vaults), func(b *testing.B) {
+			encl, reg, ids := registryFleet(b, vaults, admit)
+			defer reg.Close()
+			srv := serve.NewMulti(reg, serve.Config{Workers: 2})
+			defer srv.Close()
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := ids[next.Add(1)%uint64(len(ids))]
+					if _, err := srv.Predict(id, benchDS.X); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := reg.Stats()
+			b.ReportMetric(float64(st.Plans)/float64(b.N), "plans/op")
+			b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
+			if used, limit := encl.EPCUsed(), encl.EPCLimit(); used > limit {
+				b.Fatalf("EPC %d exceeded capacity %d", used, limit)
+			}
+		})
+	}
+}
