@@ -1,0 +1,33 @@
+# GNNVault build/verify/bench entry points. Everything is plain `go`
+# underneath; the targets just fix the flags.
+
+GO ?= go
+
+.PHONY: build test race bench bench-json fuzz-smoke vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The headline serving benchmarks (full-graph vs subgraph node queries).
+bench:
+	$(GO) test -run '^$$' -bench 'SubgraphPredict|FullGraphNodeQuery|VaultPredictInto|RegistryServe' -benchmem .
+
+# BENCH_subgraph.json: the node-query latency sweep tracked across PRs.
+# Override SIZES for bigger graphs, e.g. `make bench-json SIZES=100000,200000`.
+SIZES ?= 20000,50000
+bench-json:
+	$(GO) run ./cmd/experiments -run ext-subgraph -epochs 3 -sizes $(SIZES) -bench-out BENCH_subgraph.json
+
+# Short fuzz pass over the induced-subgraph extraction invariant.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzInducedSubgraph -fuzztime $(FUZZTIME) ./internal/subgraph/

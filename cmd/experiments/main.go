@@ -12,10 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,16 +25,28 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|all")
+	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|all")
 	epochs := flag.Int("epochs", 200, "training epochs per model")
 	seed := flag.Int64("seed", 1, "random seed")
 	datasetsFlag := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	tsneDir := flag.String("tsne-dir", "", "directory to write fig4 t-SNE CSVs into")
+	sizesFlag := flag.String("sizes", "", "comma-separated power-law graph sizes for ext-subgraph (default 20000,50000)")
+	benchOut := flag.String("bench-out", "", "write ext-subgraph results as JSON to this path (e.g. BENCH_subgraph.json)")
 	flag.Parse()
 
 	opts := experiments.Options{Epochs: *epochs, Seed: *seed}
 	if *datasetsFlag != "" {
 		opts.Datasets = strings.Split(*datasetsFlag, ",")
+	}
+	if *sizesFlag != "" {
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -sizes entry %q\n", s)
+				os.Exit(2)
+			}
+			opts.SubgraphSizes = append(opts.SubgraphSizes, n)
+		}
 	}
 
 	jobs := map[string]func() string{
@@ -58,8 +72,19 @@ func main() {
 		"ext-labelonly": func() string { _, t := experiments.ExtLabelOnly(opts); return t },
 		"ext-extract":   func() string { _, t := experiments.ExtExtraction(opts); return t },
 		"ext-stream":    func() string { _, t := experiments.ExtStreaming(opts); return t },
+		"ext-subgraph": func() string {
+			rows, t := experiments.ExtSubgraph(opts)
+			if *benchOut != "" {
+				if err := writeBenchJSON(*benchOut, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "warning:", err)
+				} else {
+					t += fmt.Sprintf("\nbenchmark JSON written to %s\n", *benchOut)
+				}
+			}
+			return t
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream"}
+	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph"}
 
 	selected := strings.Split(*run, ",")
 	if *run == "all" {
@@ -76,6 +101,16 @@ func main() {
 		fmt.Println(text)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeBenchJSON serialises the ext-subgraph sweep for the perf-tracking
+// artifact (BENCH_subgraph.json).
+func writeBenchJSON(path string, rows []experiments.ExtSubgraphRow) error {
+	data, err := json.MarshalIndent(map[string]any{"subgraph_node_query": rows}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding bench JSON: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func dumpTSNE(dir string, res *experiments.Fig4Result) error {

@@ -2,25 +2,32 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"time"
 
+	"gnnvault/internal/core"
 	"gnnvault/internal/registry"
 	"gnnvault/internal/serve"
+	"gnnvault/internal/subgraph"
 )
 
 // apiServer exposes the serving fleet over HTTP/JSON:
 //
-//	POST /predict  {"vault":"cora/parallel","nodes":[0,1,2]}  → labels
-//	GET  /vaults                                              → fleet catalog
-//	GET  /stats                                               → serving + scheduler + EPC counters
+//	POST /predict        {"vault":"cora/parallel","nodes":[0,1,2]}  → labels (exact, full-graph)
+//	POST /predict_nodes  {"vault":"cora/parallel","nodes":[0,1,2]}  → labels (sampled subgraph)
+//	GET  /vaults                                                    → fleet catalog
+//	GET  /stats                                                     → serving + scheduler + EPC counters
 //
-// Queries run full-graph over the vault's deployed dataset features (GNN
-// inference is full-graph); "nodes" selects which labels to return,
-// defaulting to all. Only class labels ever leave the enclave, so labels
-// are all the API can serve.
+// /predict runs the exact full-graph pass over the vault's deployed
+// dataset features; "nodes" selects which labels to return, defaulting to
+// all. /predict_nodes (available when the fleet was started with -hops)
+// answers through the subgraph engine: per-query cost is O(hops × fanout)
+// instead of O(graph), at the documented sampling-accuracy trade-off.
+// Only class labels ever leave the enclave, so labels are all the API can
+// serve.
 type apiServer struct {
 	fl  *fleet
 	srv *serve.MultiServer
@@ -31,9 +38,10 @@ func runHTTP(addr string, fl *fleet, srv *serve.MultiServer) {
 	api := &apiServer{fl: fl, srv: srv}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", api.handlePredict)
+	mux.HandleFunc("POST /predict_nodes", api.handlePredictNodes)
 	mux.HandleFunc("GET /vaults", api.handleVaults)
 	mux.HandleFunc("GET /stats", api.handleStats)
-	fmt.Printf("HTTP API on %s: POST /predict, GET /vaults, GET /stats\n", addr)
+	fmt.Printf("HTTP API on %s: POST /predict, POST /predict_nodes, GET /vaults, GET /stats\n", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "http server:", err)
 		os.Exit(1)
@@ -56,29 +64,39 @@ type predictResponse struct {
 	LatencyMS float64 `json:"latency_ms"`
 }
 
+// lookupVault resolves a fleet member by ID and validates the requested
+// node indices, writing the HTTP error itself when either check fails.
+func (a *apiServer) lookupVault(w http.ResponseWriter, vaultID string, nodes []int) (*vaultInfo, bool) {
+	var info *vaultInfo
+	for i := range a.fl.vaults {
+		if a.fl.vaults[i].ID == vaultID {
+			info = &a.fl.vaults[i]
+			break
+		}
+	}
+	if info == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %q", registry.ErrUnknownVault, vaultID))
+		return nil, false
+	}
+	for _, n := range nodes {
+		if n < 0 || n >= info.Nodes {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("node %d out of range [0,%d)", n, info.Nodes))
+			return nil, false
+		}
+	}
+	return info, true
+}
+
 func (a *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	var info *vaultInfo
-	for i := range a.fl.vaults {
-		if a.fl.vaults[i].ID == req.Vault {
-			info = &a.fl.vaults[i]
-			break
-		}
-	}
-	if info == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %q", registry.ErrUnknownVault, req.Vault))
+	info, ok := a.lookupVault(w, req.Vault, req.Nodes)
+	if !ok {
 		return
-	}
-	for _, n := range req.Nodes {
-		if n < 0 || n >= info.Nodes {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("node %d out of range [0,%d)", n, info.Nodes))
-			return
-		}
 	}
 
 	start := time.Now()
@@ -101,6 +119,49 @@ func (a *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Labels = picked
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePredictNodes serves POST /predict_nodes: node-level queries
+// answered from sampled L-hop subgraphs. Requires the fleet to have been
+// started with -hops > 0.
+func (a *apiServer) handlePredictNodes(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if !a.fl.nodeQueries {
+		httpError(w, http.StatusNotImplemented,
+			fmt.Errorf("node-level serving disabled; restart with -hops > 0"))
+		return
+	}
+	info, ok := a.lookupVault(w, req.Vault, req.Nodes)
+	if !ok {
+		return
+	}
+	if len(req.Nodes) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("predict_nodes needs a non-empty \"nodes\" list"))
+		return
+	}
+
+	start := time.Now()
+	labels, err := a.srv.PredictNodes(info.ID, req.Nodes)
+	if err != nil {
+		// Client-caused errors are 4xx — a 503 would invite retries of
+		// requests that can never succeed.
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, subgraph.ErrTooManySeeds) || errors.Is(err, core.ErrNodeOutOfRange) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Vault:     info.ID,
+		Nodes:     req.Nodes,
+		Labels:    labels,
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
 }
 
 func (a *apiServer) handleVaults(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,9 @@ type fleet struct {
 	reg    *registry.Registry
 	vaults []vaultInfo
 	data   map[string]*datasets.Dataset
+	// nodeQueries reports whether the fleet serves the subgraph
+	// node-query path (-hops > 0).
+	nodeQueries bool
 }
 
 // cmdServe trains and deploys a fleet of vaults — every requested dataset ×
@@ -54,12 +57,19 @@ func cmdServe(args []string) {
 	clients := fs.Int("clients", 8, "concurrent synthetic clients")
 	requests := fs.Int("requests", 25, "requests per client")
 	httpAddr := fs.String("http", "", "serve the HTTP/JSON API on this address (e.g. :8080) instead of the synthetic stream")
+	hops := fs.Int("hops", 0, "enable node-level serving with this L-hop expansion depth (0 = full-graph only)")
+	fanout := fs.Int("fanout", 10, "sampled neighbours per node per hop for node-level serving (0 = unlimited, exact L-hop)")
+	maxSeeds := fs.Int("max-seeds", 16, "max seed nodes per coalesced subgraph extraction")
 	fs.Parse(args) //nolint:errcheck
 
 	if *workers <= 0 {
 		*workers = 2 // serve.Config's default, surfaced so the banner is honest
 	}
-	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault)
+	var nq *registry.NodeQueryConfig
+	if *hops > 0 {
+		nq = &registry.NodeQueryConfig{Hops: *hops, Fanout: *fanout, MaxSeeds: *maxSeeds, Seed: uint64(*seed)}
+	}
+	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, nq)
 	srv := serve.NewMulti(fl.reg, serve.Config{Workers: *workers, MaxBatch: *batch})
 	defer func() {
 		srv.Close()
@@ -78,8 +88,9 @@ func cmdServe(args []string) {
 
 // buildFleet trains one backbone per dataset and one rectifier per
 // dataset × design pair, then deploys every pair into a single enclave
-// measured over all rectifier identities.
-func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int) *fleet {
+// measured over all rectifier identities. A non-nil nq additionally
+// enables node-level (subgraph) serving on every GNN-backed vault.
+func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int, nq *registry.NodeQueryConfig) *fleet {
 	dsNames := splitCSV(datasetCSV)
 	designs := splitCSV(designCSV)
 	if len(dsNames) == 0 || len(designs) == 0 {
@@ -125,8 +136,8 @@ func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcM
 	cost := enclave.DefaultCostModel()
 	cost.EPCBytes = epcMB << 20
 	encl := enclave.New(cost, identities...)
-	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault})
-	fl := &fleet{encl: encl, reg: reg, data: data}
+	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault, NodeQuery: nq})
+	fl := &fleet{encl: encl, reg: reg, data: data, nodeQueries: nq != nil}
 	for _, m := range fleetMembers {
 		v, err := core.DeployInto(encl, m.bb, m.rec, m.ds.Graph)
 		if err != nil {
@@ -137,16 +148,28 @@ func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcM
 			fmt.Fprintf(os.Stderr, "register %s failed: %v\n", m.info.ID, err)
 			os.Exit(1)
 		}
+		if nq != nil {
+			if err := reg.EnableNodeQueries(m.info.ID, m.ds.X); err != nil {
+				fmt.Fprintf(os.Stderr, "enable node queries on %s failed: %v\n", m.info.ID, err)
+				os.Exit(1)
+			}
+		}
 		fl.vaults = append(fl.vaults, m.info)
 	}
 	return fl
 }
 
 // runSyntheticStream drives concurrent clients round-robin across the
-// fleet and prints serving + scheduler statistics.
+// fleet and prints serving + scheduler statistics. With node-level
+// serving enabled, every other request is a two-seed node query instead
+// of a full-graph pass, exercising both paths through one queue.
 func runSyntheticStream(fl *fleet, srv *serve.MultiServer, clients, requests int) {
-	fmt.Printf("synthetic stream: %d clients × %d requests across %d vaults\n",
-		clients, requests, len(fl.vaults))
+	mix := ""
+	if fl.nodeQueries {
+		mix = " (50% node queries)"
+	}
+	fmt.Printf("synthetic stream: %d clients × %d requests across %d vaults%s\n",
+		clients, requests, len(fl.vaults), mix)
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -156,6 +179,20 @@ func runSyntheticStream(fl *fleet, srv *serve.MultiServer, clients, requests int
 			defer wg.Done()
 			for r := 0; r < requests; r++ {
 				info := fl.vaults[(c+r)%len(fl.vaults)]
+				// r alone picks the kind so the mix decorrelates from the
+				// round-robin vault choice above.
+				if fl.nodeQueries && r%2 == 1 {
+					n := info.Nodes
+					seeds := [2]int{(c*131 + r*17) % n, (c*257 + r*37 + 1) % n}
+					if seeds[0] == seeds[1] {
+						seeds[1] = (seeds[1] + 1) % n
+					}
+					if _, err := srv.PredictNodes(info.ID, seeds[:]); err != nil {
+						errs <- fmt.Errorf("%s node query: %w", info.ID, err)
+						return
+					}
+					continue
+				}
 				if _, err := srv.Predict(info.ID, fl.data[info.Dataset].X); err != nil {
 					errs <- fmt.Errorf("%s: %w", info.ID, err)
 					return

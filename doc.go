@@ -6,20 +6,25 @@
 // adjacency runs inside a (simulated) SGX enclave.
 //
 // The implementation lives under internal/: mat (dense kernels), graph
-// (sparse adjacency + generators), nn (backprop layers + Adam), datasets
+// (sparse adjacency + generators, including a power-law generator for
+// serving-scale graphs), nn (backprop layers + Adam), datasets
 // (synthetic stand-ins for the paper's datasets), substitute (KNN / cosine
-// / random substitute graphs), core (backbone, rectifiers, vault
-// deployment and allocation-free inference plans), enclave (SGX software
-// model), registry (EPC-aware scheduling of a multi-vault fleet on one
-// enclave), serve (single-vault and fleet-routing batched serving),
-// attack (link stealing), and experiments (one generator per paper
-// table/figure).
+// / random substitute graphs), subgraph (L-hop frontier expansion and
+// induced-CSR extraction for node-level minibatch serving), core
+// (backbone, rectifiers, vault deployment and allocation-free inference
+// plans — full-graph and subgraph), enclave (SGX software model),
+// registry (EPC-aware scheduling of a multi-vault fleet on one enclave),
+// serve (single-vault and fleet-routing batched serving with node-query
+// coalescing), attack (link stealing), and experiments (one generator per
+// paper table/figure).
 //
-// See README.md for a walkthrough, package map, and serving ops guide,
-// and DESIGN.md for the system inventory, substitution rules, and the
-// registry's eviction policy and EPC accounting invariants. The
-// root-level bench_test.go regenerates every paper table and figure via
+// See README.md for a walkthrough, package map, serving ops guide, and
+// the node-level serving section, and DESIGN.md for the system
+// inventory, substitution rules, the registry's eviction policy, and the
+// EPC accounting invariants of both workspace kinds. The root-level
+// bench_test.go regenerates every paper table and figure via
 // `go test -bench`, serve_bench_test.go measures the steady-state serving
-// path, and registry_bench_test.go sweeps the multi-vault fleet across
-// the EPC cliff.
+// path, registry_bench_test.go sweeps the multi-vault fleet across the
+// EPC cliff, and subgraph_bench_test.go sweeps node-query latency against
+// full-graph inference on growing power-law graphs.
 package gnnvault

@@ -6,6 +6,7 @@ import (
 	"gnnvault/internal/core"
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
+	"gnnvault/internal/subgraph"
 	"gnnvault/internal/substitute"
 )
 
@@ -55,4 +56,45 @@ func Example() {
 	// labels in class range: true
 	// enclave charged: true
 	// one ECALL per query: true
+}
+
+// ExampleVault_PredictNodesInto answers node-level queries through the
+// subgraph engine: the seeds' L-hop neighbourhood is expanded over the
+// public substitute graph, the private adjacency is induced over that
+// set inside the enclave, and only the seeds' labels come back —
+// per-query cost is O(hops × fanout), not O(graph).
+func ExampleVault_PredictNodesInto() {
+	ds := datasets.Load("cora")
+	cfg := core.TrainConfig{Epochs: 3, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+	spec := core.SpecForDataset("cora")
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), cfg)
+	rec := core.TrainRectifier(ds, bb, core.Parallel, cfg)
+	vault, err := core.Deploy(bb, rec, ds.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		panic(err)
+	}
+
+	// Plan once for batches of up to 4 seeds: every buffer — and the
+	// enclave EPC — is sized from (hops, fanout, seeds) up front.
+	ws, err := vault.PlanSubgraph(4, subgraph.Config{Hops: 2, Fanout: 8, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer ws.Release()
+
+	seeds := []int{17, 42, 311}
+	labels, bd, err := vault.PredictNodesInto(ds.X, seeds, ws)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("one label per seed:", len(labels) == len(seeds))
+	fmt.Println("labels in class range:", core.VerifyLabelOnly(labels, ds.NumClasses) == nil)
+	fmt.Println("subgraph smaller than graph:", ws.LastExtracted() < vault.Nodes())
+	fmt.Println("answered in one ECALL:", bd.ECalls == 1)
+	// Output:
+	// one label per seed: true
+	// labels in class range: true
+	// subgraph smaller than graph: true
+	// answered in one ECALL: true
 }

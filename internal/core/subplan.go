@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+	"gnnvault/internal/subgraph"
+)
+
+// Subgraph inference plans. Full-graph inference (Plan/PredictInto) costs
+// O(graph) per query regardless of how few labels the caller wants; a
+// node-level query only needs the seeds' L-hop receptive field. A
+// SubgraphWorkspace answers such queries from a sampled induced subgraph:
+//
+//   - the L-hop frontier is expanded over the *public* substitute
+//     adjacency in the normal world, so the extracted node set reveals
+//     nothing the untrusted side did not already hold (seeds are the
+//     query; the substitute graph is public by construction);
+//   - the backbone runs on the induced substitute sub-CSR over the
+//     gathered feature rows, normal-world parallel kernels;
+//   - inside the enclave, the *private* adjacency is induced over the
+//     same (public) node set and the rectifier runs on that sub-CSR with
+//     single-threaded kernels — private edges never influence which
+//     nodes are extracted, only how their embeddings are recalibrated.
+//
+// Accuracy is approximate: receptive fields are truncated at Hops and
+// sampled at Fanout (see DESIGN.md). Exact-GCN semantics remain available
+// through the full-graph path, which PredictNodesInto falls back to when
+// the frontier covers most of the graph anyway.
+
+// ErrNodeOutOfRange is returned for query seeds outside the deployed
+// graph's node range. It is a named error (not a formatted one) so the
+// hot serving loop never pays a fmt on validation.
+var ErrNodeOutOfRange = errors.New("core: query node out of range")
+
+// ErrSubgraphUnsupported is returned by PlanSubgraph for deployments the
+// subgraph engine cannot serve: DNN backbones (no public graph to expand
+// over) and non-GCN convolutions (SAGE/GAT kernels are bound to their
+// full-graph operators).
+var ErrSubgraphUnsupported = errors.New("core: deployment not servable via subgraph engine")
+
+// viewRows re-slices a cap-rows workspace buffer to its first rows rows.
+// The backing array is untouched, so later calls can view more rows again
+// without allocating.
+func viewRows(m *mat.Matrix, rows int) *mat.Matrix {
+	m.Rows = rows
+	m.Data = m.Data[:rows*m.Cols]
+	return m
+}
+
+// SubgraphWorkspace is a planned node-query pipeline for one vault:
+// expansion state and the induced substitute CSR in the normal world,
+// the induced private CSR plus rectifier scratch charged against the EPC,
+// and the pre-bound ECALL body. Like Workspace, it belongs to one
+// goroutine at a time; a serving fleet plans one per worker.
+type SubgraphWorkspace struct {
+	v    *Vault
+	plan subgraph.Plan
+
+	exp    *subgraph.Workspace
+	pubCS  *subgraph.CSRSpace // induced substitute operator (normal world)
+	privCS *subgraph.CSRSpace // induced private operator (enclave)
+
+	feat   *mat.Matrix   // gathered feature rows, CapNodes×d backing
+	bbOut  []*mat.Matrix // per backbone layer output (nil for identity layers)
+	bbTmp  []*mat.Matrix // per backbone layer XW staging (GCN only)
+	acts   []*mat.Matrix // reused per-layer activation list
+	blocks []*mat.Matrix // reused block-output list
+
+	needed     []int
+	embs       []*mat.Matrix
+	rectTmp    []*mat.Matrix // per rectifier conv XW staging
+	rectOut    []*mat.Matrix // per rectifier conv output
+	rectRelu   []*mat.Matrix // per hidden rectifier layer ReLU output
+	rectConcat []*mat.Matrix // design wiring assembly buffers (sparse)
+
+	labels []int // per-extracted-node labels; seeds occupy [0:numSeeds]
+
+	curRows  int // extracted nodes of the in-flight query
+	curSeeds int
+	payload  int64 // per-row transferred embedding bytes
+	epc      int64 // EPC charged at plan time
+	ecall    func() error
+
+	released bool
+}
+
+// PlanSubgraph builds a reusable node-query workspace for seed batches of
+// up to maxSeeds nodes. Every buffer is sized for the worst case the
+// (Hops, Fanout, maxSeeds) geometry admits, and the enclave is charged
+// once, here, for the private-side working set: the induced private CSR,
+// the rectifier scratch, the transferred embedding residency and the
+// label buffer — all at CapNodes rows, which for realistic fanouts is
+// orders of magnitude below the full-graph plan.
+//
+// PlanSubgraph fails with ErrSubgraphUnsupported for DNN backbones and
+// non-GCN convolutions, and with enclave.ErrEPCExhausted (wrapped) when
+// even the capped working set does not fit.
+func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorkspace, error) {
+	if v.undeployed.Load() {
+		return nil, fmt.Errorf("core: subgraph plan on undeployed vault")
+	}
+	if v.Backbone.adj == nil {
+		return nil, fmt.Errorf("%w: DNN backbone has no public graph to expand over", ErrSubgraphUnsupported)
+	}
+	for _, l := range v.Backbone.Model.Layers {
+		switch l.(type) {
+		case *nn.GCNConv, *nn.Dense, *nn.ReLU, *nn.Dropout:
+		default:
+			return nil, fmt.Errorf("%w: backbone layer %T", ErrSubgraphUnsupported, l)
+		}
+	}
+	for _, c := range v.rectifier.convs {
+		if _, ok := c.(*nn.GCNConv); !ok {
+			return nil, fmt.Errorf("%w: rectifier conv %T", ErrSubgraphUnsupported, c)
+		}
+	}
+
+	n := v.privateGraph.N()
+	plan := subgraph.NewPlan(cfg, maxSeeds, n)
+	capRows := plan.CapNodes
+	ws := &SubgraphWorkspace{
+		v:      v,
+		plan:   plan,
+		exp:    plan.NewWorkspace(),
+		pubCS:  plan.NewCSRSpace(v.Backbone.adj.NNZ()),
+		privCS: plan.NewCSRSpace(v.rectifier.adj.NNZ()),
+		feat:   mat.New(capRows, v.Backbone.FeatureDim),
+		needed: v.rectifier.RequiredEmbeddings(),
+		labels: make([]int, capRows),
+	}
+
+	// Backbone scratch, one entry per layer (nil where the layer passes
+	// its input through).
+	cols := v.Backbone.FeatureDim
+	for _, l := range v.Backbone.Model.Layers {
+		var out, tmp *mat.Matrix
+		switch layer := l.(type) {
+		case *nn.GCNConv:
+			tmp = mat.New(capRows, layer.OutDim)
+			out = mat.New(capRows, layer.OutDim)
+			cols = layer.OutDim
+		case *nn.Dense:
+			out = mat.New(capRows, layer.OutDim)
+			cols = layer.OutDim
+		case *nn.ReLU:
+			out = mat.New(capRows, cols)
+		}
+		ws.bbOut = append(ws.bbOut, out)
+		ws.bbTmp = append(ws.bbTmp, tmp)
+	}
+	ws.acts = make([]*mat.Matrix, 0, len(v.Backbone.Model.Layers))
+	ws.blocks = make([]*mat.Matrix, 0, len(v.Backbone.convIdx))
+	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
+
+	// Rectifier scratch, mirroring Rectifier.Plan but at CapNodes rows.
+	r := v.rectifier
+	ws.rectConcat = make([]*mat.Matrix, len(r.convs))
+	for k := range r.convs {
+		needsConcat := (r.Design == Parallel && k > 0) ||
+			(r.Design == Cascaded && k == 0 && len(ws.needed) > 1)
+		if needsConcat {
+			ws.rectConcat[k] = mat.New(capRows, r.inDim(k))
+		}
+		ws.rectTmp = append(ws.rectTmp, mat.New(capRows, r.Dims[k]))
+		ws.rectOut = append(ws.rectOut, mat.New(capRows, r.Dims[k]))
+		if k < len(r.convs)-1 {
+			ws.rectRelu = append(ws.rectRelu, mat.New(capRows, r.Dims[k]))
+		}
+	}
+
+	// EPC accounting: the enclave-resident share of the plan — induced
+	// private CSR, rectifier scratch, transferred embeddings, labels —
+	// charged once at the worst-case row count. Expansion state and the
+	// substitute CSR stay in the normal world (the node set is public).
+	for _, i := range ws.needed {
+		ws.payload += int64(v.Backbone.BlockDims[i]) * 8
+	}
+	var rectBytes int64
+	for _, m := range ws.rectTmp {
+		rectBytes += m.NumBytes()
+	}
+	for _, m := range ws.rectOut {
+		rectBytes += m.NumBytes()
+	}
+	for _, m := range ws.rectRelu {
+		rectBytes += m.NumBytes()
+	}
+	for _, m := range ws.rectConcat {
+		if m != nil {
+			rectBytes += m.NumBytes()
+		}
+	}
+	ws.epc = ws.privCS.NumBytes() + rectBytes + ws.payload*int64(capRows) + int64(capRows)*8
+	if err := v.Enclave.Alloc(ws.epc); err != nil {
+		return nil, fmt.Errorf("core: subgraph workspace does not fit EPC: %w", err)
+	}
+	ws.ecall = ws.rectifyExtracted
+	return ws, nil
+}
+
+// rectifyExtracted is the pre-bound ECALL body: induce the private
+// operator over the (publicly expanded) node set, run the rectifier on
+// the induced CSR with single-threaded kernels, and reduce to labels.
+// Everything it touches was planned; it never allocates.
+func (ws *SubgraphWorkspace) rectifyExtracted() error {
+	s := ws.curRows
+	subPriv, err := ws.exp.Induce(ws.v.rectifier.adj, ws.privCS)
+	if err != nil {
+		return err
+	}
+	r := ws.v.rectifier
+	var h *mat.Matrix
+	for k := range r.convs {
+		var in *mat.Matrix
+		switch {
+		case k == 0 && ws.rectConcat[0] != nil:
+			c := viewRows(ws.rectConcat[0], s)
+			mat.HConcatInto(c, ws.embs...)
+			in = c
+		case k == 0:
+			in = ws.embs[0]
+		case ws.rectConcat[k] != nil: // parallel wiring
+			c := viewRows(ws.rectConcat[k], s)
+			mat.HConcatInto(c, h, ws.embs[k])
+			in = c
+		default: // cascaded/series: layer input is exactly prev
+			in = h
+		}
+		conv := r.convs[k].(*nn.GCNConv)
+		tmp := viewRows(ws.rectTmp[k], s)
+		z := viewRows(ws.rectOut[k], s)
+		mat.MatMulSerialInto(tmp, in, conv.W)
+		subPriv.MulDenseSerialInto(z, tmp)
+		mat.AddBiasInto(z, z, conv.B)
+		if k < len(r.convs)-1 {
+			ro := viewRows(ws.rectRelu[k], s)
+			mat.ReLUInto(ro, z)
+			h = ro
+		} else {
+			h = z
+		}
+	}
+	h.ArgmaxRowsInto(ws.labels[:s])
+	return nil
+}
+
+// backboneExtracted runs the backbone layer stack over the gathered
+// feature rows using the induced substitute operator, returning the
+// per-block embeddings (the transfer payload). Normal world, parallel
+// kernels, no allocation.
+func (ws *SubgraphWorkspace) backboneExtracted(subPub *graph.NormAdjacency, s int) []*mat.Matrix {
+	h := ws.feat // already viewed to s rows by the gather
+	ws.acts = ws.acts[:0]
+	for i, l := range ws.v.Backbone.Model.Layers {
+		switch layer := l.(type) {
+		case *nn.GCNConv:
+			tmp := viewRows(ws.bbTmp[i], s)
+			out := viewRows(ws.bbOut[i], s)
+			mat.MatMulInto(tmp, h, layer.W)
+			subPub.MulDenseInto(out, tmp)
+			mat.AddBiasInto(out, out, layer.B)
+			h = out
+		case *nn.Dense:
+			out := viewRows(ws.bbOut[i], s)
+			mat.MatMulInto(out, h, layer.W)
+			mat.AddBiasInto(out, out, layer.B)
+			h = out
+		case *nn.ReLU:
+			out := viewRows(ws.bbOut[i], s)
+			mat.ReLUInto(out, h)
+			h = out
+		case *nn.Dropout:
+			// inference-mode identity
+		}
+		ws.acts = append(ws.acts, h)
+	}
+	ws.blocks = ws.v.Backbone.appendBlockOutputs(ws.blocks[:0], ws.acts)
+	return ws.blocks
+}
+
+// EnclaveBytes returns the EPC charged for this workspace at plan time.
+func (ws *SubgraphWorkspace) EnclaveBytes() int64 { return ws.epc }
+
+// MaxSeeds returns the largest seed batch one query accepts.
+func (ws *SubgraphWorkspace) MaxSeeds() int { return ws.plan.MaxSeeds }
+
+// Config returns the sampling geometry the workspace was planned with.
+func (ws *SubgraphWorkspace) Config() subgraph.Config { return ws.plan.Cfg }
+
+// CapNodes returns the worst-case extracted node count per query.
+func (ws *SubgraphWorkspace) CapNodes() int { return ws.plan.CapNodes }
+
+// LastExtracted returns the node count of the most recent extraction —
+// the effective batch height of the last query's forward pass.
+func (ws *SubgraphWorkspace) LastExtracted() int { return ws.curRows }
+
+// Release returns the workspace's EPC to the enclave. The workspace must
+// not be used afterwards. Idempotent.
+func (ws *SubgraphWorkspace) Release() {
+	if ws.released {
+		return
+	}
+	ws.released = true
+	ws.v.Enclave.Free(ws.epc)
+}
+
+// PredictNodesInto answers a node-level query from the sampled L-hop
+// subgraph of the seeds: frontier expansion over the public substitute
+// adjacency, backbone forward on the induced substitute CSR, then one
+// ECALL that induces the private adjacency over the same node set and
+// rectifies inside the enclave. x is the full public feature matrix; only
+// the seeds' feature rows (and their extracted neighbourhoods') are
+// touched.
+//
+// The returned slice holds one label per seed, aliases the workspace and
+// is overwritten by the next call. Out-of-range seeds fail with
+// ErrNodeOutOfRange before any work happens.
+//
+// When the expanded frontier covers more than ¾ of the graph, the sampled
+// pass would cost full-graph money anyway, so the query falls back to the
+// exact full-graph Predict (allocating — the subgraph plan's buffers
+// cannot hold the whole graph) and returns exact-GCN labels.
+func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace) ([]int, InferenceBreakdown, error) {
+	var bd InferenceBreakdown
+	if ws.released {
+		return nil, bd, fmt.Errorf("core: PredictNodesInto on released workspace")
+	}
+	if ws.v != v {
+		return nil, bd, fmt.Errorf("core: workspace planned for a different vault")
+	}
+	n := v.privateGraph.N()
+	if x.Rows != n {
+		return nil, bd, fmt.Errorf("core: input rows %d != deployed graph nodes %d", x.Rows, n)
+	}
+	if x.Cols != v.Backbone.FeatureDim {
+		return nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
+	}
+	for _, s := range seeds {
+		if s < 0 || s >= n {
+			return nil, bd, ErrNodeOutOfRange
+		}
+	}
+
+	before := v.Enclave.Ledger()
+	v.Enclave.ResetPeak()
+
+	// Normal world: expand, induce the public operator, gather features,
+	// run the backbone — all into planned buffers.
+	start := time.Now()
+	cnt, err := ws.exp.Expand(v.Backbone.adj, seeds)
+	if err != nil {
+		return nil, bd, err
+	}
+	if cnt*4 >= n*3 {
+		// The frontier is most of the graph: sampled inference saves
+		// nothing, so serve exact full-graph labels instead.
+		all, fbd, err := v.Predict(x)
+		if err != nil {
+			return nil, fbd, err
+		}
+		out := ws.labels[:len(seeds)]
+		for i, s := range seeds {
+			out[i] = all[s]
+		}
+		return out, fbd, nil
+	}
+	subPub, err := ws.exp.Induce(v.Backbone.adj, ws.pubCS)
+	if err != nil {
+		return nil, bd, err
+	}
+	viewRows(ws.feat, cnt)
+	subgraph.GatherRowsInto(ws.feat, x, ws.exp.Nodes())
+	blocks := ws.backboneExtracted(subPub, cnt)
+	bd.BackboneTime = time.Since(start)
+
+	// One ECALL: seed IDs and the extracted embeddings cross in, labels
+	// for the seeds cross out.
+	ws.embs = ws.embs[:0]
+	for _, i := range ws.needed {
+		ws.embs = append(ws.embs, blocks[i])
+	}
+	ws.curRows = cnt
+	ws.curSeeds = len(seeds)
+	payload := ws.payload*int64(cnt) + int64(len(seeds))*8
+	if err := v.Enclave.Ecall(payload, int64(len(seeds))*8, ws.ecall); err != nil {
+		return nil, bd, fmt.Errorf("core: enclave subgraph inference: %w", err)
+	}
+
+	fillBreakdown(&bd, before, v.Enclave.Ledger())
+	// Seeds occupy local rows 0..len(seeds)-1 by construction.
+	return ws.labels[:len(seeds)], bd, nil
+}
+
+// EnableNodeServing plans a vault-owned subgraph workspace and routes
+// subsequent PredictNodes calls through it (guarded by an internal mutex,
+// so the convenience API stays safe for casual concurrent use; serving
+// fleets should plan per-worker workspaces instead). Re-enabling replaces
+// the previous plan.
+func (v *Vault) EnableNodeServing(maxSeeds int, cfg subgraph.Config) error {
+	ws, err := v.PlanSubgraph(maxSeeds, cfg)
+	if err != nil {
+		return err
+	}
+	v.nodeMu.Lock()
+	old := v.nodeWS
+	v.nodeWS = ws
+	v.nodeMu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	return nil
+}
+
+// DisableNodeServing releases the vault-owned subgraph workspace (if
+// any); PredictNodes reverts to the exact full-graph path.
+func (v *Vault) DisableNodeServing() {
+	v.nodeMu.Lock()
+	old := v.nodeWS
+	v.nodeWS = nil
+	v.nodeMu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -34,6 +36,11 @@ type Vault struct {
 	// serving the enclave's goroutine-safe ledger invites.
 	persistentBytes int64
 	undeployed      atomic.Bool
+
+	// nodeWS is the optional vault-owned subgraph workspace installed by
+	// EnableNodeServing; PredictNodes routes through it under nodeMu.
+	nodeMu sync.Mutex
+	nodeWS *SubgraphWorkspace
 }
 
 // InferenceBreakdown is the Fig. 6 decomposition of one inference pass.
@@ -265,10 +272,36 @@ func VerifyLabelOnly(labels []int, classes int) error {
 var _ = nn.Param{}
 
 // PredictNodes answers queries for specific nodes (the paper's attacker
-// "can query the GNN model with any chosen node"). GNN inference is
+// "can query the GNN model with any chosen node").
+//
+// When node serving is planned (EnableNodeServing), the query routes
+// through the subgraph engine: per-query cost is O(hops × fanout) rather
+// than O(graph), at the documented sampling-accuracy trade-off.
+//
+// Otherwise — and whenever the subgraph path declines a batch (too many
+// or duplicate seeds) — the exact full-graph path runs: GNN inference is
 // full-graph — message passing needs every node's features — so the whole
 // pipeline runs, but only the requested labels leave this function.
+// Out-of-range seeds fail with the named ErrNodeOutOfRange on both paths.
 func (v *Vault) PredictNodes(x *mat.Matrix, nodes []int) ([]int, error) {
+	v.nodeMu.Lock()
+	if ws := v.nodeWS; ws != nil && len(nodes) > 0 && len(nodes) <= ws.MaxSeeds() {
+		labels, _, err := v.PredictNodesInto(x, nodes, ws)
+		switch {
+		case err == nil:
+			out := make([]int, len(nodes))
+			copy(out, labels)
+			v.nodeMu.Unlock()
+			return out, nil
+		case errors.Is(err, ErrNodeOutOfRange):
+			v.nodeMu.Unlock()
+			return nil, err
+		}
+		// Batches the engine declines (e.g. duplicate seeds) fall back to
+		// the exact full-graph path below.
+	}
+	v.nodeMu.Unlock()
+
 	all, _, err := v.Predict(x)
 	if err != nil {
 		return nil, err
@@ -276,7 +309,7 @@ func (v *Vault) PredictNodes(x *mat.Matrix, nodes []int) ([]int, error) {
 	out := make([]int, len(nodes))
 	for i, u := range nodes {
 		if u < 0 || u >= len(all) {
-			return nil, fmt.Errorf("core: query node %d out of range %d", u, len(all))
+			return nil, ErrNodeOutOfRange
 		}
 		out[i] = all[u]
 	}

@@ -208,3 +208,40 @@ func TestConfigOfReturnsCopy(t *testing.T) {
 		t.Fatal("ConfigOf exposed internal state")
 	}
 }
+
+func TestGeneratePowerLaw(t *testing.T) {
+	ds := GeneratePowerLaw(PowerLawConfig{Nodes: 5000, Seed: 3})
+	if ds.Graph.N() != 5000 || ds.X.Rows != 5000 {
+		t.Fatalf("sizes: graph %d features %d, want 5000", ds.Graph.N(), ds.X.Rows)
+	}
+	if ds.X.Cols != 64 || ds.NumClasses != 8 {
+		t.Fatalf("defaults: d=%d classes=%d, want 64/8", ds.X.Cols, ds.NumClasses)
+	}
+	for i, l := range ds.Labels {
+		if l < 0 || l >= ds.NumClasses {
+			t.Fatalf("label[%d] = %d outside [0,%d)", i, l, ds.NumClasses)
+		}
+	}
+	if len(ds.TrainMask) == 0 || len(ds.TestMask) == 0 {
+		t.Fatal("empty split")
+	}
+	if len(ds.TrainMask)+len(ds.TestMask) != 5000 {
+		t.Fatalf("split covers %d nodes, want 5000", len(ds.TrainMask)+len(ds.TestMask))
+	}
+	// Label propagation must leave homophily clearly above the 1/classes
+	// random baseline so the GCN has signal to aggregate (hub mixing caps
+	// it well below planted-partition levels).
+	if h := ds.Graph.Homophily(ds.Labels); h < 0.2 {
+		t.Fatalf("homophily %.3f too low; label propagation broken", h)
+	}
+	// Determinism.
+	ds2 := GeneratePowerLaw(PowerLawConfig{Nodes: 5000, Seed: 3})
+	if !ds.Graph.Equal(ds2.Graph) {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range ds.Labels {
+		if ds.Labels[i] != ds2.Labels[i] {
+			t.Fatalf("label %d differs across identical configs", i)
+		}
+	}
+}

@@ -29,6 +29,9 @@ type Options struct {
 	// AttackPairs is the balanced pair-sample size per class for Table IV
 	// (default 400).
 	AttackPairs int
+	// SubgraphSizes are the power-law graph sizes the ExtSubgraph sweep
+	// benchmarks (default 20k and 50k).
+	SubgraphSizes []int
 }
 
 func (o Options) normalise() Options {

@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"gnnvault/internal/attack"
 	"gnnvault/internal/core"
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
+	"gnnvault/internal/graph"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/subgraph"
 	"gnnvault/internal/substitute"
 )
 
@@ -280,3 +283,104 @@ func ExtStreaming(opts Options) ([]ExtStreamingRow, string) {
 }
 
 func enclaveDefaultCost() enclave.CostModel { return enclave.DefaultCostModel() }
+
+// ExtSubgraphRow is one graph-size point of the node-level serving
+// latency sweep, serialised into BENCH_subgraph.json by `make bench-json`
+// so the perf trajectory is tracked across PRs.
+type ExtSubgraphRow struct {
+	Nodes           int     `json:"nodes"`
+	DirectedEdges   int     `json:"directed_edges"`
+	Hops            int     `json:"hops"`
+	Fanout          int     `json:"fanout"`
+	ExtractedNodes  int     `json:"extracted_nodes"`
+	SubgraphQueryUS float64 `json:"subgraph_query_us"`
+	FullQueryUS     float64 `json:"full_query_us"`
+	Speedup         float64 `json:"speedup"`
+	SubgraphEPC     int64   `json:"subgraph_epc_bytes"`
+	FullEPC         int64   `json:"full_epc_bytes"`
+}
+
+// ExtSubgraph sweeps node-query latency through the subgraph engine
+// against the full-graph baseline over growing power-law graphs
+// (hops=2, fanout=10, 4-seed batches). Sizes come from
+// Options.SubgraphSizes (default 20k and 50k — large enough to show the
+// O(query) vs O(graph) separation, small enough for CI). Training is
+// capped at 3 epochs: the sweep measures serving latency, not accuracy.
+func ExtSubgraph(opts Options) ([]ExtSubgraphRow, string) {
+	opts = opts.normalise()
+	sizes := opts.SubgraphSizes
+	if len(sizes) == 0 {
+		sizes = []int{20_000, 50_000}
+	}
+	train := opts.train()
+	if train.Epochs > 3 {
+		train.Epochs = 3
+	}
+	const hops, fanout, seedBatch = 2, 10, 4
+
+	var rows []ExtSubgraphRow
+	var cells [][]string
+	for _, n := range sizes {
+		ds := datasets.GeneratePowerLaw(datasets.PowerLawConfig{Nodes: n, Seed: int64(n)})
+		sub := graph.PreferentialAttachment(graph.PreferentialAttachmentConfig{
+			Nodes: n, EdgesPerNode: 8, Seed: int64(n) + 999,
+		})
+		spec := core.ModelSpec{Name: "bench-pl", BackboneHidden: []int{64, 32}, RectifierHidden: []int{32, 16}}
+		bb := core.TrainBackbone(ds, spec, substitute.KindRandom, sub, train)
+		rec := core.TrainRectifier(ds, bb, core.Series, train)
+		cost := enclaveDefaultCost()
+		cost.EPCBytes = 4 << 30 // let the full-graph baseline plan at every size
+		v, err := core.Deploy(bb, rec, ds.Graph, cost)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtSubgraph deploy %d: %v", n, err))
+		}
+
+		sws, err := v.PlanSubgraph(seedBatch, subgraph.Config{Hops: hops, Fanout: fanout, Seed: 1})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtSubgraph plan %d: %v", n, err))
+		}
+		fws, err := v.Plan(v.Nodes())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtSubgraph full plan %d: %v", n, err))
+		}
+		seeds := []int{n / 3, n/3 + 7, n / 2, n - 11}
+
+		timeIt := func(reps int, f func()) float64 {
+			f() // warm-up
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				f()
+			}
+			return float64(time.Since(start).Microseconds()) / float64(reps)
+		}
+		subUS := timeIt(5, func() {
+			if _, _, err := v.PredictNodesInto(ds.X, seeds, sws); err != nil {
+				panic(err)
+			}
+		})
+		fullUS := timeIt(2, func() {
+			if _, _, err := v.PredictInto(ds.X, fws); err != nil {
+				panic(err)
+			}
+		})
+
+		r := ExtSubgraphRow{
+			Nodes: n, DirectedEdges: ds.Graph.NumDirectedEdges(),
+			Hops: hops, Fanout: fanout, ExtractedNodes: sws.LastExtracted(),
+			SubgraphQueryUS: subUS, FullQueryUS: fullUS, Speedup: fullUS / subUS,
+			SubgraphEPC: sws.EnclaveBytes(), FullEPC: fws.EnclaveBytes(),
+		}
+		rows = append(rows, r)
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.ExtractedNodes),
+			fmt.Sprintf("%.0f", r.SubgraphQueryUS), fmt.Sprintf("%.0f", r.FullQueryUS),
+			fmt.Sprintf("%.1f×", r.Speedup), mb(r.SubgraphEPC), mb(r.FullEPC),
+		})
+		sws.Release()
+		fws.Release()
+		v.Undeploy()
+	}
+	text := "Ext: node-query latency, subgraph engine vs full-graph (hops=2, fanout=10)\n" +
+		table([]string{"Nodes", "SubNodes", "sub µs/q", "full µs/q", "speedup", "subEPC(MB)", "fullEPC(MB)"}, cells)
+	return rows, text
+}

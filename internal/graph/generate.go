@@ -125,6 +125,68 @@ func Random(n, numUndirected int, seed int64) *Graph {
 	return New(n, edges)
 }
 
+// PreferentialAttachmentConfig parameterises the Barabási–Albert power-law
+// generator used for the large-scale node-serving benchmarks: graphs whose
+// degree distribution (a few massive hubs, a long tail of low-degree
+// nodes) matches the web/social/citation graphs that are too large for
+// full-graph inference inside an enclave.
+type PreferentialAttachmentConfig struct {
+	// Nodes is the final node count.
+	Nodes int
+	// EdgesPerNode is the number of edges each arriving node attaches
+	// with (the BA "m" parameter); the mean degree converges to 2m.
+	EdgesPerNode int
+	Seed         int64
+}
+
+// PreferentialAttachment samples a Barabási–Albert graph: nodes arrive one
+// at a time and attach EdgesPerNode edges to existing nodes with
+// probability proportional to their current degree. The first m+1 nodes
+// form a seed clique so early arrivals have targets. Deterministic in
+// Seed; generation is O(Nodes·EdgesPerNode).
+func PreferentialAttachment(cfg PreferentialAttachmentConfig) *Graph {
+	n, m := cfg.Nodes, cfg.EdgesPerNode
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("graph: invalid preferential attachment config %+v", cfg))
+	}
+	if m >= n {
+		m = n - 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]Edge, 0, n*m)
+	// rep holds every edge endpoint once, so a uniform draw from rep is a
+	// degree-proportional draw over nodes.
+	rep := make([]int, 0, 2*n*m)
+
+	// Seed clique over the first m+1 nodes.
+	start := m + 1
+	for u := 1; u < start && u < n; u++ {
+		for v := 0; v < u; v++ {
+			edges = append(edges, Edge{v, u})
+			rep = append(rep, v, u)
+		}
+	}
+	picked := make([]int, 0, m)
+	for u := start; u < n; u++ {
+		picked = picked[:0]
+	attach:
+		for len(picked) < m {
+			v := rep[rng.Intn(len(rep))]
+			for _, w := range picked {
+				if w == v {
+					continue attach // distinct targets per arrival
+				}
+			}
+			picked = append(picked, v)
+		}
+		for _, v := range picked {
+			edges = append(edges, Edge{v, u})
+			rep = append(rep, v, u)
+		}
+	}
+	return New(n, edges)
+}
+
 func min2(a, b int) int {
 	if a < b {
 		return a

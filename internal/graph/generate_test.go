@@ -1,0 +1,56 @@
+package graph
+
+import "testing"
+
+func TestPreferentialAttachment(t *testing.T) {
+	cfg := PreferentialAttachmentConfig{Nodes: 2000, EdgesPerNode: 4, Seed: 9}
+	g := PreferentialAttachment(cfg)
+	if g.N() != cfg.Nodes {
+		t.Fatalf("N = %d, want %d", g.N(), cfg.Nodes)
+	}
+	// Every arrival adds EdgesPerNode edges (plus the seed clique), so the
+	// undirected edge count is fixed by construction.
+	m := cfg.EdgesPerNode
+	want := m*(m+1)/2 + (cfg.Nodes-m-1)*m
+	if got := g.NumUndirectedEdges(); got != want {
+		t.Fatalf("undirected edges = %d, want %d", got, want)
+	}
+	// Power-law shape: the max degree should dwarf the mean (hubs), and
+	// most nodes should sit near the minimum degree m.
+	maxDeg, nearMin := 0, 0
+	for u := 0; u < g.N(); u++ {
+		d := g.Degree(u)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d <= 2*m {
+			nearMin++
+		}
+	}
+	if avg := g.AvgDegree(); float64(maxDeg) < 5*avg {
+		t.Fatalf("max degree %d not hub-like vs mean %.1f", maxDeg, avg)
+	}
+	if frac := float64(nearMin) / float64(g.N()); frac < 0.5 {
+		t.Fatalf("only %.2f of nodes near the minimum degree; not a long tail", frac)
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	cfg := PreferentialAttachmentConfig{Nodes: 300, EdgesPerNode: 3, Seed: 4}
+	if !PreferentialAttachment(cfg).Equal(PreferentialAttachment(cfg)) {
+		t.Fatal("same seed produced different graphs")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 5
+	if PreferentialAttachment(cfg).Equal(PreferentialAttachment(cfg2)) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPreferentialAttachmentSmall(t *testing.T) {
+	// m >= n-1 degenerates to a clique.
+	g := PreferentialAttachment(PreferentialAttachmentConfig{Nodes: 4, EdgesPerNode: 10, Seed: 1})
+	if got := g.NumUndirectedEdges(); got != 6 {
+		t.Fatalf("clique edges = %d, want 6", got)
+	}
+}

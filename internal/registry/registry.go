@@ -29,6 +29,8 @@ import (
 
 	"gnnvault/internal/core"
 	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/subgraph"
 )
 
 // ErrClosed is returned by Acquire after Close.
@@ -37,17 +39,70 @@ var ErrClosed = errors.New("registry: closed")
 // ErrUnknownVault is returned by Acquire for an unregistered vault ID.
 var ErrUnknownVault = errors.New("registry: unknown vault")
 
+// ErrNodeQueriesDisabled is returned by AcquireSubgraph when the registry
+// has no NodeQuery configuration or the vault never called
+// EnableNodeQueries (no feature matrix to gather from).
+var ErrNodeQueriesDisabled = errors.New("registry: node queries not enabled")
+
+// NodeQueryConfig fixes the subgraph sampling geometry for the
+// registry's node-level serving path. Subgraph workspaces are planned
+// (and evicted) by the same scheduler as full-graph workspaces, but their
+// EPC charge is bounded by hops × fanout × seeds instead of the graph
+// size — a vault whose full-graph plan can never be admitted may still
+// serve node queries.
+type NodeQueryConfig struct {
+	// Hops is the neighborhood expansion depth L. Default 2.
+	Hops int
+	// Fanout caps sampled neighbours per node per hop; 0 = unlimited
+	// (exact L-hop, worst-case O(graph)). Default 10.
+	Fanout int
+	// MaxSeeds bounds the seed nodes one coalesced extraction serves.
+	// Default 16.
+	MaxSeeds int
+	// Seed drives the deterministic sampler.
+	Seed uint64
+}
+
+// WithDefaults returns the config with unset fields replaced by the
+// documented defaults (hops 2, fanout 10, 16 seeds). Exported so other
+// front-ends (serve.Server) share one default table.
+func (c NodeQueryConfig) WithDefaults() NodeQueryConfig {
+	if c.Hops <= 0 {
+		c.Hops = 2
+	}
+	if c.Fanout < 0 {
+		c.Fanout = 10
+	}
+	if c.MaxSeeds <= 0 {
+		c.MaxSeeds = 16
+	}
+	return c
+}
+
+// Subgraph returns the sampling geometry as a subgraph.Config.
+func (c NodeQueryConfig) Subgraph() subgraph.Config {
+	return subgraph.Config{Hops: c.Hops, Fanout: c.Fanout, Seed: c.Seed}
+}
+
 // Config tunes the scheduler.
 type Config struct {
 	// WorkspacesPerVault caps how many concurrent inference workspaces one
 	// vault may hold (its maximum worker parallelism). Default 2, matching
-	// serve.Config's worker default.
+	// serve.Config's worker default. Full-graph and subgraph workspaces
+	// are capped independently.
 	WorkspacesPerVault int
+	// NodeQuery, when non-nil, lets vaults with EnableNodeQueries serve
+	// node-level requests through AcquireSubgraph.
+	NodeQuery *NodeQueryConfig
 }
 
 func (c Config) withDefaults() Config {
 	if c.WorkspacesPerVault <= 0 {
 		c.WorkspacesPerVault = 2
+	}
+	if c.NodeQuery != nil {
+		nq := c.NodeQuery.WithDefaults()
+		c.NodeQuery = &nq
 	}
 	return c
 }
@@ -60,14 +115,31 @@ type entry struct {
 	free  []*core.Workspace // planned, idle workspaces (cap fixed at Register)
 	inUse int               // workspaces currently checked out via Acquire
 
+	// Node-query pool: the subgraph-plan mirror of free/inUse, populated
+	// only after EnableNodeQueries. x is the vault's public feature
+	// matrix, handed out with every subgraph checkout.
+	x           *mat.Matrix
+	freeSub     []*core.SubgraphWorkspace
+	inUseSub    int
+	nodeQueries uint64
+
 	lastServed uint64 // registry clock at the vault's last acquire/release
 	requests   uint64
 	plans      uint64
 	evictions  uint64
 }
 
-// resident reports whether the vault holds any workspace EPC.
-func (e *entry) resident() bool { return e.inUse > 0 || len(e.free) > 0 }
+// resident reports whether the vault holds any workspace EPC (of either
+// kind).
+func (e *entry) resident() bool {
+	return e.inUse > 0 || len(e.free) > 0 || e.inUseSub > 0 || len(e.freeSub) > 0
+}
+
+// idle reports whether the vault holds cached EPC with nothing checked
+// out — the eviction candidates.
+func (e *entry) idle() bool {
+	return e.inUse == 0 && e.inUseSub == 0 && (len(e.free) > 0 || len(e.freeSub) > 0)
+}
 
 // Registry schedules per-vault inference workspaces for a fleet of vaults
 // deployed into one shared enclave. All methods are safe for concurrent
@@ -137,8 +209,8 @@ func (r *Registry) Remove(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownVault, id)
 	}
-	if e.inUse > 0 {
-		return fmt.Errorf("registry: vault %q has %d workspaces in use", id, e.inUse)
+	if e.inUse > 0 || e.inUseSub > 0 {
+		return fmt.Errorf("registry: vault %q has %d workspaces in use", id, e.inUse+e.inUseSub)
 	}
 	r.releaseAllLocked(e) // administrative removal, not EPC pressure
 	delete(r.vaults, id)
@@ -164,6 +236,33 @@ func (r *Registry) Vault(id string) *core.Vault {
 	defer r.mu.Unlock()
 	if e, ok := r.vaults[id]; ok {
 		return e.vault
+	}
+	return nil
+}
+
+// EnableNodeQueries registers the vault's public feature matrix and opens
+// the node-level serving path for it: subsequent AcquireSubgraph calls may
+// plan subgraph workspaces against the registry's NodeQuery geometry. The
+// registry itself must have been created with Config.NodeQuery set.
+func (r *Registry) EnableNodeQueries(id string, x *mat.Matrix) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if r.cfg.NodeQuery == nil {
+		return fmt.Errorf("%w: registry has no NodeQuery config", ErrNodeQueriesDisabled)
+	}
+	e, ok := r.vaults[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVault, id)
+	}
+	if x == nil || x.Rows != e.vault.Nodes() {
+		return fmt.Errorf("registry: vault %q features must cover %d nodes", id, e.vault.Nodes())
+	}
+	e.x = x
+	if e.freeSub == nil {
+		e.freeSub = make([]*core.SubgraphWorkspace, 0, r.cfg.WorkspacesPerVault)
 	}
 	return nil
 }
@@ -220,6 +319,55 @@ func (r *Registry) Acquire(id string) (*core.Vault, *core.Workspace, error) {
 	}
 }
 
+// AcquireSubgraph checks out one node-query (subgraph) workspace for the
+// vault registered under id, along with the vault and its public feature
+// matrix. It follows Acquire's contract — cached-hot checkouts are
+// allocation-free, cold ones plan lazily and evict idle vaults LRU-first,
+// saturation blocks until a release — but the planned working set is the
+// capped hops×fanout geometry of Config.NodeQuery, typically orders of
+// magnitude below the full-graph plan. A vault too big for Acquire can
+// therefore still be admitted here; see the DESIGN.md accounting section.
+//
+// AcquireSubgraph fails with ErrNodeQueriesDisabled unless the registry
+// has a NodeQuery config and the vault called EnableNodeQueries. Every
+// successful call must be paired with ReleaseSubgraph.
+func (r *Registry) AcquireSubgraph(id string) (*core.Vault, *core.SubgraphWorkspace, *mat.Matrix, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, nil, nil, ErrClosed
+		}
+		e, ok := r.vaults[id]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("%w: %q", ErrUnknownVault, id)
+		}
+		if r.cfg.NodeQuery == nil || e.x == nil {
+			return nil, nil, nil, fmt.Errorf("%w: vault %q", ErrNodeQueriesDisabled, id)
+		}
+		if n := len(e.freeSub); n > 0 {
+			ws := e.freeSub[n-1]
+			e.freeSub = e.freeSub[:n-1]
+			r.checkoutSubLocked(e)
+			return e.vault, ws, e.x, nil
+		}
+		if e.inUseSub < r.cfg.WorkspacesPerVault {
+			ws, err := r.planSubLocked(e)
+			if err == nil {
+				r.checkoutSubLocked(e)
+				return e.vault, ws, e.x, nil
+			}
+			if !errors.Is(err, enclave.ErrEPCExhausted) {
+				return nil, nil, nil, err
+			}
+			if r.inUse == 0 {
+				return nil, nil, nil, fmt.Errorf("registry: vault %q node-query plan cannot be admitted: %w", id, err)
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
 // checkoutLocked records one workspace handed to a caller.
 func (r *Registry) checkoutLocked(e *entry) {
 	e.inUse++
@@ -230,24 +378,59 @@ func (r *Registry) checkoutLocked(e *entry) {
 	e.lastServed = r.clock
 }
 
-// planLocked plans one workspace for e, evicting idle vaults LRU-first
-// while the enclave reports EPC exhaustion. Planning happens under the
-// registry lock: admission is a critical section, so two cold requests
-// cannot both out-evict each other.
+// checkoutSubLocked records one subgraph workspace handed to a caller.
+func (r *Registry) checkoutSubLocked(e *entry) {
+	e.inUseSub++
+	r.inUse++
+	e.requests++
+	e.nodeQueries++
+	r.requests++
+	r.clock++
+	e.lastServed = r.clock
+}
+
+// planLocked plans one full-graph workspace for e, evicting idle vaults
+// LRU-first while the enclave reports EPC exhaustion. Planning happens
+// under the registry lock: admission is a critical section, so two cold
+// requests cannot both out-evict each other.
 func (r *Registry) planLocked(e *entry) (*core.Workspace, error) {
+	var ws *core.Workspace
+	err := r.admitLocked(e, func() error {
+		var err error
+		ws, err = e.vault.Plan(e.vault.Nodes())
+		return err
+	})
+	return ws, err
+}
+
+// planSubLocked is planLocked for the node-query pool.
+func (r *Registry) planSubLocked(e *entry) (*core.SubgraphWorkspace, error) {
+	nq := r.cfg.NodeQuery
+	var ws *core.SubgraphWorkspace
+	err := r.admitLocked(e, func() error {
+		var err error
+		ws, err = e.vault.PlanSubgraph(nq.MaxSeeds, nq.Subgraph())
+		return err
+	})
+	return ws, err
+}
+
+// admitLocked runs one plan attempt, evicting idle vaults LRU-first for
+// as long as the enclave reports EPC exhaustion and victims remain.
+func (r *Registry) admitLocked(e *entry, plan func() error) error {
 	for {
-		ws, err := e.vault.Plan(e.vault.Nodes())
+		err := plan()
 		if err == nil {
 			e.plans++
 			r.plans++
-			return ws, nil
+			return nil
 		}
 		if !errors.Is(err, enclave.ErrEPCExhausted) {
-			return nil, err
+			return err
 		}
 		victim := r.lruIdleLocked(e)
 		if victim == nil {
-			return nil, err
+			return err
 		}
 		r.evictLocked(victim)
 	}
@@ -260,7 +443,7 @@ func (r *Registry) planLocked(e *entry) (*core.Workspace, error) {
 func (r *Registry) lruIdleLocked(requester *entry) *entry {
 	var victim *entry
 	for _, e := range r.vaults {
-		if e == requester || e.inUse > 0 || len(e.free) == 0 {
+		if e == requester || !e.idle() {
 			continue
 		}
 		if victim == nil || e.lastServed < victim.lastServed {
@@ -270,23 +453,27 @@ func (r *Registry) lruIdleLocked(requester *entry) *entry {
 	return victim
 }
 
-// evictLocked releases every cached workspace of e to make room for
-// another vault, counting each as an eviction.
+// evictLocked releases every cached workspace of e (both pools) to make
+// room for another vault, counting each as an eviction.
 func (r *Registry) evictLocked(e *entry) {
-	n := uint64(len(e.free))
+	n := uint64(len(e.free) + len(e.freeSub))
 	r.releaseAllLocked(e)
 	e.evictions += n
 	r.evictions += n
 }
 
-// releaseAllLocked returns e's cached workspace EPC to the enclave
-// without touching the eviction counters — for administrative paths
-// (Remove, Close) that are not EPC pressure.
+// releaseAllLocked returns e's cached workspace EPC (both pools) to the
+// enclave without touching the eviction counters — for administrative
+// paths (Remove, Close) that are not EPC pressure.
 func (r *Registry) releaseAllLocked(e *entry) {
 	for _, ws := range e.free {
 		ws.Release()
 	}
 	e.free = e.free[:0]
+	for _, ws := range e.freeSub {
+		ws.Release()
+	}
+	e.freeSub = e.freeSub[:0]
 }
 
 // Release returns a workspace checked out by Acquire to the vault's free
@@ -312,14 +499,43 @@ func (r *Registry) Release(id string, ws *core.Workspace) {
 	r.cond.Broadcast()
 }
 
+// ReleaseSubgraph returns a workspace checked out by AcquireSubgraph to
+// the vault's node-query free list and refreshes its last-served time.
+// Never allocates.
+func (r *Registry) ReleaseSubgraph(id string, ws *core.SubgraphWorkspace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.vaults[id]
+	if !ok || e.inUseSub <= 0 {
+		panic(fmt.Sprintf("registry: subgraph release of %q without matching acquire", id))
+	}
+	e.inUseSub--
+	r.inUse--
+	r.clock++
+	e.lastServed = r.clock
+	if r.closed {
+		// Close already ran; late releases free their EPC immediately.
+		ws.Release()
+		r.cond.Broadcast()
+		return
+	}
+	e.freeSub = append(e.freeSub, ws)
+	r.cond.Broadcast()
+}
+
 // VaultStats is one vault's slice of the registry counters.
 type VaultStats struct {
 	ID         string
-	Resident   bool   // holds at least one planned workspace
-	Workspaces int    // cached + checked out
-	Requests   uint64 // successful Acquires
-	Plans      uint64 // workspaces planned (cold starts)
-	Evictions  uint64 // workspaces evicted to admit other vaults
+	Resident   bool // holds at least one planned workspace
+	Workspaces int  // full-graph workspaces, cached + checked out
+	// NodeWorkspaces counts the node-query (subgraph) pool, cached +
+	// checked out.
+	NodeWorkspaces int
+	Requests       uint64 // successful Acquires + AcquireSubgraphs
+	// NodeQueries is the AcquireSubgraph share of Requests.
+	NodeQueries uint64
+	Plans       uint64 // workspaces planned, either kind (cold starts)
+	Evictions   uint64 // workspaces evicted to admit other vaults
 }
 
 // Stats is a snapshot of the scheduler's counters since New.
@@ -356,12 +572,14 @@ func (r *Registry) Stats() Stats {
 			st.Resident++
 		}
 		st.PerVault = append(st.PerVault, VaultStats{
-			ID:         e.id,
-			Resident:   e.resident(),
-			Workspaces: e.inUse + len(e.free),
-			Requests:   e.requests,
-			Plans:      e.plans,
-			Evictions:  e.evictions,
+			ID:             e.id,
+			Resident:       e.resident(),
+			Workspaces:     e.inUse + len(e.free),
+			NodeWorkspaces: e.inUseSub + len(e.freeSub),
+			Requests:       e.requests,
+			NodeQueries:    e.nodeQueries,
+			Plans:          e.plans,
+			Evictions:      e.evictions,
 		})
 	}
 	sort.Slice(st.PerVault, func(i, j int) bool { return st.PerVault[i].ID < st.PerVault[j].ID })

@@ -377,3 +377,168 @@ func TestRegistryEvictionHammer(t *testing.T) {
 		t.Fatalf("ledger above capacity after close: %d > %d", used, encl.EPCLimit())
 	}
 }
+
+// nodeQueryGeometry is the sampling geometry shared by the node-query
+// tests and the sizing measurement below.
+func nodeQueryGeometry() NodeQueryConfig {
+	return NodeQueryConfig{Hops: 2, Fanout: 4, MaxSeeds: 4, Seed: 7}
+}
+
+// subPlanBytes measures the EPC one node-query workspace charges under
+// nodeQueryGeometry, on a throwaway roomy deployment.
+func subPlanBytes(t testing.TB) int64 {
+	t.Helper()
+	trained(t)
+	v, err := core.Deploy(regBB, regRec, regDS.Graph, enclave.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	defer v.Undeploy()
+	nq := nodeQueryGeometry()
+	ws, err := v.PlanSubgraph(nq.MaxSeeds, nq.Subgraph())
+	if err != nil {
+		t.Fatalf("PlanSubgraph: %v", err)
+	}
+	defer ws.Release()
+	return ws.EnclaveBytes()
+}
+
+func TestAcquireSubgraphServesNodeQueries(t *testing.T) {
+	nq := nodeQueryGeometry()
+	_, reg, ids := newFleet(t, 1, 2, Config{NodeQuery: &nq})
+	defer reg.Close()
+	if err := reg.EnableNodeQueries(ids[0], regDS.X); err != nil {
+		t.Fatalf("EnableNodeQueries: %v", err)
+	}
+	v, ws, x, err := reg.AcquireSubgraph(ids[0])
+	if err != nil {
+		t.Fatalf("AcquireSubgraph: %v", err)
+	}
+	labels, _, err := v.PredictNodesInto(x, []int{3, 9}, ws)
+	if err != nil {
+		t.Fatalf("PredictNodesInto: %v", err)
+	}
+	if len(labels) != 2 {
+		t.Fatalf("got %d labels, want 2", len(labels))
+	}
+	reg.ReleaseSubgraph(ids[0], ws)
+
+	st := reg.Stats()
+	vs := st.PerVault[0]
+	if vs.NodeWorkspaces != 1 || vs.NodeQueries != 1 {
+		t.Fatalf("stats = %+v, want 1 node workspace and 1 node query", vs)
+	}
+	// A hot re-acquire must come from the cache: no second plan.
+	plansBefore := reg.Stats().Plans
+	_, ws2, _, err := reg.AcquireSubgraph(ids[0])
+	if err != nil {
+		t.Fatalf("hot AcquireSubgraph: %v", err)
+	}
+	reg.ReleaseSubgraph(ids[0], ws2)
+	if got := reg.Stats().Plans; got != plansBefore {
+		t.Fatalf("hot acquire planned again: %d -> %d", plansBefore, got)
+	}
+}
+
+func TestAcquireSubgraphDisabled(t *testing.T) {
+	// Registry without a NodeQuery config.
+	_, reg, ids := newFleet(t, 1, 2, Config{})
+	defer reg.Close()
+	if err := reg.EnableNodeQueries(ids[0], regDS.X); !errors.Is(err, ErrNodeQueriesDisabled) {
+		t.Fatalf("EnableNodeQueries without config: err = %v", err)
+	}
+	if _, _, _, err := reg.AcquireSubgraph(ids[0]); !errors.Is(err, ErrNodeQueriesDisabled) {
+		t.Fatalf("AcquireSubgraph without config: err = %v", err)
+	}
+	reg.Close()
+
+	// Registry with a config but a vault that never enabled node queries.
+	nq := nodeQueryGeometry()
+	_, reg2, ids2 := newFleet(t, 1, 2, Config{NodeQuery: &nq})
+	defer reg2.Close()
+	if _, _, _, err := reg2.AcquireSubgraph(ids2[0]); !errors.Is(err, ErrNodeQueriesDisabled) {
+		t.Fatalf("AcquireSubgraph without features: err = %v", err)
+	}
+}
+
+// TestSubgraphPlanAdmittedWhereFullPlanIsNot is the sizing point of the
+// node-query pool: an EPC too small for the vault's full-graph workspace
+// still admits the capped subgraph workspace, so node-level traffic keeps
+// flowing where full-graph traffic is unservable.
+func TestSubgraphPlanAdmittedWhereFullPlanIsNot(t *testing.T) {
+	subBytes := subPlanBytes(t)
+	if subBytes*2 >= regWSBytes {
+		t.Fatalf("geometry broken: subgraph plan %d B not clearly below full plan %d B", subBytes, regWSBytes)
+	}
+	nq := nodeQueryGeometry()
+	cost := enclave.DefaultCostModel()
+	cost.EPCBytes = regPersist + subBytes + subBytes/2 // room for sub, not for full
+	encl := enclave.New(cost, regRec.Identity())
+	reg := New(encl, Config{NodeQuery: &nq, WorkspacesPerVault: 1})
+	defer reg.Close()
+	v, err := core.DeployInto(encl, regBB, regRec, regDS.Graph)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if err := reg.Register("v0", v); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.EnableNodeQueries("v0", regDS.X); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := reg.Acquire("v0"); !errors.Is(err, enclave.ErrEPCExhausted) {
+		t.Fatalf("full-graph Acquire: err = %v, want ErrEPCExhausted", err)
+	}
+	vv, ws, x, err := reg.AcquireSubgraph("v0")
+	if err != nil {
+		t.Fatalf("AcquireSubgraph in tight EPC: %v", err)
+	}
+	if _, _, err := vv.PredictNodesInto(x, []int{5}, ws); err != nil {
+		t.Fatalf("PredictNodesInto: %v", err)
+	}
+	if used, limit := encl.EPCUsed(), encl.EPCLimit(); used > limit {
+		t.Fatalf("EPC overcommitted: %d > %d", used, limit)
+	}
+	reg.ReleaseSubgraph("v0", ws)
+}
+
+// TestSubgraphAcquireEvictsIdleFullWorkspaces checks the pools share one
+// eviction policy: admitting a node-query plan may evict another vault's
+// cached full-graph workspace.
+func TestSubgraphAcquireEvictsIdleFullWorkspaces(t *testing.T) {
+	subBytes := subPlanBytes(t)
+	nq := nodeQueryGeometry()
+	cost := enclave.DefaultCostModel()
+	// Fits both persistents plus one full workspace, but not +subgraph.
+	cost.EPCBytes = 2*regPersist + regWSBytes + subBytes/2
+	encl := enclave.New(cost, regRec.Identity())
+	reg := New(encl, Config{NodeQuery: &nq, WorkspacesPerVault: 1})
+	defer reg.Close()
+	for _, id := range []string{"v0", "v1"} {
+		v, err := core.DeployInto(encl, regBB, regRec, regDS.Graph)
+		if err != nil {
+			t.Fatalf("deploy %s: %v", id, err)
+		}
+		if err := reg.Register(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.EnableNodeQueries("v1", regDS.X); err != nil {
+		t.Fatal(err)
+	}
+
+	serveOne(t, reg, "v0") // v0 now caches a full workspace
+	_, ws, _, err := reg.AcquireSubgraph("v1")
+	if err != nil {
+		t.Fatalf("AcquireSubgraph under pressure: %v", err)
+	}
+	reg.ReleaseSubgraph("v1", ws)
+	st := reg.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("admitting the node-query plan evicted nothing; expected v0's cached workspace to go")
+	}
+	if used, limit := encl.EPCUsed(), encl.EPCLimit(); used > limit {
+		t.Fatalf("EPC overcommitted: %d > %d", used, limit)
+	}
+}

@@ -5,15 +5,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gnnvault/internal/core"
 	"gnnvault/internal/mat"
 	"gnnvault/internal/registry"
 )
 
 // mrequest is one queued multi-vault inference: a request plus the vault
-// ID it is routed to.
+// ID it is routed to. A non-nil nodes marks a node-level query.
 type mrequest struct {
 	vault string
 	x     *mat.Matrix
+	nodes []int
 	out   []int
 	err   error
 	enq   time.Time
@@ -97,12 +99,57 @@ func (s *MultiServer) Predict(vaultID string, x *mat.Matrix) ([]int, error) {
 	return out, nil
 }
 
+// PredictNodes enqueues one node-level query for the vault registered
+// under vaultID and blocks until a worker answers with one label per
+// requested node. The registry must be configured for node queries and
+// the vault enabled via registry.EnableNodeQueries; otherwise the request
+// fails with registry.ErrNodeQueriesDisabled. Consecutive same-vault node
+// queries drained in one worker wake-up are coalesced into shared
+// subgraph extractions. nodes must not be mutated until PredictNodes
+// returns; the returned slice is freshly allocated and owned by the
+// caller.
+func (s *MultiServer) PredictNodes(vaultID string, nodes []int) ([]int, error) {
+	if len(nodes) == 0 {
+		return []int{}, nil
+	}
+	req := s.pool.Get().(*mrequest)
+	req.vault = vaultID
+	req.x = nil
+	req.nodes = nodes
+	req.out = make([]int, len(nodes))
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	out, err := req.out, req.err
+	req.x, req.nodes, req.out, req.err = nil, nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // worker drains the queue in micro-batches. Within a batch, consecutive
 // requests for the same vault share one workspace checkout, so a burst of
 // same-vault traffic pays the registry exactly once.
 func (s *MultiServer) worker() {
 	defer s.wg.Done()
 	batch := make([]*mrequest, 0, s.cfg.MaxBatch)
+	st := &mworkerState{
+		full: make([]*mrequest, 0, s.cfg.MaxBatch),
+		node: make([]*mrequest, 0, s.cfg.MaxBatch),
+	}
 	for {
 		req, ok := <-s.reqs
 		if !ok {
@@ -122,32 +169,103 @@ func (s *MultiServer) worker() {
 			}
 		}
 		s.batches.Add(1)
-		s.answerBatch(batch)
+		s.answerBatch(batch, st)
 	}
 }
 
+// mworkerState is one multi-vault worker's reusable batch-splitting and
+// seed-coalescing buffers.
+type mworkerState struct {
+	full []*mrequest
+	node []*mrequest
+	co   coalescer
+}
+
 // answerBatch serves one drained batch, grouping consecutive same-vault
-// requests under a single workspace checkout.
-func (s *MultiServer) answerBatch(batch []*mrequest) {
+// requests under a single workspace checkout. Within a same-vault run,
+// full-graph requests share one Acquire and node queries share one
+// AcquireSubgraph, their seed sets coalesced into as few extractions as
+// the registry's MaxSeeds admits.
+func (s *MultiServer) answerBatch(batch []*mrequest, st *mworkerState) {
 	for i := 0; i < len(batch); {
 		id := batch[i].vault
 		j := i
-		for j < len(batch) && batch[j].vault == id {
-			j++
-		}
-		v, ws, err := s.reg.Acquire(id)
-		if err != nil {
-			for ; i < j; i++ {
-				s.answer(batch[i], nil, err)
+		st.full = st.full[:0]
+		st.node = st.node[:0]
+		for ; j < len(batch) && batch[j].vault == id; j++ {
+			if batch[j].nodes != nil {
+				st.node = append(st.node, batch[j])
+			} else {
+				st.full = append(st.full, batch[j])
 			}
+		}
+		i = j
+		if len(st.full) > 0 {
+			v, ws, err := s.reg.Acquire(id)
+			if err != nil {
+				for _, r := range st.full {
+					s.answer(r, nil, err)
+				}
+			} else {
+				for _, r := range st.full {
+					labels, _, perr := v.PredictInto(r.x, ws)
+					s.answer(r, labels, perr)
+				}
+				s.reg.Release(id, ws)
+			}
+		}
+		if len(st.node) > 0 {
+			s.answerNodeRun(id, st)
+		}
+	}
+}
+
+// answerNodeRun serves one same-vault run of node queries under a single
+// subgraph-workspace checkout.
+func (s *MultiServer) answerNodeRun(id string, st *mworkerState) {
+	v, ws, x, err := s.reg.AcquireSubgraph(id)
+	if err != nil {
+		for _, r := range st.node {
+			s.answer(r, nil, err)
+		}
+		return
+	}
+	defer s.reg.ReleaseSubgraph(id, ws)
+	if st.co.maxSeeds != ws.MaxSeeds() {
+		st.co = newCoalescer(ws.MaxSeeds())
+	}
+	// Reject out-of-range seeds per request before packing, so one bad
+	// query cannot fail the valid queries coalesced into its chunk.
+	n := v.Nodes()
+	valid := st.node[:0]
+	for _, r := range st.node {
+		if !nodesInRange(r.nodes, n) {
+			s.answer(r, nil, core.ErrNodeOutOfRange)
 			continue
 		}
-		for ; i < j; i++ {
-			labels, _, perr := v.PredictInto(batch[i].x, ws)
-			s.answer(batch[i], labels, perr)
-		}
-		s.reg.Release(id, ws)
+		valid = append(valid, r)
 	}
+	st.node = valid
+	st.co.pack(len(st.node),
+		func(i int) []int { return st.node[i].nodes },
+		func(i int, err error) {
+			s.answer(st.node[i], nil, err)
+		},
+		func(idxs, union []int) {
+			labels, _, err := v.PredictNodesInto(x, union, ws)
+			for _, i := range idxs {
+				r := st.node[i]
+				if err != nil {
+					s.answer(r, nil, err)
+					continue
+				}
+				for k, u := range r.nodes {
+					r.out[k] = labels[indexOf(union, u)]
+				}
+				s.observe(nil, r.enq)
+				r.done <- struct{}{}
+			}
+		})
 }
 
 // answer completes one request with either labels or an error.

@@ -172,3 +172,44 @@ func TestMultiServerCloseRejectsButRegistrySurvives(t *testing.T) {
 		t.Fatalf("fresh server over surviving registry: %v", err)
 	}
 }
+
+func TestMultiServerPredictNodes(t *testing.T) {
+	nqCfg := *nodeQueryCfg()
+	ds, _, reg, _ := multiFleet(t, 3, registry.Config{NodeQuery: &nqCfg})
+	defer reg.Close()
+	if err := reg.EnableNodeQueries("parallel", ds.X); err != nil {
+		t.Fatalf("EnableNodeQueries: %v", err)
+	}
+	srv := NewMulti(reg, Config{Workers: 1})
+	defer srv.Close()
+
+	seeds := []int{12, 77}
+	want := expectedNodeLabels(t, reg.Vault("parallel"), ds.X, seeds)
+	got, err := srv.PredictNodes("parallel", seeds)
+	if err != nil {
+		t.Fatalf("PredictNodes: %v", err)
+	}
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("labels %v, want %v", got, want)
+	}
+
+	// The series vault never enabled node queries: named error.
+	if _, err := srv.PredictNodes("series", seeds); !errors.Is(err, registry.ErrNodeQueriesDisabled) {
+		t.Fatalf("series: err = %v, want registry.ErrNodeQueriesDisabled", err)
+	}
+	// Unknown vault IDs surface as usual.
+	if _, err := srv.PredictNodes("nope", seeds); !errors.Is(err, registry.ErrUnknownVault) {
+		t.Fatalf("unknown: err = %v, want registry.ErrUnknownVault", err)
+	}
+	// Full-graph traffic still flows beside node queries.
+	if _, err := srv.Predict("series", ds.X); err != nil {
+		t.Fatalf("full-graph Predict: %v", err)
+	}
+
+	st := reg.Stats()
+	for _, vs := range st.PerVault {
+		if vs.ID == "parallel" && vs.NodeQueries == 0 {
+			t.Fatalf("registry recorded no node queries: %+v", vs)
+		}
+	}
+}

@@ -27,10 +27,16 @@ import (
 
 	"gnnvault/internal/core"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/subgraph"
 )
 
 // ErrClosed is returned by Predict after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrNodeQueriesDisabled is returned by PredictNodes on a server started
+// without Config.NodeQuery.
+var ErrNodeQueriesDisabled = errors.New("serve: node queries not enabled")
 
 // Config tunes the worker pool.
 type Config struct {
@@ -43,6 +49,15 @@ type Config struct {
 	// QueueDepth bounds the request queue; Predict blocks when it is
 	// full (backpressure). Default Workers·MaxBatch·2.
 	QueueDepth int
+	// NodeQuery, when non-nil, additionally plans one subgraph workspace
+	// per worker and opens the PredictNodes path: node-level queries
+	// served from sampled L-hop subgraphs at O(hops × fanout) per query.
+	// Seed nodes from every node query a worker drains in one wake-up are
+	// coalesced into shared extractions of up to MaxSeeds seeds.
+	NodeQuery *registry.NodeQueryConfig
+	// Features is the deployed graph's public feature matrix, gathered
+	// from during subgraph extraction. Required when NodeQuery is set.
+	Features *mat.Matrix
 }
 
 func (c Config) withDefaults() Config {
@@ -73,11 +88,12 @@ type Stats struct {
 }
 
 type request struct {
-	x    *mat.Matrix
-	out  []int
-	err  error
-	enq  time.Time
-	done chan struct{}
+	x     *mat.Matrix
+	nodes []int // non-nil marks a node-level query
+	out   []int
+	err   error
+	enq   time.Time
+	done  chan struct{}
 }
 
 // counters aggregates the serving statistics shared by Server and
@@ -149,23 +165,46 @@ type Server struct {
 	counters
 }
 
-// New plans one workspace per worker against v and starts the pool. It
-// fails — releasing anything it planned — if the combined workspaces do not
-// fit the enclave's EPC, which is the real bound on worker concurrency for
-// an enclave-backed deployment.
+// New plans one workspace per worker against v — plus one subgraph
+// workspace per worker when cfg.NodeQuery is set — and starts the pool.
+// It fails — releasing anything it planned — if the combined workspaces do
+// not fit the enclave's EPC, which is the real bound on worker concurrency
+// for an enclave-backed deployment.
 func New(v *core.Vault, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.NodeQuery != nil {
+		nq := cfg.NodeQuery.WithDefaults()
+		cfg.NodeQuery = &nq
+		if cfg.Features == nil || cfg.Features.Rows != v.Nodes() {
+			return nil, fmt.Errorf("serve: node queries need the deployed graph's %d-row feature matrix", v.Nodes())
+		}
+	}
 	rows := v.Nodes()
 	workspaces := make([]*core.Workspace, 0, cfg.Workers)
+	subWS := make([]*core.SubgraphWorkspace, 0, cfg.Workers)
+	release := func() {
+		for _, w := range workspaces {
+			w.Release()
+		}
+		for _, w := range subWS {
+			w.Release()
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		ws, err := v.Plan(rows)
 		if err != nil {
-			for _, w := range workspaces {
-				w.Release()
-			}
+			release()
 			return nil, fmt.Errorf("serve: planning workspace for worker %d/%d: %w", i+1, cfg.Workers, err)
 		}
 		workspaces = append(workspaces, ws)
+		if cfg.NodeQuery != nil {
+			sw, err := v.PlanSubgraph(cfg.NodeQuery.MaxSeeds, cfg.NodeQuery.Subgraph())
+			if err != nil {
+				release()
+				return nil, fmt.Errorf("serve: planning node-query workspace for worker %d/%d: %w", i+1, cfg.Workers, err)
+			}
+			subWS = append(subWS, sw)
+		}
 	}
 	s := &Server{
 		vault: v,
@@ -174,9 +213,13 @@ func New(v *core.Vault, cfg Config) (*Server, error) {
 		start: time.Now(),
 	}
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
-	for _, ws := range workspaces {
+	for i, ws := range workspaces {
+		var sw *core.SubgraphWorkspace
+		if cfg.NodeQuery != nil {
+			sw = subWS[i]
+		}
 		s.wg.Add(1)
-		go s.worker(ws)
+		go s.worker(ws, sw)
 	}
 	return s, nil
 }
@@ -211,12 +254,63 @@ func (s *Server) Predict(x *mat.Matrix) ([]int, error) {
 	return out, nil
 }
 
+// PredictNodes enqueues one node-level query and blocks until a worker
+// answers with one label per requested node. The server must have been
+// started with Config.NodeQuery; queries whose distinct seed count
+// exceeds NodeQuery.MaxSeeds fail with subgraph.ErrTooManySeeds, and
+// out-of-range nodes with core.ErrNodeOutOfRange. nodes must not be
+// mutated until PredictNodes returns. The returned slice is freshly
+// allocated and owned by the caller.
+func (s *Server) PredictNodes(nodes []int) ([]int, error) {
+	if s.cfg.NodeQuery == nil {
+		return nil, ErrNodeQueriesDisabled
+	}
+	if len(nodes) == 0 {
+		return []int{}, nil
+	}
+	req := s.pool.Get().(*request)
+	req.x = nil
+	req.nodes = nodes
+	req.out = make([]int, len(nodes))
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	out, err := req.out, req.err
+	req.nodes, req.out, req.err = nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // worker drains the queue in micro-batches, answering every request with
-// its own pre-planned workspace.
-func (s *Server) worker(ws *core.Workspace) {
+// its own pre-planned workspace. Node queries in a drained batch are set
+// aside and served together through the worker's subgraph workspace, so a
+// burst of single-node queries pays for one extraction, not one each.
+func (s *Server) worker(ws *core.Workspace, sub *core.SubgraphWorkspace) {
 	defer s.wg.Done()
 	defer ws.Release()
+	if sub != nil {
+		defer sub.Release()
+	}
 	batch := make([]*request, 0, s.cfg.MaxBatch)
+	nodeReqs := make([]*request, 0, s.cfg.MaxBatch)
+	var co coalescer
+	if sub != nil {
+		co = newCoalescer(sub.MaxSeeds())
+	}
 	for {
 		req, ok := <-s.reqs
 		if !ok {
@@ -237,8 +331,25 @@ func (s *Server) worker(ws *core.Workspace) {
 			}
 		}
 		s.batches.Add(1)
+		nodeReqs = nodeReqs[:0]
 		for _, r := range batch {
+			if r.nodes != nil {
+				nodeReqs = append(nodeReqs, r)
+				continue
+			}
 			s.answer(r, ws)
+		}
+		if len(nodeReqs) > 0 {
+			if sub == nil {
+				// Unreachable through PredictNodes' guard; defence in depth.
+				for _, r := range nodeReqs {
+					r.err = ErrNodeQueriesDisabled
+					s.observe(r.err, r.enq)
+					r.done <- struct{}{}
+				}
+			} else {
+				s.answerNodeBatch(nodeReqs, sub, &co)
+			}
 		}
 	}
 }
@@ -252,6 +363,151 @@ func (s *Server) answer(r *request, ws *core.Workspace) {
 	}
 	s.observe(err, r.enq)
 	r.done <- struct{}{}
+}
+
+// answerNodeBatch serves one wake-up's node queries: the coalescer packs
+// their seed sets into as few shared extractions as MaxSeeds admits, each
+// chunk runs one PredictNodesInto, and every request reads its labels off
+// the chunk's union. Requests with out-of-range seeds are rejected
+// individually first, so one bad query can never fail the valid queries
+// coalesced into its chunk.
+func (s *Server) answerNodeBatch(reqs []*request, sub *core.SubgraphWorkspace, co *coalescer) {
+	n := s.vault.Nodes()
+	valid := reqs[:0]
+	for _, r := range reqs {
+		if !nodesInRange(r.nodes, n) {
+			r.err = core.ErrNodeOutOfRange
+			s.observe(r.err, r.enq)
+			r.done <- struct{}{}
+			continue
+		}
+		valid = append(valid, r)
+	}
+	reqs = valid
+	co.pack(len(reqs),
+		func(i int) []int { return reqs[i].nodes },
+		func(i int, err error) {
+			reqs[i].err = err
+			s.observe(err, reqs[i].enq)
+			reqs[i].done <- struct{}{}
+		},
+		func(idxs, union []int) {
+			labels, _, err := s.vault.PredictNodesInto(s.cfg.Features, union, sub)
+			for _, i := range idxs {
+				r := reqs[i]
+				if err != nil {
+					r.err = err
+				} else {
+					for k, u := range r.nodes {
+						r.out[k] = labels[indexOf(union, u)]
+					}
+				}
+				s.observe(err, r.enq)
+				r.done <- struct{}{}
+			}
+		})
+}
+
+// nodesInRange reports whether every seed falls inside [0, n).
+func nodesInRange(nodes []int, n int) bool {
+	for _, u := range nodes {
+		if u < 0 || u >= n {
+			return false
+		}
+	}
+	return true
+}
+
+// indexOf returns the position of u in union (which holds at most
+// MaxSeeds entries — a linear scan beats any map at that size).
+func indexOf(union []int, u int) int {
+	for i, v := range union {
+		if v == u {
+			return i
+		}
+	}
+	return -1 // unreachable: every request node was packed into its union
+}
+
+// coalescer packs a run of node queries' seed sets into shared extraction
+// unions of at most maxSeeds distinct seeds. Buffers are reused across
+// batches, so steady-state packing never allocates beyond the callbacks.
+type coalescer struct {
+	maxSeeds int
+	union    []int
+	idxs     []int
+}
+
+// newCoalescer sizes a coalescer for unions of maxSeeds seeds.
+func newCoalescer(maxSeeds int) coalescer {
+	return coalescer{
+		maxSeeds: maxSeeds,
+		union:    make([]int, 0, maxSeeds),
+		idxs:     make([]int, 0, 16),
+	}
+}
+
+// pack walks requests 0..n-1 in order (their seed sets read through
+// seeds), growing the current union until the next request's unseen seeds
+// would overflow it, then flushes the accumulated request indices and
+// union through serve. Requests whose own distinct seed set cannot fit
+// any union fail through reject with subgraph.ErrTooManySeeds; empty
+// requests complete through reject with a nil error.
+func (c *coalescer) pack(n int, seeds func(int) []int, reject func(int, error), serve func(idxs, union []int)) {
+	c.union = c.union[:0]
+	c.idxs = c.idxs[:0]
+	flush := func() {
+		if len(c.idxs) > 0 {
+			serve(c.idxs, c.union)
+			c.union = c.union[:0]
+			c.idxs = c.idxs[:0]
+		}
+	}
+	for i := 0; i < n; i++ {
+		nodes := seeds(i)
+		if len(nodes) == 0 {
+			reject(i, nil) // zero labels requested: answered without work
+			continue
+		}
+		if distinctCount(nodes) > c.maxSeeds {
+			reject(i, subgraph.ErrTooManySeeds)
+			continue
+		}
+		if len(c.union)+c.countFresh(nodes) > c.maxSeeds {
+			flush()
+		}
+		for _, u := range nodes {
+			if indexOf(c.union, u) < 0 {
+				c.union = append(c.union, u)
+			}
+		}
+		c.idxs = append(c.idxs, i)
+	}
+	flush()
+}
+
+// countFresh returns how many distinct seeds of nodes are not yet in the
+// union — the union growth admitting this request would cost.
+func (c *coalescer) countFresh(nodes []int) int {
+	fresh := 0
+	for i, u := range nodes {
+		if indexOf(c.union, u) >= 0 || indexOf(nodes[:i], u) >= 0 {
+			continue
+		}
+		fresh++
+	}
+	return fresh
+}
+
+// distinctCount returns the number of distinct seeds in nodes.
+func distinctCount(nodes []int) int {
+	n := 0
+	for i, u := range nodes {
+		if indexOf(nodes[:i], u) < 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns a snapshot of the serving counters.

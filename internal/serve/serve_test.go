@@ -9,6 +9,8 @@ import (
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/subgraph"
 	"gnnvault/internal/substitute"
 )
 
@@ -178,5 +180,223 @@ func TestServerTooManyWorkersFailsCleanly(t *testing.T) {
 	}
 	if used := v.Enclave.EPCUsed(); used != base {
 		t.Fatalf("failed New leaked EPC: %d vs %d", used, base)
+	}
+}
+
+// nodeQueryCfg is the sampling geometry shared by the node-query serving
+// tests; fanout 0 keeps extraction deterministic in the seed set alone.
+func nodeQueryCfg() *registry.NodeQueryConfig {
+	return &registry.NodeQueryConfig{Hops: 2, Fanout: 0, MaxSeeds: 4, Seed: 5}
+}
+
+// expectedNodeLabels computes the reference answer for a seed batch with
+// a directly-planned workspace under the same geometry: extraction is a
+// pure function of (config, seeds), so a server answering the same batch
+// must return exactly these labels.
+func expectedNodeLabels(t *testing.T, v *core.Vault, x *mat.Matrix, seeds []int) []int {
+	t.Helper()
+	nq := nodeQueryCfg()
+	ws, err := v.PlanSubgraph(nq.MaxSeeds, nq.Subgraph())
+	if err != nil {
+		t.Fatalf("PlanSubgraph: %v", err)
+	}
+	defer ws.Release()
+	labels, _, err := v.PredictNodesInto(x, seeds, ws)
+	if err != nil {
+		t.Fatalf("reference PredictNodesInto: %v", err)
+	}
+	return append([]int{}, labels...)
+}
+
+func TestServerPredictNodes(t *testing.T) {
+	ds, v := testVault(t)
+	s, err := New(v, Config{Workers: 1, NodeQuery: nodeQueryCfg(), Features: ds.X})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	seeds := []int{3, 99, 280}
+	want := expectedNodeLabels(t, v, ds.X, seeds)
+	got, err := s.PredictNodes(seeds)
+	if err != nil {
+		t.Fatalf("PredictNodes: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Duplicate seeds inside one request resolve through the union.
+	dup, err := s.PredictNodes([]int{99, 99, 3})
+	if err != nil {
+		t.Fatalf("duplicate PredictNodes: %v", err)
+	}
+	if dup[0] != dup[1] {
+		t.Fatalf("duplicate seeds answered differently: %v", dup)
+	}
+
+	// Error surfaces, by name.
+	if _, err := s.PredictNodes([]int{ds.Graph.N()}); !errors.Is(err, core.ErrNodeOutOfRange) {
+		t.Fatalf("out of range: err = %v, want core.ErrNodeOutOfRange", err)
+	}
+	if _, err := s.PredictNodes([]int{1, 2, 3, 4, 5}); !errors.Is(err, subgraph.ErrTooManySeeds) {
+		t.Fatalf("oversize: err = %v, want subgraph.ErrTooManySeeds", err)
+	}
+	if out, err := s.PredictNodes(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty query: out=%v err=%v", out, err)
+	}
+
+	st := s.Stats()
+	if st.Errors == 0 || st.Completed == 0 {
+		t.Fatalf("stats did not record the mixed outcomes: %+v", st)
+	}
+}
+
+func TestServerPredictNodesDisabled(t *testing.T) {
+	_, v := testVault(t)
+	s, err := New(v, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.PredictNodes([]int{1}); !errors.Is(err, ErrNodeQueriesDisabled) {
+		t.Fatalf("err = %v, want ErrNodeQueriesDisabled", err)
+	}
+}
+
+func TestServerNodeQueryHammerCoalesces(t *testing.T) {
+	ds, v := testVault(t)
+	s, err := New(v, Config{Workers: 2, MaxBatch: 8, NodeQuery: nodeQueryCfg(), Features: ds.X})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	// Every client queries the same seed set, so whatever requests get
+	// coalesced, the union — and therefore the deterministic extraction —
+	// is always that set, and every answer must be identical.
+	seeds := []int{7, 41}
+	want := expectedNodeLabels(t, v, ds.X, seeds)
+	const clients, perClient = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				got, err := s.PredictNodes(seeds)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != want[0] || got[1] != want[1] {
+					errs <- errors.New("answer diverged under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Completed != clients*perClient {
+		t.Fatalf("completed %d, want %d", st.Completed, clients*perClient)
+	}
+}
+
+// TestServerMixedTrafficOneQueue drives full-graph and node queries
+// through the same worker pool concurrently.
+func TestServerMixedTrafficOneQueue(t *testing.T) {
+	ds, v := testVault(t)
+	full, _, err := v.Predict(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(v, Config{Workers: 2, NodeQuery: nodeQueryCfg(), Features: ds.X})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 4; c++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				got, err := s.Predict(ds.X)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[10] != full[10] {
+					errs <- errors.New("full-graph answer drifted")
+					return
+				}
+			}
+		}()
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				if _, err := s.PredictNodes([]int{c * 3}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestServerNodeQueryIsolatesBadSeeds pins the coalescing contract: an
+// out-of-range query that lands in the same worker wake-up as valid
+// queries must fail alone — the valid queries' shared extraction cannot
+// be poisoned by it.
+func TestServerNodeQueryIsolatesBadSeeds(t *testing.T) {
+	ds, v := testVault(t)
+	s, err := New(v, Config{Workers: 1, MaxBatch: 8, NodeQuery: nodeQueryCfg(), Features: ds.X})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				if _, err := s.PredictNodes([]int{c + 1}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 20; r++ {
+			if _, err := s.PredictNodes([]int{-1}); !errors.Is(err, core.ErrNodeOutOfRange) {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("valid query failed (or invalid query mis-errored): %v", err)
 	}
 }
