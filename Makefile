@@ -17,17 +17,25 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The headline serving benchmarks (full-graph vs subgraph node queries).
+# The headline serving benchmarks (full-graph vs subgraph node queries,
+# tiled vs untiled full-graph plans).
 bench:
-	$(GO) test -run '^$$' -bench 'SubgraphPredict|FullGraphNodeQuery|VaultPredictInto|RegistryServe' -benchmem .
+	$(GO) test -run '^$$' -bench 'SubgraphPredict|FullGraphNodeQuery|TiledFullGraph|VaultPredictInto|RegistryServe' -benchmem .
 
-# BENCH_subgraph.json: the node-query latency sweep tracked across PRs.
-# Override SIZES for bigger graphs, e.g. `make bench-json SIZES=100000,200000`.
+# The perf trajectory tracked across PRs, one JSON artifact per serving
+# surface: BENCH_subgraph.json (node-query latency sweep), BENCH_core.json
+# (full-graph PredictInto, untiled vs tiled), BENCH_serve.json (registry
+# serving under EPC pressure). Override SIZES for bigger subgraph-sweep
+# graphs, e.g. `make bench-json SIZES=100000,200000`.
 SIZES ?= 20000,50000
 bench-json:
 	$(GO) run ./cmd/experiments -run ext-subgraph -epochs 3 -sizes $(SIZES) -bench-out BENCH_subgraph.json
+	$(GO) run ./cmd/experiments -run ext-core -epochs 3 -bench-out BENCH_core.json
+	$(GO) run ./cmd/experiments -run ext-serve -epochs 3 -bench-out BENCH_serve.json
 
-# Short fuzz pass over the induced-subgraph extraction invariant.
+# Short fuzz passes over the two engine invariants: induced-subgraph
+# extraction and tiled-vs-direct execution equivalence.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInducedSubgraph -fuzztime $(FUZZTIME) ./internal/subgraph/
+	$(GO) test -run '^$$' -fuzz FuzzTiledExec -fuzztime $(FUZZTIME) ./internal/exec/

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|all")
+	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|ext-core|ext-serve|all")
 	epochs := flag.Int("epochs", 200, "training epochs per model")
 	seed := flag.Int64("seed", 1, "random seed")
 	datasetsFlag := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
@@ -34,6 +34,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write ext-subgraph results as JSON to this path (e.g. BENCH_subgraph.json)")
 	flag.Parse()
 
+	bench := benchDoc{}
 	opts := experiments.Options{Epochs: *epochs, Seed: *seed}
 	if *datasetsFlag != "" {
 		opts.Datasets = strings.Split(*datasetsFlag, ",")
@@ -74,17 +75,21 @@ func main() {
 		"ext-stream":    func() string { _, t := experiments.ExtStreaming(opts); return t },
 		"ext-subgraph": func() string {
 			rows, t := experiments.ExtSubgraph(opts)
-			if *benchOut != "" {
-				if err := writeBenchJSON(*benchOut, rows); err != nil {
-					fmt.Fprintln(os.Stderr, "warning:", err)
-				} else {
-					t += fmt.Sprintf("\nbenchmark JSON written to %s\n", *benchOut)
-				}
-			}
+			bench.add("subgraph_node_query", rows)
+			return t
+		},
+		"ext-core": func() string {
+			rows, t := experiments.ExtCore(opts)
+			bench.add("core_predict_into", rows)
+			return t
+		},
+		"ext-serve": func() string {
+			rows, t := experiments.ExtServe(opts)
+			bench.add("registry_serving", rows)
 			return t
 		},
 	}
-	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph"}
+	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph", "ext-core", "ext-serve"}
 
 	selected := strings.Split(*run, ",")
 	if *run == "all" {
@@ -101,16 +106,38 @@ func main() {
 		fmt.Println(text)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if *benchOut != "" {
+		if err := bench.write(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "warning:", err)
+		}
+	}
 }
 
-// writeBenchJSON serialises the ext-subgraph sweep for the perf-tracking
-// artifact (BENCH_subgraph.json).
-func writeBenchJSON(path string, rows []experiments.ExtSubgraphRow) error {
-	data, err := json.MarshalIndent(map[string]any{"subgraph_node_query": rows}, "", "  ")
+// benchDoc accumulates the JSON-emitting experiments' rows, one key per
+// experiment, so selecting several of them with one -bench-out writes a
+// single merged document instead of each overwriting the last.
+type benchDoc map[string]any
+
+// add records one experiment's rows under its key.
+func (d benchDoc) add(key string, rows any) { d[key] = rows }
+
+// write serialises the accumulated document to path (the perf-tracking
+// artifacts: BENCH_subgraph.json, BENCH_core.json, BENCH_serve.json). A
+// run whose selected experiments emitted nothing writes nothing.
+func (d benchDoc) write(path string) error {
+	if len(d) == 0 {
+		fmt.Fprintf(os.Stderr, "warning: -bench-out %s: no selected experiment emits benchmark rows\n", path)
+		return nil
+	}
+	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encoding bench JSON: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchmark JSON written to %s\n", path)
+	return nil
 }
 
 func dumpTSNE(dir string, res *experiments.Fig4Result) error {

@@ -75,7 +75,7 @@ func usage() {
   infer   -bundle vault.gnv
   stats   -dataset cora
   serve   -dataset a,b -design x,y -workers N -clients N -requests N -batch N
-          -epc-mb N -ws-per-vault N [-http :8080]`)
+          -epc-mb N -epc-budget-mb N -ws-per-vault N [-http :8080]`)
 }
 
 func loadDataset(name string) *datasets.Dataset {

@@ -54,6 +54,7 @@ func cmdServe(args []string) {
 	batch := fs.Int("batch", 8, "max requests coalesced per worker wake-up")
 	wsPerVault := fs.Int("ws-per-vault", 2, "max concurrent inference workspaces per vault")
 	epcMB := fs.Int64("epc-mb", 96, "enclave EPC capacity in MB (lower it to force eviction churn)")
+	epcBudgetMB := fs.Int64("epc-budget-mb", 0, "per-workspace EPC budget in MB: plans execute tile-streamed under this bound (0 = classic untiled plans)")
 	clients := fs.Int("clients", 8, "concurrent synthetic clients")
 	requests := fs.Int("requests", 25, "requests per client")
 	httpAddr := fs.String("http", "", "serve the HTTP/JSON API on this address (e.g. :8080) instead of the synthetic stream")
@@ -69,15 +70,20 @@ func cmdServe(args []string) {
 	if *hops > 0 {
 		nq = &registry.NodeQueryConfig{Hops: *hops, Fanout: *fanout, MaxSeeds: *maxSeeds, Seed: uint64(*seed)}
 	}
-	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, nq)
+	plan := core.PlanConfig{EPCBudgetBytes: *epcBudgetMB << 20}
+	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq)
 	srv := serve.NewMulti(fl.reg, serve.Config{Workers: *workers, MaxBatch: *batch})
 	defer func() {
 		srv.Close()
 		fl.reg.Close()
 	}()
 
-	fmt.Printf("fleet of %d vaults on one enclave (EPC %.2f MB used of %d MB), %d workers\n",
-		len(fl.vaults), float64(fl.encl.EPCUsed())/(1<<20), fl.encl.EPCLimit()>>20, *workers)
+	mode := "untiled workspaces"
+	if *epcBudgetMB > 0 {
+		mode = fmt.Sprintf("tiled workspaces ≤ %d MB each", *epcBudgetMB)
+	}
+	fmt.Printf("fleet of %d vaults on one enclave (EPC %.2f MB used of %d MB), %d workers, %s\n",
+		len(fl.vaults), float64(fl.encl.EPCUsed())/(1<<20), fl.encl.EPCLimit()>>20, *workers, mode)
 
 	if *httpAddr != "" {
 		runHTTP(*httpAddr, fl, srv)
@@ -88,9 +94,11 @@ func cmdServe(args []string) {
 
 // buildFleet trains one backbone per dataset and one rectifier per
 // dataset × design pair, then deploys every pair into a single enclave
-// measured over all rectifier identities. A non-nil nq additionally
-// enables node-level (subgraph) serving on every GNN-backed vault.
-func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int, nq *registry.NodeQueryConfig) *fleet {
+// measured over all rectifier identities. plan shapes every workspace the
+// registry admits (EPC budget → tiled streaming); a non-nil nq
+// additionally enables node-level (subgraph) serving on every GNN-backed
+// vault.
+func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int, plan core.PlanConfig, nq *registry.NodeQueryConfig) *fleet {
 	dsNames := splitCSV(datasetCSV)
 	designs := splitCSV(designCSV)
 	if len(dsNames) == 0 || len(designs) == 0 {
@@ -136,7 +144,7 @@ func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcM
 	cost := enclave.DefaultCostModel()
 	cost.EPCBytes = epcMB << 20
 	encl := enclave.New(cost, identities...)
-	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault, NodeQuery: nq})
+	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault, Plan: plan, NodeQuery: nq})
 	fl := &fleet{encl: encl, reg: reg, data: data, nodeQueries: nq != nil}
 	for _, m := range fleetMembers {
 		v, err := core.DeployInto(encl, m.bb, m.rec, m.ds.Graph)

@@ -10,13 +10,15 @@
 // serving-scale graphs), nn (backprop layers + Adam), datasets
 // (synthetic stand-ins for the paper's datasets), substitute (KNN / cosine
 // / random substitute graphs), subgraph (L-hop frontier expansion and
-// induced-CSR extraction for node-level minibatch serving), core
+// induced-CSR extraction for node-level minibatch serving), exec (the
+// tiled streaming executor: forward passes compiled to flat op programs
+// and run direct or row-tile-streamed under a fixed EPC budget), core
 // (backbone, rectifiers, vault deployment and allocation-free inference
-// plans — full-graph and subgraph), enclave (SGX software model),
-// registry (EPC-aware scheduling of a multi-vault fleet on one enclave),
-// serve (single-vault and fleet-routing batched serving with node-query
-// coalescing), attack (link stealing), and experiments (one generator per
-// paper table/figure).
+// plans — full-graph and subgraph, untiled or EPC-budgeted), enclave
+// (SGX software model), registry (EPC-aware scheduling of a multi-vault
+// fleet on one enclave), serve (single-vault and fleet-routing batched
+// serving with node-query coalescing), attack (link stealing), and
+// experiments (one generator per paper table/figure).
 //
 // See README.md for a walkthrough, package map, serving ops guide, and
 // the node-level serving section, and DESIGN.md for the system
@@ -25,6 +27,8 @@
 // bench_test.go regenerates every paper table and figure via
 // `go test -bench`, serve_bench_test.go measures the steady-state serving
 // path, registry_bench_test.go sweeps the multi-vault fleet across the
-// EPC cliff, and subgraph_bench_test.go sweeps node-query latency against
-// full-graph inference on growing power-law graphs.
+// EPC cliff, subgraph_bench_test.go sweeps node-query latency against
+// full-graph inference on growing power-law graphs, and
+// tiled_bench_test.go prices tile-streamed full-graph plans under a
+// 64 MB EPC budget against the untiled baseline.
 package gnnvault

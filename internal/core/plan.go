@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"gnnvault/internal/exec"
 	"gnnvault/internal/mat"
 	"gnnvault/internal/nn"
 )
@@ -11,11 +13,48 @@ import (
 // Execution plans. A deployed vault answers a stream of inference requests;
 // re-allocating every activation per call makes steady-state throughput
 // garbage-collector-bound. Plan splits inference into a one-time setup —
-// size every buffer from the layer specs, charge the enclave's EPC ledger
-// once for the rectifier's working set, pre-bind the ECALL body — and a hot
+// compile the rectifier into an internal/exec op program, size every buffer,
+// charge the enclave's EPC ledger once, pre-bind the ECALL body — and a hot
 // PredictInto step that reuses the workspace and touches zero fresh heap.
-// This mirrors how a real enclave operates: EPC pages are committed at
-// initialisation, not malloc'd per request.
+//
+// Plans come in two EPC shapes. The default (PlanConfig zero value) keeps
+// the whole rectifier working set — scratch plus transferred embeddings —
+// EPC-resident, exactly the pre-tiling behaviour: fast, but O(n × width)
+// enclave bytes, which stops fitting real EPCs somewhere around 50k nodes.
+// A plan with an EPCBudgetBytes (or explicit TileRows) instead executes the
+// same program row tile by row tile: full activations spill to untrusted
+// memory (modelled as sealed pages, like SGX paging) and the enclave is
+// charged only for the one tile-sized staging buffer, so the footprint
+// becomes O(tileRows × width) — a 200k-node full-graph plan fits a 64 MB
+// budget that its untiled form exceeds 4×.
+
+// PlanConfig tunes one inference plan. The zero value reproduces the
+// classic untiled plan.
+type PlanConfig struct {
+	// EPCBudgetBytes caps the enclave bytes this plan's *workspace* may
+	// charge (persistent deploy-time residents are separate). A non-zero
+	// budget selects tiled execution with TileRows derived as
+	// budget / (8 × widest program value), clamped to [1, rows].
+	EPCBudgetBytes int64
+	// TileRows, when non-zero, fixes the tile height directly and
+	// overrides the budget derivation.
+	TileRows int
+	// Workers is the normal-world kernel parallelism budget for this plan
+	// (0 = process-global default, 1 = inline). It is carried in the
+	// workspace, so concurrent servers with different budgets never race
+	// on the deprecated mat.SetMaxWorkers global. The enclave side always
+	// runs single-threaded regardless.
+	Workers int
+}
+
+// tiled reports whether the config selects tiled streaming execution.
+func (c PlanConfig) tiled() bool { return c.EPCBudgetBytes > 0 || c.TileRows > 0 }
+
+// ErrTiledUnsupported is returned by PlanWith when an EPC budget (or tile
+// height) is requested for a deployment whose ops have no row-tileable
+// kernel decomposition — SAGE or GAT convolutions. Such vaults still plan
+// untiled.
+var ErrTiledUnsupported = errors.New("core: deployment has non-tileable convolutions; plan without an EPC budget")
 
 // BackboneWorkspace is the normal-world half of an inference plan: one
 // scratch buffer chain for the backbone model plus the reused per-block
@@ -38,6 +77,10 @@ func (b *Backbone) Plan(rows int) *BackboneWorkspace {
 // NumBytes returns the workspace buffer footprint.
 func (ws *BackboneWorkspace) NumBytes() int64 { return ws.model.NumBytes() }
 
+// SetWorkers fixes the workspace's parallel-kernel budget (0 = global
+// default, 1 = inline), the per-plan replacement for mat.SetMaxWorkers.
+func (ws *BackboneWorkspace) SetWorkers(n int) { ws.model.SetWorkers(n) }
+
 // EmbeddingsWS is Embeddings into a planned workspace. The returned
 // matrices alias workspace buffers and are overwritten by the next call.
 func (b *Backbone) EmbeddingsWS(x *mat.Matrix, ws *BackboneWorkspace) []*mat.Matrix {
@@ -51,68 +94,40 @@ func (b *Backbone) LogitsWS(x *mat.Matrix, ws *BackboneWorkspace) *mat.Matrix {
 	return b.Model.ForwardWS(x, ws.model)
 }
 
-// RectifierWorkspace is the enclave-side half of an inference plan:
-// per-layer conv and ReLU scratch plus the concatenation buffers the design
-// wiring needs. Its NumBytes is what Deploy-time EPC accounting charges for
-// one planned inference stream.
+// RectifierWorkspace is a standalone execution context for one rectifier:
+// its design wiring compiled to an exec program plus a direct (fully
+// resident, single-threaded) machine. Vault plans embed the same program
+// in their own machines; this type exists for direct rectifier use in
+// tests and analysis.
 type RectifierWorkspace struct {
 	Rows     int
-	convs    []*nn.LayerWorkspace
-	relus    []*nn.LayerWorkspace
-	convWS   []nn.WorkspaceLayer
-	concat   []*mat.Matrix // non-nil where layer k's input must be assembled
+	mach     *exec.Machine
+	extra    int64 // closure-held workspace bytes of opaque (non-GCN) convs
 	wantEmbs int
 }
 
-// Plan sizes a rectifier workspace for inference over rows nodes (rows must
-// equal the private graph's node count; the kernels check at execution).
+// Plan compiles the rectifier and sizes a direct workspace for inference
+// over rows nodes (rows must equal the private graph's node count; the
+// SpMM kernels check at execution).
 func (r *Rectifier) Plan(rows int) *RectifierWorkspace {
-	ws := &RectifierWorkspace{
-		Rows:     rows,
-		concat:   make([]*mat.Matrix, len(r.convs)),
-		wantEmbs: len(r.RequiredEmbeddings()),
+	bld := exec.NewBuilder(rows)
+	needed := r.RequiredEmbeddings()
+	inputs := make([]int, 0, len(needed))
+	for _, i := range needed {
+		inputs = append(inputs, bld.Input(r.BackboneDims[i]))
 	}
-	for k, conv := range r.convs {
-		wl, ok := conv.(nn.WorkspaceLayer)
-		if !ok {
-			panic(fmt.Sprintf("core: rectifier conv %T does not support workspace inference", conv))
-		}
-		// Layers whose input is a concatenation (parallel k>0, cascaded
-		// k=0 over multiple blocks) need an assembly buffer; the rest
-		// alias an embedding or the previous activation directly.
-		needsConcat := (r.Design == Parallel && k > 0) ||
-			(r.Design == Cascaded && k == 0 && ws.wantEmbs > 1)
-		if needsConcat {
-			ws.concat[k] = mat.New(rows, r.inDim(k))
-		}
-		cws, _ := wl.PlanWorkspace(rows, r.inDim(k))
-		ws.convWS = append(ws.convWS, wl)
-		ws.convs = append(ws.convs, cws)
-		if k < len(r.convs)-1 {
-			rws, _ := r.relus[k].PlanWorkspace(rows, r.Dims[k])
-			ws.relus = append(ws.relus, rws)
-		}
+	var extra int64
+	r.lowerInto(bld, inputs, nil, rows, 1, &extra)
+	mach, err := bld.Build().NewMachine(exec.Config{Workers: 1})
+	if err != nil {
+		panic(fmt.Sprintf("core: rectifier plan: %v", err))
 	}
-	return ws
+	return &RectifierWorkspace{Rows: rows, mach: mach, extra: extra, wantEmbs: len(needed)}
 }
 
-// NumBytes returns the rectifier workspace's buffer footprint: the quantity
-// the enclave charges against the EPC once at plan time.
-func (ws *RectifierWorkspace) NumBytes() int64 {
-	n := int64(0)
-	for _, c := range ws.convs {
-		n += c.NumBytes()
-	}
-	for _, rl := range ws.relus {
-		n += rl.NumBytes()
-	}
-	for _, m := range ws.concat {
-		if m != nil {
-			n += m.NumBytes()
-		}
-	}
-	return n
-}
+// NumBytes returns the rectifier workspace's buffer footprint: the
+// quantity an untiled plan charges against the EPC at plan time.
+func (ws *RectifierWorkspace) NumBytes() int64 { return ws.mach.BufferBytes() + ws.extra }
 
 // ForwardWS rectifies the transferred embeddings into logits using only
 // workspace memory. embs must match RequiredEmbeddings, in order; the
@@ -121,92 +136,124 @@ func (r *Rectifier) ForwardWS(embs []*mat.Matrix, ws *RectifierWorkspace) *mat.M
 	if len(embs) != ws.wantEmbs {
 		panic(fmt.Sprintf("core: rectifier %s wants %d embeddings, got %d", r.Design, ws.wantEmbs, len(embs)))
 	}
-	var h *mat.Matrix
-	for k := range r.convs {
-		var in *mat.Matrix
-		switch {
-		case k == 0 && ws.concat[0] != nil:
-			mat.HConcatInto(ws.concat[0], embs...)
-			in = ws.concat[0]
-		case k == 0:
-			in = embs[0]
-		case ws.concat[k] != nil: // parallel wiring
-			mat.HConcatInto(ws.concat[k], h, embs[k])
-			in = ws.concat[k]
-		default: // cascaded/series: layer input is exactly prev
-			in = h
-		}
-		z := ws.convWS[k].ForwardWS(in, ws.convs[k])
-		if k < len(r.convs)-1 {
-			h = r.relus[k].ForwardWS(z, ws.relus[k])
-		} else {
-			h = z
-		}
-	}
-	return h
+	return ws.mach.Run(ws.Rows, embs, nil)
 }
 
 // Workspace is a full inference plan for one vault: backbone scratch in the
-// normal world, rectifier scratch charged against the EPC, the label
-// output buffer, and the pre-bound ECALL body. A Workspace belongs to one
-// goroutine at a time; a serving fleet plans one per worker.
+// normal world, the compiled rectifier machine charged against the EPC
+// (wholly, or tile-only under a budget), the label output buffer, and the
+// pre-bound ECALL body. A Workspace belongs to one goroutine at a time; a
+// serving fleet plans one per worker.
 type Workspace struct {
 	Rows int
 
 	v       *Vault
 	bb      *BackboneWorkspace
-	rect    *RectifierWorkspace
+	mach    *exec.Machine
 	needed  []int
 	embs    []*mat.Matrix
 	labels  []int
 	payload int64 // transferred embedding bytes per call
+	spill   int64 // tiled only: modelled tile-flush traffic per call
 	epc     int64 // EPC charged at plan time
 	ecall   func() error
 
 	released bool
 }
 
-// Plan builds a reusable inference workspace for batches of rows nodes
-// (rows must equal the deployed graph's node count — GNN inference is
-// full-graph). The enclave is charged once, here, for the rectifier's
-// scratch plus the transferred-embedding residency; Plan fails with
-// enclave.ErrEPCExhausted wrapped if that working set does not fit, which
-// bounds how many concurrent workspaces one enclave can serve.
+// Plan builds a classic untiled inference workspace — the PlanConfig zero
+// value — for batches of rows nodes. See PlanWith.
 func (v *Vault) Plan(rows int) (*Workspace, error) {
+	return v.PlanWith(rows, PlanConfig{})
+}
+
+// PlanWith builds a reusable inference workspace for batches of rows nodes
+// (rows must equal the deployed graph's node count — GNN inference is
+// full-graph). The enclave is charged once, here: an untiled plan charges
+// the rectifier's full scratch plus the transferred-embedding residency; a
+// plan with an EPC budget (or explicit tile height) charges only its
+// staging tile, streaming everything else through untrusted memory.
+// PlanWith fails with enclave.ErrEPCExhausted wrapped if the working set
+// does not fit — which for untiled plans bounds how many concurrent
+// workspaces one enclave can serve, and for tiled plans essentially never
+// happens — and with ErrTiledUnsupported when a budget is requested for
+// non-tileable (SAGE/GAT) convolutions.
+func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 	if v.undeployed.Load() {
 		return nil, fmt.Errorf("core: plan on undeployed vault")
 	}
 	if n := v.privateGraph.N(); rows != n {
 		return nil, fmt.Errorf("core: plan rows %d != deployed graph nodes %d", rows, n)
 	}
+	prog, extra := v.rectifier.compileRectifier(rows, nil)
+	tileRows := 0
+	if cfg.tiled() {
+		if !prog.Tileable() {
+			return nil, ErrTiledUnsupported
+		}
+		tileRows = deriveTileRows(cfg, prog.MaxWidth(), rows)
+	}
+	mach, err := prog.NewMachine(exec.Config{TileRows: tileRows, Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling inference plan: %w", err)
+	}
 	ws := &Workspace{
 		Rows:   rows,
 		v:      v,
 		bb:     v.Backbone.Plan(rows),
-		rect:   v.rectifier.Plan(rows),
+		mach:   mach,
 		needed: v.rectifier.RequiredEmbeddings(),
 		labels: make([]int, rows),
 	}
+	ws.bb.SetWorkers(cfg.Workers)
 	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
 	for _, i := range ws.needed {
 		ws.payload += int64(v.Backbone.BlockDims[i]) * int64(rows) * 8
 	}
-	ws.epc = ws.rect.NumBytes() + ws.payload
+	if tileRows > 0 {
+		// Tiled: only the staging tile is enclave-resident; activations
+		// and embeddings stream. The per-call flush traffic is charged as
+		// boundary transfer instead.
+		ws.epc = mach.TileBytes()
+		ws.spill = mach.SpillTraffic(rows)
+	} else {
+		ws.epc = mach.BufferBytes() + extra + ws.payload
+	}
 	if err := v.Enclave.Alloc(ws.epc); err != nil {
 		return nil, fmt.Errorf("core: inference workspace does not fit EPC: %w", err)
 	}
 	// Pre-bound ECALL body: everything it touches lives in ws, so the hot
 	// path never materialises a new closure.
 	ws.ecall = func() error {
-		logits := v.rectifier.ForwardWS(ws.embs, ws.rect)
-		logits.ArgmaxRowsInto(ws.labels)
+		ws.mach.Run(ws.Rows, ws.embs, ws.labels)
 		return nil
 	}
 	return ws, nil
 }
 
+// deriveTileRows maps a plan config to a tile height: an explicit TileRows
+// wins; otherwise the EPC budget buys budget/(8·maxWidth) rows of the
+// widest program value. The result is clamped to [1, rows] — a budget too
+// small for even one row still plans, charging its actual (minimal) tile.
+func deriveTileRows(cfg PlanConfig, maxWidth, rows int) int {
+	t := cfg.TileRows
+	if t <= 0 {
+		t = int(cfg.EPCBudgetBytes / (8 * int64(maxWidth)))
+	}
+	if t < 1 {
+		t = 1
+	}
+	if t > rows {
+		t = rows
+	}
+	return t
+}
+
 // EnclaveBytes returns the EPC charged for this workspace at plan time.
 func (ws *Workspace) EnclaveBytes() int64 { return ws.epc }
+
+// TileRows returns the plan's tile height (0 for untiled plans).
+func (ws *Workspace) TileRows() int { return ws.mach.TileRows() }
 
 // Release returns the workspace's EPC to the enclave. The workspace must
 // not be used afterwards.
@@ -222,6 +269,9 @@ func (ws *Workspace) Release() {
 // normal world, one modelled ECALL carrying exactly the embeddings the
 // design requires, rectification and label reduction inside the enclave —
 // all into pre-sized buffers, with zero steady-state heap allocation.
+// Tiled plans additionally charge their activation spill traffic to the
+// ECALL's transfer payload, so the latency cost of streaming shows up in
+// the modelled breakdown.
 //
 // The returned label slice is owned by the workspace and overwritten by the
 // next call. The breakdown is computed from enclave-ledger deltas; when
@@ -250,13 +300,15 @@ func (v *Vault) PredictInto(x *mat.Matrix, ws *Workspace) ([]int, InferenceBreak
 	bd.BackboneTime = time.Since(start)
 
 	// One-way transfer of exactly the embeddings the design requires,
-	// modelled as a single ECALL (the buffers are EPC-resident since plan
-	// time). Only the labels cross back: 8 bytes per node.
+	// modelled as a single ECALL (for untiled plans the buffers are
+	// EPC-resident since plan time; tiled plans stream them, plus the
+	// tile flushes, through the boundary). Only the labels cross back:
+	// 8 bytes per node.
 	ws.embs = ws.embs[:0]
 	for _, i := range ws.needed {
 		ws.embs = append(ws.embs, blocks[i])
 	}
-	if err := v.Enclave.Ecall(ws.payload, int64(ws.Rows)*8, ws.ecall); err != nil {
+	if err := v.Enclave.Ecall(ws.payload+ws.spill, int64(ws.Rows)*8, ws.ecall); err != nil {
 		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)
 	}
 

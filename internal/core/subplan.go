@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"gnnvault/internal/graph"
+	"gnnvault/internal/exec"
 	"gnnvault/internal/mat"
 	"gnnvault/internal/nn"
 	"gnnvault/internal/subgraph"
@@ -26,6 +26,13 @@ import (
 //     same (public) node set and the rectifier runs on that sub-CSR with
 //     single-threaded kernels — private edges never influence which
 //     nodes are extracted, only how their embeddings are recalibrated.
+//
+// Both forward passes execute on the shared internal/exec engine: at plan
+// time the backbone and rectifier are compiled once against the induced
+// sub-CSR headers (which Induce re-fills in place per query), so a
+// subgraph plan is just a small-n direct instance of the same programs the
+// full-graph path runs — the per-design wiring lives in one compiler
+// (lower.go), not here.
 //
 // Accuracy is approximate: receptive fields are truncated at Hops and
 // sampled at Fanout (see DESIGN.md). Exact-GCN semantics remain available
@@ -54,9 +61,10 @@ func viewRows(m *mat.Matrix, rows int) *mat.Matrix {
 
 // SubgraphWorkspace is a planned node-query pipeline for one vault:
 // expansion state and the induced substitute CSR in the normal world,
-// the induced private CSR plus rectifier scratch charged against the EPC,
-// and the pre-bound ECALL body. Like Workspace, it belongs to one
-// goroutine at a time; a serving fleet plans one per worker.
+// the induced private CSR plus the rectifier machine's buffers charged
+// against the EPC, and the pre-bound ECALL body. Like Workspace, it
+// belongs to one goroutine at a time; a serving fleet plans one per
+// worker.
 type SubgraphWorkspace struct {
 	v    *Vault
 	plan subgraph.Plan
@@ -66,17 +74,13 @@ type SubgraphWorkspace struct {
 	privCS *subgraph.CSRSpace // induced private operator (enclave)
 
 	feat   *mat.Matrix   // gathered feature rows, CapNodes×d backing
-	bbOut  []*mat.Matrix // per backbone layer output (nil for identity layers)
-	bbTmp  []*mat.Matrix // per backbone layer XW staging (GCN only)
-	acts   []*mat.Matrix // reused per-layer activation list
-	blocks []*mat.Matrix // reused block-output list
+	featIn []*mat.Matrix // pre-bound backbone input list ({feat})
+	bbMach *exec.Machine // backbone program over the induced public CSR
+	blocks []*mat.Matrix // stable views of the backbone block values
 
-	needed     []int
-	embs       []*mat.Matrix
-	rectTmp    []*mat.Matrix // per rectifier conv XW staging
-	rectOut    []*mat.Matrix // per rectifier conv output
-	rectRelu   []*mat.Matrix // per hidden rectifier layer ReLU output
-	rectConcat []*mat.Matrix // design wiring assembly buffers (sparse)
+	rectMach *exec.Machine // rectifier program over the induced private CSR
+	needed   []int
+	embs     []*mat.Matrix
 
 	labels []int // per-extracted-node labels; seeds occupy [0:numSeeds]
 
@@ -93,8 +97,8 @@ type SubgraphWorkspace struct {
 // up to maxSeeds nodes. Every buffer is sized for the worst case the
 // (Hops, Fanout, maxSeeds) geometry admits, and the enclave is charged
 // once, here, for the private-side working set: the induced private CSR,
-// the rectifier scratch, the transferred embedding residency and the
-// label buffer — all at CapNodes rows, which for realistic fanouts is
+// the rectifier machine's buffers, the transferred embedding residency and
+// the label buffer — all at CapNodes rows, which for realistic fanouts is
 // orders of magnitude below the full-graph plan.
 //
 // PlanSubgraph fails with ErrSubgraphUnsupported for DNN backbones and
@@ -134,68 +138,39 @@ func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorksp
 		labels: make([]int, capRows),
 	}
 
-	// Backbone scratch, one entry per layer (nil where the layer passes
-	// its input through).
-	cols := v.Backbone.FeatureDim
-	for _, l := range v.Backbone.Model.Layers {
-		var out, tmp *mat.Matrix
-		switch layer := l.(type) {
-		case *nn.GCNConv:
-			tmp = mat.New(capRows, layer.OutDim)
-			out = mat.New(capRows, layer.OutDim)
-			cols = layer.OutDim
-		case *nn.Dense:
-			out = mat.New(capRows, layer.OutDim)
-			cols = layer.OutDim
-		case *nn.ReLU:
-			out = mat.New(capRows, cols)
-		}
-		ws.bbOut = append(ws.bbOut, out)
-		ws.bbTmp = append(ws.bbTmp, tmp)
+	// Compile both halves against the induced sub-CSR headers: the header
+	// pointers are stable, their contents are re-filled by Induce per
+	// query. The backbone machine runs normal-world (global worker
+	// default); the rectifier machine is in-enclave, single-threaded.
+	bld := exec.NewBuilder(capRows)
+	xin := bld.Input(v.Backbone.FeatureDim)
+	blockVals := v.Backbone.lowerInto(bld, xin, ws.pubCS.Sub(), capRows, 0)
+	bbMach, err := bld.Build().NewMachine(exec.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling subgraph backbone: %w", err)
 	}
-	ws.acts = make([]*mat.Matrix, 0, len(v.Backbone.Model.Layers))
-	ws.blocks = make([]*mat.Matrix, 0, len(v.Backbone.convIdx))
+	ws.bbMach = bbMach
+	ws.featIn = []*mat.Matrix{ws.feat}
+	for _, bv := range blockVals {
+		ws.blocks = append(ws.blocks, bbMach.Value(bv))
+	}
+	rectProg, _ := v.rectifier.compileRectifier(capRows, ws.privCS.Sub()) // GCN-only here: no opaque bytes
+	rectMach, err := rectProg.NewMachine(exec.Config{Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling subgraph rectifier: %w", err)
+	}
+	ws.rectMach = rectMach
 	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
 
-	// Rectifier scratch, mirroring Rectifier.Plan but at CapNodes rows.
-	r := v.rectifier
-	ws.rectConcat = make([]*mat.Matrix, len(r.convs))
-	for k := range r.convs {
-		needsConcat := (r.Design == Parallel && k > 0) ||
-			(r.Design == Cascaded && k == 0 && len(ws.needed) > 1)
-		if needsConcat {
-			ws.rectConcat[k] = mat.New(capRows, r.inDim(k))
-		}
-		ws.rectTmp = append(ws.rectTmp, mat.New(capRows, r.Dims[k]))
-		ws.rectOut = append(ws.rectOut, mat.New(capRows, r.Dims[k]))
-		if k < len(r.convs)-1 {
-			ws.rectRelu = append(ws.rectRelu, mat.New(capRows, r.Dims[k]))
-		}
-	}
-
 	// EPC accounting: the enclave-resident share of the plan — induced
-	// private CSR, rectifier scratch, transferred embeddings, labels —
-	// charged once at the worst-case row count. Expansion state and the
-	// substitute CSR stay in the normal world (the node set is public).
+	// private CSR, rectifier machine buffers, transferred embeddings,
+	// labels — charged once at the worst-case row count. Expansion state,
+	// the substitute CSR and the backbone machine stay in the normal world
+	// (the node set is public).
 	for _, i := range ws.needed {
 		ws.payload += int64(v.Backbone.BlockDims[i]) * 8
 	}
-	var rectBytes int64
-	for _, m := range ws.rectTmp {
-		rectBytes += m.NumBytes()
-	}
-	for _, m := range ws.rectOut {
-		rectBytes += m.NumBytes()
-	}
-	for _, m := range ws.rectRelu {
-		rectBytes += m.NumBytes()
-	}
-	for _, m := range ws.rectConcat {
-		if m != nil {
-			rectBytes += m.NumBytes()
-		}
-	}
-	ws.epc = ws.privCS.NumBytes() + rectBytes + ws.payload*int64(capRows) + int64(capRows)*8
+	ws.epc = ws.privCS.NumBytes() + rectMach.BufferBytes() + ws.payload*int64(capRows) + int64(capRows)*8
 	if err := v.Enclave.Alloc(ws.epc); err != nil {
 		return nil, fmt.Errorf("core: subgraph workspace does not fit EPC: %w", err)
 	}
@@ -204,83 +179,17 @@ func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorksp
 }
 
 // rectifyExtracted is the pre-bound ECALL body: induce the private
-// operator over the (publicly expanded) node set, run the rectifier on
-// the induced CSR with single-threaded kernels, and reduce to labels.
-// Everything it touches was planned; it never allocates.
+// operator over the (publicly expanded) node set — filling the sub-CSR
+// header the rectifier program was compiled against — then run the
+// machine, which reduces to labels. Everything it touches was planned; it
+// never allocates.
 func (ws *SubgraphWorkspace) rectifyExtracted() error {
 	s := ws.curRows
-	subPriv, err := ws.exp.Induce(ws.v.rectifier.adj, ws.privCS)
-	if err != nil {
+	if _, err := ws.exp.Induce(ws.v.rectifier.adj, ws.privCS); err != nil {
 		return err
 	}
-	r := ws.v.rectifier
-	var h *mat.Matrix
-	for k := range r.convs {
-		var in *mat.Matrix
-		switch {
-		case k == 0 && ws.rectConcat[0] != nil:
-			c := viewRows(ws.rectConcat[0], s)
-			mat.HConcatInto(c, ws.embs...)
-			in = c
-		case k == 0:
-			in = ws.embs[0]
-		case ws.rectConcat[k] != nil: // parallel wiring
-			c := viewRows(ws.rectConcat[k], s)
-			mat.HConcatInto(c, h, ws.embs[k])
-			in = c
-		default: // cascaded/series: layer input is exactly prev
-			in = h
-		}
-		conv := r.convs[k].(*nn.GCNConv)
-		tmp := viewRows(ws.rectTmp[k], s)
-		z := viewRows(ws.rectOut[k], s)
-		mat.MatMulSerialInto(tmp, in, conv.W)
-		subPriv.MulDenseSerialInto(z, tmp)
-		mat.AddBiasInto(z, z, conv.B)
-		if k < len(r.convs)-1 {
-			ro := viewRows(ws.rectRelu[k], s)
-			mat.ReLUInto(ro, z)
-			h = ro
-		} else {
-			h = z
-		}
-	}
-	h.ArgmaxRowsInto(ws.labels[:s])
+	ws.rectMach.Run(s, ws.embs, ws.labels[:s])
 	return nil
-}
-
-// backboneExtracted runs the backbone layer stack over the gathered
-// feature rows using the induced substitute operator, returning the
-// per-block embeddings (the transfer payload). Normal world, parallel
-// kernels, no allocation.
-func (ws *SubgraphWorkspace) backboneExtracted(subPub *graph.NormAdjacency, s int) []*mat.Matrix {
-	h := ws.feat // already viewed to s rows by the gather
-	ws.acts = ws.acts[:0]
-	for i, l := range ws.v.Backbone.Model.Layers {
-		switch layer := l.(type) {
-		case *nn.GCNConv:
-			tmp := viewRows(ws.bbTmp[i], s)
-			out := viewRows(ws.bbOut[i], s)
-			mat.MatMulInto(tmp, h, layer.W)
-			subPub.MulDenseInto(out, tmp)
-			mat.AddBiasInto(out, out, layer.B)
-			h = out
-		case *nn.Dense:
-			out := viewRows(ws.bbOut[i], s)
-			mat.MatMulInto(out, h, layer.W)
-			mat.AddBiasInto(out, out, layer.B)
-			h = out
-		case *nn.ReLU:
-			out := viewRows(ws.bbOut[i], s)
-			mat.ReLUInto(out, h)
-			h = out
-		case *nn.Dropout:
-			// inference-mode identity
-		}
-		ws.acts = append(ws.acts, h)
-	}
-	ws.blocks = ws.v.Backbone.appendBlockOutputs(ws.blocks[:0], ws.acts)
-	return ws.blocks
 }
 
 // EnclaveBytes returns the EPC charged for this workspace at plan time.
@@ -311,11 +220,11 @@ func (ws *SubgraphWorkspace) Release() {
 
 // PredictNodesInto answers a node-level query from the sampled L-hop
 // subgraph of the seeds: frontier expansion over the public substitute
-// adjacency, backbone forward on the induced substitute CSR, then one
-// ECALL that induces the private adjacency over the same node set and
-// rectifies inside the enclave. x is the full public feature matrix; only
-// the seeds' feature rows (and their extracted neighbourhoods') are
-// touched.
+// adjacency, the compiled backbone program on the induced substitute CSR,
+// then one ECALL that induces the private adjacency over the same node set
+// and runs the compiled rectifier program inside the enclave. x is the
+// full public feature matrix; only the seeds' feature rows (and their
+// extracted neighbourhoods') are touched.
 //
 // The returned slice holds one label per seed, aliases the workspace and
 // is overwritten by the next call. Out-of-range seeds fail with
@@ -350,7 +259,7 @@ func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	v.Enclave.ResetPeak()
 
 	// Normal world: expand, induce the public operator, gather features,
-	// run the backbone — all into planned buffers.
+	// run the backbone program — all into planned buffers.
 	start := time.Now()
 	cnt, err := ws.exp.Expand(v.Backbone.adj, seeds)
 	if err != nil {
@@ -369,20 +278,19 @@ func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 		}
 		return out, fbd, nil
 	}
-	subPub, err := ws.exp.Induce(v.Backbone.adj, ws.pubCS)
-	if err != nil {
+	if _, err := ws.exp.Induce(v.Backbone.adj, ws.pubCS); err != nil {
 		return nil, bd, err
 	}
 	viewRows(ws.feat, cnt)
 	subgraph.GatherRowsInto(ws.feat, x, ws.exp.Nodes())
-	blocks := ws.backboneExtracted(subPub, cnt)
+	ws.bbMach.Run(cnt, ws.featIn, nil)
 	bd.BackboneTime = time.Since(start)
 
 	// One ECALL: seed IDs and the extracted embeddings cross in, labels
 	// for the seeds cross out.
 	ws.embs = ws.embs[:0]
 	for _, i := range ws.needed {
-		ws.embs = append(ws.embs, blocks[i])
+		ws.embs = append(ws.embs, ws.blocks[i])
 	}
 	ws.curRows = cnt
 	ws.curSeeds = len(seeds)

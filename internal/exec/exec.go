@@ -1,0 +1,552 @@
+// Package exec is the tiled streaming execution engine behind every
+// GNNVault inference path: a Backbone/Rectifier forward pass is compiled
+// once into a flat op sequence (dense MatMul, sparse SpMM over a CSR row
+// range, bias add, ReLU, element-wise add, horizontal concat, row argmax),
+// and a Machine then executes that program either directly — every buffer
+// resident, the pre-PR-4 behaviour — or row tile by row tile under a fixed
+// working-set bound.
+//
+// The tiled mode is what makes full-graph plans admissible on a real
+// enclave: a layer's full activations live in *spilled* host buffers
+// (untrusted memory — a deployment would seal them the way SGX paging
+// encrypts evicted EPC pages), while the enclave's Page Cache is charged
+// only for the one tile-sized staging buffer every op writes through. The
+// enclave footprint of an n-node forward pass therefore drops from
+// O(n × maxWidth) to O(tileRows × maxWidth), at the price of streaming
+// each activation across the boundary once per op.
+//
+// Row tiling works because every op is row-local in its output: output
+// rows [lo, hi) of a MatMul/bias/ReLU/concat read only input rows
+// [lo, hi), and a SpMM's output rows read arbitrary input rows — which is
+// exactly why execution is op-major (each op finishes all tiles before the
+// next op starts), so a SpMM always finds its full input spilled.
+//
+// One Machine belongs to one goroutine at a time; its Run performs zero
+// heap allocations, which the serving hot paths rely on.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+)
+
+// OpKind enumerates the primitive operations a compiled program is made of.
+type OpKind uint8
+
+// The op vocabulary. OpFunc is the escape hatch for layers without a
+// row-tileable kernel decomposition (GAT attention, SAGE's fused form when
+// wrapped whole): it runs an opaque full-width forward and is therefore
+// rejected by tiled machines.
+const (
+	OpMatMul  OpKind = iota // dst = src · W
+	OpSpMM                  // dst = CSR · src (src must be fully materialised)
+	OpAddBias               // dst = src + b, in place (dst aliases src)
+	OpReLU                  // dst = max(src, 0)
+	OpAdd                   // dst = srcA + srcB
+	OpConcat                // dst = [src0 | src1 | …]
+	OpArgmax                // labels[i] = argmax(src row i); terminal, no dst
+	OpFunc                  // dst = fn(src), opaque full-width layer
+)
+
+// String names the op kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpMatMul:
+		return "matmul"
+	case OpSpMM:
+		return "spmm"
+	case OpAddBias:
+		return "addbias"
+	case OpReLU:
+		return "relu"
+	case OpAdd:
+		return "add"
+	case OpConcat:
+		return "concat"
+	case OpArgmax:
+		return "argmax"
+	case OpFunc:
+		return "func"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Op is one instruction of a compiled program. Dst and Srcs index the
+// program's value table; the remaining fields are the operands one kind
+// each needs.
+type Op struct {
+	Kind OpKind
+	Dst  int   // destination value (-1 for OpArgmax)
+	Srcs []int // source values, in kernel order
+
+	W *mat.Matrix // OpMatMul weight
+	B []float64   // OpAddBias bias
+	// CSR is the sparse operator of an OpSpMM. The header pointer is
+	// captured at compile time but its *contents* may change between runs
+	// (the subgraph path re-induces into a stable header per query); the
+	// only requirement is CSR.N == rows at Run time.
+	CSR *graph.NormAdjacency
+	// Fn is the opaque kernel of an OpFunc: it consumes src and returns
+	// its full-rows result in a buffer it owns (valid until its next
+	// invocation), which the machine binds as the destination value — no
+	// staging buffer, no copy. Direct mode only.
+	Fn func(src *mat.Matrix) *mat.Matrix
+}
+
+// value is one entry of the program's value table.
+type value struct {
+	width int
+	input int // ordinal among Run's inputs, or -1 for intermediates
+	// funcOut marks an OpFunc destination: the producing kernel owns the
+	// buffer, so the machine allocates no spill for it and binds its view
+	// when the op executes.
+	funcOut bool
+}
+
+// Program is a compiled forward pass: a value table (external inputs plus
+// intermediates) and the flat op sequence that connects them. Programs are
+// immutable once built; many Machines may be planned from one Program.
+type Program struct {
+	// MaxRows is the largest batch height any machine of this program can
+	// execute; buffers are sized for it, Run may use fewer rows.
+	MaxRows int
+
+	vals      []value
+	ops       []Op
+	numInputs int
+	output    int
+	hasArgmax bool
+	maxWidth  int
+	maxArity  int
+	tileable  bool
+}
+
+// NumInputs returns how many external input matrices Run expects.
+func (p *Program) NumInputs() int { return p.numInputs }
+
+// MaxWidth returns the widest value in the program — the column count the
+// tile staging buffer must accommodate.
+func (p *Program) MaxWidth() int { return p.maxWidth }
+
+// Tileable reports whether every op has a row-tileable kernel (no OpFunc).
+// Non-tileable programs still execute on direct machines.
+func (p *Program) Tileable() bool { return p.tileable }
+
+// OutputWidth returns the column count of the program's result value.
+func (p *Program) OutputWidth() int { return p.vals[p.output].width }
+
+// Ops returns the compiled op sequence (shared, not a copy; read-only).
+func (p *Program) Ops() []Op { return p.ops }
+
+// Builder assembles a Program. Methods return value ids to wire into later
+// ops; Build freezes the sequence. Builders are single-use.
+type Builder struct {
+	p    Program
+	last int
+}
+
+// NewBuilder starts a program for batches of up to maxRows rows.
+func NewBuilder(maxRows int) *Builder {
+	if maxRows <= 0 {
+		panic(fmt.Sprintf("exec: non-positive maxRows %d", maxRows))
+	}
+	return &Builder{p: Program{MaxRows: maxRows, tileable: true}, last: -1}
+}
+
+// newValue appends a value of the given width to the table.
+func (b *Builder) newValue(width, input int) int {
+	if width <= 0 {
+		panic(fmt.Sprintf("exec: non-positive value width %d", width))
+	}
+	b.p.vals = append(b.p.vals, value{width: width, input: input})
+	if width > b.p.maxWidth {
+		b.p.maxWidth = width
+	}
+	id := len(b.p.vals) - 1
+	b.last = id
+	return id
+}
+
+// width returns the declared width of value v, panicking on bad ids.
+func (b *Builder) width(v int) int {
+	if v < 0 || v >= len(b.p.vals) {
+		panic(fmt.Sprintf("exec: unknown value %d", v))
+	}
+	return b.p.vals[v].width
+}
+
+// push appends an op, tracking the program's maximum source arity.
+func (b *Builder) push(op Op) {
+	if b.p.hasArgmax {
+		panic("exec: ops after Argmax")
+	}
+	b.p.ops = append(b.p.ops, op)
+	if len(op.Srcs) > b.p.maxArity {
+		b.p.maxArity = len(op.Srcs)
+	}
+}
+
+// Input declares the next external input (width columns) and returns its
+// value id. Run consumes inputs in declaration order.
+func (b *Builder) Input(width int) int {
+	id := b.newValue(width, b.p.numInputs)
+	b.p.numInputs++
+	return id
+}
+
+// MatMul appends dst = src · w and returns dst.
+func (b *Builder) MatMul(src int, w *mat.Matrix) int {
+	if got := b.width(src); got != w.Rows {
+		panic(fmt.Sprintf("exec: MatMul src width %d != weight rows %d", got, w.Rows))
+	}
+	dst := b.newValue(w.Cols, -1)
+	b.push(Op{Kind: OpMatMul, Dst: dst, Srcs: []int{src}, W: w})
+	return dst
+}
+
+// SpMM appends dst = csr · src and returns dst. The csr header is captured
+// by pointer; its contents may be re-induced between runs as long as its N
+// matches the run's row count.
+func (b *Builder) SpMM(csr *graph.NormAdjacency, src int) int {
+	dst := b.newValue(b.width(src), -1)
+	b.push(Op{Kind: OpSpMM, Dst: dst, Srcs: []int{src}, CSR: csr})
+	return dst
+}
+
+// AddBias appends src += bias (broadcast across rows), in place, and
+// returns src. In-place is safe because a bias add always consumes a value
+// this program just produced; biasing an external input is rejected.
+func (b *Builder) AddBias(src int, bias []float64) int {
+	if b.p.vals[src].input >= 0 {
+		panic("exec: AddBias on an external input")
+	}
+	if got := b.width(src); got != len(bias) {
+		panic(fmt.Sprintf("exec: AddBias width %d != bias length %d", got, len(bias)))
+	}
+	b.push(Op{Kind: OpAddBias, Dst: src, Srcs: []int{src}, B: bias})
+	b.last = src
+	return src
+}
+
+// ReLU appends dst = max(src, 0) and returns dst.
+func (b *Builder) ReLU(src int) int {
+	dst := b.newValue(b.width(src), -1)
+	b.push(Op{Kind: OpReLU, Dst: dst, Srcs: []int{src}})
+	return dst
+}
+
+// Add appends dst = a + b (element-wise; equal widths) and returns dst.
+func (b *Builder) Add(a, c int) int {
+	if b.width(a) != b.width(c) {
+		panic(fmt.Sprintf("exec: Add width mismatch %d != %d", b.width(a), b.width(c)))
+	}
+	dst := b.newValue(b.width(a), -1)
+	b.push(Op{Kind: OpAdd, Dst: dst, Srcs: []int{a, c}})
+	return dst
+}
+
+// Concat appends dst = [srcs[0] | srcs[1] | …] and returns dst.
+func (b *Builder) Concat(srcs ...int) int {
+	if len(srcs) == 0 {
+		panic("exec: Concat of nothing")
+	}
+	w := 0
+	for _, s := range srcs {
+		w += b.width(s)
+	}
+	dst := b.newValue(w, -1)
+	b.push(Op{Kind: OpConcat, Dst: dst, Srcs: append([]int{}, srcs...)})
+	return dst
+}
+
+// Func appends dst = fn(src), an opaque full-width layer of the given
+// output width. fn consumes src and returns its result in a buffer it
+// owns (a planned layer workspace's output, typically); it is invoked
+// only at the program's full MaxRows height, and programs containing Func
+// ops cannot be tiled.
+func (b *Builder) Func(src, width int, fn func(src *mat.Matrix) *mat.Matrix) int {
+	if fn == nil {
+		panic("exec: nil Func kernel")
+	}
+	dst := b.newValue(width, -1)
+	b.p.vals[dst].funcOut = true
+	b.push(Op{Kind: OpFunc, Dst: dst, Srcs: []int{src}, Fn: fn})
+	b.p.tileable = false
+	return dst
+}
+
+// Argmax appends the terminal label reduction over src. After Argmax the
+// program is complete; src also becomes the program's output value.
+func (b *Builder) Argmax(src int) {
+	b.width(src) // id check
+	b.push(Op{Kind: OpArgmax, Dst: -1, Srcs: []int{src}})
+	b.p.hasArgmax = true
+	b.last = src
+}
+
+// Build freezes the program. The output value is the Argmax source when
+// one was appended, otherwise the most recently produced value.
+func (b *Builder) Build() *Program {
+	if b.last < 0 {
+		panic("exec: empty program")
+	}
+	p := b.p
+	p.output = b.last
+	b.p = Program{} // poison the builder against reuse
+	return &p
+}
+
+// Config tunes one machine planned from a program.
+type Config struct {
+	// TileRows selects tiled streaming execution with the given tile
+	// height (clamped to MaxRows); 0 selects direct execution, where every
+	// value buffer is resident and ops run at full height.
+	TileRows int
+	// Workers is the kernel parallelism budget (mat.ResolveWorkers
+	// semantics: 0 = process-global default, 1 = inline). Enclave-side
+	// machines must use 1 — in-enclave execution is single-threaded.
+	Workers int
+}
+
+// ErrNotTileable is returned when a tiled machine is requested for a
+// program containing ops without a row-tileable kernel (OpFunc).
+var ErrNotTileable = errors.New("exec: program contains non-tileable ops")
+
+// Machine executes one program with pre-sized buffers. Direct machines
+// hold every intermediate resident (BufferBytes is the enclave charge when
+// the machine runs in-enclave); tiled machines hold full intermediates in
+// spilled (untrusted) buffers and stage every op's output through one
+// tile-sized buffer (TileBytes is the enclave charge). One machine belongs
+// to one goroutine at a time.
+type Machine struct {
+	prog *Program
+	cfg  Config
+
+	spill []*mat.Matrix // per value; nil for inputs
+	tile  *mat.Matrix   // tiled mode: the one EPC-resident staging buffer
+
+	views    []mat.Matrix  // per value: full-rows header, bound per Run
+	srcTiles []mat.Matrix  // per-op tile headers over source values
+	srcPtrs  []*mat.Matrix // reused variadic argument list
+	tileView mat.Matrix    // staging header over tile
+	dstTile  mat.Matrix    // flush target header over the dst spill
+}
+
+// NewMachine plans a machine for the program: all value buffers (and, when
+// tiling, the staging tile) are allocated here, never during Run.
+func (p *Program) NewMachine(cfg Config) (*Machine, error) {
+	if cfg.TileRows < 0 {
+		return nil, fmt.Errorf("exec: negative TileRows %d", cfg.TileRows)
+	}
+	if cfg.TileRows > 0 && !p.tileable {
+		return nil, ErrNotTileable
+	}
+	if cfg.TileRows > p.MaxRows {
+		cfg.TileRows = p.MaxRows
+	}
+	m := &Machine{
+		prog:     p,
+		cfg:      cfg,
+		spill:    make([]*mat.Matrix, len(p.vals)),
+		views:    make([]mat.Matrix, len(p.vals)),
+		srcTiles: make([]mat.Matrix, p.maxArity),
+		srcPtrs:  make([]*mat.Matrix, p.maxArity),
+	}
+	for i, v := range p.vals {
+		if v.input < 0 && !v.funcOut {
+			m.spill[i] = mat.New(p.MaxRows, v.width)
+		}
+	}
+	if cfg.TileRows > 0 {
+		m.tile = mat.New(cfg.TileRows, p.maxWidth)
+	}
+	return m, nil
+}
+
+// TileRows returns the tile height (0 for direct machines).
+func (m *Machine) TileRows() int { return m.cfg.TileRows }
+
+// TileBytes returns the staging-buffer footprint — the only working memory
+// a tiled run keeps enclave-resident.
+func (m *Machine) TileBytes() int64 {
+	if m.tile == nil {
+		return 0
+	}
+	return m.tile.NumBytes()
+}
+
+// BufferBytes returns the total footprint of the machine's value buffers —
+// the enclave charge of a *direct* in-enclave machine, and the spilled
+// (untrusted, uncharged) residency of a tiled one.
+func (m *Machine) BufferBytes() int64 {
+	n := int64(0)
+	for _, s := range m.spill {
+		if s != nil {
+			n += s.NumBytes()
+		}
+	}
+	return n
+}
+
+// SpillTraffic returns the bytes a tiled run over rows rows streams from
+// the staging tile out to spilled buffers (one flush per op per row):
+// the quantity charged as boundary-transfer payload per call. Direct
+// machines spill nothing.
+func (m *Machine) SpillTraffic(rows int) int64 {
+	if m.tile == nil {
+		return 0
+	}
+	n := int64(0)
+	for _, op := range m.prog.ops {
+		if op.Dst >= 0 {
+			n += int64(rows) * int64(m.prog.vals[op.Dst].width) * 8
+		}
+	}
+	return n
+}
+
+// Value returns the machine's stable header for a program value — the way
+// callers read intermediate results (e.g. backbone block embeddings) after
+// Run. The header is re-bound by every Run; the pointer itself is stable,
+// so it can be captured once at plan time.
+func (m *Machine) Value(v int) *mat.Matrix { return &m.views[v] }
+
+// Output returns the stable header of the program's result value.
+func (m *Machine) Output() *mat.Matrix { return &m.views[m.prog.output] }
+
+// Run executes the program over the first rows rows. inputs must match the
+// program's declared inputs (count, order, widths) and all have rows rows;
+// labels receives the OpArgmax result and may be nil to skip the label
+// reduction (callers that only want logits). The returned matrix is the
+// output value's view — machine-owned, overwritten by the next Run.
+//
+// Run never allocates. Direct machines execute ops at full height with the
+// configured worker budget; tiled machines execute op-major, each op
+// streaming row tiles through the staging buffer with serial kernels (the
+// in-enclave contract).
+func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix {
+	p := m.prog
+	if rows < 0 || rows > p.MaxRows {
+		panic(fmt.Sprintf("exec: rows %d outside [0, %d]", rows, p.MaxRows))
+	}
+	if len(inputs) != p.numInputs {
+		panic(fmt.Sprintf("exec: %d inputs, want %d", len(inputs), p.numInputs))
+	}
+	// Bind every value's full-rows view: inputs alias the caller's
+	// matrices, intermediates alias the first rows rows of their buffer.
+	// Func outputs are bound when their op executes (the kernel owns the
+	// buffer), which op order guarantees happens before any consumer.
+	for i, v := range p.vals {
+		switch {
+		case v.input >= 0:
+			in := inputs[v.input]
+			if in.Rows != rows || in.Cols != v.width {
+				panic(fmt.Sprintf("exec: input %d is %s, want %dx%d", v.input, in.Shape(), rows, v.width))
+			}
+			m.views[i] = *in
+		case !v.funcOut:
+			m.spill[i].ViewRows(0, rows, &m.views[i])
+		}
+	}
+	for i := range p.ops {
+		op := &p.ops[i]
+		if op.Kind == OpSpMM && op.CSR.N != rows {
+			panic(fmt.Sprintf("exec: SpMM operator over %d rows, run over %d", op.CSR.N, rows))
+		}
+		if m.tile == nil {
+			m.runDirect(op, rows, labels)
+			continue
+		}
+		for lo := 0; lo < rows; lo += m.cfg.TileRows {
+			hi := lo + m.cfg.TileRows
+			if hi > rows {
+				hi = rows
+			}
+			m.runTile(op, lo, hi, labels)
+		}
+	}
+	return &m.views[p.output]
+}
+
+// runDirect executes one op at full height into the resident value views.
+func (m *Machine) runDirect(op *Op, rows int, labels []int) {
+	w := m.cfg.Workers
+	switch op.Kind {
+	case OpMatMul:
+		mat.MatMulWorkersInto(&m.views[op.Dst], &m.views[op.Srcs[0]], op.W, w)
+	case OpSpMM:
+		op.CSR.MulDenseWorkersInto(&m.views[op.Dst], &m.views[op.Srcs[0]], w)
+	case OpAddBias:
+		mat.AddBiasInto(&m.views[op.Dst], &m.views[op.Srcs[0]], op.B)
+	case OpReLU:
+		mat.ReLUInto(&m.views[op.Dst], &m.views[op.Srcs[0]])
+	case OpAdd:
+		mat.AddInto(&m.views[op.Dst], &m.views[op.Srcs[0]], &m.views[op.Srcs[1]])
+	case OpConcat:
+		for i, s := range op.Srcs {
+			m.srcPtrs[i] = &m.views[s]
+		}
+		mat.HConcatInto(&m.views[op.Dst], m.srcPtrs[:len(op.Srcs)]...)
+	case OpArgmax:
+		if labels != nil {
+			m.views[op.Srcs[0]].ArgmaxRowsInto(labels[:rows])
+		}
+	case OpFunc:
+		if rows != m.prog.MaxRows {
+			panic(fmt.Sprintf("exec: Func op requires full height %d, got %d", m.prog.MaxRows, rows))
+		}
+		out := op.Fn(&m.views[op.Srcs[0]])
+		if out.Rows != rows || out.Cols != m.prog.vals[op.Dst].width {
+			panic(fmt.Sprintf("exec: Func result %s, want %dx%d", out.Shape(), rows, m.prog.vals[op.Dst].width))
+		}
+		m.views[op.Dst] = *out
+	}
+}
+
+// runTile executes rows [lo, hi) of one op: sources are viewed in place
+// (spilled/untrusted reads), the result is computed into the EPC-resident
+// staging tile, then flushed out to the destination's spilled buffer.
+func (m *Machine) runTile(op *Op, lo, hi int, labels []int) {
+	if op.Kind == OpArgmax {
+		if labels != nil {
+			m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
+			m.srcTiles[0].ArgmaxRowsInto(labels[lo:hi])
+		}
+		return
+	}
+	width := m.prog.vals[op.Dst].width
+	m.tileView.Rows = hi - lo
+	m.tileView.Cols = width
+	m.tileView.Data = m.tile.Data[:(hi-lo)*width]
+	switch op.Kind {
+	case OpMatMul:
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
+		mat.MatMulSerialInto(&m.tileView, &m.srcTiles[0], op.W)
+	case OpSpMM:
+		// The one op whose tile reads outside [lo, hi): it consumes the
+		// full spilled input, which op-major order guarantees is complete.
+		op.CSR.MulDenseRangeInto(&m.tileView, &m.views[op.Srcs[0]], lo, hi)
+	case OpAddBias:
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
+		mat.AddBiasInto(&m.tileView, &m.srcTiles[0], op.B)
+	case OpReLU:
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
+		mat.ReLUInto(&m.tileView, &m.srcTiles[0])
+	case OpAdd:
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
+		m.views[op.Srcs[1]].ViewRows(lo, hi, &m.srcTiles[1])
+		mat.AddInto(&m.tileView, &m.srcTiles[0], &m.srcTiles[1])
+	case OpConcat:
+		for i, s := range op.Srcs {
+			m.views[s].ViewRows(lo, hi, &m.srcTiles[i])
+			m.srcPtrs[i] = &m.srcTiles[i]
+		}
+		mat.HConcatInto(&m.tileView, m.srcPtrs[:len(op.Srcs)]...)
+	}
+	m.views[op.Dst].ViewRows(lo, hi, &m.dstTile)
+	mat.CopyInto(&m.dstTile, &m.tileView)
+}

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+)
+
+// testCSR builds a deterministic random normalised adjacency over n nodes.
+func testCSR(n int, seed int64) *graph.NormAdjacency {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for i := 0; i < n*3; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	return graph.Normalize(graph.New(n, edges))
+}
+
+func randMat(rng *rand.Rand, rows, cols int) *mat.Matrix {
+	m := mat.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// buildGCNLikeProgram compiles a two-layer parallel-wired forward pass that
+// exercises every tileable op kind: MatMul, SpMM, AddBias, ReLU, Add,
+// Concat, Argmax.
+func buildGCNLikeProgram(t testing.TB, n int, csr *graph.NormAdjacency) (*Program, []*mat.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const d0, d1, h, c = 6, 4, 5, 3
+	w1 := randMat(rng, d0, h)
+	b1 := randMat(rng, 1, h).Data
+	w2 := randMat(rng, h+d1, c)
+	b2 := randMat(rng, 1, c).Data
+	wSkip := randMat(rng, d0, h)
+
+	b := NewBuilder(n)
+	in0 := b.Input(d0)
+	in1 := b.Input(d1)
+	v := b.MatMul(in0, w1)
+	v = b.SpMM(csr, v)
+	v = b.AddBias(v, b1)
+	skip := b.MatMul(in0, wSkip)
+	v = b.Add(v, skip)
+	v = b.ReLU(v)
+	v = b.Concat(v, in1)
+	v = b.MatMul(v, w2)
+	v = b.AddBias(v, b2)
+	b.Argmax(v)
+	prog := b.Build()
+
+	x0 := randMat(rng, n, d0)
+	x1 := randMat(rng, n, d1)
+	return prog, []*mat.Matrix{x0, x1}
+}
+
+// TestTiledMatchesDirect is the core tiling property: for tile heights
+// {1, 7, n-1, n} the streamed execution is bit-identical to the direct
+// reference — same kernels, same per-row loop order, only the staging
+// differs.
+func TestTiledMatchesDirect(t *testing.T) {
+	const n = 53
+	csr := testCSR(n, 1)
+	prog, inputs := buildGCNLikeProgram(t, n, csr)
+
+	direct, err := prog.NewMachine(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("direct machine: %v", err)
+	}
+	wantLabels := make([]int, n)
+	wantLogits := direct.Run(n, inputs, wantLabels).Clone()
+
+	for _, tile := range []int{1, 7, n - 1, n} {
+		m, err := prog.NewMachine(Config{TileRows: tile, Workers: 1})
+		if err != nil {
+			t.Fatalf("tile=%d: %v", tile, err)
+		}
+		labels := make([]int, n)
+		logits := m.Run(n, inputs, labels)
+		if !logits.Equal(wantLogits) {
+			t.Fatalf("tile=%d: logits differ from direct reference", tile)
+		}
+		for i := range labels {
+			if labels[i] != wantLabels[i] {
+				t.Fatalf("tile=%d: label[%d] = %d, want %d", tile, i, labels[i], wantLabels[i])
+			}
+		}
+		if got := m.TileBytes(); got != int64(tile)*int64(prog.MaxWidth())*8 {
+			t.Fatalf("tile=%d: TileBytes %d", tile, got)
+		}
+	}
+}
+
+// TestRunAllocFree pins the hot-path contract: steady-state Run performs
+// zero heap allocations, in both execution modes.
+func TestRunAllocFree(t *testing.T) {
+	const n = 40
+	csr := testCSR(n, 2)
+	prog, inputs := buildGCNLikeProgram(t, n, csr)
+	labels := make([]int, n)
+	for _, tile := range []int{0, 9} {
+		m, err := prog.NewMachine(Config{TileRows: tile, Workers: 1})
+		if err != nil {
+			t.Fatalf("tile=%d: %v", tile, err)
+		}
+		m.Run(n, inputs, labels) // warm-up
+		allocs := testing.AllocsPerRun(10, func() {
+			m.Run(n, inputs, labels)
+		})
+		if allocs > 0 {
+			t.Fatalf("tile=%d: Run allocates %.1f objects/op, want 0", tile, allocs)
+		}
+	}
+}
+
+// TestVariableRows checks that one machine serves shrinking batch heights
+// (the subgraph path) — for SpMM the operator is re-induced per run, here
+// simulated by swapping the header contents.
+func TestVariableRows(t *testing.T) {
+	const cap = 30
+	header := &graph.NormAdjacency{}
+	rng := rand.New(rand.NewSource(3))
+	w := randMat(rng, 4, 3)
+	b := NewBuilder(cap)
+	in := b.Input(4)
+	v := b.MatMul(in, w)
+	v = b.SpMM(header, v)
+	b.Argmax(v)
+	prog := b.Build()
+	m, err := prog.NewMachine(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{cap, 11, 1} {
+		*header = *testCSR(rows, int64(rows))
+		x := randMat(rng, rows, 4)
+		labels := make([]int, rows)
+		got := m.Run(rows, []*mat.Matrix{x}, labels)
+
+		want := header.MulDenseSerial(mat.MatMulSerial(x, w))
+		if !got.Equal(want) {
+			t.Fatalf("rows=%d: output differs from reference", rows)
+		}
+	}
+}
+
+// TestFuncOpDirectOnly checks the opaque-layer escape hatch: it executes on
+// direct machines and is rejected by tiled ones.
+func TestFuncOpDirectOnly(t *testing.T) {
+	const n = 8
+	b := NewBuilder(n)
+	in := b.Input(2)
+	buf := mat.New(n, 2) // kernel-owned output, like a layer workspace's Out
+	b.Func(in, 2, func(src *mat.Matrix) *mat.Matrix {
+		for i, v := range src.Data {
+			buf.Data[i] = 2 * v
+		}
+		return buf
+	})
+	prog := b.Build()
+	if prog.Tileable() {
+		t.Fatal("Func program reports tileable")
+	}
+	if _, err := prog.NewMachine(Config{TileRows: 4}); err == nil {
+		t.Fatal("tiled machine accepted a Func program")
+	}
+	m, err := prog.NewMachine(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := randMat(rng, n, 2)
+	out := m.Run(n, []*mat.Matrix{x}, nil)
+	for i := range x.Data {
+		if out.Data[i] != 2*x.Data[i] {
+			t.Fatalf("Func output[%d] = %v, want %v", i, out.Data[i], 2*x.Data[i])
+		}
+	}
+}
+
+// TestBuilderValidation spot-checks the compile-time shape rules.
+func TestBuilderValidation(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	rng := rand.New(rand.NewSource(5))
+	expectPanic("width mismatch", func() {
+		b := NewBuilder(4)
+		in := b.Input(3)
+		b.MatMul(in, randMat(rng, 5, 2))
+	})
+	expectPanic("bias on input", func() {
+		b := NewBuilder(4)
+		in := b.Input(3)
+		b.AddBias(in, make([]float64, 3))
+	})
+	expectPanic("empty program", func() {
+		NewBuilder(4).Build()
+	})
+	expectPanic("op after argmax", func() {
+		b := NewBuilder(4)
+		in := b.Input(3)
+		b.Argmax(in)
+		b.ReLU(in)
+	})
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/serve"
+	"gnnvault/internal/substitute"
+)
+
+// The perf-trajectory experiments behind `make bench-json`: ExtSubgraph
+// (extensions.go) covers node-level queries; the two sweeps here cover the
+// other serving surfaces — full-graph PredictInto through the tiled
+// engine (BENCH_core.json) and multi-vault registry serving under EPC
+// pressure (BENCH_serve.json) — so every hot path leaves a JSON artifact
+// to diff across PRs.
+
+// ExtCoreRow is one (design, plan shape) point of the full-graph
+// inference sweep.
+type ExtCoreRow struct {
+	Dataset     string  `json:"dataset"`
+	Design      string  `json:"design"`
+	Nodes       int     `json:"nodes"`
+	Mode        string  `json:"mode"` // untiled | tiled
+	EPCBudgetMB int64   `json:"epc_budget_mb,omitempty"`
+	TileRows    int     `json:"tile_rows,omitempty"`
+	QueryUS     float64 `json:"query_us"`
+	EPCBytes    int64   `json:"epc_bytes"`
+}
+
+// extCoreBudget is the per-workspace budget the tiled leg of ExtCore runs
+// under: small enough that every design actually tiles on cora, large
+// enough to stay well above one row.
+const extCoreBudget = 1 << 20
+
+// ExtCore sweeps steady-state full-graph PredictInto latency and
+// enclave-charged bytes across the three rectifier designs, each measured
+// through an untiled plan and through a tile-streamed plan under a 1 MB
+// EPC budget. The pair prices the tiling trade precisely: bounded enclave
+// bytes against the extra staging copies. Training is capped at 3 epochs —
+// the sweep measures serving, not accuracy.
+func ExtCore(opts Options) ([]ExtCoreRow, string) {
+	opts = opts.normalise()
+	name := opts.Datasets[0]
+	ds := datasets.Load(name)
+	train := opts.train()
+	if train.Epochs > 3 {
+		train.Epochs = 3
+	}
+	spec := core.SpecForDataset(name)
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), train)
+
+	var rows []ExtCoreRow
+	var cells [][]string
+	for _, design := range core.Designs {
+		rec := core.TrainRectifier(ds, bb, design, train)
+		v, err := core.Deploy(bb, rec, ds.Graph, enclaveDefaultCost())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtCore deploy %s: %v", design, err))
+		}
+		measure := func(mode string, cfg core.PlanConfig) {
+			ws, err := v.PlanWith(v.Nodes(), cfg)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtCore plan %s/%s: %v", design, mode, err))
+			}
+			defer ws.Release()
+			predict := func() {
+				if _, _, err := v.PredictInto(ds.X, ws); err != nil {
+					panic(err)
+				}
+			}
+			predict() // warm-up
+			const reps = 5
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				predict()
+			}
+			us := float64(time.Since(start).Microseconds()) / reps
+			r := ExtCoreRow{
+				Dataset: name, Design: string(design), Nodes: v.Nodes(),
+				Mode: mode, QueryUS: us, EPCBytes: ws.EnclaveBytes(),
+				TileRows: ws.TileRows(),
+			}
+			if cfg.EPCBudgetBytes > 0 {
+				r.EPCBudgetMB = cfg.EPCBudgetBytes >> 20
+			}
+			rows = append(rows, r)
+			cells = append(cells, []string{name, string(design), mode,
+				fmt.Sprintf("%.0f", r.QueryUS), mb(r.EPCBytes), fmt.Sprintf("%d", r.TileRows)})
+		}
+		measure("untiled", core.PlanConfig{})
+		measure("tiled", core.PlanConfig{EPCBudgetBytes: extCoreBudget})
+		v.Undeploy()
+	}
+	text := "Ext: full-graph PredictInto, untiled vs tile-streamed (1 MB workspace budget)\n" +
+		table([]string{"Dataset", "Design", "Mode", "µs/query", "EPC(MB)", "tileRows"}, cells)
+	return rows, text
+}
+
+// ExtServeRow is one (plan shape) point of the registry serving sweep.
+type ExtServeRow struct {
+	Dataset       string  `json:"dataset"`
+	Vaults        int     `json:"vaults"`
+	Mode          string  `json:"mode"` // untiled | tiled
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	AvgLatencyUS  float64 `json:"avg_latency_us"`
+	Plans         uint64  `json:"plans"`
+	Evictions     uint64  `json:"evictions"`
+	EPCUsedMB     float64 `json:"epc_used_mb"`
+}
+
+// ExtServe drives a synthetic request stream across a multi-vault
+// registry fleet whose EPC admits every vault's persistent state but only
+// ONE untiled workspace — the oversubscribed regime PR 2 priced — first
+// with classic untiled plans (plan/evict churn on every vault switch),
+// then with tile-streamed plans under a small per-workspace budget (the
+// whole fleet stays resident). The plans/evictions columns are the EPC
+// cliff flipping.
+func ExtServe(opts Options) ([]ExtServeRow, string) {
+	opts = opts.normalise()
+	name := opts.Datasets[0]
+	ds := datasets.Load(name)
+	train := opts.train()
+	if train.Epochs > 3 {
+		train.Epochs = 3
+	}
+	spec := core.SpecForDataset(name)
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), train)
+	recs := map[core.RectifierDesign]*core.Rectifier{}
+	for _, design := range core.Designs {
+		recs[design] = core.TrainRectifier(ds, bb, design, train)
+	}
+
+	// Probe one roomy deployment for the two EPC quanta, then size the
+	// shared enclave to fleet persistents + one untiled workspace.
+	probe, err := core.Deploy(bb, recs[core.Parallel], ds.Graph, enclaveDefaultCost())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtServe probe deploy: %v", err))
+	}
+	persist := probe.PersistentBytes()
+	pws, err := probe.Plan(probe.Nodes())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtServe probe plan: %v", err))
+	}
+	wsBytes := pws.EnclaveBytes()
+	pws.Release()
+	probe.Undeploy()
+
+	const clients, perClient = 4, 12
+	var rows []ExtServeRow
+	var cells [][]string
+	run := func(mode string, plan core.PlanConfig) {
+		cost := enclaveDefaultCost()
+		cost.EPCBytes = int64(len(recs))*persist + wsBytes + wsBytes/2
+		var identities [][]byte
+		for _, design := range core.Designs {
+			identities = append(identities, recs[design].Identity())
+		}
+		encl := enclave.New(cost, identities...)
+		reg := registry.New(encl, registry.Config{WorkspacesPerVault: 1, Plan: plan})
+		var ids []string
+		for _, design := range core.Designs {
+			v, err := core.DeployInto(encl, bb, recs[design], ds.Graph)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtServe deploy %s: %v", design, err))
+			}
+			id := name + "/" + string(design)
+			if err := reg.Register(id, v); err != nil {
+				panic(err)
+			}
+			ids = append(ids, id)
+		}
+		srv := serve.NewMulti(reg, serve.Config{Workers: 2, MaxBatch: 4})
+		start := time.Now()
+		done := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				for r := 0; r < perClient; r++ {
+					if _, err := srv.Predict(ids[(c+r)%len(ids)], ds.X); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}(c)
+		}
+		for c := 0; c < clients; c++ {
+			if err := <-done; err != nil {
+				panic(fmt.Sprintf("experiments: ExtServe %s stream: %v", mode, err))
+			}
+		}
+		wall := time.Since(start)
+		st := srv.Stats()
+		rst := reg.Stats()
+		srv.Close()
+		reg.Close()
+		r := ExtServeRow{
+			Dataset: name, Vaults: len(ids), Mode: mode,
+			Requests:      st.Completed,
+			ThroughputRPS: float64(st.Completed) / wall.Seconds(),
+			AvgLatencyUS:  float64(st.AvgLatency.Microseconds()),
+			Plans:         rst.Plans, Evictions: rst.Evictions,
+			EPCUsedMB: float64(rst.EPCUsed) / (1 << 20),
+		}
+		rows = append(rows, r)
+		cells = append(cells, []string{name, mode, fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%.1f", r.ThroughputRPS), fmt.Sprintf("%.0f", r.AvgLatencyUS),
+			fmt.Sprintf("%d", r.Plans), fmt.Sprintf("%d", r.Evictions)})
+	}
+	run("untiled", core.PlanConfig{})
+	run("tiled", core.PlanConfig{EPCBudgetBytes: wsBytes / 8})
+	text := "Ext: registry serving under EPC pressure, untiled vs tiled workspaces\n" +
+		table([]string{"Dataset", "Mode", "req", "req/s", "avg µs", "plans", "evictions"}, cells)
+	return rows, text
+}

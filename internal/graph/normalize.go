@@ -75,7 +75,7 @@ func (na *NormAdjacency) NumBytes() int64 {
 // world. Allocating wrapper over MulDenseInto.
 func (na *NormAdjacency) MulDense(h *mat.Matrix) *mat.Matrix {
 	out := mat.New(na.N, h.Cols)
-	na.mulDenseInto(out, h, true)
+	na.mulDenseInto(out, h, 0)
 	return out
 }
 
@@ -83,7 +83,7 @@ func (na *NormAdjacency) MulDense(h *mat.Matrix) *mat.Matrix {
 // model single-threaded in-enclave execution.
 func (na *NormAdjacency) MulDenseSerial(h *mat.Matrix) *mat.Matrix {
 	out := mat.New(na.N, h.Cols)
-	na.mulDenseInto(out, h, false)
+	na.mulDenseInto(out, h, 1)
 	return out
 }
 
@@ -91,16 +91,54 @@ func (na *NormAdjacency) MulDenseSerial(h *mat.Matrix) *mat.Matrix {
 // and must not alias h. Parallelised over row bands; the worker count
 // honours mat.SetMaxWorkers.
 func (na *NormAdjacency) MulDenseInto(dst, h *mat.Matrix) {
-	na.mulDenseInto(dst, h, true)
+	na.mulDenseInto(dst, h, 0)
 }
 
 // MulDenseSerialInto is MulDenseInto restricted to the calling goroutine,
 // the form in-enclave (single-threaded) code must use.
 func (na *NormAdjacency) MulDenseSerialInto(dst, h *mat.Matrix) {
-	na.mulDenseInto(dst, h, false)
+	na.mulDenseInto(dst, h, 1)
 }
 
-func (na *NormAdjacency) mulDenseInto(dst, h *mat.Matrix, parallel bool) {
+// MulDenseWorkersInto is MulDenseInto under an explicit per-call worker
+// budget (mat.MatMulWorkersInto semantics: <= 0 resolves to the process
+// global, 1 runs inline, larger budgets are clamped to the row count).
+func (na *NormAdjacency) MulDenseWorkersInto(dst, h *mat.Matrix, workers int) {
+	na.mulDenseInto(dst, h, workers)
+}
+
+// MulDenseRangeInto computes rows [lo, hi) of Â·H into dst, which must be
+// (hi-lo)×H.Cols: dst row 0 receives graph row lo. H must span all N rows —
+// a CSR row's neighbours reach outside [lo, hi) — which is exactly why the
+// tiled executor must materialise a layer's full input before streaming its
+// output tile by tile. Runs inline on the calling goroutine (the in-enclave
+// form) and never allocates.
+func (na *NormAdjacency) MulDenseRangeInto(dst, h *mat.Matrix, lo, hi int) {
+	if h.Rows != na.N {
+		panic(fmt.Sprintf("graph: MulDenseRangeInto rows %d != n %d", h.Rows, na.N))
+	}
+	if lo < 0 || hi > na.N || lo > hi {
+		panic(fmt.Sprintf("graph: MulDenseRangeInto range [%d,%d) out of [0,%d)", lo, hi, na.N))
+	}
+	if dst.Rows != hi-lo || dst.Cols != h.Cols {
+		panic(fmt.Sprintf("graph: MulDenseRangeInto destination %s, want %dx%d", dst.Shape(), hi-lo, h.Cols))
+	}
+	mat.RequireNoAlias(dst, h, "graph: MulDenseRangeInto")
+	dst.Zero()
+	d := h.Cols
+	for i := lo; i < hi; i++ {
+		orow := dst.Data[(i-lo)*d : (i-lo+1)*d]
+		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
+			v := na.Val[p]
+			hrow := h.Data[na.ColIdx[p]*d : (na.ColIdx[p]+1)*d]
+			for j, hv := range hrow {
+				orow[j] += v * hv
+			}
+		}
+	}
+}
+
+func (na *NormAdjacency) mulDenseInto(dst, h *mat.Matrix, budget int) {
 	if h.Rows != na.N {
 		panic(fmt.Sprintf("graph: MulDense rows %d != n %d", h.Rows, na.N))
 	}
@@ -109,8 +147,8 @@ func (na *NormAdjacency) mulDenseInto(dst, h *mat.Matrix, parallel bool) {
 	}
 	mat.RequireNoAlias(dst, h, "graph: MulDenseInto")
 	dst.Zero()
-	workers := mat.WorkerCount(na.N)
-	if !parallel || workers <= 1 || na.N < 256 {
+	workers := mat.ResolveWorkers(budget, na.N)
+	if workers <= 1 || na.N < 256 {
 		na.mulDenseRange(dst, h, 0, na.N)
 		return
 	}

@@ -42,16 +42,26 @@ func (m *Matrix) Zero() {
 // MatMulInto computes dst = a·b using the parallel blocked kernel. dst must
 // be a.Rows×b.Cols and must not alias a or b.
 func MatMulInto(dst, a, b *Matrix) {
-	matMulInto(dst, a, b, true)
+	matMulInto(dst, a, b, 0)
 }
 
 // MatMulSerialInto is MatMulInto restricted to the calling goroutine, the
 // form in-enclave (single-threaded) code must use.
 func MatMulSerialInto(dst, a, b *Matrix) {
-	matMulInto(dst, a, b, false)
+	matMulInto(dst, a, b, 1)
 }
 
-func matMulInto(dst, a, b *Matrix, parallel bool) {
+// MatMulWorkersInto is MatMulInto under an explicit per-call worker budget:
+// workers <= 0 resolves to the process-global default (SetMaxWorkers, then
+// GOMAXPROCS), 1 runs inline on the calling goroutine, larger budgets are
+// clamped to the row count. This is the form plan-scoped executors use so
+// concurrent servers with different budgets cannot stomp each other through
+// the global.
+func MatMulWorkersInto(dst, a, b *Matrix, workers int) {
+	matMulInto(dst, a, b, workers)
+}
+
+func matMulInto(dst, a, b *Matrix, budget int) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMulInto inner dimension mismatch %s · %s", a.Shape(), b.Shape()))
 	}
@@ -60,8 +70,8 @@ func matMulInto(dst, a, b *Matrix, parallel bool) {
 	RequireNoAlias(dst, b, "mat: MatMulInto")
 	dst.Zero()
 	ops := a.Rows * a.Cols * b.Cols
-	workers := workerCount(a.Rows)
-	if !parallel || ops < parallelThreshold || workers == 1 {
+	workers := resolveWorkers(budget, a.Rows)
+	if ops < parallelThreshold || workers == 1 {
 		matMulRange(a, b, dst, 0, a.Rows)
 		return
 	}

@@ -14,10 +14,16 @@ const parallelThreshold = 1 << 16
 // lower it; 0 means use GOMAXPROCS.
 var maxWorkers = 0
 
-// SetMaxWorkers overrides the worker count used by parallel kernels (here
-// and in graph's sparse products). n <= 0 restores the default
-// (GOMAXPROCS). Setting 1 makes every kernel run inline on the calling
-// goroutine, which the allocation-regression tests rely on.
+// SetMaxWorkers overrides the *process-global default* worker count used by
+// parallel kernels (here and in graph's sparse products). n <= 0 restores
+// the default (GOMAXPROCS).
+//
+// Deprecated: the global is racy when concurrent servers want different
+// budgets — it survives only as the default that a zero per-call budget
+// resolves to. New code should carry an explicit worker budget instead:
+// the Workers variants of the kernels (MatMulWorkersInto, graph's
+// MulDenseWorkersInto), nn's LayerWorkspace.Workers, exec.Config.Workers,
+// and core.PlanConfig.Workers all thread one through per plan.
 func SetMaxWorkers(n int) { maxWorkers = n }
 
 // WorkerCount returns the effective parallel worker count for a kernel
@@ -26,7 +32,24 @@ func SetMaxWorkers(n int) { maxWorkers = n }
 func WorkerCount(rows int) int { return workerCount(rows) }
 
 func workerCount(rows int) int {
-	w := maxWorkers
+	return resolveWorkers(0, rows)
+}
+
+// ResolveWorkers maps a per-call worker budget to an effective count for a
+// kernel spanning rows rows (budget <= 0 means the process-global default;
+// the result is clamped to [1, rows]). Exported so sibling packages' kernels
+// (graph's sparse products) resolve budgets by the same rule.
+func ResolveWorkers(budget, rows int) int { return resolveWorkers(budget, rows) }
+
+// resolveWorkers maps a per-call worker budget to an effective count for a
+// kernel spanning rows rows: budget <= 0 falls back to the process-global
+// default (SetMaxWorkers, then GOMAXPROCS), 1 means inline on the calling
+// goroutine, and any budget is clamped to rows.
+func resolveWorkers(budget, rows int) int {
+	w := budget
+	if w <= 0 {
+		w = maxWorkers
+	}
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -50,7 +73,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %s · %s", a.Shape(), b.Shape()))
 	}
 	out := New(a.Rows, b.Cols)
-	matMulInto(out, a, b, true)
+	matMulInto(out, a, b, 0)
 	return out
 }
 
@@ -61,7 +84,7 @@ func MatMulSerial(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMulSerial inner dimension mismatch %s · %s", a.Shape(), b.Shape()))
 	}
 	out := New(a.Rows, b.Cols)
-	matMulInto(out, a, b, false)
+	matMulInto(out, a, b, 1)
 	return out
 }
 

@@ -246,6 +246,20 @@ func (m *Matrix) ArgmaxRows() []int {
 	return out
 }
 
+// ViewRows repoints view at rows [lo, hi) of m without copying: view's
+// header is overwritten to alias m's backing array. Mutating the view
+// mutates m. The tiled executor uses pre-allocated view headers to walk row
+// tiles of spilled activations with zero steady-state allocation.
+func (m *Matrix) ViewRows(lo, hi int, view *Matrix) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("mat: ViewRows [%d,%d) out of range %d", lo, hi, m.Rows))
+	}
+	view.Rows = hi - lo
+	view.Cols = m.Cols
+	view.Data = m.Data[lo*m.Cols : hi*m.Cols]
+	return view
+}
+
 // SliceRows returns a copy of rows[lo:hi).
 func (m *Matrix) SliceRows(lo, hi int) *Matrix {
 	if lo < 0 || hi > m.Rows || lo > hi {

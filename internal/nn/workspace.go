@@ -27,11 +27,27 @@ type LayerWorkspace struct {
 	VecB []float64   // per-node scratch (GAT target attention scores)
 	Edge []float64   // per-edge scratch (GAT attention coefficients)
 
+	// Workers is this workspace's parallel-kernel budget: 0 resolves to the
+	// process-global default, 1 runs inline, larger values cap the fan-out.
+	// It is carried per plan (not per process) so concurrent servers with
+	// different settings cannot stomp each other; a layer's Serial mode
+	// still forces 1 regardless.
+	Workers int
+
 	// Heads are sub-workspaces for composite layers (multi-head GAT), and
 	// Mats caches their output pointers so concatenation needs no per-call
 	// slice.
 	Heads []*LayerWorkspace
 	Mats  []*mat.Matrix
+}
+
+// workers resolves the effective kernel budget for a layer running in this
+// workspace: serial layers (in-enclave mode) always run inline.
+func (ws *LayerWorkspace) workers(serial bool) int {
+	if serial {
+		return 1
+	}
+	return ws.Workers
 }
 
 // NumBytes returns the workspace's total buffer footprint, the quantity the
@@ -82,13 +98,9 @@ func (l *GCNConv) ForwardWS(x *mat.Matrix, ws *LayerWorkspace) *mat.Matrix {
 	if x.Cols != l.InDim {
 		panic(fmt.Sprintf("nn: GCNConv input dim %d, want %d", x.Cols, l.InDim))
 	}
-	if l.Serial {
-		mat.MatMulSerialInto(ws.Tmp, x, l.W)
-		l.adj.MulDenseSerialInto(ws.Out, ws.Tmp)
-	} else {
-		mat.MatMulInto(ws.Tmp, x, l.W)
-		l.adj.MulDenseInto(ws.Out, ws.Tmp)
-	}
+	w := ws.workers(l.Serial)
+	mat.MatMulWorkersInto(ws.Tmp, x, l.W, w)
+	l.adj.MulDenseWorkersInto(ws.Out, ws.Tmp, w)
 	mat.AddBiasInto(ws.Out, ws.Out, l.B)
 	return ws.Out
 }
@@ -106,11 +118,7 @@ func (l *Dense) ForwardWS(x *mat.Matrix, ws *LayerWorkspace) *mat.Matrix {
 	if x.Cols != l.InDim {
 		panic(fmt.Sprintf("nn: Dense input dim %d, want %d", x.Cols, l.InDim))
 	}
-	if l.Serial {
-		mat.MatMulSerialInto(ws.Out, x, l.W)
-	} else {
-		mat.MatMulInto(ws.Out, x, l.W)
-	}
+	mat.MatMulWorkersInto(ws.Out, x, l.W, ws.workers(l.Serial))
 	mat.AddBiasInto(ws.Out, ws.Out, l.B)
 	return ws.Out
 }
@@ -156,15 +164,10 @@ func (l *SAGEConv) ForwardWS(x *mat.Matrix, ws *LayerWorkspace) *mat.Matrix {
 	if x.Cols != l.InDim {
 		panic(fmt.Sprintf("nn: SAGEConv input dim %d, want %d", x.Cols, l.InDim))
 	}
-	if l.Serial {
-		l.agg.MulDenseSerialInto(ws.Tmp, x)
-		mat.MatMulSerialInto(ws.Out, x, l.WSelf)
-		mat.MatMulSerialInto(ws.Tmp2, ws.Tmp, l.WNbr)
-	} else {
-		l.agg.MulDenseInto(ws.Tmp, x)
-		mat.MatMulInto(ws.Out, x, l.WSelf)
-		mat.MatMulInto(ws.Tmp2, ws.Tmp, l.WNbr)
-	}
+	w := ws.workers(l.Serial)
+	l.agg.MulDenseWorkersInto(ws.Tmp, x, w)
+	mat.MatMulWorkersInto(ws.Out, x, l.WSelf, w)
+	mat.MatMulWorkersInto(ws.Tmp2, ws.Tmp, l.WNbr, w)
 	mat.AddInto(ws.Out, ws.Out, ws.Tmp2)
 	mat.AddBiasInto(ws.Out, ws.Out, l.B)
 	return ws.Out
@@ -193,11 +196,7 @@ func (l *GATConv) ForwardWS(x *mat.Matrix, ws *LayerWorkspace) *mat.Matrix {
 		panic(fmt.Sprintf("nn: GATConv input dim %d, want %d", x.Cols, l.InDim))
 	}
 	z := ws.Tmp
-	if l.Serial {
-		mat.MatMulSerialInto(z, x, l.W)
-	} else {
-		mat.MatMulInto(z, x, l.W)
-	}
+	mat.MatMulWorkersInto(z, x, l.W, ws.workers(l.Serial))
 	n := z.Rows
 	s, t := ws.VecA, ws.VecB
 	for i := 0; i < n; i++ {
@@ -285,6 +284,26 @@ func (ws *ModelWorkspace) NumBytes() int64 {
 		n += l.NumBytes()
 	}
 	return n
+}
+
+// SetWorkers fixes the parallel-kernel budget of every layer workspace in
+// the chain (0 = process-global default, 1 = inline). The budget travels
+// with the plan, so two servers planned with different budgets never race
+// on a global knob.
+func (ws *ModelWorkspace) SetWorkers(n int) {
+	for _, l := range ws.layers {
+		l.SetWorkers(n)
+	}
+}
+
+// SetWorkers applies a budget to a layer workspace and its composite-head
+// sub-workspaces. Exported so executors that plan individual layers (the
+// opaque-op fallback in internal/exec programs) can carry their budget in.
+func (ws *LayerWorkspace) SetWorkers(n int) {
+	ws.Workers = n
+	for _, h := range ws.Heads {
+		h.SetWorkers(n)
+	}
 }
 
 // PlanWorkspace sizes a workspace for inference over rows×inCols inputs.

@@ -91,6 +91,14 @@ type Config struct {
 	// serve.Config's worker default. Full-graph and subgraph workspaces
 	// are capped independently.
 	WorkspacesPerVault int
+	// Plan shapes every full-graph workspace the registry plans. Setting
+	// Plan.EPCBudgetBytes makes cold plans tile-streamed: a vault whose
+	// untiled plan could never be admitted (or whose admission would evict
+	// the whole fleet) is charged only a tile-sized working set, which
+	// collapses the plan/evict churn an oversubscribed EPC otherwise pays.
+	// Vaults with non-tileable (SAGE/GAT) convolutions fail admission with
+	// core.ErrTiledUnsupported under a budget.
+	Plan core.PlanConfig
 	// NodeQuery, when non-nil, lets vaults with EnableNodeQueries serve
 	// node-level requests through AcquireSubgraph.
 	NodeQuery *NodeQueryConfig
@@ -397,7 +405,7 @@ func (r *Registry) planLocked(e *entry) (*core.Workspace, error) {
 	var ws *core.Workspace
 	err := r.admitLocked(e, func() error {
 		var err error
-		ws, err = e.vault.Plan(e.vault.Nodes())
+		ws, err = e.vault.PlanWith(e.vault.Nodes(), r.cfg.Plan)
 		return err
 	})
 	return ws, err

@@ -542,3 +542,54 @@ func TestSubgraphAcquireEvictsIdleFullWorkspaces(t *testing.T) {
 		t.Fatalf("EPC overcommitted: %d > %d", used, limit)
 	}
 }
+
+// TestBudgetedPlansFlipEvictionChurn reproduces the EPC cliff the untiled
+// registry pays — a fleet whose EPC admits only one untiled workspace
+// plans/evicts on every vault switch — and shows a per-workspace EPC
+// budget (tiled plans) admitting the whole fleet at once: every vault stays
+// resident, and steady-state traffic causes no further plans or evictions.
+func TestBudgetedPlansFlipEvictionChurn(t *testing.T) {
+	const vaults = 4
+
+	// Untiled control: EPC fits all persistent state + 1 workspace.
+	_, reg, ids := newFleet(t, vaults, 1, Config{WorkspacesPerVault: 1})
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			serveOne(t, reg, id)
+		}
+	}
+	churn := reg.Stats()
+	if churn.Evictions == 0 {
+		t.Fatal("untiled control fleet shows no eviction churn; the comparison is vacuous")
+	}
+	reg.Close()
+
+	// Budgeted fleet on the *same* EPC geometry: tiled workspaces are a
+	// fraction of regWSBytes, so all four vaults cache one and stay hot.
+	budget := regWSBytes / 8
+	_, reg, ids = newFleet(t, vaults, 1, Config{
+		WorkspacesPerVault: 1,
+		Plan:               core.PlanConfig{EPCBudgetBytes: budget},
+	})
+	defer reg.Close()
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			serveOne(t, reg, id)
+		}
+	}
+	st := reg.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("budgeted fleet evicted %d times; tiled plans should all fit", st.Evictions)
+	}
+	if st.Plans != vaults {
+		t.Fatalf("budgeted fleet planned %d times, want one cold plan per vault (%d)", st.Plans, vaults)
+	}
+	if st.Resident != vaults {
+		t.Fatalf("budgeted fleet has %d resident vaults, want %d", st.Resident, vaults)
+	}
+	for _, vs := range st.PerVault {
+		if vs.Workspaces != 1 {
+			t.Fatalf("vault %s holds %d workspaces, want 1 cached", vs.ID, vs.Workspaces)
+		}
+	}
+}

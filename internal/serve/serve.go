@@ -49,6 +49,17 @@ type Config struct {
 	// QueueDepth bounds the request queue; Predict blocks when it is
 	// full (backpressure). Default Workers·MaxBatch·2.
 	QueueDepth int
+	// Plan shapes each worker's full-graph workspace (EPC budget / tile
+	// height / kernel worker budget — see core.PlanConfig). The zero value
+	// plans classic untiled workspaces. Because the budget is carried per
+	// plan, two servers with different settings can coexist in one
+	// process without racing on the deprecated mat.SetMaxWorkers global.
+	//
+	// Plan applies to the single-vault Server only, which plans its own
+	// workspaces up front. MultiServer checks workspaces out of a
+	// registry.Registry, so its plan shape is the registry's
+	// Config.Plan; this field is ignored there.
+	Plan core.PlanConfig
 	// NodeQuery, when non-nil, additionally plans one subgraph workspace
 	// per worker and opens the PredictNodes path: node-level queries
 	// served from sampled L-hop subgraphs at O(hops × fanout) per query.
@@ -191,7 +202,7 @@ func New(v *core.Vault, cfg Config) (*Server, error) {
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		ws, err := v.Plan(rows)
+		ws, err := v.PlanWith(rows, cfg.Plan)
 		if err != nil {
 			release()
 			return nil, fmt.Errorf("serve: planning workspace for worker %d/%d: %w", i+1, cfg.Workers, err)
