@@ -25,13 +25,15 @@ bench:
 # The perf trajectory tracked across PRs, one JSON artifact per serving
 # surface: BENCH_subgraph.json (node-query latency sweep), BENCH_core.json
 # (full-graph PredictInto, untiled vs tiled), BENCH_serve.json (registry
-# serving under EPC pressure). Override SIZES for bigger subgraph-sweep
-# graphs, e.g. `make bench-json SIZES=100000,200000`.
+# serving under EPC pressure), BENCH_exec.json (the shared forward engine:
+# fusion × tiling × tile-parallelism). Override SIZES for bigger
+# subgraph-sweep graphs, e.g. `make bench-json SIZES=100000,200000`.
 SIZES ?= 20000,50000
 bench-json:
 	$(GO) run ./cmd/experiments -run ext-subgraph -epochs 3 -sizes $(SIZES) -bench-out BENCH_subgraph.json
 	$(GO) run ./cmd/experiments -run ext-core -epochs 3 -bench-out BENCH_core.json
 	$(GO) run ./cmd/experiments -run ext-serve -epochs 3 -bench-out BENCH_serve.json
+	$(GO) run ./cmd/experiments -run ext-exec -sizes $(SIZES) -bench-out BENCH_exec.json
 
 # Short fuzz passes over the two engine invariants: induced-subgraph
 # extraction and tiled-vs-direct execution equivalence.

@@ -55,6 +55,7 @@ func cmdServe(args []string) {
 	wsPerVault := fs.Int("ws-per-vault", 2, "max concurrent inference workspaces per vault")
 	epcMB := fs.Int64("epc-mb", 96, "enclave EPC capacity in MB (lower it to force eviction churn)")
 	epcBudgetMB := fs.Int64("epc-budget-mb", 0, "per-workspace EPC budget in MB: plans execute tile-streamed under this bound (0 = classic untiled plans)")
+	planWorkers := fs.Int("plan-workers", 0, "tile workers per budgeted plan: the enclave streams each op's tiles across this many threads, dividing the per-workspace budget across their staging tiles (0 or 1 = serial ECALL)")
 	clients := fs.Int("clients", 8, "concurrent synthetic clients")
 	requests := fs.Int("requests", 25, "requests per client")
 	httpAddr := fs.String("http", "", "serve the HTTP/JSON API on this address (e.g. :8080) instead of the synthetic stream")
@@ -70,7 +71,7 @@ func cmdServe(args []string) {
 	if *hops > 0 {
 		nq = &registry.NodeQueryConfig{Hops: *hops, Fanout: *fanout, MaxSeeds: *maxSeeds, Seed: uint64(*seed)}
 	}
-	plan := core.PlanConfig{EPCBudgetBytes: *epcBudgetMB << 20}
+	plan := core.PlanConfig{EPCBudgetBytes: *epcBudgetMB << 20, Workers: *planWorkers}
 	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq)
 	srv := serve.NewMulti(fl.reg, serve.Config{Workers: *workers, MaxBatch: *batch})
 	defer func() {

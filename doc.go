@@ -11,8 +11,9 @@
 // (synthetic stand-ins for the paper's datasets), substitute (KNN / cosine
 // / random substitute graphs), subgraph (L-hop frontier expansion and
 // induced-CSR extraction for node-level minibatch serving), exec (the
-// tiled streaming executor: forward passes compiled to flat op programs
-// and run direct or row-tile-streamed under a fixed EPC budget), core
+// tiled streaming executor: forward passes compiled to flat op programs,
+// epilogue-fused, and run direct, row-tile-streamed, or tile-parallel
+// under a fixed EPC budget), core
 // (backbone, rectifiers, vault deployment and allocation-free inference
 // plans — full-graph and subgraph, untiled or EPC-budgeted), enclave
 // (SGX software model), registry (EPC-aware scheduling of a multi-vault

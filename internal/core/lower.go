@@ -15,6 +15,13 @@ import (
 // written down; the full-graph plan (plan.go), the subgraph plan
 // (subplan.go) and the standalone RectifierWorkspace all execute the
 // programs compiled here on the one shared engine, tiled or direct.
+//
+// Every program leaves the compilers epilogue-fused (exec.Program.Fused):
+// the bias/ReLU tails of each conv collapse into the producing MatMul/SpMM
+// op and the fused-away intermediates are eliminated, which removes whole
+// activation passes in direct mode and whole tile flushes in tiled mode.
+// Block-embedding values are pinned (Builder.Keep) first, so the transfer
+// payload the rectifier reads stays materialised and bit-identical.
 
 // lowerWorkspaceLayer wraps a layer without a row-tileable kernel
 // decomposition (SAGE, GAT) as an opaque exec op over a planned
@@ -38,19 +45,19 @@ func lowerWorkspaceLayer(bld *exec.Builder, l nn.Layer, in, inDim, maxRows, work
 	return val, outDim
 }
 
-// lowerInto compiles the backbone's inference stack into bld, reading node
-// features from the program value x. csr, when non-nil, substitutes the
-// shared GCN message-passing operator (the subgraph path passes its
+// lowerIntoExtra compiles the backbone's inference stack into bld, reading
+// node features from the program value x. csr, when non-nil, substitutes
+// the shared GCN message-passing operator (the subgraph path passes its
 // induced public sub-CSR header); nil keeps the backbone's own adjacency.
-// workers is the kernel budget baked into any opaque layer ops.
+// workers is the kernel budget baked into any opaque layer ops, whose
+// closure-held workspace bytes accumulate into *extra.
 //
 // It returns one program value per backbone block (post-activation hidden
 // embeddings plus final logits) — the transfer payload RequiredEmbeddings
 // indexes into, mirroring appendBlockOutputs.
-func (b *Backbone) lowerInto(bld *exec.Builder, x int, csr *graph.NormAdjacency, maxRows, workers int) []int {
+func (b *Backbone) lowerIntoExtra(bld *exec.Builder, x int, csr *graph.NormAdjacency, maxRows, workers int, extra *int64) []int {
 	h := x
 	width := b.FeatureDim
-	var extra int64
 	acts := make([]int, 0, len(b.Model.Layers))
 	for _, l := range b.Model.Layers {
 		switch layer := l.(type) {
@@ -72,7 +79,7 @@ func (b *Backbone) lowerInto(bld *exec.Builder, x int, csr *graph.NormAdjacency,
 		case *nn.Dropout:
 			// inference-mode identity: the value passes through
 		default:
-			h, width = lowerWorkspaceLayer(bld, l, h, width, maxRows, workers, &extra)
+			h, width = lowerWorkspaceLayer(bld, l, h, width, maxRows, workers, extra)
 		}
 		acts = append(acts, h)
 	}
@@ -132,11 +139,11 @@ func (r *Rectifier) lowerInto(bld *exec.Builder, inputs []int, csr *graph.NormAd
 }
 
 // compileRectifier builds the full rectifier program for batches of
-// maxRows rows: one input per required embedding, the design wiring, and
-// the terminal label reduction. csr substitutes the private operator when
-// non-nil. The second result is the closure-held workspace footprint of
-// any opaque (non-GCN) conv ops — bytes a direct plan must charge on top
-// of the machine's BufferBytes.
+// maxRows rows — one input per required embedding, the design wiring, the
+// terminal label reduction — and epilogue-fuses it. csr substitutes the
+// private operator when non-nil. The second result is the closure-held
+// workspace footprint of any opaque (non-GCN) conv ops — bytes a direct
+// plan must charge on top of the machine's BufferBytes.
 func (r *Rectifier) compileRectifier(maxRows int, csr *graph.NormAdjacency) (*exec.Program, int64) {
 	bld := exec.NewBuilder(maxRows)
 	needed := r.RequiredEmbeddings()
@@ -147,5 +154,24 @@ func (r *Rectifier) compileRectifier(maxRows int, csr *graph.NormAdjacency) (*ex
 	var extra int64
 	out := r.lowerInto(bld, inputs, csr, maxRows, 1, &extra)
 	bld.Argmax(out)
-	return bld.Build(), extra
+	return bld.Build().Fused(), extra
+}
+
+// compileBackbone builds the backbone program for batches of maxRows rows
+// and epilogue-fuses it, pinning every block-embedding value first so the
+// rectifier's transfer payload survives fusion. csr substitutes the public
+// message-passing operator when non-nil (the subgraph path); workers is
+// the kernel budget baked into any opaque (SAGE/GAT) layer ops, whose
+// workspace footprint accumulates into the second result. The returned
+// value ids identify the block embeddings in the fused program, in
+// RequiredEmbeddings order.
+func (b *Backbone) compileBackbone(maxRows int, csr *graph.NormAdjacency, workers int) (*exec.Program, []int, int64) {
+	bld := exec.NewBuilder(maxRows)
+	x := bld.Input(b.FeatureDim)
+	var extra int64
+	blocks := b.lowerIntoExtra(bld, x, csr, maxRows, workers, &extra)
+	for _, bv := range blocks {
+		bld.Keep(bv)
+	}
+	return bld.Build().Fused(), blocks, extra
 }

@@ -7,7 +7,6 @@ import (
 
 	"gnnvault/internal/exec"
 	"gnnvault/internal/mat"
-	"gnnvault/internal/nn"
 )
 
 // Execution plans. A deployed vault answers a stream of inference requests;
@@ -24,9 +23,13 @@ import (
 // A plan with an EPCBudgetBytes (or explicit TileRows) instead executes the
 // same program row tile by row tile: full activations spill to untrusted
 // memory (modelled as sealed pages, like SGX paging) and the enclave is
-// charged only for the one tile-sized staging buffer, so the footprint
-// becomes O(tileRows × width) — a 200k-node full-graph plan fits a 64 MB
-// budget that its untiled form exceeds 4×.
+// charged only for the tile-sized staging buffers — one per tile worker —
+// so the footprint becomes O(workers × tileRows × width): a 200k-node
+// full-graph plan fits a 64 MB budget that its untiled form exceeds 4×.
+// Since the fusion pass, both plan shapes also run fewer, fatter ops: the
+// compilers fold each conv's bias/ReLU tail into its product op and erase
+// the fused-away intermediates, so untiled plans charge less EPC and tiled
+// plans flush roughly half the tiles.
 
 // PlanConfig tunes one inference plan. The zero value reproduces the
 // classic untiled plan.
@@ -34,16 +37,23 @@ type PlanConfig struct {
 	// EPCBudgetBytes caps the enclave bytes this plan's *workspace* may
 	// charge (persistent deploy-time residents are separate). A non-zero
 	// budget selects tiled execution with TileRows derived as
-	// budget / (8 × widest program value), clamped to [1, rows].
+	// budget / (8 × widest program value × workers), clamped to
+	// [1, rows] — the whole worker pool's staging tiles fit the budget.
 	EPCBudgetBytes int64
 	// TileRows, when non-zero, fixes the tile height directly and
 	// overrides the budget derivation.
 	TileRows int
-	// Workers is the normal-world kernel parallelism budget for this plan
-	// (0 = process-global default, 1 = inline). It is carried in the
-	// workspace, so concurrent servers with different budgets never race
-	// on the deprecated mat.SetMaxWorkers global. The enclave side always
-	// runs single-threaded regardless.
+	// Workers is this plan's parallelism budget. In the normal world it is
+	// the backbone kernel fan-out (0 = process-global default, 1 =
+	// inline), carried in the workspace so concurrent servers with
+	// different budgets never race on the deprecated mat.SetMaxWorkers
+	// global. For a tiled plan it additionally sets the in-enclave
+	// tile-parallel fan-out — the modelled ECALL enters on that many TCS
+	// threads, each with its own EPC-charged staging tile, so the enclave
+	// charge is Workers × tile bytes (with the derivation above keeping
+	// the product inside the budget). Untiled plans keep the in-enclave
+	// side single-threaded regardless — a direct rectifier forward has no
+	// race-free decomposition to hand the pool.
 	Workers int
 }
 
@@ -55,44 +65,6 @@ func (c PlanConfig) tiled() bool { return c.EPCBudgetBytes > 0 || c.TileRows > 0
 // kernel decomposition — SAGE or GAT convolutions. Such vaults still plan
 // untiled.
 var ErrTiledUnsupported = errors.New("core: deployment has non-tileable convolutions; plan without an EPC budget")
-
-// BackboneWorkspace is the normal-world half of an inference plan: one
-// scratch buffer chain for the backbone model plus the reused per-block
-// embedding list.
-type BackboneWorkspace struct {
-	Rows   int
-	model  *nn.ModelWorkspace
-	blocks []*mat.Matrix
-}
-
-// Plan sizes a backbone workspace for inference over rows nodes.
-func (b *Backbone) Plan(rows int) *BackboneWorkspace {
-	return &BackboneWorkspace{
-		Rows:   rows,
-		model:  b.Model.PlanWorkspace(rows, b.FeatureDim),
-		blocks: make([]*mat.Matrix, 0, len(b.convIdx)),
-	}
-}
-
-// NumBytes returns the workspace buffer footprint.
-func (ws *BackboneWorkspace) NumBytes() int64 { return ws.model.NumBytes() }
-
-// SetWorkers fixes the workspace's parallel-kernel budget (0 = global
-// default, 1 = inline), the per-plan replacement for mat.SetMaxWorkers.
-func (ws *BackboneWorkspace) SetWorkers(n int) { ws.model.SetWorkers(n) }
-
-// EmbeddingsWS is Embeddings into a planned workspace. The returned
-// matrices alias workspace buffers and are overwritten by the next call.
-func (b *Backbone) EmbeddingsWS(x *mat.Matrix, ws *BackboneWorkspace) []*mat.Matrix {
-	_, acts := b.Model.ForwardCollectWS(x, ws.model)
-	ws.blocks = b.appendBlockOutputs(ws.blocks[:0], acts)
-	return ws.blocks
-}
-
-// LogitsWS is Logits into a planned workspace.
-func (b *Backbone) LogitsWS(x *mat.Matrix, ws *BackboneWorkspace) *mat.Matrix {
-	return b.Model.ForwardWS(x, ws.model)
-}
 
 // RectifierWorkspace is a standalone execution context for one rectifier:
 // its design wiring compiled to an exec program plus a direct (fully
@@ -118,7 +90,7 @@ func (r *Rectifier) Plan(rows int) *RectifierWorkspace {
 	}
 	var extra int64
 	r.lowerInto(bld, inputs, nil, rows, 1, &extra)
-	mach, err := bld.Build().NewMachine(exec.Config{Workers: 1})
+	mach, err := bld.Build().Fused().NewMachine(exec.Config{Workers: 1})
 	if err != nil {
 		panic(fmt.Sprintf("core: rectifier plan: %v", err))
 	}
@@ -139,17 +111,20 @@ func (r *Rectifier) ForwardWS(embs []*mat.Matrix, ws *RectifierWorkspace) *mat.M
 	return ws.mach.Run(ws.Rows, embs, nil)
 }
 
-// Workspace is a full inference plan for one vault: backbone scratch in the
-// normal world, the compiled rectifier machine charged against the EPC
-// (wholly, or tile-only under a budget), the label output buffer, and the
-// pre-bound ECALL body. A Workspace belongs to one goroutine at a time; a
-// serving fleet plans one per worker.
+// Workspace is a full inference plan for one vault: the compiled backbone
+// machine in the normal world, the compiled rectifier machine charged
+// against the EPC (wholly, or tiles-only under a budget), the label output
+// buffer, and the pre-bound ECALL body. Both halves run fused programs on
+// the shared exec engine. A Workspace belongs to one goroutine at a time;
+// a serving fleet plans one per worker.
 type Workspace struct {
 	Rows int
 
 	v       *Vault
-	bb      *BackboneWorkspace
-	mach    *exec.Machine
+	bbMach  *exec.Machine // backbone program, normal world
+	bbIn    []*mat.Matrix // reused single-input list for bbMach.Run
+	blocks  []*mat.Matrix // stable views of the kept block-embedding values
+	mach    *exec.Machine // rectifier program, in-enclave
 	needed  []int
 	embs    []*mat.Matrix
 	labels  []int
@@ -186,34 +161,49 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 		return nil, fmt.Errorf("core: plan rows %d != deployed graph nodes %d", rows, n)
 	}
 	prog, extra := v.rectifier.compileRectifier(rows, nil)
-	tileRows := 0
+	machCfg := exec.Config{Workers: 1} // direct in-enclave: single-threaded
 	if cfg.tiled() {
 		if !prog.Tileable() {
 			return nil, ErrTiledUnsupported
 		}
-		tileRows = deriveTileRows(cfg, prog.MaxWidth(), rows)
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		machCfg = exec.Config{
+			TileRows: deriveTileRows(cfg, prog.MaxWidth(), rows, workers),
+			Workers:  workers,
+		}
 	}
-	mach, err := prog.NewMachine(exec.Config{TileRows: tileRows, Workers: 1})
+	mach, err := prog.NewMachine(machCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling inference plan: %w", err)
+	}
+	bbProg, blockVals, _ := v.Backbone.compileBackbone(rows, nil, cfg.Workers)
+	bbMach, err := bbProg.NewMachine(exec.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling backbone plan: %w", err)
 	}
 	ws := &Workspace{
 		Rows:   rows,
 		v:      v,
-		bb:     v.Backbone.Plan(rows),
+		bbMach: bbMach,
+		bbIn:   make([]*mat.Matrix, 1),
 		mach:   mach,
 		needed: v.rectifier.RequiredEmbeddings(),
 		labels: make([]int, rows),
 	}
-	ws.bb.SetWorkers(cfg.Workers)
+	for _, bv := range blockVals {
+		ws.blocks = append(ws.blocks, bbMach.Value(bv))
+	}
 	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
 	for _, i := range ws.needed {
 		ws.payload += int64(v.Backbone.BlockDims[i]) * int64(rows) * 8
 	}
-	if tileRows > 0 {
-		// Tiled: only the staging tile is enclave-resident; activations
-		// and embeddings stream. The per-call flush traffic is charged as
-		// boundary transfer instead.
+	if machCfg.TileRows > 0 {
+		// Tiled: only the staging tiles (one per tile worker) are
+		// enclave-resident; activations and embeddings stream. The
+		// per-call flush traffic is charged as boundary transfer instead.
 		ws.epc = mach.TileBytes()
 		ws.spill = mach.SpillTraffic(rows)
 	} else {
@@ -231,14 +221,32 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 	return ws, nil
 }
 
+// cacheTileBytes caps a budget-derived staging tile at a size that stays
+// resident in a last-level cache slice: beyond this, taller tiles buy no
+// fewer kernel calls per row but push the staging buffer (and its flush)
+// out to DRAM, measurably slowing the stream. Explicit TileRows requests
+// are honoured uncapped.
+const cacheTileBytes = 2 << 20
+
 // deriveTileRows maps a plan config to a tile height: an explicit TileRows
-// wins; otherwise the EPC budget buys budget/(8·maxWidth) rows of the
-// widest program value. The result is clamped to [1, rows] — a budget too
-// small for even one row still plans, charging its actual (minimal) tile.
-func deriveTileRows(cfg PlanConfig, maxWidth, rows int) int {
+// wins; otherwise the EPC budget buys budget/(8·maxWidth·workers) rows of
+// the widest program value — every tile worker charges its own staging
+// tile, so the pool as a whole stays inside the budget. Budget-derived
+// heights are additionally capped at one worker's row share (taller tiles
+// would idle workers without saving anything) and at a cache-resident
+// staging size (taller tiles are measurably slower, not just pointless),
+// and the result is clamped to [1, rows] — a budget too small for even
+// one row still plans, charging its actual (minimal) tiles.
+func deriveTileRows(cfg PlanConfig, maxWidth, rows, workers int) int {
 	t := cfg.TileRows
 	if t <= 0 {
-		t = int(cfg.EPCBudgetBytes / (8 * int64(maxWidth)))
+		t = int(cfg.EPCBudgetBytes / (8 * int64(maxWidth) * int64(workers)))
+		if lim := int(cacheTileBytes / (8 * int64(maxWidth))); t > lim {
+			t = lim
+		}
+		if share := (rows + workers - 1) / workers; t > share {
+			t = share
+		}
 	}
 	if t < 1 {
 		t = 1
@@ -254,6 +262,16 @@ func (ws *Workspace) EnclaveBytes() int64 { return ws.epc }
 
 // TileRows returns the plan's tile height (0 for untiled plans).
 func (ws *Workspace) TileRows() int { return ws.mach.TileRows() }
+
+// TileWorkers returns the tile-parallel fan-out of the plan's enclave
+// machine (1 for untiled and serially tiled plans).
+func (ws *Workspace) TileWorkers() int { return ws.mach.TileWorkers() }
+
+// SpillBytes returns the modelled per-call tile-flush traffic the plan
+// charges to the ECALL transfer payload (0 for untiled plans). Fusion
+// shrinks it: folded chains flush once instead of once per element-wise
+// op.
+func (ws *Workspace) SpillBytes() int64 { return ws.spill }
 
 // Release returns the workspace's EPC to the enclave. The workspace must
 // not be used afterwards.
@@ -294,9 +312,10 @@ func (v *Vault) PredictInto(x *mat.Matrix, ws *Workspace) ([]int, InferenceBreak
 	before := v.Enclave.Ledger()
 	v.Enclave.ResetPeak()
 
-	// Normal world: backbone forward into workspace buffers.
+	// Normal world: the fused backbone program into machine buffers.
 	start := time.Now()
-	blocks := v.Backbone.EmbeddingsWS(x, ws.bb)
+	ws.bbIn[0] = x
+	ws.bbMach.Run(ws.Rows, ws.bbIn, nil)
 	bd.BackboneTime = time.Since(start)
 
 	// One-way transfer of exactly the embeddings the design requires,
@@ -306,7 +325,7 @@ func (v *Vault) PredictInto(x *mat.Matrix, ws *Workspace) ([]int, InferenceBreak
 	// 8 bytes per node.
 	ws.embs = ws.embs[:0]
 	for _, i := range ws.needed {
-		ws.embs = append(ws.embs, blocks[i])
+		ws.embs = append(ws.embs, ws.blocks[i])
 	}
 	if err := v.Enclave.Ecall(ws.payload+ws.spill, int64(ws.Rows)*8, ws.ecall); err != nil {
 		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)

@@ -6,6 +6,7 @@ import (
 
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
+	"gnnvault/internal/exec"
 	"gnnvault/internal/mat"
 	"gnnvault/internal/substitute"
 )
@@ -79,16 +80,23 @@ func TestRectifierForwardWSMatchesForward(t *testing.T) {
 	}
 }
 
-func TestBackboneEmbeddingsWSMatchesEmbeddings(t *testing.T) {
+// TestCompiledBackboneMatchesEmbeddings pins the compiled (fused)
+// backbone program to the reference nn forward: the block embeddings a
+// plan transfers must match what Backbone.Embeddings computes.
+func TestCompiledBackboneMatchesEmbeddings(t *testing.T) {
 	ds, v := planTestVault(t, Parallel)
 	want := v.Backbone.Embeddings(ds.X)
-	ws := v.Backbone.Plan(ds.X.Rows)
-	got := v.Backbone.EmbeddingsWS(ds.X, ws)
-	if len(got) != len(want) {
-		t.Fatalf("%d blocks, want %d", len(got), len(want))
+	prog, blockVals, _ := v.Backbone.compileBackbone(ds.X.Rows, nil, 1)
+	mach, err := prog.NewMachine(exec.Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("backbone machine: %v", err)
 	}
-	for i := range got {
-		if !got[i].EqualApprox(want[i], 1e-12) {
+	mach.Run(ds.X.Rows, []*mat.Matrix{ds.X}, nil)
+	if len(blockVals) != len(want) {
+		t.Fatalf("%d blocks, want %d", len(blockVals), len(want))
+	}
+	for i, bv := range blockVals {
+		if !mach.Value(bv).EqualApprox(want[i], 1e-12) {
 			t.Fatalf("block %d disagrees", i)
 		}
 	}

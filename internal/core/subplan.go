@@ -140,12 +140,12 @@ func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorksp
 
 	// Compile both halves against the induced sub-CSR headers: the header
 	// pointers are stable, their contents are re-filled by Induce per
-	// query. The backbone machine runs normal-world (global worker
-	// default); the rectifier machine is in-enclave, single-threaded.
-	bld := exec.NewBuilder(capRows)
-	xin := bld.Input(v.Backbone.FeatureDim)
-	blockVals := v.Backbone.lowerInto(bld, xin, ws.pubCS.Sub(), capRows, 0)
-	bbMach, err := bld.Build().NewMachine(exec.Config{})
+	// query. Both programs come out of the compiler epilogue-fused, with
+	// block embeddings pinned. The backbone machine runs normal-world
+	// (global worker default); the rectifier machine is in-enclave,
+	// single-threaded.
+	bbProg, blockVals, _ := v.Backbone.compileBackbone(capRows, ws.pubCS.Sub(), 0)
+	bbMach, err := bbProg.NewMachine(exec.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling subgraph backbone: %w", err)
 	}

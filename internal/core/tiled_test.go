@@ -142,6 +142,58 @@ func TestTiledUnsupportedForNonGCN(t *testing.T) {
 	}
 }
 
+// TestTileParallelPlanBudgetAndIdentity checks the Workers × tileBytes
+// EPC accounting: a budgeted plan with a tile-worker pool must keep the
+// whole pool's staging tiles inside the budget (tileRows shrinks as
+// workers grow), report positive spill traffic, and still produce
+// bit-identical labels to the untiled reference.
+func TestTileParallelPlanBudgetAndIdentity(t *testing.T) {
+	ds, v := planTestVault(t, Series)
+	n := ds.X.Rows
+	ref, err := v.Plan(n)
+	if err != nil {
+		t.Fatalf("untiled Plan: %v", err)
+	}
+	want, _, err := v.PredictInto(ds.X, ref)
+	if err != nil {
+		t.Fatalf("untiled PredictInto: %v", err)
+	}
+	wantCopy := append([]int{}, want...)
+	ref.Release()
+
+	const budget = 256 << 10
+	prevRows := 0
+	for _, workers := range []int{1, 2, 4} {
+		ws, err := v.PlanWith(n, PlanConfig{EPCBudgetBytes: budget, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := ws.EnclaveBytes(); got > budget {
+			t.Fatalf("workers=%d: charged %d bytes over the %d budget", workers, got, budget)
+		}
+		if got := ws.TileWorkers(); got < 1 || got > workers {
+			t.Fatalf("workers=%d: TileWorkers %d", workers, got)
+		}
+		if prevRows > 0 && ws.TileRows() > prevRows {
+			t.Fatalf("workers=%d: tileRows grew to %d from %d — budget not divided across the pool", workers, ws.TileRows(), prevRows)
+		}
+		prevRows = ws.TileRows()
+		if ws.SpillBytes() <= 0 {
+			t.Fatalf("workers=%d: no spill traffic reported", workers)
+		}
+		got, _, err := v.PredictInto(ds.X, ws)
+		if err != nil {
+			t.Fatalf("workers=%d PredictInto: %v", workers, err)
+		}
+		for i := range got {
+			if got[i] != wantCopy[i] {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", workers, i, got[i], wantCopy[i])
+			}
+		}
+		ws.Release()
+	}
+}
+
 // TestTiledConcurrentWorkspaces hammers the tiled hot path from several
 // goroutines with *different* per-plan worker budgets — the scenario the
 // deprecated process-global SetMaxWorkers could not express — and checks

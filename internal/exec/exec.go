@@ -21,13 +21,24 @@
 // exactly why execution is op-major (each op finishes all tiles before the
 // next op starts), so a SpMM always finds its full input spilled.
 //
-// One Machine belongs to one goroutine at a time; its Run performs zero
-// heap allocations, which the serving hot paths rely on.
+// Two rewrites make the engine fast on top of admissible. The fusion pass
+// (Program.Fused) folds bias/residual/ReLU chains into their producing
+// product op as an Epilogue and erases the fused-away intermediates, so a
+// GCN layer flushes one tile instead of three and the dead values cost no
+// spill buffers at all. And because row tiles of one op are independent, a
+// tiled machine with Config.Workers > 1 streams them across a pool of tile
+// workers — each with its own EPC-charged staging tile, SpMM spans split
+// by non-zeros — modelling a multi-TCS ECALL.
+//
+// One Machine belongs to one goroutine at a time (its internal tile
+// workers are invisible to the caller); its Run performs zero heap
+// allocations, which the serving hot paths rely on.
 package exec
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"gnnvault/internal/graph"
 	"gnnvault/internal/mat"
@@ -83,6 +94,11 @@ type Op struct {
 	Dst  int   // destination value (-1 for OpArgmax)
 	Srcs []int // source values, in kernel order
 
+	// Epi is the fused element-wise tail of a MatMul/SpMM op. Builders
+	// emit ops without one (Res == -1); the fusion pass (Program.Fused)
+	// attaches them.
+	Epi Epilogue
+
 	W *mat.Matrix // OpMatMul weight
 	B []float64   // OpAddBias bias
 	// CSR is the sparse operator of an OpSpMM. The header pointer is
@@ -105,6 +121,13 @@ type value struct {
 	// buffer, so the machine allocates no spill for it and binds its view
 	// when the op executes.
 	funcOut bool
+	// keep pins the value across fusion: callers will read it through
+	// Machine.Value, so the fusion pass must neither fold it away nor
+	// eliminate its buffer.
+	keep bool
+	// dead marks a value orphaned by fusion: no surviving op touches it,
+	// machines allocate no buffer for it.
+	dead bool
 }
 
 // Program is a compiled forward pass: a value table (external inputs plus
@@ -184,10 +207,20 @@ func (b *Builder) push(op Op) {
 	if b.p.hasArgmax {
 		panic("exec: ops after Argmax")
 	}
+	op.Epi.Res = -1
 	b.p.ops = append(b.p.ops, op)
 	if len(op.Srcs) > b.p.maxArity {
 		b.p.maxArity = len(op.Srcs)
 	}
+}
+
+// Keep pins a value against the fusion pass: the caller will read it via
+// Machine.Value after Run (backbone block embeddings, typically), so
+// Fused must keep it materialised even when its only in-program consumer
+// could otherwise absorb it.
+func (b *Builder) Keep(v int) {
+	b.width(v) // id check
+	b.p.vals[v].keep = true
 }
 
 // Input declares the next external input (width columns) and returns its
@@ -306,9 +339,20 @@ type Config struct {
 	// height (clamped to MaxRows); 0 selects direct execution, where every
 	// value buffer is resident and ops run at full height.
 	TileRows int
-	// Workers is the kernel parallelism budget (mat.ResolveWorkers
-	// semantics: 0 = process-global default, 1 = inline). Enclave-side
-	// machines must use 1 — in-enclave execution is single-threaded.
+	// Workers means two different things depending on the mode.
+	//
+	// Direct machines: the per-kernel parallelism budget
+	// (mat.ResolveWorkers semantics: 0 = process-global default, 1 =
+	// inline). Enclave-side direct machines must use 1 — a direct
+	// in-enclave forward is single-threaded.
+	//
+	// Tiled machines: the tile-parallel fan-out. Row tiles of one op are
+	// independent (op-major order guarantees SpMM's full input is already
+	// spilled), so Workers > 1 executes them across a worker pool, each
+	// worker with its own EPC-charged staging tile — the model of an
+	// enclave entered through that many TCS threads. Values <= 1 keep the
+	// single-threaded ECALL of PR 4; the fan-out is clamped to the tile
+	// count. Per-tile kernels always run inline.
 	Workers int
 }
 
@@ -319,25 +363,45 @@ var ErrNotTileable = errors.New("exec: program contains non-tileable ops")
 // Machine executes one program with pre-sized buffers. Direct machines
 // hold every intermediate resident (BufferBytes is the enclave charge when
 // the machine runs in-enclave); tiled machines hold full intermediates in
-// spilled (untrusted) buffers and stage every op's output through one
-// tile-sized buffer (TileBytes is the enclave charge). One machine belongs
-// to one goroutine at a time.
+// spilled (untrusted) buffers and stage every op's output through
+// tile-sized buffers, one per tile worker (TileBytes is the enclave
+// charge). One machine belongs to one goroutine at a time; its tile
+// workers are internal.
 type Machine struct {
-	prog *Program
-	cfg  Config
+	prog        *Program
+	cfg         Config
+	tileWorkers int // resolved tile-parallel fan-out; 1 = serial tiling
 
-	spill []*mat.Matrix // per value; nil for inputs
-	tile  *mat.Matrix   // tiled mode: the one EPC-resident staging buffer
+	spill []*mat.Matrix // per value; nil for inputs and dead values
+	tiles []*mat.Matrix // tiled mode: per-worker EPC-resident staging buffers
+	views []mat.Matrix  // per value: full-rows header, bound per Run
 
-	views    []mat.Matrix  // per value: full-rows header, bound per Run
-	srcTiles []mat.Matrix  // per-op tile headers over source values
+	scratch []workerScratch // per tile worker (index 0 serves direct mode too)
+	fns     []func()        // pre-built worker bodies, spawned per op
+	wg      sync.WaitGroup
+
+	// Per-op broadcast state for tile-parallel execution, written by Run
+	// between waits and read by workers after spawn (the go statement and
+	// wg.Wait provide the happens-before edges).
+	curOp   *Op
+	curRows int
+	curLab  []int
+}
+
+// workerScratch is one tile worker's pre-allocated header set. Workers
+// write disjoint row ranges of the spill buffers, so the only per-worker
+// state is the header scratch and the staging tile it indexes.
+type workerScratch struct {
+	srcTiles []mat.Matrix  // tile headers over source values
 	srcPtrs  []*mat.Matrix // reused variadic argument list
-	tileView mat.Matrix    // staging header over tile
+	tileView mat.Matrix    // staging header over this worker's tile
 	dstTile  mat.Matrix    // flush target header over the dst spill
+	resTile  mat.Matrix    // fused-residual header
 }
 
 // NewMachine plans a machine for the program: all value buffers (and, when
-// tiling, the staging tile) are allocated here, never during Run.
+// tiling, the per-worker staging tiles) are allocated here, never during
+// Run.
 func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 	if cfg.TileRows < 0 {
 		return nil, fmt.Errorf("exec: negative TileRows %d", cfg.TileRows)
@@ -349,20 +413,41 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 		cfg.TileRows = p.MaxRows
 	}
 	m := &Machine{
-		prog:     p,
-		cfg:      cfg,
-		spill:    make([]*mat.Matrix, len(p.vals)),
-		views:    make([]mat.Matrix, len(p.vals)),
-		srcTiles: make([]mat.Matrix, p.maxArity),
-		srcPtrs:  make([]*mat.Matrix, p.maxArity),
+		prog:        p,
+		cfg:         cfg,
+		tileWorkers: 1,
+		spill:       make([]*mat.Matrix, len(p.vals)),
+		views:       make([]mat.Matrix, len(p.vals)),
 	}
 	for i, v := range p.vals {
-		if v.input < 0 && !v.funcOut {
+		if v.input < 0 && !v.funcOut && !v.dead {
 			m.spill[i] = mat.New(p.MaxRows, v.width)
 		}
 	}
 	if cfg.TileRows > 0 {
-		m.tile = mat.New(cfg.TileRows, p.maxWidth)
+		if w := cfg.Workers; w > 1 {
+			if tiles := (p.MaxRows + cfg.TileRows - 1) / cfg.TileRows; w > tiles {
+				w = tiles // more staging buffers than tiles is pure EPC waste
+			}
+			m.tileWorkers = w
+		}
+		m.tiles = make([]*mat.Matrix, m.tileWorkers)
+		for w := range m.tiles {
+			m.tiles[w] = mat.New(cfg.TileRows, p.maxWidth)
+		}
+		m.fns = make([]func(), m.tileWorkers)
+		for w := 1; w < m.tileWorkers; w++ {
+			w := w
+			m.fns[w] = func() {
+				m.runWorkerSpan(w)
+				m.wg.Done()
+			}
+		}
+	}
+	m.scratch = make([]workerScratch, m.tileWorkers)
+	for w := range m.scratch {
+		m.scratch[w].srcTiles = make([]mat.Matrix, p.maxArity)
+		m.scratch[w].srcPtrs = make([]*mat.Matrix, p.maxArity)
 	}
 	return m, nil
 }
@@ -370,13 +455,18 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 // TileRows returns the tile height (0 for direct machines).
 func (m *Machine) TileRows() int { return m.cfg.TileRows }
 
-// TileBytes returns the staging-buffer footprint — the only working memory
-// a tiled run keeps enclave-resident.
+// TileWorkers returns the resolved tile-parallel fan-out (1 for direct and
+// serially tiled machines).
+func (m *Machine) TileWorkers() int { return m.tileWorkers }
+
+// TileBytes returns the staging-buffer footprint — Workers × tile bytes,
+// the only working memory a tiled run keeps enclave-resident.
 func (m *Machine) TileBytes() int64 {
-	if m.tile == nil {
-		return 0
+	n := int64(0)
+	for _, t := range m.tiles {
+		n += t.NumBytes()
 	}
-	return m.tile.NumBytes()
+	return n
 }
 
 // BufferBytes returns the total footprint of the machine's value buffers —
@@ -393,11 +483,13 @@ func (m *Machine) BufferBytes() int64 {
 }
 
 // SpillTraffic returns the bytes a tiled run over rows rows streams from
-// the staging tile out to spilled buffers (one flush per op per row):
-// the quantity charged as boundary-transfer payload per call. Direct
-// machines spill nothing.
+// the staging tiles out to spilled buffers (one flush per op per row):
+// the quantity charged as boundary-transfer payload per call. The count
+// reflects the machine's actual program — for a fused program, chains
+// folded into an epilogue flush once instead of once per element-wise op.
+// Direct machines spill nothing.
 func (m *Machine) SpillTraffic(rows int) int64 {
-	if m.tile == nil {
+	if m.tiles == nil {
 		return 0
 	}
 	n := int64(0)
@@ -412,7 +504,9 @@ func (m *Machine) SpillTraffic(rows int) int64 {
 // Value returns the machine's stable header for a program value — the way
 // callers read intermediate results (e.g. backbone block embeddings) after
 // Run. The header is re-bound by every Run; the pointer itself is stable,
-// so it can be captured once at plan time.
+// so it can be captured once at plan time. Values readable this way must
+// be pinned with Builder.Keep before fusion, or the fusion pass may fold
+// them away (a dead value's header is never bound).
 func (m *Machine) Value(v int) *mat.Matrix { return &m.views[v] }
 
 // Output returns the stable header of the program's result value.
@@ -425,9 +519,11 @@ func (m *Machine) Output() *mat.Matrix { return &m.views[m.prog.output] }
 // output value's view — machine-owned, overwritten by the next Run.
 //
 // Run never allocates. Direct machines execute ops at full height with the
-// configured worker budget; tiled machines execute op-major, each op
-// streaming row tiles through the staging buffer with serial kernels (the
-// in-enclave contract).
+// configured worker budget, epilogues applied band-local by the fused
+// kernels; tiled machines execute op-major, each op streaming row tiles
+// through the staging buffers — serially on one goroutine when Workers <=
+// 1 (the single-TCS in-enclave contract), or across the pre-planned tile
+// worker pool otherwise, with SpMM tiles partitioned by non-zeros.
 func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix {
 	p := m.prog
 	if rows < 0 || rows > p.MaxRows {
@@ -439,7 +535,8 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 	// Bind every value's full-rows view: inputs alias the caller's
 	// matrices, intermediates alias the first rows rows of their buffer.
 	// Func outputs are bound when their op executes (the kernel owns the
-	// buffer), which op order guarantees happens before any consumer.
+	// buffer), which op order guarantees happens before any consumer;
+	// values the fusion pass eliminated have no buffer to bind.
 	for i, v := range p.vals {
 		switch {
 		case v.input >= 0:
@@ -448,7 +545,7 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 				panic(fmt.Sprintf("exec: input %d is %s, want %dx%d", v.input, in.Shape(), rows, v.width))
 			}
 			m.views[i] = *in
-		case !v.funcOut:
+		case !v.funcOut && !v.dead:
 			m.spill[i].ViewRows(0, rows, &m.views[i])
 		}
 	}
@@ -457,29 +554,72 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 		if op.Kind == OpSpMM && op.CSR.N != rows {
 			panic(fmt.Sprintf("exec: SpMM operator over %d rows, run over %d", op.CSR.N, rows))
 		}
-		if m.tile == nil {
+		switch {
+		case m.tiles == nil:
 			m.runDirect(op, rows, labels)
-			continue
-		}
-		for lo := 0; lo < rows; lo += m.cfg.TileRows {
-			hi := lo + m.cfg.TileRows
-			if hi > rows {
-				hi = rows
+		case m.tileWorkers > 1 && rows > m.cfg.TileRows:
+			m.runOpParallel(op, rows, labels)
+		default:
+			for lo := 0; lo < rows; lo += m.cfg.TileRows {
+				hi := min(lo+m.cfg.TileRows, rows)
+				m.runTile(0, op, lo, hi, labels)
 			}
-			m.runTile(op, lo, hi, labels)
 		}
 	}
 	return &m.views[p.output]
 }
 
+// runOpParallel executes one op's tiles across the worker pool: the rows
+// are split into one contiguous span per worker — by non-zeros for SpMM
+// (power-law hub rows would otherwise skew row-count spans badly), by row
+// count for everything else — and each worker streams its span through its
+// own staging tile. Workers write disjoint spill rows, so the only shared
+// mutable state is the broadcast op pointer, sequenced by the spawn and
+// the wait. The worker bodies are pre-built closures, so steady-state
+// spawning performs no heap allocation.
+func (m *Machine) runOpParallel(op *Op, rows int, labels []int) {
+	m.curOp, m.curRows, m.curLab = op, rows, labels
+	m.wg.Add(m.tileWorkers - 1)
+	for w := 1; w < m.tileWorkers; w++ {
+		go m.fns[w]()
+	}
+	m.runWorkerSpan(0)
+	m.wg.Wait()
+}
+
+// runWorkerSpan computes worker w's row span of the current op and streams
+// it tile by tile.
+func (m *Machine) runWorkerSpan(w int) {
+	op, rows := m.curOp, m.curRows
+	var lo, hi int
+	if op.Kind == OpSpMM {
+		lo = op.CSR.NNZBound(0, rows, w, m.tileWorkers)
+		hi = op.CSR.NNZBound(0, rows, w+1, m.tileWorkers)
+	} else {
+		chunk := (rows + m.tileWorkers - 1) / m.tileWorkers
+		lo = min(w*chunk, rows)
+		hi = min(lo+chunk, rows)
+	}
+	for t := lo; t < hi; t += m.cfg.TileRows {
+		m.runTile(w, op, t, min(t+m.cfg.TileRows, hi), m.curLab)
+	}
+}
+
 // runDirect executes one op at full height into the resident value views.
+// Fused MatMul/SpMM ops run their epilogue band-local inside the kernel —
+// the direct-mode payoff of fusion: no separate full-matrix bias/ReLU/add
+// passes over the activations.
 func (m *Machine) runDirect(op *Op, rows int, labels []int) {
 	w := m.cfg.Workers
+	var res *mat.Matrix
+	if op.Epi.Res >= 0 {
+		res = &m.views[op.Epi.Res]
+	}
 	switch op.Kind {
 	case OpMatMul:
-		mat.MatMulWorkersInto(&m.views[op.Dst], &m.views[op.Srcs[0]], op.W, w)
+		mat.MatMulBiasReLUInto(&m.views[op.Dst], &m.views[op.Srcs[0]], op.W, op.Epi.Bias, res, op.Epi.ReLU, w)
 	case OpSpMM:
-		op.CSR.MulDenseWorkersInto(&m.views[op.Dst], &m.views[op.Srcs[0]], w)
+		op.CSR.MulDenseBiasReLUInto(&m.views[op.Dst], &m.views[op.Srcs[0]], op.Epi.Bias, res, op.Epi.ReLU, w)
 	case OpAddBias:
 		mat.AddBiasInto(&m.views[op.Dst], &m.views[op.Srcs[0]], op.B)
 	case OpReLU:
@@ -487,10 +627,11 @@ func (m *Machine) runDirect(op *Op, rows int, labels []int) {
 	case OpAdd:
 		mat.AddInto(&m.views[op.Dst], &m.views[op.Srcs[0]], &m.views[op.Srcs[1]])
 	case OpConcat:
+		ptrs := m.scratch[0].srcPtrs
 		for i, s := range op.Srcs {
-			m.srcPtrs[i] = &m.views[s]
+			ptrs[i] = &m.views[s]
 		}
-		mat.HConcatInto(&m.views[op.Dst], m.srcPtrs[:len(op.Srcs)]...)
+		mat.HConcatInto(&m.views[op.Dst], ptrs[:len(op.Srcs)]...)
 	case OpArgmax:
 		if labels != nil {
 			m.views[op.Srcs[0]].ArgmaxRowsInto(labels[:rows])
@@ -507,46 +648,53 @@ func (m *Machine) runDirect(op *Op, rows int, labels []int) {
 	}
 }
 
-// runTile executes rows [lo, hi) of one op: sources are viewed in place
-// (spilled/untrusted reads), the result is computed into the EPC-resident
-// staging tile, then flushed out to the destination's spilled buffer.
-func (m *Machine) runTile(op *Op, lo, hi int, labels []int) {
+// runTile executes rows [lo, hi) of one op on tile worker w: sources are
+// viewed in place (spilled/untrusted reads), the result — including any
+// fused epilogue — is computed into the worker's EPC-resident staging
+// tile, then flushed once to the destination's spilled buffer.
+func (m *Machine) runTile(w int, op *Op, lo, hi int, labels []int) {
+	s := &m.scratch[w]
 	if op.Kind == OpArgmax {
 		if labels != nil {
-			m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
-			m.srcTiles[0].ArgmaxRowsInto(labels[lo:hi])
+			m.views[op.Srcs[0]].ViewRows(lo, hi, &s.srcTiles[0])
+			s.srcTiles[0].ArgmaxRowsInto(labels[lo:hi])
 		}
 		return
 	}
 	width := m.prog.vals[op.Dst].width
-	m.tileView.Rows = hi - lo
-	m.tileView.Cols = width
-	m.tileView.Data = m.tile.Data[:(hi-lo)*width]
+	s.tileView.Rows = hi - lo
+	s.tileView.Cols = width
+	s.tileView.Data = m.tiles[w].Data[:(hi-lo)*width]
+	var res *mat.Matrix
+	if op.Epi.Res >= 0 {
+		m.views[op.Epi.Res].ViewRows(lo, hi, &s.resTile)
+		res = &s.resTile
+	}
 	switch op.Kind {
 	case OpMatMul:
-		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
-		mat.MatMulSerialInto(&m.tileView, &m.srcTiles[0], op.W)
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &s.srcTiles[0])
+		mat.MatMulBiasReLUInto(&s.tileView, &s.srcTiles[0], op.W, op.Epi.Bias, res, op.Epi.ReLU, 1)
 	case OpSpMM:
 		// The one op whose tile reads outside [lo, hi): it consumes the
 		// full spilled input, which op-major order guarantees is complete.
-		op.CSR.MulDenseRangeInto(&m.tileView, &m.views[op.Srcs[0]], lo, hi)
+		op.CSR.MulDenseBiasReLURangeInto(&s.tileView, &m.views[op.Srcs[0]], lo, hi, op.Epi.Bias, res, op.Epi.ReLU)
 	case OpAddBias:
-		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
-		mat.AddBiasInto(&m.tileView, &m.srcTiles[0], op.B)
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &s.srcTiles[0])
+		mat.AddBiasInto(&s.tileView, &s.srcTiles[0], op.B)
 	case OpReLU:
-		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
-		mat.ReLUInto(&m.tileView, &m.srcTiles[0])
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &s.srcTiles[0])
+		mat.ReLUInto(&s.tileView, &s.srcTiles[0])
 	case OpAdd:
-		m.views[op.Srcs[0]].ViewRows(lo, hi, &m.srcTiles[0])
-		m.views[op.Srcs[1]].ViewRows(lo, hi, &m.srcTiles[1])
-		mat.AddInto(&m.tileView, &m.srcTiles[0], &m.srcTiles[1])
+		m.views[op.Srcs[0]].ViewRows(lo, hi, &s.srcTiles[0])
+		m.views[op.Srcs[1]].ViewRows(lo, hi, &s.srcTiles[1])
+		mat.AddInto(&s.tileView, &s.srcTiles[0], &s.srcTiles[1])
 	case OpConcat:
-		for i, s := range op.Srcs {
-			m.views[s].ViewRows(lo, hi, &m.srcTiles[i])
-			m.srcPtrs[i] = &m.srcTiles[i]
+		for i, src := range op.Srcs {
+			m.views[src].ViewRows(lo, hi, &s.srcTiles[i])
+			s.srcPtrs[i] = &s.srcTiles[i]
 		}
-		mat.HConcatInto(&m.tileView, m.srcPtrs[:len(op.Srcs)]...)
+		mat.HConcatInto(&s.tileView, s.srcPtrs[:len(op.Srcs)]...)
 	}
-	m.views[op.Dst].ViewRows(lo, hi, &m.dstTile)
-	mat.CopyInto(&m.dstTile, &m.tileView)
+	m.views[op.Dst].ViewRows(lo, hi, &s.dstTile)
+	mat.CopyInto(&s.dstTile, &s.tileView)
 }

@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"gnnvault/internal/mat"
+)
+
+// countKinds tallies the op kinds of a program.
+func countKinds(p *Program) map[OpKind]int {
+	m := map[OpKind]int{}
+	for _, op := range p.Ops() {
+		m[op.Kind]++
+	}
+	return m
+}
+
+// TestFusedMatchesUnfused is the fusion property the pass rests on: the
+// fused program must be bit-identical to the unfused direct reference in
+// every execution mode — direct, serially tiled at several heights, and
+// tile-parallel at several fan-outs.
+func TestFusedMatchesUnfused(t *testing.T) {
+	const n = 53
+	csr := testCSR(n, 11)
+	prog, inputs := buildGCNLikeProgram(t, n, csr)
+
+	direct, err := prog.NewMachine(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("direct machine: %v", err)
+	}
+	wantLabels := make([]int, n)
+	wantLogits := direct.Run(n, inputs, wantLabels).Clone()
+
+	fused := prog.Fused()
+	if got, want := len(fused.Ops()), len(prog.Ops()); got >= want {
+		t.Fatalf("fusion did not shrink the program: %d ops, had %d", got, want)
+	}
+	kinds := countKinds(fused)
+	if kinds[OpAddBias]+kinds[OpReLU]+kinds[OpAdd] != 0 {
+		t.Fatalf("element-wise ops survived fusion: %v", kinds)
+	}
+	check := func(name string, m *Machine) {
+		t.Helper()
+		labels := make([]int, n)
+		logits := m.Run(n, inputs, labels)
+		if !logits.Equal(wantLogits) {
+			t.Fatalf("%s: logits differ from unfused direct reference", name)
+		}
+		for i := range labels {
+			if labels[i] != wantLabels[i] {
+				t.Fatalf("%s: label[%d] = %d, want %d", name, i, labels[i], wantLabels[i])
+			}
+		}
+	}
+	fd, err := fused.NewMachine(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("fused direct machine: %v", err)
+	}
+	check("fused direct", fd)
+	for _, tile := range []int{1, 7, n} {
+		for _, workers := range []int{1, 2, 5} {
+			m, err := fused.NewMachine(Config{TileRows: tile, Workers: workers})
+			if err != nil {
+				t.Fatalf("tile=%d workers=%d: %v", tile, workers, err)
+			}
+			check("fused tiled", m)
+		}
+	}
+}
+
+// TestFusionCutsSpillTrafficAndBuffers pins the headline accounting: on
+// the GCN-like program the fused tiled machine must report at least 40%
+// less spill traffic than the unfused one, and dead-value elimination must
+// shrink the value-buffer footprint.
+func TestFusionCutsSpillTrafficAndBuffers(t *testing.T) {
+	const n = 64
+	csr := testCSR(n, 12)
+	prog, _ := buildGCNLikeProgram(t, n, csr)
+	fused := prog.Fused()
+
+	um, err := prog.NewMachine(Config{TileRows: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := fused.NewMachine(Config{TileRows: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := um.SpillTraffic(n), fm.SpillTraffic(n)
+	if after*10 > before*6 { // ≥40% reduction
+		t.Fatalf("spill traffic %d → %d, want ≥40%% reduction", before, after)
+	}
+	if fm.BufferBytes() >= um.BufferBytes() {
+		t.Fatalf("dead-value elimination did not shrink buffers: %d vs %d", fm.BufferBytes(), um.BufferBytes())
+	}
+}
+
+// TestFusionKeepsPinnedValues checks Builder.Keep: a value a caller reads
+// via Machine.Value must survive fusion with the same contents even when
+// its only in-program consumer could absorb it.
+func TestFusionKeepsPinnedValues(t *testing.T) {
+	const n = 17
+	csr := testCSR(n, 13)
+	rng := rand.New(rand.NewSource(21))
+	w1 := randMat(rng, 4, 6)
+	b1 := randMat(rng, 1, 6).Data
+	w2 := randMat(rng, 6, 3)
+
+	build := func(keep bool) (*Program, int) {
+		b := NewBuilder(n)
+		in := b.Input(4)
+		v := b.MatMul(in, w1)
+		v = b.SpMM(csr, v)
+		v = b.AddBias(v, b1)
+		hidden := b.ReLU(v)
+		if keep {
+			b.Keep(hidden)
+		}
+		out := b.MatMul(hidden, w2)
+		b.Argmax(out)
+		return b.Build(), hidden
+	}
+
+	ref, hid := build(false)
+	rm, err := ref.NewMachine(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randMat(rng, n, 4)
+	rm.Run(n, []*mat.Matrix{x}, nil)
+	wantHidden := rm.Value(hid).Clone()
+
+	kept, khid := build(true)
+	fused := kept.Fused()
+	// The ReLU feeding the kept value must still fold (its *input* is
+	// free), but the kept value itself must stay materialised.
+	if kinds := countKinds(fused); kinds[OpAddBias] != 0 {
+		t.Fatalf("bias survived fusion: %v", kinds)
+	}
+	fm, err := fused.NewMachine(Config{TileRows: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Run(n, []*mat.Matrix{x}, nil)
+	if !fm.Value(khid).Equal(wantHidden) {
+		t.Fatal("kept hidden embedding differs after fusion")
+	}
+
+	// Without Keep, the same value is legal to eliminate when tiling is
+	// off the table for it — here it still feeds the second MatMul, so it
+	// must stay alive either way; the pinned variant just guarantees it.
+	unpinned, _ := build(false)
+	if got := unpinned.Fused().MaxWidth(); got > kept.Fused().MaxWidth() {
+		t.Fatalf("unpinned fused MaxWidth %d > pinned %d", got, kept.Fused().MaxWidth())
+	}
+}
+
+// TestTileParallelAllocFree pins the tile-parallel hot path at zero
+// steady-state heap allocations: the worker bodies are pre-built closures
+// and every header lives in per-worker scratch. The GOMAXPROCS=1 run is
+// the degenerate case the single-threaded-host CI leg exercises — the
+// pool still spawns, the goroutines just timeshare one P.
+func TestTileParallelAllocFree(t *testing.T) {
+	const n = 40
+	csr := testCSR(n, 14)
+	prog, inputs := buildGCNLikeProgram(t, n, csr)
+	fused := prog.Fused()
+	labels := make([]int, n)
+	run := func(name string) {
+		t.Helper()
+		m, err := fused.NewMachine(Config{TileRows: 7, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := m.TileWorkers(); got != 4 {
+			t.Fatalf("%s: TileWorkers = %d, want 4", name, got)
+		}
+		m.Run(n, inputs, labels) // warm-up
+		allocs := testing.AllocsPerRun(10, func() {
+			m.Run(n, inputs, labels)
+		})
+		if allocs > 0 {
+			t.Fatalf("%s: tile-parallel Run allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+	run("default")
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	run("GOMAXPROCS=1")
+}
+
+// TestTileParallelConcurrentMachines hammers several tile-parallel
+// machines planned from one shared (immutable) fused program on separate
+// goroutines — the registry serving shape — and checks every stream
+// reproduces the direct reference. Run under -race in CI: the workers of
+// different machines interleave freely and must share nothing mutable.
+func TestTileParallelConcurrentMachines(t *testing.T) {
+	const n = 61
+	csr := testCSR(n, 15)
+	prog, inputs := buildGCNLikeProgram(t, n, csr)
+	direct, err := prog.NewMachine(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Run(n, inputs, nil).Clone()
+	fused := prog.Fused()
+
+	const goroutines = 4
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			m, err := fused.NewMachine(Config{TileRows: 3 + 2*g, Workers: 1 + g})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for pass := 0; pass < 5; pass++ {
+				if got := m.Run(n, inputs, nil); !got.Equal(want) {
+					errs <- errDiverged
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkersClampedToTiles checks the EPC-honesty clamp: a fan-out larger
+// than the tile count allocates no extra staging buffers.
+func TestWorkersClampedToTiles(t *testing.T) {
+	const n = 10
+	csr := testCSR(n, 16)
+	prog, inputs := buildGCNLikeProgram(t, n, csr)
+	m, err := prog.Fused().NewMachine(Config{TileRows: 4, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TileWorkers(); got != 3 { // ceil(10/4)
+		t.Fatalf("TileWorkers = %d, want 3", got)
+	}
+	if got, want := m.TileBytes(), int64(3*4*prog.Fused().MaxWidth()*8); got != want {
+		t.Fatalf("TileBytes = %d, want %d", got, want)
+	}
+	m.Run(n, inputs, nil)
+}
+
+var errDiverged = errorString("exec_test: tile-parallel output diverged from direct reference")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

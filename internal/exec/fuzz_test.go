@@ -7,31 +7,42 @@ import (
 	"gnnvault/internal/mat"
 )
 
-// FuzzTiledExec fuzzes the tiling invariant the whole engine rests on:
-// for any program shape (row count, layer widths, sparsity seed) and any
-// tile height, the tiled streaming execution must be bit-identical to the
-// direct reference. CI runs this as a short smoke; longer local runs just
-// raise -fuzztime.
+// FuzzTiledExec fuzzes the execution-equivalence invariants the whole
+// engine rests on: for any program shape (row count, layer widths,
+// sparsity seed), any tile height and any tile-parallel fan-out, all of
+//
+//   - tiled streaming execution,
+//   - the epilogue-fused program (direct and tiled), and
+//   - tile-parallel execution of the fused program
+//
+// must be bit-identical to the unfused direct reference. The fuzzed
+// program includes a residual Add chain so the fusion pass exercises
+// every epilogue step (bias, residual, ReLU). CI runs this as a short
+// smoke; longer local runs just raise -fuzztime.
 func FuzzTiledExec(f *testing.F) {
-	f.Add(uint8(16), uint8(3), uint8(4), uint8(5), int64(1))
-	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), int64(2))
-	f.Add(uint8(64), uint8(8), uint8(2), uint8(63), int64(3))
-	f.Fuzz(func(t *testing.T, nRaw, dRaw, hRaw, tileRaw uint8, seed int64) {
+	f.Add(uint8(16), uint8(3), uint8(4), uint8(5), uint8(2), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), int64(2))
+	f.Add(uint8(64), uint8(8), uint8(2), uint8(63), uint8(7), int64(3))
+	f.Fuzz(func(t *testing.T, nRaw, dRaw, hRaw, tileRaw, workersRaw uint8, seed int64) {
 		n := int(nRaw)%64 + 1
 		d := int(dRaw)%8 + 1
 		h := int(hRaw)%8 + 1
 		tile := int(tileRaw)%n + 1
+		workers := int(workersRaw)%8 + 1
 		rng := rand.New(rand.NewSource(seed))
 
 		csr := testCSR(n, seed)
 		w1 := randMat(rng, d, h)
 		b1 := randMat(rng, 1, h).Data
+		wSkip := randMat(rng, d, h)
 
 		b := NewBuilder(n)
 		in := b.Input(d)
 		v := b.MatMul(in, w1)
 		v = b.SpMM(csr, v)
 		v = b.AddBias(v, b1)
+		skip := b.MatMul(in, wSkip)
+		v = b.Add(v, skip)
 		v = b.ReLU(v)
 		v = b.Concat(v, in)
 		_ = b.MatMul(v, randMat(rng, h+d, d))
@@ -44,13 +55,20 @@ func FuzzTiledExec(f *testing.F) {
 		}
 		want := direct.Run(n, []*mat.Matrix{x}, nil).Clone()
 
-		tiled, err := prog.NewMachine(Config{TileRows: tile, Workers: 1})
-		if err != nil {
-			t.Fatal(err)
+		check := func(name string, p *Program, cfg Config) {
+			t.Helper()
+			m, err := p.NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Run(n, []*mat.Matrix{x}, nil); !got.Equal(want) {
+				t.Fatalf("n=%d d=%d h=%d tile=%d workers=%d: %s output differs from direct", n, d, h, tile, workers, name)
+			}
 		}
-		got := tiled.Run(n, []*mat.Matrix{x}, nil)
-		if !got.Equal(want) {
-			t.Fatalf("n=%d d=%d h=%d tile=%d: tiled output differs from direct", n, d, h, tile)
-		}
+		check("tiled", prog, Config{TileRows: tile, Workers: 1})
+		fused := prog.Fused()
+		check("fused direct", fused, Config{Workers: 1})
+		check("fused tiled", fused, Config{TileRows: tile, Workers: 1})
+		check("fused tile-parallel", fused, Config{TileRows: tile, Workers: workers})
 	})
 }

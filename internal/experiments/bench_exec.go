@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"gnnvault/internal/exec"
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+)
+
+// ExtExec is the engine-level leg of the perf trajectory
+// (BENCH_exec.json): it prices the PR 5 execution rewrites — epilogue
+// fusion, dead-spill elimination, tile-parallel streaming — directly on an
+// internal/exec program, isolated from training and serving noise. Five
+// machines run the same GCN-shaped forward over a power-law graph:
+// direct/tiled × unfused/fused, plus the fused tile-parallel pool at
+// GOMAXPROCS workers.
+
+// ExtExecRow is one (mode, program) point of the engine sweep.
+type ExtExecRow struct {
+	Nodes      int     `json:"nodes"`
+	Mode       string  `json:"mode"` // direct | tiled | tiled-parallel
+	Fused      bool    `json:"fused"`
+	Workers    int     `json:"workers"`
+	TileRows   int     `json:"tile_rows,omitempty"`
+	Ops        int     `json:"ops"`
+	QueryUS    float64 `json:"query_us"`
+	SpillBytes int64   `json:"spill_bytes"` // per call; 0 for direct machines
+	EPCBytes   int64   `json:"epc_bytes"`   // staging (tiled) or buffers (direct)
+}
+
+// extExecBudget is the per-machine staging budget of the tiled legs.
+const extExecBudget = 4 << 20
+
+// extExecProgram lowers a two-conv GCN plus dense head over a power-law
+// adjacency into an exec program with deterministic weights, mirroring the
+// shape core's compilers emit.
+func extExecProgram(n int, seed int64) (*exec.Program, []*mat.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.PreferentialAttachment(graph.PreferentialAttachmentConfig{Nodes: n, EdgesPerNode: 8, Seed: seed})
+	adj := graph.Normalize(g)
+	dims := []int{64, 32, 16}
+	randM := func(r, c int) *mat.Matrix {
+		m := mat.New(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return m
+	}
+	bld := exec.NewBuilder(n)
+	v := bld.Input(dims[0])
+	for l := 0; l+1 < len(dims); l++ {
+		v = bld.MatMul(v, randM(dims[l], dims[l+1]))
+		v = bld.SpMM(adj, v)
+		v = bld.AddBias(v, randM(1, dims[l+1]).Data)
+		v = bld.ReLU(v)
+	}
+	v = bld.MatMul(v, randM(dims[len(dims)-1], 8))
+	v = bld.AddBias(v, randM(1, 8).Data)
+	bld.Argmax(v)
+
+	x := randM(n, dims[0])
+	return bld.Build(), []*mat.Matrix{x}
+}
+
+// ExtExec sweeps the execution modes of the shared forward engine and
+// returns one row per machine. Rows are deterministic in the seed; timing
+// obviously is not.
+func ExtExec(opts Options) ([]ExtExecRow, string) {
+	opts = opts.normalise()
+	n := 20_000
+	if len(opts.SubgraphSizes) > 0 {
+		n = opts.SubgraphSizes[0]
+	}
+	prog, inputs := extExecProgram(n, opts.Seed)
+	fused := prog.Fused()
+	labels := make([]int, n)
+
+	var rows []ExtExecRow
+	var cells [][]string
+	measure := func(mode string, p *exec.Program, isFused bool, cfg exec.Config) {
+		m, err := p.NewMachine(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtExec %s machine: %v", mode, err))
+		}
+		m.Run(n, inputs, labels) // warm-up
+		const reps = 3
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			m.Run(n, inputs, labels)
+		}
+		us := float64(time.Since(start).Microseconds()) / reps
+		epc := m.TileBytes()
+		if cfg.TileRows == 0 {
+			epc = m.BufferBytes()
+		}
+		r := ExtExecRow{
+			Nodes: n, Mode: mode, Fused: isFused, Workers: m.TileWorkers(),
+			TileRows: m.TileRows(), Ops: len(p.Ops()), QueryUS: us,
+			SpillBytes: m.SpillTraffic(n), EPCBytes: epc,
+		}
+		rows = append(rows, r)
+		cells = append(cells, []string{fmt.Sprintf("%d", n), mode,
+			fmt.Sprintf("%v", isFused), fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%.0f", r.QueryUS),
+			mb(r.SpillBytes), mb(r.EPCBytes)})
+	}
+	tileRows := extExecBudget / (8 * prog.MaxWidth())
+	poolWorkers := runtime.GOMAXPROCS(0)
+	measure("direct", prog, false, exec.Config{Workers: 1})
+	measure("direct", fused, true, exec.Config{Workers: 1})
+	measure("tiled", prog, false, exec.Config{TileRows: tileRows, Workers: 1})
+	measure("tiled", fused, true, exec.Config{TileRows: tileRows, Workers: 1})
+	measure("tiled-parallel", fused, true, exec.Config{TileRows: (tileRows + poolWorkers - 1) / poolWorkers, Workers: poolWorkers})
+
+	text := "Ext: shared forward engine, fusion × tiling × tile-parallelism\n" +
+		table([]string{"n", "mode", "fused", "workers", "ops", "µs/run", "spill(MB)", "EPC(MB)"}, cells)
+	return rows, text
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"gnnvault/internal/mat"
+)
+
+// Kernel micro-benchmarks for the serving hot loops: the sparse product
+// over a power-law adjacency (gather-bound) and its fused-epilogue form.
+// Run with:
+//
+//	go test -run '^$' -bench Kernel ./internal/graph/
+func benchAdj(n int) *NormAdjacency {
+	g := PreferentialAttachment(PreferentialAttachmentConfig{Nodes: n, EdgesPerNode: 8, Seed: 1})
+	return Normalize(g)
+}
+
+func benchDense(rows, cols int) *mat.Matrix {
+	rng := rand.New(rand.NewSource(2))
+	m := mat.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkKernelSpMM(b *testing.B) {
+	const n, d = 100_000, 64
+	adj := benchAdj(n)
+	h := benchDense(n, d)
+	out := mat.New(n, d)
+	b.SetBytes(int64(adj.NNZ()) * int64(d) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj.MulDenseWorkersInto(out, h, 1)
+	}
+}
+
+func BenchmarkKernelSpMMFused(b *testing.B) {
+	const n, d = 100_000, 64
+	adj := benchAdj(n)
+	h := benchDense(n, d)
+	bias := benchDense(1, d).Data
+	out := mat.New(n, d)
+	b.SetBytes(int64(adj.NNZ()) * int64(d) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adj.MulDenseBiasReLUInto(out, h, bias, nil, true, 1)
+	}
+}
+
+func BenchmarkKernelMatMul(b *testing.B) {
+	const n, k, p = 100_000, 64, 32
+	a := benchDense(n, k)
+	w := benchDense(k, p)
+	out := mat.New(n, p)
+	b.SetBytes(int64(n) * k * p * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MatMulWorkersInto(out, a, w, 1)
+	}
+}

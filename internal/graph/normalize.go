@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"gnnvault/internal/mat"
@@ -107,6 +108,43 @@ func (na *NormAdjacency) MulDenseWorkersInto(dst, h *mat.Matrix, workers int) {
 	na.mulDenseInto(dst, h, workers)
 }
 
+// MulDenseWorkers is the allocating form of MulDenseWorkersInto, used by
+// the training backward passes to carry a layer's worker budget instead of
+// consulting the process-global default.
+func (na *NormAdjacency) MulDenseWorkers(h *mat.Matrix, workers int) *mat.Matrix {
+	out := mat.New(na.N, h.Cols)
+	na.mulDenseInto(out, h, workers)
+	return out
+}
+
+// NNZBound returns the row boundary of the part-th of parts nnz-balanced
+// bands over rows [lo, hi): part 0 maps to lo, part parts to hi, and
+// interior boundaries are placed where the CSR's non-zero prefix (RowPtr —
+// already a running nnz sum) crosses part/parts of the band's non-zeros.
+// Successive boundaries are non-decreasing and always cover [lo, hi)
+// exactly, so splitting work as [NNZBound(…, w, W), NNZBound(…, w+1, W))
+// per worker partitions every row — including trailing empty ones — while
+// balancing the actual non-zero work, which row-count splits badly skew on
+// power-law graphs. Runs in O(log(hi-lo)) with no allocation.
+func (na *NormAdjacency) NNZBound(lo, hi, part, parts int) int {
+	if lo < 0 || hi > na.N || lo > hi {
+		panic(fmt.Sprintf("graph: NNZBound range [%d,%d) out of [0,%d)", lo, hi, na.N))
+	}
+	if parts <= 0 || part < 0 || part > parts {
+		panic(fmt.Sprintf("graph: NNZBound part %d/%d", part, parts))
+	}
+	switch part {
+	case 0:
+		return lo
+	case parts:
+		return hi
+	}
+	base := na.RowPtr[lo]
+	total := na.RowPtr[hi] - base
+	target := base + int(int64(total)*int64(part)/int64(parts))
+	return lo + sort.SearchInts(na.RowPtr[lo:hi], target)
+}
+
 // MulDenseRangeInto computes rows [lo, hi) of Â·H into dst, which must be
 // (hi-lo)×H.Cols: dst row 0 receives graph row lo. H must span all N rows —
 // a CSR row's neighbours reach outside [lo, hi) — which is exactly why the
@@ -124,67 +162,184 @@ func (na *NormAdjacency) MulDenseRangeInto(dst, h *mat.Matrix, lo, hi int) {
 		panic(fmt.Sprintf("graph: MulDenseRangeInto destination %s, want %dx%d", dst.Shape(), hi-lo, h.Cols))
 	}
 	mat.RequireNoAlias(dst, h, "graph: MulDenseRangeInto")
-	dst.Zero()
 	d := h.Cols
 	for i := lo; i < hi; i++ {
-		orow := dst.Data[(i-lo)*d : (i-lo+1)*d]
-		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
-			v := na.Val[p]
-			hrow := h.Data[na.ColIdx[p]*d : (na.ColIdx[p]+1)*d]
-			for j, hv := range hrow {
-				orow[j] += v * hv
-			}
+		na.accumRow(dst.Data[(i-lo)*d:(i-lo+1)*d], h, i)
+	}
+}
+
+// accumRow computes graph row i of Â·H into orow (no prior zeroing
+// needed: the first axpy group initialises the row, empty CSR rows are
+// cleared), feeding the CSR non-zeros through the multi-stream axpy
+// kernels four (then two, then one) at a time. The row gathers of a
+// sparse product are cache-miss bound; batching them gives the CPU
+// independent miss streams to overlap while keeping the per-element
+// accumulation order — and therefore the bits — of the one-at-a-time
+// loop.
+func (na *NormAdjacency) accumRow(orow []float64, h *mat.Matrix, i int) {
+	d := h.Cols
+	p, end := na.RowPtr[i], na.RowPtr[i+1]
+	switch {
+	case end-p >= 4:
+		c1, c2, c3, c4 := na.ColIdx[p], na.ColIdx[p+1], na.ColIdx[p+2], na.ColIdx[p+3]
+		mat.Axpy4Set(
+			na.Val[p], h.Data[c1*d:(c1+1)*d],
+			na.Val[p+1], h.Data[c2*d:(c2+1)*d],
+			na.Val[p+2], h.Data[c3*d:(c3+1)*d],
+			na.Val[p+3], h.Data[c4*d:(c4+1)*d],
+			orow)
+		p += 4
+	case end-p >= 2:
+		c1, c2 := na.ColIdx[p], na.ColIdx[p+1]
+		mat.Axpy2Set(na.Val[p], h.Data[c1*d:(c1+1)*d], na.Val[p+1], h.Data[c2*d:(c2+1)*d], orow)
+		p += 2
+	case end-p == 1:
+		c := na.ColIdx[p]
+		mat.AxpySet(na.Val[p], h.Data[c*d:(c+1)*d], orow)
+		p++
+	default:
+		clear(orow)
+		return
+	}
+	for ; p+4 <= end; p += 4 {
+		c1, c2, c3, c4 := na.ColIdx[p], na.ColIdx[p+1], na.ColIdx[p+2], na.ColIdx[p+3]
+		mat.Axpy4(
+			na.Val[p], h.Data[c1*d:(c1+1)*d],
+			na.Val[p+1], h.Data[c2*d:(c2+1)*d],
+			na.Val[p+2], h.Data[c3*d:(c3+1)*d],
+			na.Val[p+3], h.Data[c4*d:(c4+1)*d],
+			orow)
+	}
+	if p+2 <= end {
+		c1, c2 := na.ColIdx[p], na.ColIdx[p+1]
+		mat.Axpy2(na.Val[p], h.Data[c1*d:(c1+1)*d], na.Val[p+1], h.Data[c2*d:(c2+1)*d], orow)
+		p += 2
+	}
+	if p < end {
+		c := na.ColIdx[p]
+		mat.Axpy(na.Val[p], h.Data[c*d:(c+1)*d], orow)
+	}
+}
+
+// MulDenseBiasReLURangeInto is MulDenseRangeInto with the epilogue of the
+// fused exec ops applied to the finished rows while they are still hot:
+// dst = epilogue(Â[lo:hi]·H) with the optional bias (broadcast), residual
+// res (which must be (hi-lo)×H.Cols, aligned to dst — row 0 pairs with
+// graph row lo) and ReLU applied in canonical order (see
+// mat.ApplyEpilogueRow). With all three unset this is exactly
+// MulDenseRangeInto. Runs inline on the calling goroutine (the in-enclave
+// tile form) and never allocates; results are bit-identical to the unfused
+// op sequence.
+func (na *NormAdjacency) MulDenseBiasReLURangeInto(dst, h *mat.Matrix, lo, hi int, bias []float64, res *mat.Matrix, relu bool) {
+	if h.Rows != na.N {
+		panic(fmt.Sprintf("graph: MulDenseBiasReLURangeInto rows %d != n %d", h.Rows, na.N))
+	}
+	if lo < 0 || hi > na.N || lo > hi {
+		panic(fmt.Sprintf("graph: MulDenseBiasReLURangeInto range [%d,%d) out of [0,%d)", lo, hi, na.N))
+	}
+	if dst.Rows != hi-lo || dst.Cols != h.Cols {
+		panic(fmt.Sprintf("graph: MulDenseBiasReLURangeInto destination %s, want %dx%d", dst.Shape(), hi-lo, h.Cols))
+	}
+	mat.RequireNoAlias(dst, h, "graph: MulDenseBiasReLURangeInto")
+	na.requireEpilogue(dst, bias, res, "MulDenseBiasReLURangeInto")
+	d := h.Cols
+	for i := lo; i < hi; i++ {
+		// Epilogue per finished row, while it is still cache-hot — the
+		// same element order as a trailing full pass, rows being
+		// independent.
+		drow := dst.Data[(i-lo)*d : (i-lo+1)*d]
+		na.accumRow(drow, h, i)
+		if bias != nil || res != nil || relu {
+			mat.ApplyEpilogueRow(drow, bias, epilogueResRow(res, i-lo, d), relu)
 		}
 	}
 }
 
-func (na *NormAdjacency) mulDenseInto(dst, h *mat.Matrix, budget int) {
+// requireEpilogue validates the optional epilogue operands against dst:
+// done once per kernel call so the per-row epilogue can run unchecked.
+func (na *NormAdjacency) requireEpilogue(dst *mat.Matrix, bias []float64, res *mat.Matrix, op string) {
+	if bias != nil && len(bias) != dst.Cols {
+		panic(fmt.Sprintf("graph: %s bias length %d != cols %d", op, len(bias), dst.Cols))
+	}
+	if res != nil {
+		mat.RequireNoAlias(dst, res, "graph: "+op)
+		if res.Rows != dst.Rows || res.Cols != dst.Cols {
+			panic(fmt.Sprintf("graph: %s residual %s != destination %s", op, res.Shape(), dst.Shape()))
+		}
+	}
+}
+
+// epilogueResRow returns local row i of the residual operand, nil when
+// there is none.
+func epilogueResRow(res *mat.Matrix, i, d int) []float64 {
+	if res == nil {
+		return nil
+	}
+	return res.Data[i*d : (i+1)*d]
+}
+
+// MulDenseBiasReLUInto is the full-height fused product dst =
+// epilogue(Â·H), parallelised over nnz-balanced row bands under an
+// explicit worker budget: each band applies the bias/residual/ReLU
+// epilogue to its own rows right after accumulating them. res, when
+// non-nil, must match dst's shape. This is the kernel fused OpSpMM ops
+// run on direct machines; with no epilogue set it is exactly
+// MulDenseWorkersInto.
+func (na *NormAdjacency) MulDenseBiasReLUInto(dst, h *mat.Matrix, bias []float64, res *mat.Matrix, relu bool, workers int) {
 	if h.Rows != na.N {
-		panic(fmt.Sprintf("graph: MulDense rows %d != n %d", h.Rows, na.N))
+		panic(fmt.Sprintf("graph: MulDenseBiasReLUInto rows %d != n %d", h.Rows, na.N))
 	}
 	if dst.Rows != na.N || dst.Cols != h.Cols {
-		panic(fmt.Sprintf("graph: MulDenseInto destination %s, want %dx%d", dst.Shape(), na.N, h.Cols))
+		panic(fmt.Sprintf("graph: MulDenseBiasReLUInto destination %s, want %dx%d", dst.Shape(), na.N, h.Cols))
 	}
-	mat.RequireNoAlias(dst, h, "graph: MulDenseInto")
-	dst.Zero()
-	workers := mat.ResolveWorkers(budget, na.N)
-	if workers <= 1 || na.N < 256 {
-		na.mulDenseRange(dst, h, 0, na.N)
+	mat.RequireNoAlias(dst, h, "graph: MulDenseBiasReLUInto")
+	na.requireEpilogue(dst, bias, res, "MulDenseBiasReLUInto")
+	w := mat.ResolveWorkers(workers, na.N)
+	if w <= 1 || na.N < 256 {
+		na.mulDenseEpilogueRange(dst, h, 0, na.N, bias, res, relu)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (na.N + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > na.N {
-			hi = na.N
-		}
+	for i := 0; i < w; i++ {
+		lo := na.NNZBound(0, na.N, i, w)
+		hi := na.NNZBound(0, na.N, i+1, w)
 		if lo >= hi {
-			break
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			na.mulDenseRange(dst, h, lo, hi)
+			na.mulDenseEpilogueRange(dst, h, lo, hi, bias, res, relu)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
-// mulDenseRange accumulates rows [lo,hi) of out = Â·H.
-func (na *NormAdjacency) mulDenseRange(out, h *mat.Matrix, lo, hi int) {
+// mulDenseEpilogueRange accumulates rows [lo,hi) of Â·H into the
+// same-indexed rows of dst, applying any epilogue to each row while it is
+// still cache-hot instead of in a trailing full pass (rows are
+// independent, so the element order — and the bits — are unchanged). The
+// caller validated the epilogue operands.
+func (na *NormAdjacency) mulDenseEpilogueRange(dst, h *mat.Matrix, lo, hi int, bias []float64, res *mat.Matrix, relu bool) {
 	d := h.Cols
-	for i := lo; i < hi; i++ {
-		orow := out.Data[i*d : (i+1)*d]
-		for p := na.RowPtr[i]; p < na.RowPtr[i+1]; p++ {
-			v := na.Val[p]
-			hrow := h.Data[na.ColIdx[p]*d : (na.ColIdx[p]+1)*d]
-			for j, hv := range hrow {
-				orow[j] += v * hv
-			}
+	if bias == nil && res == nil && !relu {
+		for i := lo; i < hi; i++ {
+			na.accumRow(dst.Data[i*d:(i+1)*d], h, i)
 		}
+		return
 	}
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*d : (i+1)*d]
+		na.accumRow(drow, h, i)
+		mat.ApplyEpilogueRow(drow, bias, epilogueResRow(res, i, d), relu)
+	}
+}
+
+// mulDenseInto is the plain product: exactly MulDenseBiasReLUInto with no
+// epilogue — one nnz-balanced banded driver, not two copies to keep in
+// sync.
+func (na *NormAdjacency) mulDenseInto(dst, h *mat.Matrix, budget int) {
+	na.MulDenseBiasReLUInto(dst, h, nil, nil, false, budget)
 }
 
 // Dense materialises Â as a dense matrix. Tests only.

@@ -1,0 +1,140 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fill(rng *rand.Rand, m *Matrix) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMatMulBiasReLUIntoMatchesUnfused pins the fused kernel to the exact
+// bits of the unfused op sequence (product, bias add, residual add, ReLU)
+// across every epilogue combination and worker budget — the property the
+// exec fusion pass stakes its correctness on.
+func TestMatMulBiasReLUIntoMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, k, p = 37, 9, 5
+	a := fill(rng, New(n, k))
+	// Sprinkle zeros so the skip paths run.
+	for i := 0; i < n*k/3; i++ {
+		a.Data[rng.Intn(n*k)] = 0
+	}
+	b := fill(rng, New(k, p))
+	bias := fill(rng, New(1, p)).Data
+	res := fill(rng, New(n, p))
+
+	for _, withBias := range []bool{false, true} {
+		for _, withRes := range []bool{false, true} {
+			for _, relu := range []bool{false, true} {
+				for _, workers := range []int{1, 3} {
+					want := New(n, p)
+					MatMulWorkersInto(want, a, b, 1)
+					bv := []float64(nil)
+					if withBias {
+						bv = bias
+						AddBiasInto(want, want, bias)
+					}
+					var rv *Matrix
+					if withRes {
+						rv = res
+						AddInto(want, want, res)
+					}
+					if relu {
+						ReLUInto(want, want)
+					}
+					got := New(n, p)
+					MatMulBiasReLUInto(got, a, b, bv, rv, relu, workers)
+					for i := range want.Data {
+						if got.Data[i] != want.Data[i] {
+							t.Fatalf("bias=%v res=%v relu=%v workers=%d: elem %d = %v, want %v",
+								withBias, withRes, relu, workers, i, got.Data[i], want.Data[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAxpyFamilyBitIdentity checks that the grouped/initialising axpy
+// kernels reproduce the one-at-a-time accumulation bit for bit.
+func TestAxpyFamilyBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 3, 7, 8, 16, 33} {
+		xs := make([][]float64, 4)
+		as := make([]float64, 4)
+		for i := range xs {
+			xs[i] = fill(rng, New(1, d)).Data
+			as[i] = rng.NormFloat64()
+		}
+		ref := make([]float64, d)
+		for i := range xs {
+			for j := 0; j < d; j++ {
+				ref[j] += as[i] * xs[i][j]
+			}
+		}
+		got := make([]float64, d)
+		Axpy2Set(as[0], xs[0], as[1], xs[1], got)
+		Axpy2(as[2], xs[2], as[3], xs[3], got)
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("d=%d Axpy2 path: elem %d = %v, want %v", d, j, got[j], ref[j])
+			}
+		}
+		got4 := make([]float64, d)
+		Axpy4Set(as[0], xs[0], as[1], xs[1], as[2], xs[2], as[3], xs[3], got4)
+		for j := range ref {
+			if got4[j] != ref[j] {
+				t.Fatalf("d=%d Axpy4Set: elem %d = %v, want %v", d, j, got4[j], ref[j])
+			}
+		}
+		gotD := Dot(xs[0], xs[1])
+		refD := 0.0
+		for j := 0; j < d; j++ {
+			refD += xs[0][j] * xs[1][j]
+		}
+		if gotD != refD {
+			t.Fatalf("d=%d Dot = %v, want %v", d, gotD, refD)
+		}
+	}
+}
+
+// TestApplyEpilogueRowReLUSemantics pins the ReLU step to ReLUInto's
+// exact semantics: NaN and negative zero both become +0.
+func TestApplyEpilogueRowReLUSemantics(t *testing.T) {
+	row := []float64{math.NaN(), math.Copysign(0, -1), -1, 2}
+	ApplyEpilogueRow(row, nil, nil, true)
+	want := []float64{0, 0, 0, 2}
+	for i, v := range row {
+		if math.Signbit(v) || v != want[i] {
+			t.Fatalf("elem %d = %v, want +%v", i, v, want[i])
+		}
+	}
+}
+
+// TestMatMulTransWorkersVariants checks the per-call-budget training
+// kernels agree with their global-default forms.
+func TestMatMulTransWorkersVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := fill(rng, New(19, 6))
+	b := fill(rng, New(19, 4))
+	wantA := MatMulTransA(a, b)
+	for _, w := range []int{1, 2, 4} {
+		if got := MatMulTransAWorkers(a, b, w); !got.Equal(wantA) {
+			t.Fatalf("MatMulTransAWorkers(%d) differs from MatMulTransA", w)
+		}
+	}
+	c := fill(rng, New(5, 6))
+	wantB := MatMulTransB(a, c)
+	for _, w := range []int{1, 2, 4} {
+		if got := MatMulTransBWorkers(a, c, w); !got.Equal(wantB) {
+			t.Fatalf("MatMulTransBWorkers(%d) differs from MatMulTransB", w)
+		}
+	}
+}

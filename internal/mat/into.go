@@ -61,40 +61,26 @@ func MatMulWorkersInto(dst, a, b *Matrix, workers int) {
 	matMulInto(dst, a, b, workers)
 }
 
+// matMulInto is the plain product: exactly MatMulBiasReLUInto with no
+// epilogue — one banded driver, not two copies to keep in sync.
 func matMulInto(dst, a, b *Matrix, budget int) {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: MatMulInto inner dimension mismatch %s · %s", a.Shape(), b.Shape()))
-	}
-	dst.requireShape(a.Rows, b.Cols, "MatMulInto")
-	RequireNoAlias(dst, a, "mat: MatMulInto")
-	RequireNoAlias(dst, b, "mat: MatMulInto")
-	dst.Zero()
-	ops := a.Rows * a.Cols * b.Cols
-	workers := resolveWorkers(budget, a.Rows)
-	if ops < parallelThreshold || workers == 1 {
-		matMulRange(a, b, dst, 0, a.Rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.Rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(a, b, dst, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	MatMulBiasReLUInto(dst, a, b, nil, nil, false, budget)
 }
 
 // MatMulTransAInto computes dst = aᵀ·b without materialising the transpose.
 // Shapes: a is n×m, b is n×p, dst must be m×p and must not alias a or b.
+// Resolves the process-global default worker count; see
+// MatMulTransAWorkersInto for the per-call-budget form.
 func MatMulTransAInto(dst, a, b *Matrix) {
+	MatMulTransAWorkersInto(dst, a, b, 0)
+}
+
+// MatMulTransAWorkersInto is MatMulTransAInto under an explicit per-call
+// worker budget (MatMulWorkersInto semantics: <= 0 resolves to the process
+// global, 1 runs inline) — the form plan- and train-scoped callers use so
+// concurrent jobs with different budgets never race on the deprecated
+// SetMaxWorkers global.
+func MatMulTransAWorkersInto(dst, a, b *Matrix, budget int) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MatMulTransAInto outer dimension mismatch %s ᵀ· %s", a.Shape(), b.Shape()))
 	}
@@ -104,7 +90,7 @@ func MatMulTransAInto(dst, a, b *Matrix) {
 	RequireNoAlias(dst, b, "mat: MatMulTransAInto")
 	dst.Zero()
 	ops := a.Rows * m * p
-	workers := workerCount(m)
+	workers := resolveWorkers(budget, m)
 	if ops < parallelThreshold || workers == 1 {
 		matMulTransARange(a, b, dst, 0, m)
 		return
@@ -139,17 +125,23 @@ func matMulTransARange(a, b, out *Matrix, kLo, kHi int) {
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			Axpy(av, brow, out.Data[k*p:(k+1)*p])
 		}
 	}
 }
 
 // MatMulTransBInto computes dst = a·bᵀ without materialising the transpose.
 // Shapes: a is n×m, b is p×m, dst must be n×p and must not alias a or b.
+// Resolves the process-global default worker count; see
+// MatMulTransBWorkersInto for the per-call-budget form.
 func MatMulTransBInto(dst, a, b *Matrix) {
+	MatMulTransBWorkersInto(dst, a, b, 0)
+}
+
+// MatMulTransBWorkersInto is MatMulTransBInto under an explicit per-call
+// worker budget (MatMulWorkersInto semantics: <= 0 resolves to the process
+// global, 1 runs inline).
+func MatMulTransBWorkersInto(dst, a, b *Matrix, budget int) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MatMulTransBInto inner dimension mismatch %s · %s ᵀ", a.Shape(), b.Shape()))
 	}
@@ -158,7 +150,7 @@ func MatMulTransBInto(dst, a, b *Matrix) {
 	RequireNoAlias(dst, a, "mat: MatMulTransBInto")
 	RequireNoAlias(dst, b, "mat: MatMulTransBInto")
 	ops := n * a.Cols * p
-	workers := workerCount(n)
+	workers := resolveWorkers(budget, n)
 	if ops < parallelThreshold || workers == 1 {
 		matMulTransBRange(a, b, dst, 0, n)
 		return
@@ -188,12 +180,7 @@ func matMulTransBRange(a, b, out *Matrix, lo, hi int) {
 		arow := a.Data[i*m : (i+1)*m]
 		orow := out.Data[i*p : (i+1)*p]
 		for j := 0; j < p; j++ {
-			brow := b.Data[j*m : (j+1)*m]
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
+			orow[j] = Dot(arow, b.Data[j*m:(j+1)*m])
 		}
 	}
 }

@@ -88,41 +88,122 @@ func MatMulSerial(a, b *Matrix) *Matrix {
 	return out
 }
 
-// matMulRange computes rows [lo,hi) of out = a·b using an ikj loop order
-// so the inner loop streams through contiguous rows of b and out.
-func matMulRange(a, b, out *Matrix, lo, hi int) {
-	n, p := a.Cols, b.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*n : (i+1)*n]
-		orow := out.Data[i*p : (i+1)*p]
-		for k, av := range arow {
-			if av == 0 {
-				continue
+// The row kernels below compute out = a·b one output row (or dense pair
+// of rows) at a time, streaming through contiguous rows of b and out.
+// The destination needs no prior zeroing: each output row is initialised
+// by its first axpy group (Set form) and all-zero input rows are cleared
+// explicitly. Zero entries of a are skipped — post-ReLU activations are
+// roughly half zeros, and each skip saves a whole row-axpy — and the
+// surviving non-zeros are fed through the multi-stream axpy kernels four
+// at a time, which quarters the traffic over the output row while
+// keeping the per-element accumulation order (and bits) of the
+// one-at-a-time loop. The banded driver over these kernels lives in
+// matMulEpilogueRange (fused.go) — one copy, epilogue optional.
+
+// denseRow reports whether the row contains no exact zeros.
+func denseRow(r []float64) bool {
+	for _, v := range r {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// matMulRowPairDense computes two output rows over a pair of fully dense
+// input rows: quads of k feed the shared weight rows through the
+// two-destination four-stream kernel, the first quad initialising both
+// rows (n >= 4 is the caller's guard).
+func matMulRowPairDense(r1, r2 []float64, b *Matrix, o1, o2 []float64, n, p int) {
+	axpy4PairSet(r1[0], r1[1], r1[2], r1[3], r2[0], r2[1], r2[2], r2[3],
+		b.Data[0:p], b.Data[p:2*p], b.Data[2*p:3*p], b.Data[3*p:4*p], o1, o2)
+	k := 4
+	for ; k+4 <= n; k += 4 {
+		axpy4Pair(r1[k], r1[k+1], r1[k+2], r1[k+3], r2[k], r2[k+1], r2[k+2], r2[k+3],
+			b.Data[k*p:(k+1)*p], b.Data[(k+1)*p:(k+2)*p], b.Data[(k+2)*p:(k+3)*p], b.Data[(k+3)*p:(k+4)*p], o1, o2)
+	}
+	for ; k < n; k++ {
+		brow := b.Data[k*p : (k+1)*p]
+		Axpy(r1[k], brow, o1)
+		Axpy(r2[k], brow, o2)
+	}
+}
+
+// matMulRow computes one output row with the zero-skip path: quads of
+// consecutive k that are fully non-zero take the four-stream kernel after
+// one combined test; mixed quads fall back to per-element skip. The first
+// write to the row uses a Set kernel; all-zero rows are cleared.
+func matMulRow(arow []float64, b *Matrix, orow []float64, n, p int) {
+	k, inited := 0, false
+	for ; k+4 <= n; k += 4 {
+		a1, a2, a3, a4 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+		if a1 != 0 && a2 != 0 && a3 != 0 && a4 != 0 {
+			if inited {
+				Axpy4(a1, b.Data[k*p:(k+1)*p], a2, b.Data[(k+1)*p:(k+2)*p],
+					a3, b.Data[(k+2)*p:(k+3)*p], a4, b.Data[(k+3)*p:(k+4)*p], orow)
+			} else {
+				Axpy4Set(a1, b.Data[k*p:(k+1)*p], a2, b.Data[(k+1)*p:(k+2)*p],
+					a3, b.Data[(k+2)*p:(k+3)*p], a4, b.Data[(k+3)*p:(k+4)*p], orow)
+				inited = true
 			}
-			brow := b.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			continue
+		}
+		for j := k; j < k+4; j++ {
+			if av := arow[j]; av != 0 {
+				if inited {
+					Axpy(av, b.Data[j*p:(j+1)*p], orow)
+				} else {
+					AxpySet(av, b.Data[j*p:(j+1)*p], orow)
+					inited = true
+				}
 			}
 		}
+	}
+	for ; k < n; k++ {
+		if av := arow[k]; av != 0 {
+			if inited {
+				Axpy(av, b.Data[k*p:(k+1)*p], orow)
+			} else {
+				AxpySet(av, b.Data[k*p:(k+1)*p], orow)
+				inited = true
+			}
+		}
+	}
+	if !inited {
+		clear(orow)
 	}
 }
 
 // MatMulTransA returns aᵀ·b without materialising the transpose of a.
 // Shapes: a is n×m, b is n×p, result is m×p. This is the gradient kernel
 // dW = Hᵀ·dY in dense and GCN layers. Allocating wrapper over
-// MatMulTransAInto.
+// MatMulTransAInto (process-global worker default).
 func MatMulTransA(a, b *Matrix) *Matrix {
+	return MatMulTransAWorkers(a, b, 0)
+}
+
+// MatMulTransAWorkers is MatMulTransA under an explicit per-call worker
+// budget (MatMulWorkersInto semantics) — the form the training backward
+// passes use so a layer's Serial mode never consults the deprecated
+// process-global worker count.
+func MatMulTransAWorkers(a, b *Matrix, workers int) *Matrix {
 	out := New(a.Cols, b.Cols)
-	MatMulTransAInto(out, a, b)
+	MatMulTransAWorkersInto(out, a, b, workers)
 	return out
 }
 
 // MatMulTransB returns a·bᵀ without materialising the transpose of b.
 // Shapes: a is n×m, b is p×m, result is n×p. This is the gradient kernel
 // dH = dY·Wᵀ in dense and GCN layers. Allocating wrapper over
-// MatMulTransBInto.
+// MatMulTransBInto (process-global worker default).
 func MatMulTransB(a, b *Matrix) *Matrix {
+	return MatMulTransBWorkers(a, b, 0)
+}
+
+// MatMulTransBWorkers is MatMulTransB under an explicit per-call worker
+// budget (MatMulWorkersInto semantics).
+func MatMulTransBWorkers(a, b *Matrix, workers int) *Matrix {
 	out := New(a.Rows, b.Rows)
-	MatMulTransBInto(out, a, b)
+	MatMulTransBWorkersInto(out, a, b, workers)
 	return out
 }

@@ -196,8 +196,8 @@ func (l *GATConv) Backward(dOut *mat.Matrix) *mat.Matrix {
 	for j, v := range dOut.ColSums() {
 		l.dbAcc[j] += v
 	}
-	l.dW.AddInPlace(mat.MatMulTransA(l.xCache, dz))
-	return mat.MatMulTransB(dz, l.W)
+	l.dW.AddInPlace(mat.MatMulTransAWorkers(l.xCache, dz, kernelBudget(l.Serial)))
+	return mat.MatMulTransBWorkers(dz, l.W, kernelBudget(l.Serial))
 }
 
 // Params exposes W, aₛ, aₜ and b.

@@ -44,6 +44,17 @@ type Param struct {
 	W, Grad *mat.Matrix
 }
 
+// kernelBudget maps a layer's Serial flag to a per-call worker budget: 1
+// (inline) for in-enclave layers, 0 (process-global default) otherwise.
+// The training backward passes thread it into the Workers kernel variants
+// so they never resolve parallelism through a racy global in serial mode.
+func kernelBudget(serial bool) int {
+	if serial {
+		return 1
+	}
+	return 0
+}
+
 // GCNConv is one graph-convolution layer: H' = Â·(H·W) + b, with Â fixed at
 // construction (Eq. 1 of the paper). The adjacency can be swapped with
 // SetAdjacency, which is how a trained backbone is re-used with a different
@@ -124,12 +135,12 @@ func (l *GCNConv) Backward(dOut *mat.Matrix) *mat.Matrix {
 	if l.xCache == nil {
 		panic("nn: GCNConv.Backward before Forward(train=true)")
 	}
-	dxw := l.adj.MulDense(dOut) // Â symmetric ⇒ Âᵀ = Â
-	l.dwAcc.AddInPlace(mat.MatMulTransA(l.xCache, dxw))
+	dxw := l.adj.MulDenseWorkers(dOut, kernelBudget(l.Serial)) // Â symmetric ⇒ Âᵀ = Â
+	l.dwAcc.AddInPlace(mat.MatMulTransAWorkers(l.xCache, dxw, kernelBudget(l.Serial)))
 	for j, s := range dOut.ColSums() {
 		l.dbAcc[j] += s
 	}
-	return mat.MatMulTransB(dxw, l.W)
+	return mat.MatMulTransBWorkers(dxw, l.W, kernelBudget(l.Serial))
 }
 
 // Params exposes W and b (as a 1×OutDim matrix view) for the optimiser.
@@ -194,11 +205,11 @@ func (l *Dense) Backward(dOut *mat.Matrix) *mat.Matrix {
 	if l.xCache == nil {
 		panic("nn: Dense.Backward before Forward(train=true)")
 	}
-	l.dwAcc.AddInPlace(mat.MatMulTransA(l.xCache, dOut))
+	l.dwAcc.AddInPlace(mat.MatMulTransAWorkers(l.xCache, dOut, kernelBudget(l.Serial)))
 	for j, s := range dOut.ColSums() {
 		l.dbAcc[j] += s
 	}
-	return mat.MatMulTransB(dOut, l.W)
+	return mat.MatMulTransBWorkers(dOut, l.W, kernelBudget(l.Serial))
 }
 
 // Params exposes W and b for the optimiser.

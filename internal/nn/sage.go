@@ -82,13 +82,14 @@ func (l *SAGEConv) Backward(dOut *mat.Matrix) *mat.Matrix {
 	if l.xCache == nil {
 		panic("nn: SAGEConv.Backward before Forward(train=true)")
 	}
-	l.dwSelf.AddInPlace(mat.MatMulTransA(l.xCache, dOut))
-	l.dwNbr.AddInPlace(mat.MatMulTransA(l.mxCache, dOut))
+	w := kernelBudget(l.Serial)
+	l.dwSelf.AddInPlace(mat.MatMulTransAWorkers(l.xCache, dOut, w))
+	l.dwNbr.AddInPlace(mat.MatMulTransAWorkers(l.mxCache, dOut, w))
 	for j, s := range dOut.ColSums() {
 		l.dbAcc[j] += s
 	}
-	dx := mat.MatMulTransB(dOut, l.WSelf)
-	dxNbr := l.aggT.MulDense(mat.MatMulTransB(dOut, l.WNbr))
+	dx := mat.MatMulTransBWorkers(dOut, l.WSelf, w)
+	dxNbr := l.aggT.MulDenseWorkers(mat.MatMulTransBWorkers(dOut, l.WNbr, w), w)
 	return dx.AddInPlace(dxNbr)
 }
 

@@ -269,33 +269,6 @@ func (m *MultiHeadGAT) ForwardWS(x *mat.Matrix, ws *LayerWorkspace) *mat.Matrix 
 	return ws.Out
 }
 
-// ModelWorkspace holds a per-layer workspace chain for one model, sized for
-// a fixed batch height.
-type ModelWorkspace struct {
-	Rows   int
-	layers []*LayerWorkspace
-	acts   []*mat.Matrix // reused activation list for ForwardCollectWS
-}
-
-// NumBytes returns the total buffer footprint of the workspace.
-func (ws *ModelWorkspace) NumBytes() int64 {
-	n := int64(0)
-	for _, l := range ws.layers {
-		n += l.NumBytes()
-	}
-	return n
-}
-
-// SetWorkers fixes the parallel-kernel budget of every layer workspace in
-// the chain (0 = process-global default, 1 = inline). The budget travels
-// with the plan, so two servers planned with different budgets never race
-// on a global knob.
-func (ws *ModelWorkspace) SetWorkers(n int) {
-	for _, l := range ws.layers {
-		l.SetWorkers(n)
-	}
-}
-
 // SetWorkers applies a budget to a layer workspace and its composite-head
 // sub-workspaces. Exported so executors that plan individual layers (the
 // opaque-op fallback in internal/exec programs) can carry their budget in.
@@ -304,48 +277,4 @@ func (ws *LayerWorkspace) SetWorkers(n int) {
 	for _, h := range ws.Heads {
 		h.SetWorkers(n)
 	}
-}
-
-// PlanWorkspace sizes a workspace for inference over rows×inCols inputs.
-// It panics if any layer does not support allocation-free inference.
-func (m *Model) PlanWorkspace(rows, inCols int) *ModelWorkspace {
-	ws := &ModelWorkspace{
-		Rows:   rows,
-		layers: make([]*LayerWorkspace, 0, len(m.Layers)),
-		acts:   make([]*mat.Matrix, 0, len(m.Layers)),
-	}
-	cols := inCols
-	for _, l := range m.Layers {
-		wl, ok := l.(WorkspaceLayer)
-		if !ok {
-			panic(fmt.Sprintf("nn: layer %T does not support workspace inference", l))
-		}
-		var lws *LayerWorkspace
-		lws, cols = wl.PlanWorkspace(rows, cols)
-		ws.layers = append(ws.layers, lws)
-	}
-	return ws
-}
-
-// ForwardWS runs the full stack in inference mode using only workspace
-// memory. The result aliases the workspace and is valid until its next use.
-func (m *Model) ForwardWS(x *mat.Matrix, ws *ModelWorkspace) *mat.Matrix {
-	h := x
-	for i, l := range m.Layers {
-		h = l.(WorkspaceLayer).ForwardWS(h, ws.layers[i])
-	}
-	return h
-}
-
-// ForwardCollectWS is ForwardWS additionally returning every layer's
-// output, like ForwardCollect. The returned slice is owned by the workspace
-// and overwritten by the next call.
-func (m *Model) ForwardCollectWS(x *mat.Matrix, ws *ModelWorkspace) (*mat.Matrix, []*mat.Matrix) {
-	h := x
-	ws.acts = ws.acts[:0]
-	for i, l := range m.Layers {
-		h = l.(WorkspaceLayer).ForwardWS(h, ws.layers[i])
-		ws.acts = append(ws.acts, h)
-	}
-	return h, ws.acts
 }
