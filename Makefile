@@ -26,18 +26,22 @@ bench:
 # surface: BENCH_subgraph.json (node-query latency sweep), BENCH_core.json
 # (full-graph PredictInto, untiled vs tiled), BENCH_serve.json (registry
 # serving under EPC pressure), BENCH_exec.json (the shared forward engine:
-# fusion × tiling × tile-parallelism). Override SIZES for bigger
-# subgraph-sweep graphs, e.g. `make bench-json SIZES=100000,200000`.
+# fusion × tiling × tile-parallelism × precision), BENCH_precision.json
+# (calibrated fp64/fp32/int8 tiled plans on trained vaults). Override SIZES
+# for bigger graphs, e.g. `make bench-json SIZES=100000,200000`.
 SIZES ?= 20000,50000
 bench-json:
 	$(GO) run ./cmd/experiments -run ext-subgraph -epochs 3 -sizes $(SIZES) -bench-out BENCH_subgraph.json
 	$(GO) run ./cmd/experiments -run ext-core -epochs 3 -bench-out BENCH_core.json
 	$(GO) run ./cmd/experiments -run ext-serve -epochs 3 -bench-out BENCH_serve.json
 	$(GO) run ./cmd/experiments -run ext-exec -sizes $(SIZES) -bench-out BENCH_exec.json
+	$(GO) run ./cmd/experiments -run ext-precision -sizes $(SIZES) -bench-out BENCH_precision.json
 
-# Short fuzz passes over the two engine invariants: induced-subgraph
-# extraction and tiled-vs-direct execution equivalence.
+# Short fuzz passes over the three engine invariants: induced-subgraph
+# extraction, tiled-vs-direct execution equivalence, and reduced-precision
+# (fp32/int8) accuracy + within-tier bit-identity.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInducedSubgraph -fuzztime $(FUZZTIME) ./internal/subgraph/
 	$(GO) test -run '^$$' -fuzz FuzzTiledExec -fuzztime $(FUZZTIME) ./internal/exec/
+	$(GO) test -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME) ./internal/exec/

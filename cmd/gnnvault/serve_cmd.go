@@ -56,6 +56,8 @@ func cmdServe(args []string) {
 	epcMB := fs.Int64("epc-mb", 96, "enclave EPC capacity in MB (lower it to force eviction churn)")
 	epcBudgetMB := fs.Int64("epc-budget-mb", 0, "per-workspace EPC budget in MB: plans execute tile-streamed under this bound (0 = classic untiled plans)")
 	planWorkers := fs.Int("plan-workers", 0, "tile workers per budgeted plan: the enclave streams each op's tiles across this many threads, dividing the per-workspace budget across their staging tiles (0 or 1 = serial ECALL)")
+	precision := fs.String("precision", "fp64", "in-enclave kernel precision: fp64|fp32|int8 — reduced tiers shrink EPC, spill and transfer by the element width; int8 plans are calibrated against the fp64 reference and refused below the agreement floor")
+	minAgree := fs.Float64("min-agreement", 0, "argmax-agreement floor for reduced-precision plans on the calibration batch (0 = default 0.99)")
 	clients := fs.Int("clients", 8, "concurrent synthetic clients")
 	requests := fs.Int("requests", 25, "requests per client")
 	httpAddr := fs.String("http", "", "serve the HTTP/JSON API on this address (e.g. :8080) instead of the synthetic stream")
@@ -71,7 +73,17 @@ func cmdServe(args []string) {
 	if *hops > 0 {
 		nq = &registry.NodeQueryConfig{Hops: *hops, Fanout: *fanout, MaxSeeds: *maxSeeds, Seed: uint64(*seed)}
 	}
-	plan := core.PlanConfig{EPCBudgetBytes: *epcBudgetMB << 20, Workers: *planWorkers}
+	prec, err := core.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+	plan := core.PlanConfig{
+		EPCBudgetBytes: *epcBudgetMB << 20,
+		Workers:        *planWorkers,
+		Precision:      prec,
+		MinAgreement:   *minAgree,
+	}
 	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq)
 	srv := serve.NewMulti(fl.reg, serve.Config{Workers: *workers, MaxBatch: *batch})
 	defer func() {
@@ -82,6 +94,9 @@ func cmdServe(args []string) {
 	mode := "untiled workspaces"
 	if *epcBudgetMB > 0 {
 		mode = fmt.Sprintf("tiled workspaces ≤ %d MB each", *epcBudgetMB)
+	}
+	if prec != core.PrecisionFP64 {
+		mode += ", " + prec.String() + " enclave kernels"
 	}
 	fmt.Printf("fleet of %d vaults on one enclave (EPC %.2f MB used of %d MB), %d workers, %s\n",
 		len(fl.vaults), float64(fl.encl.EPCUsed())/(1<<20), fl.encl.EPCLimit()>>20, *workers, mode)
@@ -151,6 +166,12 @@ func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcM
 		v, err := core.DeployInto(encl, m.bb, m.rec, m.ds.Graph)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deploy %s failed: %v\n", m.info.ID, err)
+			os.Exit(1)
+		}
+		// Calibration batch for reduced-precision plans: the dataset's own
+		// public features — the same matrix every query passes in.
+		if err := v.SetCalibrationFeatures(m.ds.X); err != nil {
+			fmt.Fprintf(os.Stderr, "calibration features for %s failed: %v\n", m.info.ID, err)
 			os.Exit(1)
 		}
 		if err := reg.Register(m.info.ID, v); err != nil {

@@ -37,8 +37,10 @@ type PlanConfig struct {
 	// EPCBudgetBytes caps the enclave bytes this plan's *workspace* may
 	// charge (persistent deploy-time residents are separate). A non-zero
 	// budget selects tiled execution with TileRows derived as
-	// budget / (8 × widest program value × workers), clamped to
-	// [1, rows] — the whole worker pool's staging tiles fit the budget.
+	// budget / (element bytes × widest program value × workers), clamped
+	// to [1, rows] — the whole worker pool's staging tiles fit the
+	// budget, and reduced-precision plans buy proportionally taller
+	// tiles from the same budget.
 	EPCBudgetBytes int64
 	// TileRows, when non-zero, fixes the tile height directly and
 	// overrides the budget derivation.
@@ -55,6 +57,16 @@ type PlanConfig struct {
 	// side single-threaded regardless — a direct rectifier forward has no
 	// race-free decomposition to hand the pool.
 	Workers int
+	// Precision selects the in-enclave kernel family (fp64, fp32, int8).
+	// The zero value is fp64 — the bit-exact reference. Reduced tiers
+	// shrink every enclave byte by the element width; int8 plans require
+	// calibration features (Vault.SetCalibrationFeatures) and both reduced
+	// tiers are checked against the fp64 reference when features are
+	// registered, failing with ErrCalibrationFailed below MinAgreement.
+	Precision Precision
+	// MinAgreement overrides the argmax-agreement floor a reduced plan
+	// must reach on the calibration batch (0 = DefaultMinAgreement).
+	MinAgreement float64
 }
 
 // tiled reports whether the config selects tiled streaming execution.
@@ -160,8 +172,15 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 	if n := v.privateGraph.N(); rows != n {
 		return nil, fmt.Errorf("core: plan rows %d != deployed graph nodes %d", rows, n)
 	}
+	if !cfg.Precision.valid() {
+		return nil, fmt.Errorf("core: unknown plan precision %d", cfg.Precision)
+	}
+	elem := cfg.Precision.Elem()
 	prog, extra := v.rectifier.compileRectifier(rows, nil)
-	machCfg := exec.Config{Workers: 1} // direct in-enclave: single-threaded
+	if elem != exec.F64 && !prog.Tileable() {
+		return nil, fmt.Errorf("core: %s plan: %w", cfg.Precision, exec.ErrPrecisionUnsupported)
+	}
+	machCfg := exec.Config{Workers: 1, Elem: elem} // direct in-enclave: single-threaded
 	if cfg.tiled() {
 		if !prog.Tileable() {
 			return nil, ErrTiledUnsupported
@@ -171,18 +190,42 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 			workers = 1
 		}
 		machCfg = exec.Config{
-			TileRows: deriveTileRows(cfg, prog.MaxWidth(), rows, workers),
+			TileRows: deriveTileRows(cfg, prog.MaxWidth(), rows, workers, cfg.Precision.ElemBytes()),
 			Workers:  workers,
+			Elem:     elem,
 		}
+	}
+	// Backbone first: reduced plans calibrate their scales and agreement
+	// against its fp64 embeddings before the enclave machine exists.
+	bbProg, blockVals, _ := v.Backbone.compileBackbone(rows, nil, cfg.Workers)
+	bbMach, err := bbProg.NewMachine(exec.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling backbone plan: %w", err)
+	}
+	blocks := make([]*mat.Matrix, 0, len(blockVals))
+	for _, bv := range blockVals {
+		blocks = append(blocks, bbMach.Value(bv))
+	}
+	var refLabels []int
+	var calibEmbs []*mat.Matrix
+	if elem != exec.F64 {
+		scales, ref, embs, err := v.calibrateReduced(prog, bbMach, blocks, cfg)
+		if err != nil {
+			return nil, err
+		}
+		machCfg.Scales = scales
+		refLabels, calibEmbs = ref, embs
 	}
 	mach, err := prog.NewMachine(machCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling inference plan: %w", err)
 	}
-	bbProg, blockVals, _ := v.Backbone.compileBackbone(rows, nil, cfg.Workers)
-	bbMach, err := bbProg.NewMachine(exec.Config{Workers: cfg.Workers})
-	if err != nil {
-		return nil, fmt.Errorf("core: compiling backbone plan: %w", err)
+	if refLabels != nil {
+		// Admission gate: the actual plan machine (tiled or direct) must
+		// reproduce the fp64 reference labels on the calibration batch.
+		if err := checkAgreement(mach, rows, calibEmbs, refLabels, cfg); err != nil {
+			return nil, err
+		}
 	}
 	ws := &Workspace{
 		Rows:   rows,
@@ -192,13 +235,11 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 		mach:   mach,
 		needed: v.rectifier.RequiredEmbeddings(),
 		labels: make([]int, rows),
-	}
-	for _, bv := range blockVals {
-		ws.blocks = append(ws.blocks, bbMach.Value(bv))
+		blocks: blocks,
 	}
 	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
 	for _, i := range ws.needed {
-		ws.payload += int64(v.Backbone.BlockDims[i]) * int64(rows) * 8
+		ws.payload += int64(v.Backbone.BlockDims[i]) * int64(rows) * cfg.Precision.ElemBytes()
 	}
 	if machCfg.TileRows > 0 {
 		// Tiled: only the staging tiles (one per tile worker) are
@@ -229,19 +270,21 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 const cacheTileBytes = 2 << 20
 
 // deriveTileRows maps a plan config to a tile height: an explicit TileRows
-// wins; otherwise the EPC budget buys budget/(8·maxWidth·workers) rows of
-// the widest program value — every tile worker charges its own staging
-// tile, so the pool as a whole stays inside the budget. Budget-derived
-// heights are additionally capped at one worker's row share (taller tiles
-// would idle workers without saving anything) and at a cache-resident
-// staging size (taller tiles are measurably slower, not just pointless),
-// and the result is clamped to [1, rows] — a budget too small for even
-// one row still plans, charging its actual (minimal) tiles.
-func deriveTileRows(cfg PlanConfig, maxWidth, rows, workers int) int {
+// wins; otherwise the EPC budget buys budget/(elemBytes·maxWidth·workers)
+// rows of the widest program value — every tile worker charges its own
+// staging tile, so the pool as a whole stays inside the budget, and a
+// narrower element type buys proportionally taller tiles (int8 tiles hold
+// 8× the rows of fp64 ones for the same budget). Budget-derived heights
+// are additionally capped at one worker's row share (taller tiles would
+// idle workers without saving anything) and at a cache-resident staging
+// size (taller tiles are measurably slower, not just pointless), and the
+// result is clamped to [1, rows] — a budget too small for even one row
+// still plans, charging its actual (minimal) tiles.
+func deriveTileRows(cfg PlanConfig, maxWidth, rows, workers int, elemBytes int64) int {
 	t := cfg.TileRows
 	if t <= 0 {
-		t = int(cfg.EPCBudgetBytes / (8 * int64(maxWidth) * int64(workers)))
-		if lim := int(cacheTileBytes / (8 * int64(maxWidth))); t > lim {
+		t = int(cfg.EPCBudgetBytes / (elemBytes * int64(maxWidth) * int64(workers)))
+		if lim := int(cacheTileBytes / (elemBytes * int64(maxWidth))); t > lim {
 			t = lim
 		}
 		if share := (rows + workers - 1) / workers; t > share {
@@ -272,6 +315,12 @@ func (ws *Workspace) TileWorkers() int { return ws.mach.TileWorkers() }
 // shrinks it: folded chains flush once instead of once per element-wise
 // op.
 func (ws *Workspace) SpillBytes() int64 { return ws.spill }
+
+// PayloadBytes returns the modelled per-call ECALL embedding payload: the
+// backbone blocks the rectifier consumes, priced at the plan's element
+// width — a reduced-precision plan carries proportionally smaller
+// payloads across the boundary.
+func (ws *Workspace) PayloadBytes() int64 { return ws.payload }
 
 // Release returns the workspace's EPC to the enclave. The workspace must
 // not be used afterwards.

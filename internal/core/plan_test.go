@@ -104,14 +104,13 @@ func TestCompiledBackboneMatchesEmbeddings(t *testing.T) {
 
 // TestPredictIntoAllocFree is the hot-path regression test: after warm-up,
 // steady-state PredictInto must perform zero heap allocations. Parallel
-// kernels are pinned to one worker because goroutine spawns allocate; the
-// enclave side is single-threaded (serial kernels) by construction.
+// kernels are pinned to one worker through the plan's own budget —
+// goroutine spawns allocate — rather than the deprecated process-global
+// knob; the enclave side is single-threaded (serial kernels) by
+// construction.
 func TestPredictIntoAllocFree(t *testing.T) {
-	mat.SetMaxWorkers(1)
-	defer mat.SetMaxWorkers(0)
-
 	ds, v := planTestVault(t, Parallel)
-	ws, err := v.Plan(ds.X.Rows)
+	ws, err := v.PlanWith(ds.X.Rows, PlanConfig{Workers: 1})
 	if err != nil {
 		t.Fatalf("Plan: %v", err)
 	}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"gnnvault/internal/exec"
+	"gnnvault/internal/mat"
+)
+
+// Precision tiers. A plan's Precision selects which kernel family the
+// in-enclave rectifier machine runs — the backbone stays fp64 in the
+// normal world, and conversion (or quantization) happens once at the
+// ECALL boundary — so EPC charge, spill traffic and transfer payload all
+// shrink with the element width: fp32 halves every byte, int8 cuts it
+// 8×, turning vaults inadmissible at fp64 into residents. Reduced plans
+// are gated by plan-time calibration against the fp64 reference: like
+// the DAC cost model's lookup-and-clamp precision tables, a requested
+// tier outside what the deployment supports (or below the accuracy
+// floor) is refused rather than silently degraded.
+
+// Precision selects the element type of a plan's in-enclave machine.
+type Precision uint8
+
+// The precision vocabulary. PrecisionFP64 is the zero value: existing
+// PlanConfig literals keep the reference engine.
+const (
+	PrecisionFP64 Precision = iota // float64 reference
+	PrecisionFP32                  // float32 kernels, half the bytes
+	PrecisionInt8                  // calibrated symmetric int8, ⅛ the bytes
+)
+
+// ParsePrecision maps a user-facing precision name to its tier. The
+// empty string means fp64; unknown names are refused, never clamped.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(s) {
+	case "", "fp64", "f64", "float64":
+		return PrecisionFP64, nil
+	case "fp32", "f32", "float32":
+		return PrecisionFP32, nil
+	case "int8", "i8":
+		return PrecisionInt8, nil
+	}
+	return 0, fmt.Errorf("core: unknown precision %q (want fp64, fp32 or int8)", s)
+}
+
+// String names the tier for flags, logs and benchmark rows.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFP32:
+		return "fp32"
+	case PrecisionInt8:
+		return "int8"
+	default:
+		return "fp64"
+	}
+}
+
+// valid reports whether p is a known tier.
+func (p Precision) valid() bool { return p <= PrecisionInt8 }
+
+// Elem returns the exec element type of the tier.
+func (p Precision) Elem() exec.Elem {
+	switch p {
+	case PrecisionFP32:
+		return exec.F32
+	case PrecisionInt8:
+		return exec.I8
+	default:
+		return exec.F64
+	}
+}
+
+// ElemBytes returns the tier's element width in bytes — the factor the
+// plan's tile sizing, payload and spill accounting price.
+func (p Precision) ElemBytes() int64 { return int64(p.Elem().Size()) }
+
+// DefaultMinAgreement is the argmax-agreement floor a reduced-precision
+// plan must reach against the fp64 reference on the calibration batch
+// when PlanConfig.MinAgreement is unset.
+const DefaultMinAgreement = 0.99
+
+// ErrCalibrationRequired is returned when an int8 plan is requested for
+// a vault with no registered calibration features: quantization scales
+// are derived from a reference run, so there is nothing to derive them
+// from. Register the deployment's public feature matrix with
+// Vault.SetCalibrationFeatures first.
+var ErrCalibrationRequired = errors.New("core: int8 plan needs calibration features (Vault.SetCalibrationFeatures)")
+
+// ErrCalibrationFailed is returned when a reduced-precision plan's
+// argmax agreement with the fp64 reference falls below the configured
+// floor. It is distinct from enclave.ErrEPCExhausted by design: the
+// registry's admission loop evicts residents on EPC pressure, and an
+// accuracy refusal must not trigger evictions.
+var ErrCalibrationFailed = errors.New("core: reduced-precision plan below accuracy floor")
+
+// minAgreement resolves the configured agreement floor.
+func (c PlanConfig) minAgreement() float64 {
+	if c.MinAgreement > 0 {
+		return c.MinAgreement
+	}
+	return DefaultMinAgreement
+}
+
+// SetCalibrationFeatures registers the deployed graph's public feature
+// matrix as the held-out calibration batch reduced-precision plans
+// verify against: PlanWith (and the subgraph planner) runs the fp64
+// reference on it, derives the int8 activation scales, and refuses any
+// plan whose argmax agreement falls below the floor. The matrix is
+// shared, not copied — serving code passes the same features it predicts
+// with. A nil x clears the registration (fp32 plans then skip the
+// agreement gate; int8 plans fail with ErrCalibrationRequired).
+func (v *Vault) SetCalibrationFeatures(x *mat.Matrix) error {
+	if x != nil {
+		if n := v.privateGraph.N(); x.Rows != n {
+			return fmt.Errorf("core: calibration features %d rows != deployed graph nodes %d", x.Rows, n)
+		}
+		if x.Cols != v.Backbone.FeatureDim {
+			return fmt.Errorf("core: calibration features %d cols != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
+		}
+	}
+	v.calibX.Store(x)
+	return nil
+}
+
+// calibrateReduced derives a reduced plan's quantization state from the
+// registered calibration features: it runs the given full-graph fp64
+// backbone machine over them, feeds the resulting block embeddings
+// through the fp64 reference of the rectifier program, and returns the
+// per-value per-column activation scales, the reference argmax labels,
+// and the embedding views (still bound into bbMach, valid until its next
+// Run). With no features registered, fp32 plans proceed unverified (nil
+// scales/labels); int8 plans fail with ErrCalibrationRequired.
+func (v *Vault) calibrateReduced(prog *exec.Program, bbMach *exec.Machine, blocks []*mat.Matrix, cfg PlanConfig) ([][]float64, []int, []*mat.Matrix, error) {
+	calibX := v.calibX.Load()
+	if calibX == nil {
+		if cfg.Precision == PrecisionInt8 {
+			return nil, nil, nil, ErrCalibrationRequired
+		}
+		return nil, nil, nil, nil
+	}
+	rows := v.privateGraph.N()
+	bbMach.Run(rows, []*mat.Matrix{calibX}, nil)
+	needed := v.rectifier.RequiredEmbeddings()
+	embs := make([]*mat.Matrix, 0, len(needed))
+	for _, i := range needed {
+		embs = append(embs, blocks[i])
+	}
+	scales, ref, err := exec.CalibrateScales(prog, rows, embs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: calibrating %s plan: %w", cfg.Precision, err)
+	}
+	return scales, ref, embs, nil
+}
+
+// checkAgreement runs the reduced machine over the calibration
+// embeddings and compares its argmax labels against the fp64 reference,
+// failing with ErrCalibrationFailed below the configured floor. The
+// machine's buffers are scratched; plan-time only.
+func checkAgreement(mach *exec.Machine, rows int, embs []*mat.Matrix, ref []int, cfg PlanConfig) error {
+	labels := make([]int, rows)
+	mach.Run(rows, embs, labels)
+	agree := 0
+	for i, l := range labels {
+		if l == ref[i] {
+			agree++
+		}
+	}
+	frac := 1.0
+	if rows > 0 {
+		frac = float64(agree) / float64(rows)
+	}
+	if floor := cfg.minAgreement(); frac < floor {
+		return fmt.Errorf("%w: %s agrees with fp64 on %.4f of calibration nodes, floor %.4f", ErrCalibrationFailed, cfg.Precision, frac, floor)
+	}
+	return nil
+}

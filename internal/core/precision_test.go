@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gnnvault/internal/exec"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/subgraph"
+)
+
+// subConfigForTest is the sampling geometry the reduced-precision
+// subgraph tests share: seeded, so two workspaces extract identically.
+func subConfigForTest() subgraph.Config {
+	return subgraph.Config{Hops: 2, Fanout: 6, Seed: 3}
+}
+
+func TestParsePrecision(t *testing.T) {
+	cases := map[string]Precision{
+		"": PrecisionFP64, "fp64": PrecisionFP64, "f64": PrecisionFP64, "Float64": PrecisionFP64,
+		"fp32": PrecisionFP32, "F32": PrecisionFP32, "float32": PrecisionFP32,
+		"int8": PrecisionInt8, "I8": PrecisionInt8,
+	}
+	for s, want := range cases {
+		got, err := ParsePrecision(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrecision(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"fp16", "int4", "double", "quantized"} {
+		if _, err := ParsePrecision(s); err == nil {
+			t.Fatalf("ParsePrecision(%q) accepted, want refusal", s)
+		}
+	}
+	if PrecisionFP64.ElemBytes() != 8 || PrecisionFP32.ElemBytes() != 4 || PrecisionInt8.ElemBytes() != 1 {
+		t.Fatal("ElemBytes mismatch")
+	}
+}
+
+// TestPlanPrecisionAgainstReference is the end-to-end admission +
+// accuracy test on cora: fp32 plans must reproduce the fp64 reference
+// labels exactly (argmax is far more stable than the 2^-29 relative
+// rounding fp32 adds), and calibrated int8 plans must agree on ≥99% of
+// nodes — the same floor plan admission itself enforces. Both reduced
+// tiers are exercised direct and tiled, and tiled output must equal
+// direct output bit-for-bit within each tier.
+func TestPlanPrecisionAgainstReference(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	if err := v.SetCalibrationFeatures(ds.X); err != nil {
+		t.Fatalf("SetCalibrationFeatures: %v", err)
+	}
+	ref, _, err := v.Predict(ds.X)
+	if err != nil {
+		t.Fatalf("fp64 Predict: %v", err)
+	}
+	labelsFor := func(cfg PlanConfig) []int {
+		t.Helper()
+		ws, err := v.PlanWith(ds.X.Rows, cfg)
+		if err != nil {
+			t.Fatalf("PlanWith(%+v): %v", cfg, err)
+		}
+		defer ws.Release()
+		got, _, err := v.PredictInto(ds.X, ws)
+		if err != nil {
+			t.Fatalf("PredictInto(%+v): %v", cfg, err)
+		}
+		out := make([]int, len(got))
+		copy(out, got)
+		return out
+	}
+	agreement := func(got []int) float64 {
+		agree := 0
+		for i := range got {
+			if got[i] == ref[i] {
+				agree++
+			}
+		}
+		return float64(agree) / float64(len(ref))
+	}
+
+	for _, prec := range []Precision{PrecisionFP32, PrecisionInt8} {
+		direct := labelsFor(PlanConfig{Precision: prec})
+		tiled := labelsFor(PlanConfig{Precision: prec, TileRows: 97, Workers: 3})
+		for i := range direct {
+			if direct[i] != tiled[i] {
+				t.Fatalf("%s: tiled label[%d] = %d != direct %d", prec, i, tiled[i], direct[i])
+			}
+		}
+		switch prec {
+		case PrecisionFP32:
+			if a := agreement(direct); a != 1.0 {
+				t.Fatalf("fp32 agreement %.4f, want exact argmax", a)
+			}
+		case PrecisionInt8:
+			if a := agreement(direct); a < 0.99 {
+				t.Fatalf("int8 agreement %.4f, want >= 0.99", a)
+			}
+		}
+	}
+}
+
+// TestReducedPlansShrinkBytes pins the accounting the tiers exist for:
+// payload and (tiled) EPC/spill scale with the element width.
+func TestReducedPlansShrinkBytes(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	if err := v.SetCalibrationFeatures(ds.X); err != nil {
+		t.Fatalf("SetCalibrationFeatures: %v", err)
+	}
+	plan := func(cfg PlanConfig) *Workspace {
+		t.Helper()
+		ws, err := v.PlanWith(ds.X.Rows, cfg)
+		if err != nil {
+			t.Fatalf("PlanWith(%+v): %v", cfg, err)
+		}
+		return ws
+	}
+	const budget = 1 << 20
+	f64 := plan(PlanConfig{EPCBudgetBytes: budget})
+	f32 := plan(PlanConfig{EPCBudgetBytes: budget, Precision: PrecisionFP32})
+	i8 := plan(PlanConfig{EPCBudgetBytes: budget, Precision: PrecisionInt8})
+	defer f64.Release()
+	defer f32.Release()
+	defer i8.Release()
+
+	if f32.payload*2 != f64.payload || i8.payload*8 != f64.payload {
+		t.Fatalf("payloads fp64=%d fp32=%d int8=%d, want exact 2x/8x ratios", f64.payload, f32.payload, i8.payload)
+	}
+	// Same budget buys proportionally taller tiles, so per-call spill
+	// traffic (rows × width × elem bytes summed over spilled values)
+	// shrinks by the element width: int8 must spill ≥4× less than fp64.
+	if i8.spill*4 > f64.spill {
+		t.Fatalf("int8 spill %d vs fp64 %d, want >= 4x reduction", i8.spill, f64.spill)
+	}
+	if f32.spill >= f64.spill {
+		t.Fatalf("fp32 spill %d not below fp64 %d", f32.spill, f64.spill)
+	}
+}
+
+// TestInt8PlanRequiresCalibration: an int8 plan with no registered
+// features must refuse with the named error — and the refusal must not
+// read as EPC pressure, so the registry never evicts over it.
+func TestInt8PlanRequiresCalibration(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	_, err := v.PlanWith(ds.X.Rows, PlanConfig{Precision: PrecisionInt8})
+	if !errors.Is(err, ErrCalibrationRequired) {
+		t.Fatalf("int8 plan without features: %v, want ErrCalibrationRequired", err)
+	}
+	if _, err := v.PlanSubgraphWith(4, subConfigForTest(), PlanConfig{Precision: PrecisionInt8}); !errors.Is(err, ErrCalibrationRequired) {
+		t.Fatalf("int8 subgraph plan without features: %v, want ErrCalibrationRequired", err)
+	}
+	// fp32 needs no scales: it plans unverified when no features exist.
+	ws, err := v.PlanWith(ds.X.Rows, PlanConfig{Precision: PrecisionFP32})
+	if err != nil {
+		t.Fatalf("fp32 plan without features: %v", err)
+	}
+	ws.Release()
+}
+
+// TestAgreementFloorRefusesPlan: an unreachable floor turns admission
+// into a refusal with the distinct calibration error.
+func TestAgreementFloorRefusesPlan(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	if err := v.SetCalibrationFeatures(ds.X); err != nil {
+		t.Fatalf("SetCalibrationFeatures: %v", err)
+	}
+	_, err := v.PlanWith(ds.X.Rows, PlanConfig{Precision: PrecisionInt8, MinAgreement: 1.5})
+	if !errors.Is(err, ErrCalibrationFailed) {
+		t.Fatalf("unreachable floor: %v, want ErrCalibrationFailed", err)
+	}
+	if errors.Is(err, exec.ErrPrecisionUnsupported) {
+		t.Fatal("calibration refusal must not read as precision-unsupported")
+	}
+}
+
+// TestCalibrationFeatureValidation rejects shape mismatches up front.
+func TestCalibrationFeatureValidation(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	bad := ds.X.ViewRows(0, ds.X.Rows-1, &mat.Matrix{})
+	if err := v.SetCalibrationFeatures(bad); err == nil {
+		t.Fatal("row-mismatched calibration features accepted")
+	}
+	if err := v.SetCalibrationFeatures(nil); err != nil {
+		t.Fatalf("clearing calibration features: %v", err)
+	}
+}
+
+// TestSubgraphPlanReducedPrecision: the subgraph planner admits reduced
+// tiers (full-graph calibration) and serves in-range labels; with the
+// same sampling seed, int8 queries mostly agree with the fp64 subgraph
+// path. The floor here is looser than the full-graph 99% gate: subgraph
+// serving is already approximate (truncated, sampled receptive fields
+// shift logits toward ties), so quantization flips compound with
+// sampling noise — the calibrated guarantee lives in plan admission,
+// which checks the full-graph machine against the fp64 reference.
+func TestSubgraphPlanReducedPrecision(t *testing.T) {
+	ds, v := planTestVault(t, Parallel)
+	if err := v.SetCalibrationFeatures(ds.X); err != nil {
+		t.Fatalf("SetCalibrationFeatures: %v", err)
+	}
+	scfg := subConfigForTest()
+	ref, err := v.PlanSubgraphWith(4, scfg, PlanConfig{})
+	if err != nil {
+		t.Fatalf("fp64 subgraph plan: %v", err)
+	}
+	defer ref.Release()
+	red, err := v.PlanSubgraphWith(4, scfg, PlanConfig{Precision: PrecisionInt8})
+	if err != nil {
+		t.Fatalf("int8 subgraph plan: %v", err)
+	}
+	defer red.Release()
+	if red.EnclaveBytes() >= ref.EnclaveBytes() {
+		t.Fatalf("int8 subgraph EPC %d not below fp64 %d", red.EnclaveBytes(), ref.EnclaveBytes())
+	}
+	total, agree := 0, 0
+	for q := 0; q < 50; q++ {
+		seeds := []int{(q * 53) % ds.Graph.N(), (q*97 + 1) % ds.Graph.N()}
+		if seeds[0] == seeds[1] {
+			continue
+		}
+		want, _, err := v.PredictNodesInto(ds.X, seeds, ref)
+		if err != nil {
+			t.Fatalf("fp64 query %d: %v", q, err)
+		}
+		wantCopy := append([]int(nil), want...)
+		got, _, err := v.PredictNodesInto(ds.X, seeds, red)
+		if err != nil {
+			t.Fatalf("int8 query %d: %v", q, err)
+		}
+		for i := range got {
+			total++
+			if got[i] == wantCopy[i] {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.8 {
+		t.Fatalf("int8 subgraph agreement %.4f over %d labels, want >= 0.8", frac, total)
+	}
+}

@@ -105,8 +105,26 @@ type SubgraphWorkspace struct {
 // non-GCN convolutions, and with enclave.ErrEPCExhausted (wrapped) when
 // even the capped working set does not fit.
 func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorkspace, error) {
+	return v.PlanSubgraphWith(maxSeeds, cfg, PlanConfig{})
+}
+
+// PlanSubgraphWith is PlanSubgraph under a plan configuration: only the
+// Precision, MinAgreement and Workers fields apply (subgraph rectifier
+// execution is direct, never tiled — the induced batch is already small).
+// A reduced-precision subgraph plan calibrates against the *full* graph:
+// the fp64 reference backbone and rectifier run once over the registered
+// calibration features, the derived scales carry over to the per-query
+// machine (both machines compile from the same lowering, so their value
+// tables — and hence scale indices — align), and a full-graph reduced
+// check machine must meet the agreement floor before the plan is
+// admitted. Like PlanWith, int8 without registered calibration features
+// fails with ErrCalibrationRequired.
+func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanConfig) (*SubgraphWorkspace, error) {
 	if v.undeployed.Load() {
 		return nil, fmt.Errorf("core: subgraph plan on undeployed vault")
+	}
+	if !pcfg.Precision.valid() {
+		return nil, fmt.Errorf("core: unknown plan precision %d", pcfg.Precision)
 	}
 	if v.Backbone.adj == nil {
 		return nil, fmt.Errorf("%w: DNN backbone has no public graph to expand over", ErrSubgraphUnsupported)
@@ -125,6 +143,41 @@ func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorksp
 	}
 
 	n := v.privateGraph.N()
+	elem := pcfg.Precision.Elem()
+	rectCfg := exec.Config{Workers: 1, Elem: elem}
+	if elem != exec.F64 {
+		// Calibrate against the full graph: the per-query sub-CSR is not
+		// known at plan time, but the sub program compiles from the same
+		// lowering as the full-graph one, so scales derived here index the
+		// same values the per-query machine computes.
+		fullProg, _ := v.rectifier.compileRectifier(n, nil)
+		if !fullProg.Tileable() {
+			return nil, fmt.Errorf("core: %s subgraph plan: %w", pcfg.Precision, exec.ErrPrecisionUnsupported)
+		}
+		fullBBProg, fullBlockVals, _ := v.Backbone.compileBackbone(n, nil, pcfg.Workers)
+		fullBB, err := fullBBProg.NewMachine(exec.Config{Workers: pcfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling calibration backbone: %w", err)
+		}
+		fullBlocks := make([]*mat.Matrix, 0, len(fullBlockVals))
+		for _, bv := range fullBlockVals {
+			fullBlocks = append(fullBlocks, fullBB.Value(bv))
+		}
+		scales, ref, embs, err := v.calibrateReduced(fullProg, fullBB, fullBlocks, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		rectCfg.Scales = scales
+		if ref != nil {
+			check, err := fullProg.NewMachine(exec.Config{Workers: 1, Elem: elem, Scales: scales})
+			if err != nil {
+				return nil, fmt.Errorf("core: compiling calibration check machine: %w", err)
+			}
+			if err := checkAgreement(check, n, embs, ref, pcfg); err != nil {
+				return nil, err
+			}
+		}
+	}
 	plan := subgraph.NewPlan(cfg, maxSeeds, n)
 	capRows := plan.CapNodes
 	ws := &SubgraphWorkspace{
@@ -155,7 +208,7 @@ func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorksp
 		ws.blocks = append(ws.blocks, bbMach.Value(bv))
 	}
 	rectProg, _ := v.rectifier.compileRectifier(capRows, ws.privCS.Sub()) // GCN-only here: no opaque bytes
-	rectMach, err := rectProg.NewMachine(exec.Config{Workers: 1})
+	rectMach, err := rectProg.NewMachine(rectCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling subgraph rectifier: %w", err)
 	}
@@ -168,7 +221,7 @@ func (v *Vault) PlanSubgraph(maxSeeds int, cfg subgraph.Config) (*SubgraphWorksp
 	// the substitute CSR and the backbone machine stay in the normal world
 	// (the node set is public).
 	for _, i := range ws.needed {
-		ws.payload += int64(v.Backbone.BlockDims[i]) * 8
+		ws.payload += int64(v.Backbone.BlockDims[i]) * pcfg.Precision.ElemBytes()
 	}
 	ws.epc = ws.privCS.NumBytes() + rectMach.BufferBytes() + ws.payload*int64(capRows) + int64(capRows)*8
 	if err := v.Enclave.Alloc(ws.epc); err != nil {

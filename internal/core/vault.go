@@ -41,6 +41,13 @@ type Vault struct {
 	// EnableNodeServing; PredictNodes routes through it under nodeMu.
 	nodeMu sync.Mutex
 	nodeWS *SubgraphWorkspace
+
+	// calibX is the optional calibration feature matrix registered by
+	// SetCalibrationFeatures, the fp64-reference input reduced-precision
+	// plans derive their quantization scales and agreement check from.
+	// Atomic: serving code registers it once while planners may already
+	// be running.
+	calibX atomic.Pointer[mat.Matrix]
 }
 
 // InferenceBreakdown is the Fig. 6 decomposition of one inference pass.

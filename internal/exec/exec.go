@@ -165,6 +165,28 @@ func (p *Program) OutputWidth() int { return p.vals[p.output].width }
 // Ops returns the compiled op sequence (shared, not a copy; read-only).
 func (p *Program) Ops() []Op { return p.ops }
 
+// EpilogueOps counts the element-wise operations riding inside fused
+// epilogues: one per attached bias, residual and ReLU across all ops.
+// len(Ops()) + EpilogueOps() is the work-equivalent op count of the
+// unfused program, which is what makes fused and unfused benchmark rows
+// comparable — a fused program's bare op count undercounts what it does.
+func (p *Program) EpilogueOps() int {
+	n := 0
+	for i := range p.ops {
+		epi := &p.ops[i].Epi
+		if epi.Bias != nil {
+			n++
+		}
+		if epi.Res >= 0 {
+			n++
+		}
+		if epi.ReLU {
+			n++
+		}
+	}
+	return n
+}
+
 // Builder assembles a Program. Methods return value ids to wire into later
 // ops; Build freezes the sequence. Builders are single-use.
 type Builder struct {
@@ -339,6 +361,19 @@ type Config struct {
 	// height (clamped to MaxRows); 0 selects direct execution, where every
 	// value buffer is resident and ops run at full height.
 	TileRows int
+	// Elem selects the element type the machine's value buffers, staging
+	// tiles and kernels use. The zero value F64 is the reference engine;
+	// F32 and I8 plan a reduced-precision machine: weights are narrowed
+	// (or column-quantized) here at plan time, Run converts its float64
+	// inputs at the boundary, and every byte of buffer, tile, spill and
+	// payload accounting prices the reduced width. Reduced machines
+	// require a tileable program (no OpFunc).
+	Elem Elem
+	// Scales holds, per program value, the symmetric per-column (per
+	// feature channel) activation scales of that value. Required when Elem
+	// is I8 (exec.CalibrateScales produces it) and ignored otherwise; dead
+	// values may carry nil.
+	Scales [][]float64
 	// Workers means two different things depending on the mode.
 	//
 	// Direct machines: the per-kernel parallelism budget
@@ -370,11 +405,17 @@ var ErrNotTileable = errors.New("exec: program contains non-tileable ops")
 type Machine struct {
 	prog        *Program
 	cfg         Config
-	tileWorkers int // resolved tile-parallel fan-out; 1 = serial tiling
+	elem        Elem // element type of buffers, tiles and kernels
+	tiled       bool // TileRows > 0: op-major streaming execution
+	tileWorkers int  // resolved tile-parallel fan-out; 1 = serial tiling
 
 	spill []*mat.Matrix // per value; nil for inputs and dead values
 	tiles []*mat.Matrix // tiled mode: per-worker EPC-resident staging buffers
 	views []mat.Matrix  // per value: full-rows header, bound per Run
+
+	// red holds the typed buffers and quantized operands of a
+	// reduced-precision (F32/I8) machine; nil at F64.
+	red *reduced
 
 	scratch []workerScratch // per tile worker (index 0 serves direct mode too)
 	fns     []func()        // pre-built worker bodies, spawned per op
@@ -384,6 +425,7 @@ type Machine struct {
 	// between waits and read by workers after spawn (the go statement and
 	// wg.Wait provide the happens-before edges).
 	curOp   *Op
+	curIdx  int // index of curOp in the op sequence
 	curRows int
 	curLab  []int
 }
@@ -412,16 +454,23 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 	if cfg.TileRows > p.MaxRows {
 		cfg.TileRows = p.MaxRows
 	}
+	if cfg.Elem > I8 {
+		return nil, fmt.Errorf("exec: unknown element type %d", cfg.Elem)
+	}
 	m := &Machine{
 		prog:        p,
 		cfg:         cfg,
+		elem:        cfg.Elem,
+		tiled:       cfg.TileRows > 0,
 		tileWorkers: 1,
 		spill:       make([]*mat.Matrix, len(p.vals)),
 		views:       make([]mat.Matrix, len(p.vals)),
 	}
-	for i, v := range p.vals {
-		if v.input < 0 && !v.funcOut && !v.dead {
-			m.spill[i] = mat.New(p.MaxRows, v.width)
+	if cfg.Elem == F64 {
+		for i, v := range p.vals {
+			if v.input < 0 && !v.funcOut && !v.dead {
+				m.spill[i] = mat.New(p.MaxRows, v.width)
+			}
 		}
 	}
 	if cfg.TileRows > 0 {
@@ -431,9 +480,11 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 			}
 			m.tileWorkers = w
 		}
-		m.tiles = make([]*mat.Matrix, m.tileWorkers)
-		for w := range m.tiles {
-			m.tiles[w] = mat.New(cfg.TileRows, p.maxWidth)
+		if cfg.Elem == F64 {
+			m.tiles = make([]*mat.Matrix, m.tileWorkers)
+			for w := range m.tiles {
+				m.tiles[w] = mat.New(cfg.TileRows, p.maxWidth)
+			}
 		}
 		m.fns = make([]func(), m.tileWorkers)
 		for w := 1; w < m.tileWorkers; w++ {
@@ -449,6 +500,11 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 		m.scratch[w].srcTiles = make([]mat.Matrix, p.maxArity)
 		m.scratch[w].srcPtrs = make([]*mat.Matrix, p.maxArity)
 	}
+	if cfg.Elem != F64 {
+		if err := m.planReduced(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -459,19 +515,30 @@ func (m *Machine) TileRows() int { return m.cfg.TileRows }
 // serially tiled machines).
 func (m *Machine) TileWorkers() int { return m.tileWorkers }
 
-// TileBytes returns the staging-buffer footprint — Workers × tile bytes,
-// the only working memory a tiled run keeps enclave-resident.
+// Elem returns the machine's element type.
+func (m *Machine) Elem() Elem { return m.elem }
+
+// TileBytes returns the staging-buffer footprint — Workers × tile bytes
+// at the machine's element width, the only working memory a tiled run
+// keeps enclave-resident.
 func (m *Machine) TileBytes() int64 {
 	n := int64(0)
 	for _, t := range m.tiles {
 		n += t.NumBytes()
 	}
+	if m.red != nil {
+		n += m.red.tileBytes()
+	}
 	return n
 }
 
-// BufferBytes returns the total footprint of the machine's value buffers —
-// the enclave charge of a *direct* in-enclave machine, and the spilled
-// (untrusted, uncharged) residency of a tiled one.
+// BufferBytes returns the total footprint of the machine's value buffers
+// at the machine's element width — the enclave charge of a *direct*
+// in-enclave machine, and the spilled (untrusted, uncharged) residency
+// of a tiled one. For reduced machines this counts the typed value
+// buffers only; the fp64 boundary-conversion buffers and the widened
+// output live with the caller's payload accounting, not the enclave
+// working set (see the reduced type).
 func (m *Machine) BufferBytes() int64 {
 	n := int64(0)
 	for _, s := range m.spill {
@@ -479,23 +546,28 @@ func (m *Machine) BufferBytes() int64 {
 			n += s.NumBytes()
 		}
 	}
+	if m.red != nil {
+		n += m.red.bufferBytes()
+	}
 	return n
 }
 
 // SpillTraffic returns the bytes a tiled run over rows rows streams from
-// the staging tiles out to spilled buffers (one flush per op per row):
-// the quantity charged as boundary-transfer payload per call. The count
-// reflects the machine's actual program — for a fused program, chains
-// folded into an epilogue flush once instead of once per element-wise op.
-// Direct machines spill nothing.
+// the staging tiles out to spilled buffers (one flush per op per row),
+// priced at the machine's element width: the quantity charged as
+// boundary-transfer payload per call. The count reflects the machine's
+// actual program — for a fused program, chains folded into an epilogue
+// flush once instead of once per element-wise op. Direct machines spill
+// nothing.
 func (m *Machine) SpillTraffic(rows int) int64 {
-	if m.tiles == nil {
+	if !m.tiled {
 		return 0
 	}
+	es := int64(m.elem.Size())
 	n := int64(0)
 	for _, op := range m.prog.ops {
 		if op.Dst >= 0 {
-			n += int64(rows) * int64(m.prog.vals[op.Dst].width) * 8
+			n += int64(rows) * int64(m.prog.vals[op.Dst].width) * es
 		}
 	}
 	return n
@@ -532,6 +604,9 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 	if len(inputs) != p.numInputs {
 		panic(fmt.Sprintf("exec: %d inputs, want %d", len(inputs), p.numInputs))
 	}
+	if m.elem != F64 {
+		return m.runReduced(rows, inputs, labels)
+	}
 	// Bind every value's full-rows view: inputs alias the caller's
 	// matrices, intermediates alias the first rows rows of their buffer.
 	// Func outputs are bound when their op executes (the kernel owns the
@@ -555,14 +630,14 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 			panic(fmt.Sprintf("exec: SpMM operator over %d rows, run over %d", op.CSR.N, rows))
 		}
 		switch {
-		case m.tiles == nil:
+		case !m.tiled:
 			m.runDirect(op, rows, labels)
 		case m.tileWorkers > 1 && rows > m.cfg.TileRows:
-			m.runOpParallel(op, rows, labels)
+			m.runOpParallel(i, op, rows, labels)
 		default:
 			for lo := 0; lo < rows; lo += m.cfg.TileRows {
 				hi := min(lo+m.cfg.TileRows, rows)
-				m.runTile(0, op, lo, hi, labels)
+				m.runTile(0, i, op, lo, hi, labels)
 			}
 		}
 	}
@@ -577,8 +652,8 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 // mutable state is the broadcast op pointer, sequenced by the spawn and
 // the wait. The worker bodies are pre-built closures, so steady-state
 // spawning performs no heap allocation.
-func (m *Machine) runOpParallel(op *Op, rows int, labels []int) {
-	m.curOp, m.curRows, m.curLab = op, rows, labels
+func (m *Machine) runOpParallel(idx int, op *Op, rows int, labels []int) {
+	m.curOp, m.curIdx, m.curRows, m.curLab = op, idx, rows, labels
 	m.wg.Add(m.tileWorkers - 1)
 	for w := 1; w < m.tileWorkers; w++ {
 		go m.fns[w]()
@@ -601,14 +676,15 @@ func (m *Machine) runWorkerSpan(w int) {
 		hi = min(lo+chunk, rows)
 	}
 	for t := lo; t < hi; t += m.cfg.TileRows {
-		m.runTile(w, op, t, min(t+m.cfg.TileRows, hi), m.curLab)
+		m.runTile(w, m.curIdx, op, t, min(t+m.cfg.TileRows, hi), m.curLab)
 	}
 }
 
 // runDirect executes one op at full height into the resident value views.
 // Fused MatMul/SpMM ops run their epilogue band-local inside the kernel —
 // the direct-mode payoff of fusion: no separate full-matrix bias/ReLU/add
-// passes over the activations.
+// passes over the activations. F64 only; reduced machines run their own
+// direct bodies (runDirect32, runDirectI8).
 func (m *Machine) runDirect(op *Op, rows int, labels []int) {
 	w := m.cfg.Workers
 	var res *mat.Matrix
@@ -651,8 +727,19 @@ func (m *Machine) runDirect(op *Op, rows int, labels []int) {
 // runTile executes rows [lo, hi) of one op on tile worker w: sources are
 // viewed in place (spilled/untrusted reads), the result — including any
 // fused epilogue — is computed into the worker's EPC-resident staging
-// tile, then flushed once to the destination's spilled buffer.
-func (m *Machine) runTile(w int, op *Op, lo, hi int, labels []int) {
+// tile, then flushed once to the destination's spilled buffer. idx is
+// the op's program index, which the reduced-precision bodies — reached
+// here because the tile-parallel driver is shared across element types —
+// use to find their per-op operands.
+func (m *Machine) runTile(w, idx int, op *Op, lo, hi int, labels []int) {
+	switch m.elem {
+	case F32:
+		m.runTile32(w, idx, op, lo, hi, labels)
+		return
+	case I8:
+		m.runTileI8(w, idx, op, lo, hi, labels)
+		return
+	}
 	s := &m.scratch[w]
 	if op.Kind == OpArgmax {
 		if labels != nil {

@@ -1,0 +1,338 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gnnvault/internal/mat"
+)
+
+// buildPrecisionProg assembles the fuzz/regression program the precision
+// tests share: MatMul → SpMM → bias → residual Add → ReLU → Concat →
+// MatMul → Argmax, fused — every op kind the reduced kernel families
+// implement, in one chain.
+func buildPrecisionProg(n, d, h int, seed int64) (*Program, *mat.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	csr := testCSR(n, seed)
+	b := NewBuilder(n)
+	in := b.Input(d)
+	v := b.MatMul(in, randMat(rng, d, h))
+	v = b.SpMM(csr, v)
+	v = b.AddBias(v, randMat(rng, 1, h).Data)
+	skip := b.MatMul(in, randMat(rng, d, h))
+	v = b.Add(v, skip)
+	v = b.ReLU(v)
+	v = b.Concat(v, in)
+	out := b.MatMul(v, randMat(rng, h+d, d))
+	b.Argmax(out)
+	return b.Build().Fused(), randMat(rng, n, d)
+}
+
+// runReducedLabels builds a machine of the given config over prog and
+// returns its output clone and labels.
+func runReducedLabels(t *testing.T, prog *Program, cfg Config, n int, x *mat.Matrix) (*mat.Matrix, []int) {
+	t.Helper()
+	m, err := prog.NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine(%+v): %v", cfg, err)
+	}
+	labels := make([]int, n)
+	out := m.Run(n, []*mat.Matrix{x}, labels).Clone()
+	return out, labels
+}
+
+// TestFP32MachineNearReference: the fp32 engine tracks the fp64 reference
+// within single-precision rounding, and tiled/tile-parallel fp32 output
+// is bit-identical to direct fp32.
+func TestFP32MachineNearReference(t *testing.T) {
+	const n, d, h = 57, 5, 7
+	prog, x := buildPrecisionProg(n, d, h, 11)
+	scales, refLabels, err := CalibrateScales(prog, n, []*mat.Matrix{x})
+	if err != nil {
+		t.Fatalf("CalibrateScales: %v", err)
+	}
+	if len(scales) == 0 || len(refLabels) != n {
+		t.Fatalf("calibration returned %d scales, %d labels", len(scales), len(refLabels))
+	}
+	ref, _ := runReducedLabels(t, prog, Config{Workers: 1}, n, x)
+
+	direct, dLabels := runReducedLabels(t, prog, Config{Workers: 1, Elem: F32}, n, x)
+	maxRel := 0.0
+	for i, v := range direct.Data {
+		denom := math.Max(math.Abs(ref.Data[i]), 1)
+		if rel := math.Abs(v-ref.Data[i]) / denom; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 1e-4 {
+		t.Fatalf("fp32 max relative error %g vs fp64", maxRel)
+	}
+	for _, cfg := range []Config{
+		{TileRows: 13, Workers: 1, Elem: F32},
+		{TileRows: 13, Workers: 4, Elem: F32},
+		{TileRows: n, Workers: 2, Elem: F32},
+	} {
+		out, labels := runReducedLabels(t, prog, cfg, n, x)
+		if !out.Equal(direct) {
+			t.Fatalf("fp32 %+v output not bit-identical to fp32 direct", cfg)
+		}
+		for i := range labels {
+			if labels[i] != dLabels[i] {
+				t.Fatalf("fp32 %+v label[%d] differs", cfg, i)
+			}
+		}
+	}
+}
+
+// TestI8MachineCalibrated: a calibrated int8 machine reproduces the fp64
+// argmax on every row whose fp64 top-1/top-2 margin exceeds twice the
+// measured quantization error, and tiled/tile-parallel int8 output is
+// bit-identical to direct int8 (int32 accumulation is order-free).
+func TestI8MachineCalibrated(t *testing.T) {
+	const n, d, h = 57, 5, 7
+	prog, x := buildPrecisionProg(n, d, h, 12)
+	scales, refLabels, err := CalibrateScales(prog, n, []*mat.Matrix{x})
+	if err != nil {
+		t.Fatalf("CalibrateScales: %v", err)
+	}
+	ref, _ := runReducedLabels(t, prog, Config{Workers: 1}, n, x)
+
+	direct, dLabels := runReducedLabels(t, prog, Config{Workers: 1, Elem: I8, Scales: scales}, n, x)
+	// Measured dequantized error bounds which rows may legitimately flip.
+	maxErr := 0.0
+	for i := range direct.Data {
+		if e := math.Abs(direct.Data[i] - ref.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	w := ref.Cols
+	for r := 0; r < n; r++ {
+		row := ref.Data[r*w : (r+1)*w]
+		top, second := math.Inf(-1), math.Inf(-1)
+		for _, v := range row {
+			if v > top {
+				top, second = v, top
+			} else if v > second {
+				second = v
+			}
+		}
+		if top-second > 2*maxErr && dLabels[r] != refLabels[r] {
+			t.Fatalf("int8 label[%d] = %d, fp64 %d despite margin %g > 2×err %g",
+				r, dLabels[r], refLabels[r], top-second, maxErr)
+		}
+	}
+	for _, cfg := range []Config{
+		{TileRows: 13, Workers: 1, Elem: I8, Scales: scales},
+		{TileRows: 13, Workers: 4, Elem: I8, Scales: scales},
+	} {
+		out, labels := runReducedLabels(t, prog, cfg, n, x)
+		if !out.Equal(direct) {
+			t.Fatalf("int8 %+v output not bit-identical to int8 direct", cfg)
+		}
+		for i := range labels {
+			if labels[i] != dLabels[i] {
+				t.Fatalf("int8 %+v label[%d] differs", cfg, i)
+			}
+		}
+	}
+}
+
+// TestReducedMachineErrors pins the refusal surface: unknown element
+// types, int8 without (or with misshapen) scales, and reduced machines
+// over non-tileable programs.
+func TestReducedMachineErrors(t *testing.T) {
+	prog, x := buildPrecisionProg(16, 3, 4, 5)
+	if _, err := prog.NewMachine(Config{Elem: I8}); err == nil {
+		t.Fatal("int8 machine without scales accepted")
+	}
+	if _, err := prog.NewMachine(Config{Elem: I8, Scales: [][]float64{{1}}}); err == nil {
+		t.Fatal("int8 machine with short scale list accepted")
+	}
+	goodScales, _, err := CalibrateScales(prog, 16, []*mat.Matrix{x})
+	if err != nil {
+		t.Fatalf("CalibrateScales: %v", err)
+	}
+	bad := make([][]float64, len(goodScales))
+	copy(bad, goodScales)
+	for i, s := range bad {
+		if len(s) > 0 {
+			bad[i] = s[:len(s)-1] // right value count, wrong column count
+			break
+		}
+	}
+	if _, err := prog.NewMachine(Config{Elem: I8, Scales: bad}); err == nil {
+		t.Fatal("int8 machine with wrong per-column scale width accepted")
+	}
+	if _, err := prog.NewMachine(Config{Elem: I8 + 1}); err == nil {
+		t.Fatal("unknown element type accepted")
+	}
+
+	b := NewBuilder(8)
+	in := b.Input(3)
+	v := b.Func(in, 3, func(src *mat.Matrix) *mat.Matrix { return src })
+	b.Keep(v)
+	opaque := b.Build()
+	if _, err := opaque.NewMachine(Config{Elem: F32}); !errors.Is(err, ErrPrecisionUnsupported) {
+		t.Fatalf("opaque fp32 machine: %v, want ErrPrecisionUnsupported", err)
+	}
+}
+
+// TestReducedRunAllocFree: steady-state reduced Run stays off the heap,
+// like the fp64 engine — conversion buffers are planned, not allocated
+// per call.
+func TestReducedRunAllocFree(t *testing.T) {
+	const n = 40
+	prog, x := buildPrecisionProg(n, 4, 6, 7)
+	scales, _, err := CalibrateScales(prog, n, []*mat.Matrix{x})
+	if err != nil {
+		t.Fatalf("CalibrateScales: %v", err)
+	}
+	labels := make([]int, n)
+	in := []*mat.Matrix{x}
+	for _, cfg := range []Config{
+		{Workers: 1, Elem: F32},
+		{TileRows: 9, Workers: 1, Elem: F32},
+		{Workers: 1, Elem: I8, Scales: scales},
+		{TileRows: 9, Workers: 1, Elem: I8, Scales: scales},
+	} {
+		m, err := prog.NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("NewMachine(%+v): %v", cfg, err)
+		}
+		m.Run(n, in, labels) // warm-up
+		allocs := testing.AllocsPerRun(10, func() {
+			m.Run(n, in, labels)
+		})
+		if allocs > 0 {
+			t.Fatalf("%s Run allocates %.1f objects/op (cfg %+v)", cfg.Elem, allocs, cfg)
+		}
+	}
+}
+
+// TestReducedAccountingShrinks: reduced machines report element-width-
+// scaled tile, buffer, and spill bytes.
+func TestReducedAccountingShrinks(t *testing.T) {
+	const n = 64
+	prog, x := buildPrecisionProg(n, 4, 6, 9)
+	scales, _, err := CalibrateScales(prog, n, []*mat.Matrix{x})
+	if err != nil {
+		t.Fatalf("CalibrateScales: %v", err)
+	}
+	mk := func(cfg Config) *Machine {
+		m, err := prog.NewMachine(cfg)
+		if err != nil {
+			t.Fatalf("NewMachine(%+v): %v", cfg, err)
+		}
+		return m
+	}
+	f64 := mk(Config{TileRows: 8, Workers: 1})
+	f32 := mk(Config{TileRows: 8, Workers: 1, Elem: F32})
+	i8 := mk(Config{TileRows: 8, Workers: 1, Elem: I8, Scales: scales})
+	if f32.TileBytes()*2 != f64.TileBytes() || i8.TileBytes()*8 != f64.TileBytes() {
+		t.Fatalf("tile bytes fp64=%d fp32=%d int8=%d, want 2x/8x ratios", f64.TileBytes(), f32.TileBytes(), i8.TileBytes())
+	}
+	if f32.SpillTraffic(n)*2 != f64.SpillTraffic(n) || i8.SpillTraffic(n)*8 != f64.SpillTraffic(n) {
+		t.Fatalf("spill fp64=%d fp32=%d int8=%d, want 2x/8x ratios", f64.SpillTraffic(n), f32.SpillTraffic(n), i8.SpillTraffic(n))
+	}
+}
+
+// FuzzPrecision fuzzes the reduced-precision engine across program
+// shapes × tile heights × worker counts:
+//
+//   - fp32 output stays within a generous single-precision relative
+//     bound of the fp64 reference;
+//   - calibrated int8 reproduces the fp64 argmax on every row whose
+//     fp64 margin exceeds twice the measured dequantized error;
+//   - within each precision, tiled and tile-parallel execution is
+//     bit-identical to that precision's direct execution.
+func FuzzPrecision(f *testing.F) {
+	f.Add(uint8(16), uint8(3), uint8(4), uint8(5), uint8(2), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), int64(2))
+	f.Add(uint8(64), uint8(8), uint8(2), uint8(63), uint8(7), int64(3))
+	f.Fuzz(func(t *testing.T, nRaw, dRaw, hRaw, tileRaw, workersRaw uint8, seed int64) {
+		n := int(nRaw)%64 + 1
+		d := int(dRaw)%8 + 1
+		h := int(hRaw)%8 + 1
+		tile := int(tileRaw)%n + 1
+		workers := int(workersRaw)%8 + 1
+
+		prog, x := buildPrecisionProg(n, d, h, seed)
+		scales, refLabels, err := CalibrateScales(prog, n, []*mat.Matrix{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refM, err := prog.NewMachine(Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := refM.Run(n, []*mat.Matrix{x}, nil).Clone()
+
+		check := func(name string, base *mat.Matrix, baseLabels []int, cfg Config) {
+			t.Helper()
+			m, err := prog.NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels := make([]int, n)
+			if got := m.Run(n, []*mat.Matrix{x}, labels); !got.Equal(base) {
+				t.Fatalf("n=%d d=%d h=%d tile=%d workers=%d: %s output differs from its direct form", n, d, h, tile, workers, name)
+			}
+			for i := range labels {
+				if labels[i] != baseLabels[i] {
+					t.Fatalf("%s label[%d] differs from direct", name, i)
+				}
+			}
+		}
+
+		// fp32: bounded drift from fp64, bit-identity within the tier.
+		f32cfg := Config{Workers: 1, Elem: F32}
+		f32M, err := prog.NewMachine(f32cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32Labels := make([]int, n)
+		f32Out := f32M.Run(n, []*mat.Matrix{x}, f32Labels).Clone()
+		for i, v := range f32Out.Data {
+			denom := math.Max(math.Abs(ref.Data[i]), 1)
+			if math.Abs(v-ref.Data[i])/denom > 1e-3 {
+				t.Fatalf("fp32 value[%d] = %g, fp64 %g: beyond single-precision drift", i, v, ref.Data[i])
+			}
+		}
+		check("fp32 tiled", f32Out, f32Labels, Config{TileRows: tile, Workers: 1, Elem: F32})
+		check("fp32 tile-parallel", f32Out, f32Labels, Config{TileRows: tile, Workers: workers, Elem: F32})
+
+		// int8: margin-gated argmax agreement, bit-identity within the tier.
+		i8cfg := Config{Workers: 1, Elem: I8, Scales: scales}
+		i8M, err := prog.NewMachine(i8cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i8Labels := make([]int, n)
+		i8Out := i8M.Run(n, []*mat.Matrix{x}, i8Labels).Clone()
+		maxErr := 0.0
+		for i := range i8Out.Data {
+			if e := math.Abs(i8Out.Data[i] - ref.Data[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		w := ref.Cols
+		for r := 0; r < n; r++ {
+			row := ref.Data[r*w : (r+1)*w]
+			top, second := math.Inf(-1), math.Inf(-1)
+			for _, v := range row {
+				if v > top {
+					top, second = v, top
+				} else if v > second {
+					second = v
+				}
+			}
+			if top-second > 2*maxErr && i8Labels[r] != refLabels[r] {
+				t.Fatalf("int8 label[%d] flips despite fp64 margin %g > 2×err %g", r, top-second, maxErr)
+			}
+		}
+		check("int8 tiled", i8Out, i8Labels, Config{TileRows: tile, Workers: 1, Elem: I8, Scales: scales})
+		check("int8 tile-parallel", i8Out, i8Labels, Config{TileRows: tile, Workers: workers, Elem: I8, Scales: scales})
+	})
+}

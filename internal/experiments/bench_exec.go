@@ -14,22 +14,30 @@ import (
 // ExtExec is the engine-level leg of the perf trajectory
 // (BENCH_exec.json): it prices the PR 5 execution rewrites — epilogue
 // fusion, dead-spill elimination, tile-parallel streaming — directly on an
-// internal/exec program, isolated from training and serving noise. Five
-// machines run the same GCN-shaped forward over a power-law graph:
-// direct/tiled × unfused/fused, plus the fused tile-parallel pool at
-// GOMAXPROCS workers.
+// internal/exec program, isolated from training and serving noise, and
+// since the precision tiers also the fp32/int8 kernel families. The fp64
+// legs run the same GCN-shaped forward over a power-law graph in
+// direct/tiled × unfused/fused modes plus the fused tile-parallel pool;
+// the reduced legs run the fused program per precision (direct, tiled,
+// tile-parallel) under the *same* staging budget — narrower elements buy
+// proportionally taller tiles, so spill traffic and EPC shrink by the
+// element width — with argmax agreement against the fp64 reference
+// reported per row.
 
-// ExtExecRow is one (mode, program) point of the engine sweep.
+// ExtExecRow is one (mode, program, precision) point of the engine sweep.
 type ExtExecRow struct {
-	Nodes      int     `json:"nodes"`
-	Mode       string  `json:"mode"` // direct | tiled | tiled-parallel
-	Fused      bool    `json:"fused"`
-	Workers    int     `json:"workers"`
-	TileRows   int     `json:"tile_rows,omitempty"`
-	Ops        int     `json:"ops"`
-	QueryUS    float64 `json:"query_us"`
-	SpillBytes int64   `json:"spill_bytes"` // per call; 0 for direct machines
-	EPCBytes   int64   `json:"epc_bytes"`   // staging (tiled) or buffers (direct)
+	Nodes       int     `json:"nodes"`
+	Mode        string  `json:"mode"` // direct | tiled | tiled-parallel
+	Fused       bool    `json:"fused"`
+	Precision   string  `json:"precision"` // fp64 | fp32 | int8
+	Workers     int     `json:"workers"`
+	TileRows    int     `json:"tile_rows,omitempty"`
+	Ops         int     `json:"ops"`
+	EpilogueOps int     `json:"epilogue_ops"` // epilogue steps folded into fused ops
+	QueryUS     float64 `json:"query_us"`
+	SpillBytes  int64   `json:"spill_bytes"`      // per call; 0 for direct machines
+	EPCBytes    int64   `json:"epc_bytes"`        // staging (tiled) or buffers (direct)
+	Agreement   float64 `json:"argmax_agreement"` // vs the fp64 direct reference
 }
 
 // extExecBudget is the per-machine staging budget of the tiled legs.
@@ -66,9 +74,9 @@ func extExecProgram(n int, seed int64) (*exec.Program, []*mat.Matrix) {
 	return bld.Build(), []*mat.Matrix{x}
 }
 
-// ExtExec sweeps the execution modes of the shared forward engine and
-// returns one row per machine. Rows are deterministic in the seed; timing
-// obviously is not.
+// ExtExec sweeps the execution modes and precision tiers of the shared
+// forward engine and returns one row per machine. Rows are deterministic
+// in the seed; timing obviously is not.
 func ExtExec(opts Options) ([]ExtExecRow, string) {
 	opts = opts.normalise()
 	n := 20_000
@@ -78,6 +86,13 @@ func ExtExec(opts Options) ([]ExtExecRow, string) {
 	prog, inputs := extExecProgram(n, opts.Seed)
 	fused := prog.Fused()
 	labels := make([]int, n)
+
+	// fp64 direct reference labels + int8 activation scales, derived once
+	// — the same calibration a reduced core plan performs at admission.
+	scales, refLabels, err := exec.CalibrateScales(fused, n, inputs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtExec calibration: %v", err))
+	}
 
 	var rows []ExtExecRow
 	var cells [][]string
@@ -97,26 +112,54 @@ func ExtExec(opts Options) ([]ExtExecRow, string) {
 		if cfg.TileRows == 0 {
 			epc = m.BufferBytes()
 		}
+		agree := 0
+		for i, l := range labels {
+			if l == refLabels[i] {
+				agree++
+			}
+		}
 		r := ExtExecRow{
-			Nodes: n, Mode: mode, Fused: isFused, Workers: m.TileWorkers(),
-			TileRows: m.TileRows(), Ops: len(p.Ops()), QueryUS: us,
+			Nodes: n, Mode: mode, Fused: isFused, Precision: cfg.Elem.String(),
+			Workers: m.TileWorkers(), TileRows: m.TileRows(),
+			Ops: len(p.Ops()), EpilogueOps: p.EpilogueOps(), QueryUS: us,
 			SpillBytes: m.SpillTraffic(n), EPCBytes: epc,
+			Agreement: float64(agree) / float64(n),
 		}
 		rows = append(rows, r)
 		cells = append(cells, []string{fmt.Sprintf("%d", n), mode,
-			fmt.Sprintf("%v", isFused), fmt.Sprintf("%d", r.Workers),
-			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%.0f", r.QueryUS),
-			mb(r.SpillBytes), mb(r.EPCBytes)})
+			fmt.Sprintf("%v", isFused), r.Precision, fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d+%d", r.Ops, r.EpilogueOps), fmt.Sprintf("%.0f", r.QueryUS),
+			mb(r.SpillBytes), mb(r.EPCBytes), fmt.Sprintf("%.4f", r.Agreement)})
 	}
-	tileRows := extExecBudget / (8 * prog.MaxWidth())
 	poolWorkers := runtime.GOMAXPROCS(0)
+	// The same budget buys elementwise-taller tiles per precision.
+	tileRowsFor := func(e exec.Elem) int {
+		return extExecBudget / (e.Size() * prog.MaxWidth())
+	}
+	t64 := tileRowsFor(exec.F64)
 	measure("direct", prog, false, exec.Config{Workers: 1})
 	measure("direct", fused, true, exec.Config{Workers: 1})
-	measure("tiled", prog, false, exec.Config{TileRows: tileRows, Workers: 1})
-	measure("tiled", fused, true, exec.Config{TileRows: tileRows, Workers: 1})
-	measure("tiled-parallel", fused, true, exec.Config{TileRows: (tileRows + poolWorkers - 1) / poolWorkers, Workers: poolWorkers})
+	measure("tiled", prog, false, exec.Config{TileRows: t64, Workers: 1})
+	measure("tiled", fused, true, exec.Config{TileRows: t64, Workers: 1})
+	measure("tiled-parallel", fused, true, exec.Config{TileRows: (t64 + poolWorkers - 1) / poolWorkers, Workers: poolWorkers})
+	for _, e := range []exec.Elem{exec.F32, exec.I8} {
+		cfg := exec.Config{Elem: e}
+		if e == exec.I8 {
+			cfg.Scales = scales
+		}
+		tr := tileRowsFor(e)
+		d := cfg
+		d.Workers = 1
+		measure("direct", fused, true, d)
+		ti := cfg
+		ti.TileRows, ti.Workers = tr, 1
+		measure("tiled", fused, true, ti)
+		tp := cfg
+		tp.TileRows, tp.Workers = (tr+poolWorkers-1)/poolWorkers, poolWorkers
+		measure("tiled-parallel", fused, true, tp)
+	}
 
-	text := "Ext: shared forward engine, fusion × tiling × tile-parallelism\n" +
-		table([]string{"n", "mode", "fused", "workers", "ops", "µs/run", "spill(MB)", "EPC(MB)"}, cells)
+	text := "Ext: shared forward engine, fusion × tiling × tile-parallelism × precision\n" +
+		table([]string{"n", "mode", "fused", "prec", "workers", "ops+epi", "µs/run", "spill(MB)", "EPC(MB)", "agree"}, cells)
 	return rows, text
 }

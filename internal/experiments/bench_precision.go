@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/graph"
+	"gnnvault/internal/substitute"
+)
+
+// ExtPrecision is the plan-level leg of the precision trajectory
+// (BENCH_precision.json): where ExtExec prices the raw kernel families on
+// an untrained program, this sweep plans *calibrated* tiled workspaces
+// through Vault.PlanWith on trained models — the real serving path, where
+// admission itself enforces the argmax-agreement floor — and reports what
+// each tier charges. Two workloads: a Table I dataset (cora by default)
+// and a power-law graph at the largest requested size, both under the
+// same EPC budget, so the fp64/fp32/int8 rows price exactly the
+// quality/memory/throughput trade registry scheduling works with.
+
+// ExtPrecisionRow is one (dataset, precision) point of the tiled
+// full-graph plan sweep.
+type ExtPrecisionRow struct {
+	Dataset      string  `json:"dataset"`
+	Nodes        int     `json:"nodes"`
+	Precision    string  `json:"precision"`
+	TileRows     int     `json:"tile_rows"`
+	QueryUS      float64 `json:"query_us"`
+	EPCBytes     int64   `json:"epc_bytes"`
+	SpillBytes   int64   `json:"spill_bytes"`
+	PayloadBytes int64   `json:"payload_bytes"`
+	Agreement    float64 `json:"argmax_agreement"` // vs this vault's fp64 plan
+}
+
+// extPrecisionBudget is the shared per-workspace EPC budget: every tier
+// plans under the same cap, so narrower elements show up as taller tiles
+// and proportionally less spill, not as a different budget.
+const extPrecisionBudget = 4 << 20
+
+// ExtPrecision sweeps tiled full-graph plans across the precision tiers
+// on trained vaults. Training runs a fixed 20 epochs regardless of
+// -epochs — more than the other serving sweeps' 3, deliberately: int8
+// admission gates on argmax agreement, and a half-trained model's
+// near-tie logits flip under quantization noise that a converged model
+// shrugs off. Quantized serving presumes a converged model, so that is
+// what this sweep prices.
+func ExtPrecision(opts Options) ([]ExtPrecisionRow, string) {
+	opts = opts.normalise()
+	train := opts.train()
+	train.Epochs = 20
+	n := 100_000
+	for _, s := range opts.SubgraphSizes {
+		if s > 0 {
+			n = s
+		}
+	}
+
+	type workload struct {
+		ds *datasets.Dataset
+		v  *core.Vault
+	}
+	var loads []workload
+
+	// Table I workload: the same KNN-substitute deployment ExtCore runs.
+	name := opts.Datasets[0]
+	ds := datasets.Load(name)
+	spec := core.SpecForDataset(name)
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), train)
+	rec := core.TrainRectifier(ds, bb, core.Parallel, train)
+	v, err := core.Deploy(bb, rec, ds.Graph, enclaveDefaultCost())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtPrecision deploy %s: %v", name, err))
+	}
+	loads = append(loads, workload{ds, v})
+
+	// Power-law workload: the same random-substitute deployment
+	// ExtSubgraph runs, at the largest requested size.
+	pds := datasets.GeneratePowerLaw(datasets.PowerLawConfig{Nodes: n, Seed: int64(n)})
+	sub := graph.PreferentialAttachment(graph.PreferentialAttachmentConfig{
+		Nodes: n, EdgesPerNode: 8, Seed: int64(n) + 999,
+	})
+	pspec := core.ModelSpec{Name: "bench-pl", BackboneHidden: []int{64, 32}, RectifierHidden: []int{32, 16}}
+	pbb := core.TrainBackbone(pds, pspec, substitute.KindRandom, sub, train)
+	prec := core.TrainRectifier(pds, pbb, core.Series, train)
+	pcost := enclaveDefaultCost()
+	pcost.EPCBytes = 4 << 30 // persistent state grows with n; the budget under test is the workspace's
+	pv, err := core.Deploy(pbb, prec, pds.Graph, pcost)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtPrecision deploy powerlaw-%d: %v", n, err))
+	}
+	loads = append(loads, workload{pds, pv})
+
+	var rows []ExtPrecisionRow
+	var cells [][]string
+	for _, l := range loads {
+		if err := l.v.SetCalibrationFeatures(l.ds.X); err != nil {
+			panic(fmt.Sprintf("experiments: ExtPrecision calibration features %s: %v", l.ds.Name, err))
+		}
+		var ref []int
+		for _, p := range []core.Precision{core.PrecisionFP64, core.PrecisionFP32, core.PrecisionInt8} {
+			ws, err := l.v.PlanWith(l.v.Nodes(), core.PlanConfig{EPCBudgetBytes: extPrecisionBudget, Precision: p})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtPrecision plan %s/%s: %v", l.ds.Name, p, err))
+			}
+			predict := func() []int {
+				labels, _, err := l.v.PredictInto(l.ds.X, ws)
+				if err != nil {
+					panic(err)
+				}
+				return labels
+			}
+			labels := predict() // warm-up
+			if p == core.PrecisionFP64 {
+				ref = append([]int(nil), labels...)
+			}
+			agree := 0
+			for i := range labels {
+				if labels[i] == ref[i] {
+					agree++
+				}
+			}
+			const reps = 2
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				predict()
+			}
+			us := float64(time.Since(start).Microseconds()) / reps
+			r := ExtPrecisionRow{
+				Dataset: l.ds.Name, Nodes: l.v.Nodes(), Precision: p.String(),
+				TileRows: ws.TileRows(), QueryUS: us,
+				EPCBytes: ws.EnclaveBytes(), SpillBytes: ws.SpillBytes(),
+				PayloadBytes: ws.PayloadBytes(),
+				Agreement:    float64(agree) / float64(len(ref)),
+			}
+			rows = append(rows, r)
+			cells = append(cells, []string{r.Dataset, fmt.Sprintf("%d", r.Nodes),
+				r.Precision, fmt.Sprintf("%d", r.TileRows), fmt.Sprintf("%.0f", r.QueryUS),
+				mb(r.SpillBytes), mb(r.PayloadBytes), mb(r.EPCBytes),
+				fmt.Sprintf("%.4f", r.Agreement)})
+			ws.Release()
+		}
+		l.v.Undeploy()
+	}
+	text := "Ext: calibrated tiled plans across precision tiers (shared 4 MB budget)\n" +
+		table([]string{"Dataset", "n", "prec", "tileRows", "µs/query", "spill(MB)", "payload(MB)", "EPC(MB)", "agree"}, cells)
+	return rows, text
+}

@@ -89,8 +89,9 @@ func (na *NormAdjacency) MulDenseSerial(h *mat.Matrix) *mat.Matrix {
 }
 
 // MulDenseInto computes dst = Â·H without allocating. dst must be N×H.Cols
-// and must not alias h. Parallelised over row bands; the worker count
-// honours mat.SetMaxWorkers.
+// and must not alias h. Parallelised over nnz-balanced row bands
+// (NNZBound); the worker count resolves the process-global default — see
+// MulDenseWorkersInto for the per-call-budget form.
 func (na *NormAdjacency) MulDenseInto(dst, h *mat.Matrix) {
 	na.mulDenseInto(dst, h, 0)
 }

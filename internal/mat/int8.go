@@ -1,0 +1,133 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// int8 quantized kernel family. Values are symmetric int8 codes
+// (value ≈ code·scale): activations carry one scale per column of each
+// program value (per-channel — a per-tensor scale wastes most of the 8
+// bits on whichever channel ranges widest), weights one scale per output
+// column (QuantizeColumnsI8). A matrix product's reduction runs over the
+// source's columns, whose scales vary inside the sum, so the executor
+// folds the source's per-column scales into the weight before column
+// quantization and the MAC loop stays a pure int8×int8→int32 kernel.
+// Products accumulate exactly in int32 — a dot of length-k rows is
+// bounded by k·127² ≪ 2³¹ for every width in this codebase — and the
+// combined dequantize (acc·deq), float64 bias/residual epilogue and
+// requantize to the destination's per-column scales happen in one pass
+// per output row (ApplyEpilogueRowI8). Integer accumulation is
+// order-independent, so tiled, direct and tile-parallel int8 executions
+// are bit-identical without any element-order argument.
+//
+// The kernels here are serial range forms: the in-enclave direct path is
+// single-threaded by construction, and the tiled executor gets its
+// parallelism from tile workers, each with a private int32 accumulator.
+
+// ApplyEpilogueRowI8 finishes one int8 output row from its int32
+// accumulator: dst[j] = quantize(acc[j]·deq[j] + bias[j] +
+// rrow[j]·resScales[j], dstScales[j]) with optional ReLU before
+// requantization. deq[j] is the combined dequantization scale (the folded
+// weight's column scale for MatMul, source-column×CSR-value for SpMM);
+// bias and rrow may be nil (resScales only read when rrow isn't).
+// Unchecked, like ApplyEpilogueRow — callers validate shapes once up
+// front.
+//
+// The return value is the row's argmax over the pre-requantization
+// floats f (first maximum wins), the "wide head" the executor uses when
+// this op feeds a fused argmax: the int32 accumulator is exact, so f
+// separates logits that requantization to shared int8 codes would
+// collapse, and f is a per-element function of deterministic inputs, so
+// the label is identical across direct/tiled/tile-parallel execution.
+func ApplyEpilogueRowI8(dst []int8, acc []int32, deq, bias []float64, rrow []int8, resScales []float64, relu bool, dstScales []float64) int {
+	am, best := 0, math.Inf(-1)
+	for j := range dst {
+		f := float64(acc[j]) * deq[j]
+		if bias != nil {
+			f += bias[j]
+		}
+		if rrow != nil {
+			f += float64(rrow[j]) * resScales[j]
+		}
+		if relu && !(f > 0) {
+			f = 0
+		}
+		if f > best {
+			best, am = f, j
+		}
+		dst[j] = QuantizeI8(f, dstScales[j])
+	}
+	return am
+}
+
+// MatMulI8EpilogueInto computes dst = requantize(epilogue(a·w)) over
+// int8 codes with int32 accumulation: the quantized counterpart of
+// MatMulBiasReLUInto. w must be the folded weight (source per-column
+// scales multiplied in before column quantization) and deq its per-column
+// scales, bias the float64 bias (nil for none), res/resScales the
+// optional residual codes and their per-column scales, dstScales the
+// destination value's per-column scales. acc is the caller-owned int32
+// scratch row, at least w.Cols long — tile workers pass private
+// accumulators so the kernel stays alloc-free and race-free. labels,
+// when non-nil (length ≥ a.Rows), receives each row's wide argmax — the
+// pre-requantization epilogue float, see ApplyEpilogueRowI8. Serial;
+// runs on the calling goroutine.
+func MatMulI8EpilogueInto(dst, a, w *MatrixI8, deq, bias []float64, res *MatrixI8, resScales []float64, relu bool, dstScales []float64, acc []int32, labels []int) {
+	if a.Cols != w.Rows {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto inner dimension mismatch %s · %s", a.Shape(), w.Shape()))
+	}
+	if dst.Rows != a.Rows || dst.Cols != w.Cols {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto destination %s, want %dx%d", dst.Shape(), a.Rows, w.Cols))
+	}
+	if len(deq) != w.Cols {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto deq length %d != cols %d", len(deq), w.Cols))
+	}
+	if bias != nil && len(bias) != w.Cols {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto bias length %d != cols %d", len(bias), w.Cols))
+	}
+	if res != nil && (res.Rows != dst.Rows || res.Cols != dst.Cols) {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto residual %s, want %s", res.Shape(), dst.Shape()))
+	}
+	if len(dstScales) != w.Cols {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto dstScales length %d != cols %d", len(dstScales), w.Cols))
+	}
+	if len(acc) < w.Cols {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto accumulator length %d < cols %d", len(acc), w.Cols))
+	}
+	if labels != nil && len(labels) < a.Rows {
+		panic(fmt.Sprintf("mat: MatMulI8EpilogueInto labels length %d < rows %d", len(labels), a.Rows))
+	}
+	n, p := a.Cols, w.Cols
+	for i := 0; i < a.Rows; i++ {
+		matMulRowI8(a.Data[i*n:(i+1)*n], w, acc[:p], n, p)
+		var rrow []int8
+		if res != nil {
+			rrow = res.Data[i*p : (i+1)*p]
+		}
+		am := ApplyEpilogueRowI8(dst.Data[i*p:(i+1)*p], acc, deq, bias, rrow, resScales, relu, dstScales)
+		if labels != nil {
+			labels[i] = am
+		}
+	}
+}
+
+// matMulRowI8 accumulates one output row into acc with the zero-skip
+// path of matMulRow: zero codes skip a whole row-axpy, the first write
+// uses the Set kernel, all-zero rows clear the accumulator.
+func matMulRowI8(arow []int8, w *MatrixI8, acc []int32, n, p int) {
+	inited := false
+	for k := 0; k < n; k++ {
+		if av := arow[k]; av != 0 {
+			if inited {
+				AxpyI8(int32(av), w.Data[k*p:(k+1)*p], acc)
+			} else {
+				AxpyI8Set(int32(av), w.Data[k*p:(k+1)*p], acc)
+				inited = true
+			}
+		}
+	}
+	if !inited {
+		clear(acc)
+	}
+}

@@ -175,20 +175,19 @@ func TestSerialIntoKernelsAllocFree(t *testing.T) {
 	}
 }
 
-// TestParallelIntoRespectsMaxWorkers: with one worker, even large products
-// stay on the calling goroutine (no spawn, no allocation).
+// TestParallelIntoRespectsMaxWorkers: under a per-call budget of one
+// worker, even large products stay on the calling goroutine (no spawn, no
+// allocation) — the plan-scoped form, no process-global knob involved.
 func TestParallelIntoRespectsMaxWorkers(t *testing.T) {
-	SetMaxWorkers(1)
-	defer SetMaxWorkers(0)
 	rng := rand.New(rand.NewSource(7))
 	a := RandNormal(rng, 128, 128, 0, 1)
 	b := RandNormal(rng, 128, 128, 0, 1)
 	dst := New(128, 128)
 	allocs := testing.AllocsPerRun(5, func() {
-		MatMulInto(dst, a, b)
+		MatMulWorkersInto(dst, a, b, 1)
 	})
 	if allocs > 0 {
-		t.Fatalf("MatMulInto with 1 worker allocates %.1f objects/op", allocs)
+		t.Fatalf("MatMulWorkersInto with 1 worker allocates %.1f objects/op", allocs)
 	}
 	if !dst.EqualApprox(MatMul(a, b), 1e-12) {
 		t.Fatal("single-worker result disagrees")

@@ -97,7 +97,13 @@ type Config struct {
 	// the whole fleet) is charged only a tile-sized working set, which
 	// collapses the plan/evict churn an oversubscribed EPC otherwise pays.
 	// Vaults with non-tileable (SAGE/GAT) convolutions fail admission with
-	// core.ErrTiledUnsupported under a budget.
+	// core.ErrTiledUnsupported under a budget. Setting Plan.Precision
+	// shrinks every planned workspace by the element width; vaults serving
+	// int8 must have calibration features registered
+	// (core.Vault.SetCalibrationFeatures) before their first request, or
+	// admission fails with core.ErrCalibrationRequired — an accuracy
+	// refusal, deliberately not an EPC error, so it never triggers
+	// evictions.
 	Plan core.PlanConfig
 	// NodeQuery, when non-nil, lets vaults with EnableNodeQueries serve
 	// node-level requests through AcquireSubgraph.
@@ -417,7 +423,7 @@ func (r *Registry) planSubLocked(e *entry) (*core.SubgraphWorkspace, error) {
 	var ws *core.SubgraphWorkspace
 	err := r.admitLocked(e, func() error {
 		var err error
-		ws, err = e.vault.PlanSubgraph(nq.MaxSeeds, nq.Subgraph())
+		ws, err = e.vault.PlanSubgraphWith(nq.MaxSeeds, nq.Subgraph(), r.cfg.Plan)
 		return err
 	})
 	return ws, err

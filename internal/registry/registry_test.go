@@ -10,7 +10,6 @@ import (
 	"gnnvault/internal/core"
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
-	"gnnvault/internal/mat"
 	"gnnvault/internal/substitute"
 )
 
@@ -271,10 +270,10 @@ func TestRegistryCloseRejectsAndDrains(t *testing.T) {
 
 // TestRegistryHotPathAllocFree pins the scheduler's fast path: once a
 // vault is resident, acquire→predict→release touches zero fresh heap.
+// Kernels are pinned to one worker via the registry's own plan shape
+// (goroutine spawns allocate), not the deprecated process-global knob.
 func TestRegistryHotPathAllocFree(t *testing.T) {
-	mat.SetMaxWorkers(1)
-	defer mat.SetMaxWorkers(0)
-	_, reg, ids := newFleet(t, 1, 2, Config{})
+	_, reg, ids := newFleet(t, 1, 2, Config{Plan: core.PlanConfig{Workers: 1}})
 	defer reg.Close()
 	id := ids[0]
 	serveOne(t, reg, id) // warm-up: plan + first predict

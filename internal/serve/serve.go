@@ -68,6 +68,9 @@ type Config struct {
 	NodeQuery *registry.NodeQueryConfig
 	// Features is the deployed graph's public feature matrix, gathered
 	// from during subgraph extraction. Required when NodeQuery is set.
+	// When set, it is also registered as the vault's calibration batch, so
+	// reduced-precision plans (Plan.Precision) can derive their scales and
+	// pass the agreement gate.
 	Features *mat.Matrix
 }
 
@@ -191,6 +194,11 @@ func New(v *core.Vault, cfg Config) (*Server, error) {
 		}
 	}
 	rows := v.Nodes()
+	if cfg.Features != nil {
+		if err := v.SetCalibrationFeatures(cfg.Features); err != nil {
+			return nil, fmt.Errorf("serve: registering calibration features: %w", err)
+		}
+	}
 	workspaces := make([]*core.Workspace, 0, cfg.Workers)
 	subWS := make([]*core.SubgraphWorkspace, 0, cfg.Workers)
 	release := func() {
@@ -209,7 +217,7 @@ func New(v *core.Vault, cfg Config) (*Server, error) {
 		}
 		workspaces = append(workspaces, ws)
 		if cfg.NodeQuery != nil {
-			sw, err := v.PlanSubgraph(cfg.NodeQuery.MaxSeeds, cfg.NodeQuery.Subgraph())
+			sw, err := v.PlanSubgraphWith(cfg.NodeQuery.MaxSeeds, cfg.NodeQuery.Subgraph(), cfg.Plan)
 			if err != nil {
 				release()
 				return nil, fmt.Errorf("serve: planning node-query workspace for worker %d/%d: %w", i+1, cfg.Workers, err)
