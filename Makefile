@@ -27,8 +27,11 @@ bench:
 # (full-graph PredictInto, untiled vs tiled), BENCH_serve.json (registry
 # serving under EPC pressure), BENCH_exec.json (the shared forward engine:
 # fusion × tiling × tile-parallelism × precision), BENCH_precision.json
-# (calibrated fp64/fp32/int8 tiled plans on trained vaults). Override SIZES
-# for bigger graphs, e.g. `make bench-json SIZES=100000,200000`.
+# (calibrated fp64/fp32/int8 tiled plans on trained vaults), and
+# BENCH_attack.json (link-stealing AUC and extraction fidelity per serving
+# defense, priced against throughput — checked against the committed
+# ceilings in ci/attack_thresholds.json). Override SIZES for bigger
+# graphs, e.g. `make bench-json SIZES=100000,200000`.
 SIZES ?= 20000,50000
 bench-json:
 	$(GO) run ./cmd/experiments -run ext-subgraph -epochs 3 -sizes $(SIZES) -bench-out BENCH_subgraph.json
@@ -36,12 +39,16 @@ bench-json:
 	$(GO) run ./cmd/experiments -run ext-serve -epochs 3 -bench-out BENCH_serve.json
 	$(GO) run ./cmd/experiments -run ext-exec -sizes $(SIZES) -bench-out BENCH_exec.json
 	$(GO) run ./cmd/experiments -run ext-precision -sizes $(SIZES) -bench-out BENCH_precision.json
+	$(GO) run ./cmd/experiments -run ext-attack -epochs 30 -bench-out BENCH_attack.json -attack-check ci/attack_thresholds.json
 
-# Short fuzz passes over the three engine invariants: induced-subgraph
-# extraction, tiled-vs-direct execution equivalence, and reduced-precision
-# (fp32/int8) accuracy + within-tier bit-identity.
+# Short fuzz passes over the engine and attack-surface invariants:
+# induced-subgraph extraction, tiled-vs-direct execution equivalence,
+# reduced-precision (fp32/int8) accuracy + within-tier bit-identity, and
+# the attack math (AUC/Fidelity in [0,1], no panics) under degenerate
+# observation surfaces.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInducedSubgraph -fuzztime $(FUZZTIME) ./internal/subgraph/
 	$(GO) test -run '^$$' -fuzz FuzzTiledExec -fuzztime $(FUZZTIME) ./internal/exec/
 	$(GO) test -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME) ./internal/exec/
+	$(GO) test -run '^$$' -fuzz FuzzAttackSurface -fuzztime $(FUZZTIME) ./internal/attack/

@@ -25,16 +25,18 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|ext-core|ext-serve|ext-exec|ext-precision|all")
+	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|ext-core|ext-serve|ext-exec|ext-precision|ext-attack|all")
 	epochs := flag.Int("epochs", 200, "training epochs per model")
 	seed := flag.Int64("seed", 1, "random seed")
 	datasetsFlag := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	tsneDir := flag.String("tsne-dir", "", "directory to write fig4 t-SNE CSVs into")
 	sizesFlag := flag.String("sizes", "", "comma-separated power-law graph sizes for ext-subgraph (default 20000,50000)")
 	benchOut := flag.String("bench-out", "", "write ext-subgraph results as JSON to this path (e.g. BENCH_subgraph.json)")
+	attackCheck := flag.String("attack-check", "", "validate ext-attack rows against this thresholds JSON (e.g. ci/attack_thresholds.json); exits non-zero on a privacy regression")
 	flag.Parse()
 
 	bench := benchDoc{}
+	var attackRows []experiments.ExtAttackRow
 	opts := experiments.Options{Epochs: *epochs, Seed: *seed}
 	if *datasetsFlag != "" {
 		opts.Datasets = strings.Split(*datasetsFlag, ",")
@@ -98,8 +100,14 @@ func main() {
 			bench.add("precision_plans", rows)
 			return t
 		},
+		"ext-attack": func() string {
+			rows, t := experiments.ExtAttack(opts)
+			bench.add("attack_surface", rows)
+			attackRows = rows
+			return t
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph", "ext-core", "ext-serve", "ext-exec", "ext-precision"}
+	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph", "ext-core", "ext-serve", "ext-exec", "ext-precision", "ext-attack"}
 
 	selected := strings.Split(*run, ",")
 	if *run == "all" {
@@ -121,6 +129,64 @@ func main() {
 			fmt.Fprintln(os.Stderr, "warning:", err)
 		}
 	}
+	if *attackCheck != "" {
+		if err := checkAttack(attackRows, *attackCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "privacy regression:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("attack thresholds OK (%s)\n", *attackCheck)
+	}
+}
+
+// attackThresholds are the committed privacy-regression ceilings
+// (ci/attack_thresholds.json): CI fails when any defended serving
+// configuration leaks more than a past run plus margin, or when the
+// undefended baseline stops leaking — the harness itself regressing.
+type attackThresholds struct {
+	// MaxDefendedLinkAUC bounds the best link-stealing AUC (either serving
+	// path) of every row whose defense is not "undefended".
+	MaxDefendedLinkAUC float64 `json:"max_defended_link_auc"`
+	// MaxDefendedFidelity bounds extraction fidelity on defended rows.
+	MaxDefendedFidelity float64 `json:"max_defended_fidelity"`
+	// MinUndefendedLinkAUC keeps the baseline attack honest: if the
+	// undefended rows fall to coin-flip the sweep is measuring nothing.
+	MinUndefendedLinkAUC float64 `json:"min_undefended_link_auc"`
+}
+
+// checkAttack enforces the committed ceilings over an ext-attack run.
+func checkAttack(rows []experiments.ExtAttackRow, path string) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("-attack-check given but no ext-attack rows were produced (add ext-attack to -run)")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var th attackThresholds
+	if err := json.Unmarshal(raw, &th); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for _, r := range rows {
+		auc := r.BestLinkAUCFull
+		if r.BestLinkAUCSub > auc {
+			auc = r.BestLinkAUCSub
+		}
+		id := fmt.Sprintf("%s/%s/%s/%s", r.Dataset, r.Design, r.Precision, r.Defense)
+		if r.Defense == "undefended" {
+			if r.BestLinkAUCFull < th.MinUndefendedLinkAUC {
+				return fmt.Errorf("%s: link AUC %.3f below baseline floor %.3f — the attack harness lost its teeth",
+					id, r.BestLinkAUCFull, th.MinUndefendedLinkAUC)
+			}
+			continue
+		}
+		if auc > th.MaxDefendedLinkAUC {
+			return fmt.Errorf("%s: link AUC %.3f above defended ceiling %.3f", id, auc, th.MaxDefendedLinkAUC)
+		}
+		if r.Fidelity > th.MaxDefendedFidelity {
+			return fmt.Errorf("%s: extraction fidelity %.3f above defended ceiling %.3f", id, r.Fidelity, th.MaxDefendedFidelity)
+		}
+	}
+	return nil
 }
 
 // benchDoc accumulates the JSON-emitting experiments' rows, one key per

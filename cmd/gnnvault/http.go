@@ -1,240 +1,54 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"os"
-	"time"
 
-	"gnnvault/internal/core"
-	"gnnvault/internal/registry"
+	"gnnvault/internal/mat"
 	"gnnvault/internal/serve"
-	"gnnvault/internal/subgraph"
 )
 
-// apiServer exposes the serving fleet over HTTP/JSON:
-//
-//	POST /predict        {"vault":"cora/parallel","nodes":[0,1,2]}  → labels (exact, full-graph)
-//	POST /predict_nodes  {"vault":"cora/parallel","nodes":[0,1,2]}  → labels (sampled subgraph)
-//	GET  /vaults                                                    → fleet catalog
-//	GET  /stats                                                     → serving + scheduler + EPC counters
-//
-// /predict runs the exact full-graph pass over the vault's deployed
-// dataset features; "nodes" selects which labels to return, defaulting to
-// all. /predict_nodes (available when the fleet was started with -hops)
-// answers through the subgraph engine: per-query cost is O(hops × fanout)
-// instead of O(graph), at the documented sampling-accuracy trade-off.
-// Only class labels ever leave the enclave, so labels are all the API can
-// serve.
-type apiServer struct {
-	fl  *fleet
-	srv *serve.MultiServer
+// apiConfig assembles the shared serving surface (serve.API) from the
+// fleet: the catalog, the per-vault feature matrices and the optional
+// per-client rate limit. The HTTP handlers themselves live in
+// internal/serve so that in-process clients — notably the privacy
+// harness — exercise byte-identical endpoint behavior.
+func apiConfig(fl *fleet, limit *serve.RateLimit) serve.APIConfig {
+	vaults := make([]serve.APIVault, len(fl.vaults))
+	for i, v := range fl.vaults {
+		vaults[i] = serve.APIVault{
+			ID:      v.ID,
+			Dataset: v.Dataset,
+			Design:  v.Design,
+			Nodes:   v.Nodes,
+			Params:  v.Params,
+		}
+	}
+	byID := make(map[string]string, len(fl.vaults))
+	for _, v := range fl.vaults {
+		byID[v.ID] = v.Dataset
+	}
+	return serve.APIConfig{
+		Vaults: vaults,
+		Features: func(vaultID string) *mat.Matrix {
+			ds := fl.data[byID[vaultID]]
+			if ds == nil {
+				return nil
+			}
+			return ds.X
+		},
+		NodeQueries: fl.nodeQueries,
+		Limit:       limit,
+	}
 }
 
 // runHTTP serves the fleet API until the process is interrupted.
-func runHTTP(addr string, fl *fleet, srv *serve.MultiServer) {
-	api := &apiServer{fl: fl, srv: srv}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", api.handlePredict)
-	mux.HandleFunc("POST /predict_nodes", api.handlePredictNodes)
-	mux.HandleFunc("GET /vaults", api.handleVaults)
-	mux.HandleFunc("GET /stats", api.handleStats)
+func runHTTP(addr string, fl *fleet, srv *serve.MultiServer, limit *serve.RateLimit) {
+	api := serve.NewAPI(srv, fl.reg, apiConfig(fl, limit))
 	fmt.Printf("HTTP API on %s: POST /predict, POST /predict_nodes, GET /vaults, GET /stats\n", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
+	if err := http.ListenAndServe(addr, api.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "http server:", err)
 		os.Exit(1)
 	}
-}
-
-// predictRequest is the POST /predict payload.
-type predictRequest struct {
-	// Vault is the fleet member to query, "dataset/design".
-	Vault string `json:"vault"`
-	// Nodes are the node indices whose labels to return; empty means all.
-	Nodes []int `json:"nodes"`
-}
-
-// predictResponse is the POST /predict answer.
-type predictResponse struct {
-	Vault     string  `json:"vault"`
-	Nodes     []int   `json:"nodes,omitempty"`
-	Labels    []int   `json:"labels"`
-	LatencyMS float64 `json:"latency_ms"`
-}
-
-// lookupVault resolves a fleet member by ID and validates the requested
-// node indices, writing the HTTP error itself when either check fails.
-func (a *apiServer) lookupVault(w http.ResponseWriter, vaultID string, nodes []int) (*vaultInfo, bool) {
-	var info *vaultInfo
-	for i := range a.fl.vaults {
-		if a.fl.vaults[i].ID == vaultID {
-			info = &a.fl.vaults[i]
-			break
-		}
-	}
-	if info == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("%w: %q", registry.ErrUnknownVault, vaultID))
-		return nil, false
-	}
-	for _, n := range nodes {
-		if n < 0 || n >= info.Nodes {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("node %d out of range [0,%d)", n, info.Nodes))
-			return nil, false
-		}
-	}
-	return info, true
-}
-
-func (a *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	info, ok := a.lookupVault(w, req.Vault, req.Nodes)
-	if !ok {
-		return
-	}
-
-	start := time.Now()
-	labels, err := a.srv.Predict(info.ID, a.fl.data[info.Dataset].X)
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	resp := predictResponse{
-		Vault:     info.ID,
-		Nodes:     req.Nodes,
-		Labels:    labels,
-		LatencyMS: float64(time.Since(start).Microseconds()) / 1e3,
-	}
-	if len(req.Nodes) > 0 {
-		picked := make([]int, len(req.Nodes))
-		for i, n := range req.Nodes {
-			picked[i] = labels[n]
-		}
-		resp.Labels = picked
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// handlePredictNodes serves POST /predict_nodes: node-level queries
-// answered from sampled L-hop subgraphs. Requires the fleet to have been
-// started with -hops > 0.
-func (a *apiServer) handlePredictNodes(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	if !a.fl.nodeQueries {
-		httpError(w, http.StatusNotImplemented,
-			fmt.Errorf("node-level serving disabled; restart with -hops > 0"))
-		return
-	}
-	info, ok := a.lookupVault(w, req.Vault, req.Nodes)
-	if !ok {
-		return
-	}
-	if len(req.Nodes) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("predict_nodes needs a non-empty \"nodes\" list"))
-		return
-	}
-
-	start := time.Now()
-	labels, err := a.srv.PredictNodes(info.ID, req.Nodes)
-	if err != nil {
-		// Client-caused errors are 4xx — a 503 would invite retries of
-		// requests that can never succeed.
-		code := http.StatusServiceUnavailable
-		if errors.Is(err, subgraph.ErrTooManySeeds) || errors.Is(err, core.ErrNodeOutOfRange) {
-			code = http.StatusBadRequest
-		}
-		httpError(w, code, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, predictResponse{
-		Vault:     info.ID,
-		Nodes:     req.Nodes,
-		Labels:    labels,
-		LatencyMS: float64(time.Since(start).Microseconds()) / 1e3,
-	})
-}
-
-func (a *apiServer) handleVaults(w http.ResponseWriter, r *http.Request) {
-	type vaultEntry struct {
-		vaultInfo
-		Resident   bool   `json:"resident"`
-		Workspaces int    `json:"workspaces"`
-		Requests   uint64 `json:"requests"`
-		Plans      uint64 `json:"plans"`
-		Evictions  uint64 `json:"evictions"`
-	}
-	rst := a.fl.reg.Stats()
-	byID := map[string]registry.VaultStats{}
-	for _, vs := range rst.PerVault {
-		byID[vs.ID] = vs
-	}
-	out := make([]vaultEntry, 0, len(a.fl.vaults))
-	for _, info := range a.fl.vaults {
-		vs := byID[info.ID]
-		out = append(out, vaultEntry{
-			vaultInfo:  info,
-			Resident:   vs.Resident,
-			Workspaces: vs.Workspaces,
-			Requests:   vs.Requests,
-			Plans:      vs.Plans,
-			Evictions:  vs.Evictions,
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"vaults": out})
-}
-
-func (a *apiServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := a.srv.Stats()
-	rst := a.fl.reg.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"serving": map[string]any{
-			"requests":       st.Requests,
-			"completed":      st.Completed,
-			"errors":         st.Errors,
-			"batches":        st.Batches,
-			"avg_batch":      st.AvgBatch,
-			"avg_latency_ms": float64(st.AvgLatency.Microseconds()) / 1e3,
-			"max_latency_ms": float64(st.MaxLatency.Microseconds()) / 1e3,
-			"throughput_rps": st.Throughput,
-			"uptime_s":       st.Uptime.Seconds(),
-		},
-		"scheduler": map[string]any{
-			"vaults":    rst.Vaults,
-			"resident":  rst.Resident,
-			"requests":  rst.Requests,
-			"plans":     rst.Plans,
-			"evictions": rst.Evictions,
-		},
-		"enclave": map[string]any{
-			"epc_used_bytes":  rst.EPCUsed,
-			"epc_free_bytes":  rst.EPCFree,
-			"epc_limit_bytes": rst.EPCLimit,
-			"epc_used_mb":     float64(rst.EPCUsed) / (1 << 20),
-			"epc_limit_mb":    float64(rst.EPCLimit) / (1 << 20),
-		},
-	})
-}
-
-// writeJSON sends one JSON response.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		fmt.Fprintln(os.Stderr, "http encode:", err)
-	}
-}
-
-// httpError sends a JSON error body with the given status.
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -64,6 +64,12 @@ func cmdServe(args []string) {
 	hops := fs.Int("hops", 0, "enable node-level serving with this L-hop expansion depth (0 = full-graph only)")
 	fanout := fs.Int("fanout", 10, "sampled neighbours per node per hop for node-level serving (0 = unlimited, exact L-hop)")
 	maxSeeds := fs.Int("max-seeds", 16, "max seed nodes per coalesced subgraph extraction")
+	exposeScores := fs.Bool("expose-scores", false, "serve per-class softmax posteriors alongside labels (widens the attack surface; label-only is the paper's default posture)")
+	roundDigits := fs.Int("round-digits", 0, "round exposed scores to this many decimal digits, argmax-preserving (0 = exact scores)")
+	topK := fs.Int("topk", 0, "expose only the K largest score entries per row, zeroing the rest (0 = all classes)")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client sustained answered-labels/second over the HTTP API (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "per-client token-bucket capacity in labels (0 = derived from -rate-limit)")
+	queryBudget := fs.Int("query-budget", 0, "per-client lifetime cap on total answered labels (0 = unlimited)")
 	fs.Parse(args) //nolint:errcheck
 
 	if *workers <= 0 {
@@ -85,11 +91,21 @@ func cmdServe(args []string) {
 		MinAgreement:   *minAgree,
 	}
 	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq)
-	srv := serve.NewMulti(fl.reg, serve.Config{Workers: *workers, MaxBatch: *batch})
+	srv := serve.NewMulti(fl.reg, serve.Config{
+		Workers:      *workers,
+		MaxBatch:     *batch,
+		ExposeScores: *exposeScores,
+		RoundDigits:  *roundDigits,
+		TopK:         *topK,
+	})
 	defer func() {
 		srv.Close()
 		fl.reg.Close()
 	}()
+	var limit *serve.RateLimit
+	if *rateLimit > 0 || *queryBudget > 0 {
+		limit = &serve.RateLimit{PerSec: *rateLimit, Burst: *rateBurst, Budget: *queryBudget}
+	}
 
 	mode := "untiled workspaces"
 	if *epcBudgetMB > 0 {
@@ -102,7 +118,7 @@ func cmdServe(args []string) {
 		len(fl.vaults), float64(fl.encl.EPCUsed())/(1<<20), fl.encl.EPCLimit()>>20, *workers, mode)
 
 	if *httpAddr != "" {
-		runHTTP(*httpAddr, fl, srv)
+		runHTTP(*httpAddr, fl, srv, limit)
 		return
 	}
 	runSyntheticStream(fl, srv, *clients, *requests)

@@ -1,0 +1,94 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+)
+
+// FuzzAttackSurface hammers the attack math with degenerate observation
+// surfaces — constant embeddings, NaN/Inf posteriors, tied scores, empty
+// masks — asserting the invariants the privacy harness relies on: every
+// metric's AUC stays a number in [0,1], Distance never returns a panic on
+// equal-length rows, and Fidelity never panics and stays in [0,1].
+func FuzzAttackSurface(f *testing.F) {
+	f.Add(uint8(4), uint8(3), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add(uint8(2), uint8(1), []byte{})                     // minimal graph, zero-filled obs
+	f.Add(uint8(8), uint8(4), []byte{255, 255, 255, 255})   // NaN/Inf-heavy palette
+	f.Add(uint8(6), uint8(2), []byte{7, 7, 7, 7, 7, 7, 7})  // constant rows: all ties
+	f.Add(uint8(16), uint8(8), []byte{1, 250, 3, 252, 128}) // mixed finite and poisoned
+
+	// palette maps fuzz bytes to cell values, weighted toward the
+	// degenerate cases the satellite task names.
+	palette := []float64{
+		0, 0, 1, 1, 0.5, -1, 1e300, -1e300, 1e-300,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+	}
+	f.Fuzz(func(t *testing.T, nRaw, dimRaw uint8, cells []byte) {
+		// n >= 4: the ring graph below must leave non-edges for
+		// SamplePairs' negative draw (a complete graph would spin forever).
+		n := 4 + int(nRaw)%13    // [4,16] nodes
+		dim := 1 + int(dimRaw)%8 // [1,8] observation width
+
+		obs := mat.New(n, dim)
+		for i := 0; i < n; i++ {
+			row := obs.Row(i)
+			for j := range row {
+				if len(cells) > 0 {
+					row[j] = palette[int(cells[(i*dim+j)%len(cells)])%len(palette)]
+				}
+			}
+		}
+
+		// A ring graph guarantees edges and non-edges exist for n >= 4.
+		edges := make([]graph.Edge, 0, n)
+		for i := 0; i < n; i++ {
+			edges = append(edges, graph.Edge{U: i, V: (i + 1) % n})
+		}
+		g := graph.New(n, edges)
+		sample := SamplePairs(g, n, int64(nRaw)*31+int64(dimRaw))
+
+		for _, m := range Metrics {
+			for _, p := range sample.Pairs {
+				d := Distance(m, obs.Row(p.U), obs.Row(p.V)) // must not panic
+				_ = d
+			}
+			auc := AUC(m, []*mat.Matrix{obs}, sample)
+			if math.IsNaN(auc) || auc < 0 || auc > 1 {
+				t.Fatalf("%s: AUC %v outside [0,1] on %dx%d obs", m, auc, n, dim)
+			}
+		}
+
+		// Fidelity: tied / degenerate label vectors and empty masks.
+		surrogate := make([]int, n)
+		victim := make([]int, n)
+		for i := range surrogate {
+			if len(cells) > 0 {
+				surrogate[i] = int(cells[i%len(cells)]) % 4
+				victim[i] = int(cells[(i+1)%len(cells)]) % 4
+			}
+		}
+		masks := [][]int{
+			nil, {}, {0},
+			{sample.Pairs[0].U, sample.Pairs[0].V},
+			allNodes(n),
+		}
+		for _, mask := range masks {
+			fid := Fidelity(surrogate, victim, mask) // must not panic
+			if math.IsNaN(fid) || fid < 0 || fid > 1 {
+				t.Fatalf("Fidelity %v outside [0,1] for mask %v", fid, mask)
+			}
+		}
+	})
+}
+
+// allNodes is the full-graph mask.
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -172,12 +172,34 @@ func AUC(m Metric, observations []*mat.Matrix, sample PairSample) float64 {
 		for i, p := range sample.Pairs {
 			dists[i] = Distance(m, obs.Row(p.U), obs.Row(p.V))
 		}
+		sanitizeDists(dists)
 		mean, std := meanStd(dists)
 		for i := range scores {
 			scores[i] -= (dists[i] - mean) / std
 		}
 	}
 	return metrics.ROCAUC(scores, sample.Positive)
+}
+
+// sanitizeDists clamps non-finite distances — NaN/±Inf from degenerate
+// observations (constant rows, overflowed posteriors) — to one past the
+// largest finite distance, so a poisoned pair reads as maximally
+// dissimilar instead of propagating NaN into every pair's z-score and
+// pushing the reported AUC outside [0,1].
+func sanitizeDists(dists []float64) {
+	maxFinite, hasFinite := 0.0, false
+	for _, d := range dists {
+		if !math.IsNaN(d) && !math.IsInf(d, 0) {
+			if !hasFinite || d > maxFinite {
+				maxFinite, hasFinite = d, true
+			}
+		}
+	}
+	for i, d := range dists {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			dists[i] = maxFinite + 1
+		}
+	}
 }
 
 // Run evaluates every metric against the same observation surface and

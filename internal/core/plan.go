@@ -345,18 +345,36 @@ func (ws *Workspace) Release() {
 // several workspaces share one enclave concurrently, the wall-clock fields
 // remain exact but the modelled enclave components may interleave.
 func (v *Vault) PredictInto(x *mat.Matrix, ws *Workspace) ([]int, InferenceBreakdown, error) {
+	labels, _, bd, err := v.predictInto(x, ws, false)
+	return labels, bd, err
+}
+
+// PredictScoresInto is PredictInto for deployments that expose per-class
+// scores: the rectified logits cross the boundary alongside the labels,
+// priced into the ECALL result payload at classes × 8 extra bytes per
+// node. This is the deliberately weakened output mode the privacy
+// harness (internal/privharness) attacks — the paper's label-only rule
+// (Sec. IV-E) corresponds to never calling it. The returned matrix is the
+// plan machine's output view: machine-owned, overwritten by the next
+// call, so serving code must copy what it sends out.
+func (v *Vault) PredictScoresInto(x *mat.Matrix, ws *Workspace) (*mat.Matrix, []int, InferenceBreakdown, error) {
+	labels, scores, bd, err := v.predictInto(x, ws, true)
+	return scores, labels, bd, err
+}
+
+func (v *Vault) predictInto(x *mat.Matrix, ws *Workspace, wantScores bool) ([]int, *mat.Matrix, InferenceBreakdown, error) {
 	var bd InferenceBreakdown
 	if ws.released {
-		return nil, bd, fmt.Errorf("core: PredictInto on released workspace")
+		return nil, nil, bd, fmt.Errorf("core: PredictInto on released workspace")
 	}
 	if ws.v != v {
-		return nil, bd, fmt.Errorf("core: workspace planned for a different vault")
+		return nil, nil, bd, fmt.Errorf("core: workspace planned for a different vault")
 	}
 	if x.Rows != ws.Rows {
-		return nil, bd, fmt.Errorf("core: input rows %d != planned rows %d", x.Rows, ws.Rows)
+		return nil, nil, bd, fmt.Errorf("core: input rows %d != planned rows %d", x.Rows, ws.Rows)
 	}
 	if x.Cols != v.Backbone.FeatureDim {
-		return nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
+		return nil, nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
 	}
 	before := v.Enclave.Ledger()
 	v.Enclave.ResetPeak()
@@ -370,18 +388,27 @@ func (v *Vault) PredictInto(x *mat.Matrix, ws *Workspace) ([]int, InferenceBreak
 	// One-way transfer of exactly the embeddings the design requires,
 	// modelled as a single ECALL (for untiled plans the buffers are
 	// EPC-resident since plan time; tiled plans stream them, plus the
-	// tile flushes, through the boundary). Only the labels cross back:
-	// 8 bytes per node.
+	// tile flushes, through the boundary). By default only the labels
+	// cross back — 8 bytes per node; a scores call pays for the logits
+	// too.
 	ws.embs = ws.embs[:0]
 	for _, i := range ws.needed {
 		ws.embs = append(ws.embs, ws.blocks[i])
 	}
-	if err := v.Enclave.Ecall(ws.payload+ws.spill, int64(ws.Rows)*8, ws.ecall); err != nil {
-		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)
+	resultBytes := int64(ws.Rows) * 8
+	if wantScores {
+		resultBytes += int64(ws.Rows) * int64(ws.mach.OutputWidth()) * 8
+	}
+	if err := v.Enclave.Ecall(ws.payload+ws.spill, resultBytes, ws.ecall); err != nil {
+		return nil, nil, bd, fmt.Errorf("core: enclave inference: %w", err)
 	}
 
 	fillBreakdown(&bd, before, v.Enclave.Ledger())
-	return ws.labels, bd, nil
+	var scores *mat.Matrix
+	if wantScores {
+		scores = ws.mach.Output()
+	}
+	return ws.labels, scores, bd, nil
 }
 
 // Nodes returns the node count of the deployed private graph — the batch

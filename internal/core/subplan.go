@@ -288,23 +288,40 @@ func (ws *SubgraphWorkspace) Release() {
 // exact full-graph Predict (allocating — the subgraph plan's buffers
 // cannot hold the whole graph) and returns exact-GCN labels.
 func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace) ([]int, InferenceBreakdown, error) {
+	labels, _, bd, err := v.predictNodesInto(x, seeds, ws, false)
+	return labels, bd, err
+}
+
+// PredictNodesScoresInto is PredictNodesInto for deployments that expose
+// per-class scores: the seeds' rectified logit rows cross the boundary
+// alongside their labels, priced into the ECALL result payload. The
+// returned matrix has one row per seed and aliases workspace memory —
+// overwritten by the next call — except on the full-graph fallback path,
+// where it is freshly allocated. See Vault.PredictScoresInto for what
+// exposing scores means for the threat model.
+func (v *Vault) PredictNodesScoresInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace) (*mat.Matrix, []int, InferenceBreakdown, error) {
+	labels, scores, bd, err := v.predictNodesInto(x, seeds, ws, true)
+	return scores, labels, bd, err
+}
+
+func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace, wantScores bool) ([]int, *mat.Matrix, InferenceBreakdown, error) {
 	var bd InferenceBreakdown
 	if ws.released {
-		return nil, bd, fmt.Errorf("core: PredictNodesInto on released workspace")
+		return nil, nil, bd, fmt.Errorf("core: PredictNodesInto on released workspace")
 	}
 	if ws.v != v {
-		return nil, bd, fmt.Errorf("core: workspace planned for a different vault")
+		return nil, nil, bd, fmt.Errorf("core: workspace planned for a different vault")
 	}
 	n := v.privateGraph.N()
 	if x.Rows != n {
-		return nil, bd, fmt.Errorf("core: input rows %d != deployed graph nodes %d", x.Rows, n)
+		return nil, nil, bd, fmt.Errorf("core: input rows %d != deployed graph nodes %d", x.Rows, n)
 	}
 	if x.Cols != v.Backbone.FeatureDim {
-		return nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
+		return nil, nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, v.Backbone.FeatureDim)
 	}
 	for _, s := range seeds {
 		if s < 0 || s >= n {
-			return nil, bd, ErrNodeOutOfRange
+			return nil, nil, bd, ErrNodeOutOfRange
 		}
 	}
 
@@ -316,23 +333,30 @@ func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	start := time.Now()
 	cnt, err := ws.exp.Expand(v.Backbone.adj, seeds)
 	if err != nil {
-		return nil, bd, err
+		return nil, nil, bd, err
 	}
 	if cnt*4 >= n*3 {
 		// The frontier is most of the graph: sampled inference saves
-		// nothing, so serve exact full-graph labels instead.
-		all, fbd, err := v.Predict(x)
+		// nothing, so serve exact full-graph answers instead.
+		all, allScores, fbd, err := v.predict(x, wantScores)
 		if err != nil {
-			return nil, fbd, err
+			return nil, nil, fbd, err
 		}
 		out := ws.labels[:len(seeds)]
+		var scores *mat.Matrix
+		if wantScores {
+			scores = mat.New(len(seeds), allScores.Cols)
+		}
 		for i, s := range seeds {
 			out[i] = all[s]
+			if wantScores {
+				copy(scores.Row(i), allScores.Row(s))
+			}
 		}
-		return out, fbd, nil
+		return out, scores, fbd, nil
 	}
 	if _, err := ws.exp.Induce(v.Backbone.adj, ws.pubCS); err != nil {
-		return nil, bd, err
+		return nil, nil, bd, err
 	}
 	viewRows(ws.feat, cnt)
 	subgraph.GatherRowsInto(ws.feat, x, ws.exp.Nodes())
@@ -340,7 +364,7 @@ func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	bd.BackboneTime = time.Since(start)
 
 	// One ECALL: seed IDs and the extracted embeddings cross in, labels
-	// for the seeds cross out.
+	// — plus, for a scores call, the seeds' logit rows — cross out.
 	ws.embs = ws.embs[:0]
 	for _, i := range ws.needed {
 		ws.embs = append(ws.embs, ws.blocks[i])
@@ -348,13 +372,22 @@ func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	ws.curRows = cnt
 	ws.curSeeds = len(seeds)
 	payload := ws.payload*int64(cnt) + int64(len(seeds))*8
-	if err := v.Enclave.Ecall(payload, int64(len(seeds))*8, ws.ecall); err != nil {
-		return nil, bd, fmt.Errorf("core: enclave subgraph inference: %w", err)
+	resultBytes := int64(len(seeds)) * 8
+	if wantScores {
+		resultBytes += int64(len(seeds)) * int64(ws.rectMach.OutputWidth()) * 8
+	}
+	if err := v.Enclave.Ecall(payload, resultBytes, ws.ecall); err != nil {
+		return nil, nil, bd, fmt.Errorf("core: enclave subgraph inference: %w", err)
 	}
 
 	fillBreakdown(&bd, before, v.Enclave.Ledger())
 	// Seeds occupy local rows 0..len(seeds)-1 by construction.
-	return ws.labels[:len(seeds)], bd, nil
+	var scores *mat.Matrix
+	if wantScores {
+		scores = &mat.Matrix{}
+		ws.rectMach.Output().ViewRows(0, len(seeds), scores)
+	}
+	return ws.labels[:len(seeds)], scores, bd, nil
 }
 
 // EnableNodeServing plans a vault-owned subgraph workspace and routes

@@ -159,6 +159,16 @@ func (v *Vault) RectifierParams() int { return v.rectifier.NumParams() }
 // backbone in the normal world, one-way transfer of the required
 // embeddings, rectification inside the enclave, label-only output.
 func (v *Vault) Predict(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
+	labels, _, bd, err := v.predict(x, false)
+	return labels, bd, err
+}
+
+// predict is Predict's body. With wantScores the rectified logits leave
+// the enclave too — the deliberately weakened output mode the privacy
+// harness attacks — and their exposure is priced into the ECALL result
+// payload (classes × 8 extra bytes per node). The returned logits matrix
+// is freshly allocated and owned by the caller.
+func (v *Vault) predict(x *mat.Matrix, wantScores bool) ([]int, *mat.Matrix, InferenceBreakdown, error) {
 	var bd InferenceBreakdown
 	before := v.Enclave.Ledger()
 	v.Enclave.ResetPeak()
@@ -173,15 +183,22 @@ func (v *Vault) Predict(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
 	needed := selectEmbeddings(all, v.rectifier.RequiredEmbeddings())
 	for _, e := range needed {
 		if err := uplink.Send(e); err != nil {
-			return nil, bd, fmt.Errorf("core: transferring embeddings: %w", err)
+			return nil, nil, bd, fmt.Errorf("core: transferring embeddings: %w", err)
 		}
 	}
 	uplink.Close()
 
-	// Enclave: rectify and reduce to labels. Only `labels` crosses back
-	// (modelled as the ECALL result payload: 8 bytes per node).
+	// Enclave: rectify and reduce to labels. By default only `labels`
+	// crosses back (modelled as the ECALL result payload: 8 bytes per
+	// node); a scores-exposing deployment additionally pays for the
+	// logits.
+	resultBytes := int64(x.Rows) * 8
+	if wantScores {
+		resultBytes += int64(x.Rows) * int64(v.Classes()) * 8
+	}
 	var labels []int
-	err := v.Enclave.Ecall(0, int64(x.Rows)*8, func() error {
+	var scores *mat.Matrix
+	err := v.Enclave.Ecall(0, resultBytes, func() error {
 		embs := make([]*mat.Matrix, 0, len(needed))
 		for {
 			m, ok := ch.Recv()
@@ -196,17 +213,24 @@ func (v *Vault) Predict(x *mat.Matrix) ([]int, InferenceBreakdown, error) {
 		}
 		defer v.Enclave.Free(actBytes)
 		logits := v.rectifier.Forward(embs, false)
-		labels = logits.ArgmaxRows() // label-only output
+		labels = logits.ArgmaxRows()
+		if wantScores {
+			scores = logits
+		}
 		return nil
 	})
 	ch.Drain()
 	if err != nil {
-		return nil, bd, fmt.Errorf("core: enclave inference: %w", err)
+		return nil, nil, bd, fmt.Errorf("core: enclave inference: %w", err)
 	}
 
 	fillBreakdown(&bd, before, v.Enclave.Ledger())
-	return labels, bd, nil
+	return labels, scores, bd, nil
 }
+
+// Classes returns the deployed rectifier's output dimension — the label
+// space every served prediction reduces to.
+func (v *Vault) Classes() int { return v.rectifier.Dims[len(v.rectifier.Dims)-1] }
 
 // fillBreakdown derives the enclave components of a breakdown from
 // before/after ledger snapshots, so inference paths never reset the shared

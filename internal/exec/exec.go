@@ -584,6 +584,11 @@ func (m *Machine) Value(v int) *mat.Matrix { return &m.views[v] }
 // Output returns the stable header of the program's result value.
 func (m *Machine) Output() *mat.Matrix { return &m.views[m.prog.output] }
 
+// OutputWidth returns the column count of the program's result value —
+// the class dimension of a rectifier program — available at plan time,
+// before any Run has bound the output view.
+func (m *Machine) OutputWidth() int { return m.prog.vals[m.prog.output].width }
+
 // Run executes the program over the first rows rows. inputs must match the
 // program's declared inputs (count, order, widths) and all have rows rows;
 // labels receives the OpArgmax result and may be nil to skip the label

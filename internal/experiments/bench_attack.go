@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gnnvault/internal/attack"
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/privharness"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/serve"
+	"gnnvault/internal/substitute"
+)
+
+// ExtAttackRow is one (design, precision, defense) point of the privacy
+// regression sweep: every attack query in it flowed through serve.API —
+// the same code path the HTTP endpoints execute — never through the vault
+// directly, so the numbers price what a network adversary actually gets.
+type ExtAttackRow struct {
+	Dataset   string `json:"dataset"`
+	Design    string `json:"design"`
+	Precision string `json:"precision"`
+	// Defense names the serving configuration: undefended (raw posteriors),
+	// round1 (1-digit rounding), top1 (top-k masking, k=1), ratelimited
+	// (per-client query budget), labelonly (the paper's hard-label rule).
+	Defense string `json:"defense"`
+	// Surface is what the adversary observes per answered query.
+	Surface string `json:"surface"`
+	// Link-stealing strength: best distance-metric AUC through /predict
+	// (exact full-graph serving) and through /predict_nodes (sampled
+	// subgraph serving), plus the per-metric breakdown on the full path.
+	LinkAUCFull     map[attack.Metric]float64 `json:"link_auc_full"`
+	BestLinkAUCFull float64                   `json:"best_link_auc_full"`
+	BestLinkAUCSub  float64                   `json:"best_link_auc_subgraph"`
+	// Extraction strength: surrogate/victim agreement on a held-out set.
+	Fidelity float64 `json:"extraction_fidelity"`
+	// Query accounting. Observed counts distinct nodes the extraction
+	// actually saw before any rate limit cut it off.
+	LinkQueries    int  `json:"link_queries"`
+	ExtractQueries int  `json:"extract_queries"`
+	Observed       int  `json:"extract_observed_nodes"`
+	RateLimited    bool `json:"rate_limited"`
+	// Serving cost of the defense, measured over the whole attack stream.
+	ReqPerSec float64 `json:"req_per_sec"`
+	P99MS     float64 `json:"p99_ms"`
+}
+
+// Fixed attack budgets: small enough for CI, large enough that the
+// defense ordering is measurable. extAttackBudget is the per-client label
+// budget the ratelimited row enforces — below the ~150 nodes the link
+// work-list needs, so that row demonstrably attacks with partial
+// observations.
+const (
+	extAttackPairs  = 80
+	extAttackBudget = 96
+	extAttackNodes  = 240
+)
+
+// ExtAttack replays the link-stealing and model-extraction attacks
+// against the served API under each defense configuration, across
+// rectifier designs and precision tiers. Training is capped at 30 epochs:
+// enough structure in the posteriors for the attacks to have teeth (the
+// sweep prices defenses, not model accuracy), still cheap enough for the
+// CI smoke. The int8 tier runs on the parallel design, whose calibrated
+// quantised plan clears the agreement floor on cora.
+func ExtAttack(opts Options) ([]ExtAttackRow, string) {
+	opts = opts.normalise()
+	name := opts.Datasets[0]
+	ds := datasets.Load(name)
+	train := opts.train()
+	if train.Epochs > 30 {
+		train.Epochs = 30
+	}
+	spec := core.SpecForDataset(name)
+	bb := core.TrainBackbone(ds, spec, substitute.KindKNN, substitute.KNN(ds.X, 2), train)
+
+	sample := attack.SamplePairs(ds.Graph, extAttackPairs, 7)
+	eval := make([]int, 0, 80)
+	for i := 0; i < 80; i++ {
+		eval = append(eval, (i*7+3)%ds.Graph.N())
+	}
+
+	type combo struct {
+		design core.RectifierDesign
+		prec   core.Precision
+	}
+	combos := []combo{
+		{core.Parallel, core.PrecisionFP64},
+		{core.Parallel, core.PrecisionInt8},
+		{core.Series, core.PrecisionFP64},
+	}
+	type defense struct {
+		name  string
+		scfg  serve.Config
+		limit *serve.RateLimit
+	}
+	defenses := []defense{
+		{"undefended", serve.Config{ExposeScores: true}, nil},
+		{"round1", serve.Config{ExposeScores: true, RoundDigits: 1}, nil},
+		{"top1", serve.Config{ExposeScores: true, TopK: 1}, nil},
+		{"ratelimited", serve.Config{ExposeScores: true}, &serve.RateLimit{Budget: extAttackBudget}},
+		{"labelonly", serve.Config{}, nil},
+	}
+
+	var rows []ExtAttackRow
+	var cells [][]string
+	for _, cb := range combos {
+		rec := core.TrainRectifier(ds, bb, cb.design, train)
+		v, err := core.Deploy(bb, rec, ds.Graph, enclaveDefaultCost())
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtAttack deploy %s: %v", cb.design, err))
+		}
+		if err := v.SetCalibrationFeatures(ds.X); err != nil {
+			panic(fmt.Sprintf("experiments: ExtAttack calibration %s: %v", cb.design, err))
+		}
+		reg := registry.New(v.Enclave, registry.Config{
+			WorkspacesPerVault: 2,
+			Plan:               core.PlanConfig{Precision: cb.prec},
+			// Fanout 0: exact L-hop extraction, so the sweep is
+			// deterministic in its seeds.
+			NodeQuery: &registry.NodeQueryConfig{Hops: 2, Fanout: 0, MaxSeeds: 16, Seed: 5},
+		})
+		id := name + "/" + string(cb.design)
+		if err := reg.Register(id, v); err != nil {
+			panic(fmt.Sprintf("experiments: ExtAttack register: %v", err))
+		}
+		if err := reg.EnableNodeQueries(id, ds.X); err != nil {
+			panic(fmt.Sprintf("experiments: ExtAttack node queries: %v", err))
+		}
+
+		for _, d := range defenses {
+			scfg := d.scfg
+			scfg.Workers = 1 // deterministic replay order
+			srv := serve.NewMulti(reg, scfg)
+			api := serve.NewAPI(srv, reg, serve.APIConfig{
+				Vaults: []serve.APIVault{
+					{ID: id, Dataset: name, Design: string(cb.design), Nodes: ds.Graph.N()},
+				},
+				Features:    func(string) *mat.Matrix { return ds.X },
+				NodeQueries: true,
+				Limit:       d.limit,
+			})
+			surface := privharness.SurfaceScores
+			if !scfg.ExposeScores {
+				surface = privharness.SurfaceLabels
+			}
+			tr := &privharness.Trace{}
+			tc := &privharness.Traced{Inner: &privharness.InProc{API: api}, Trace: tr}
+
+			lsFull, err := privharness.StealLinks(tc, "link-full", id, ds.Graph.N(), sample, privharness.LinkStealConfig{
+				Surface: surface, Path: privharness.PathFull, Classes: ds.NumClasses, BatchSize: 16,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtAttack link-steal full %s/%s: %v", cb.design, d.name, err))
+			}
+			lsSub, err := privharness.StealLinks(tc, "link-sub", id, ds.Graph.N(), sample, privharness.LinkStealConfig{
+				Surface: surface, Path: privharness.PathSubgraph, Classes: ds.NumClasses, BatchSize: 16,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtAttack link-steal subgraph %s/%s: %v", cb.design, d.name, err))
+			}
+			ext, err := privharness.ExtractModel(tc, "extract", id, ds.X, nil, privharness.ExtractConfig{
+				Surface: surface, Path: privharness.PathFull, Classes: ds.NumClasses,
+				Budget: extAttackNodes, BatchSize: 16, Seed: 9, Eval: eval,
+				Train: attack.ExtractionConfig{HiddenDims: []int{16}, Epochs: 40, LR: 0.02, Seed: 3},
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtAttack extraction %s/%s: %v", cb.design, d.name, err))
+			}
+			srv.Close()
+
+			perf := tr.Perf()
+			r := ExtAttackRow{
+				Dataset: name, Design: string(cb.design), Precision: cb.prec.String(),
+				Defense: d.name, Surface: surface,
+				LinkAUCFull:     lsFull.AUC,
+				BestLinkAUCFull: lsFull.BestAUC,
+				BestLinkAUCSub:  lsSub.BestAUC,
+				Fidelity:        ext.Fidelity,
+				LinkQueries:     lsFull.Queries + lsSub.Queries,
+				ExtractQueries:  ext.Queries,
+				Observed:        ext.Observed,
+				RateLimited:     lsFull.Limited || lsSub.Limited || ext.Limited,
+				ReqPerSec:       perf.ReqPerSec,
+				P99MS:           perf.P99MS,
+			}
+			rows = append(rows, r)
+			cells = append(cells, []string{string(cb.design), cb.prec.String(), d.name,
+				fmt.Sprintf("%.3f", r.BestLinkAUCFull), fmt.Sprintf("%.3f", r.BestLinkAUCSub),
+				fmt.Sprintf("%.3f", r.Fidelity), fmt.Sprintf("%d", r.Observed),
+				fmt.Sprintf("%.0f", r.ReqPerSec), fmt.Sprintf("%.2f", r.P99MS),
+				fmt.Sprintf("%v", r.RateLimited)})
+		}
+		reg.Close()
+		v.Undeploy()
+	}
+	text := "Ext: attack strength vs serving defenses, every query through the served API\n" +
+		table([]string{"Design", "Prec", "Defense", "AUC(full)", "AUC(sub)", "Fidelity", "obs", "req/s", "p99ms", "limited"}, cells)
+	return rows, text
+}

@@ -1,0 +1,248 @@
+// Package privharness drives the privacy attacks of internal/attack
+// through the serving surface the deployment actually ships — the
+// serve.API endpoints — instead of the in-process Vault API. Every
+// observation a simulated adversary uses must arrive as the answer to a
+// /predict or /predict_nodes query, so whatever the serving stack does to
+// those answers (label-only output, score rounding, top-k truncation,
+// rate limits, subgraph sampling, reduced-precision kernels) is priced
+// into the measured attack strength.
+//
+// Two QueryClient backends make the surface explicit: InProc calls the
+// serve.API methods directly, HTTPClient speaks JSON to the same API's
+// HTTP handlers. Both execute identical server-side code, which the
+// golden determinism test pins down.
+package privharness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"gnnvault/internal/serve"
+)
+
+// QueryClient is everything an adversary gets: the four serving
+// endpoints, addressed by client identity and vault ID.
+type QueryClient interface {
+	// Backend names the transport ("inproc" or "http") for reporting.
+	Backend() string
+	Predict(client, vault string, nodes []int) ([]int, error)
+	PredictScores(client, vault string, nodes []int) ([][]float64, []int, error)
+	PredictNodes(client, vault string, nodes []int) ([]int, error)
+	PredictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error)
+}
+
+// InProc drives a serve.API in-process — the same methods the HTTP
+// handlers call, minus the JSON round-trip.
+type InProc struct {
+	API *serve.API
+}
+
+// Backend reports "inproc".
+func (c *InProc) Backend() string { return "inproc" }
+
+// Predict queries /predict semantics directly on the API.
+func (c *InProc) Predict(client, vault string, nodes []int) ([]int, error) {
+	return c.API.Predict(client, vault, nodes)
+}
+
+// PredictScores queries the defended scores surface on the API.
+func (c *InProc) PredictScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	return c.API.PredictScores(client, vault, nodes)
+}
+
+// PredictNodes queries /predict_nodes semantics directly on the API.
+func (c *InProc) PredictNodes(client, vault string, nodes []int) ([]int, error) {
+	return c.API.PredictNodes(client, vault, nodes)
+}
+
+// PredictNodesScores queries the subgraph scores surface on the API.
+func (c *InProc) PredictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	return c.API.PredictNodesScores(client, vault, nodes)
+}
+
+// HTTPClient drives the serve.API HTTP front-end over a real connection.
+// Client identity travels as the X-Client header, matching how the
+// handlers attribute rate-limit charges.
+type HTTPClient struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+// Backend reports "http".
+func (c *HTTPClient) Backend() string { return "http" }
+
+// Predict POSTs a label query to /predict.
+func (c *HTTPClient) Predict(client, vault string, nodes []int) ([]int, error) {
+	resp, err := c.post("/predict", client, vault, nodes, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Labels, nil
+}
+
+// PredictScores POSTs a scores query to /predict.
+func (c *HTTPClient) PredictScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	resp, err := c.post("/predict", client, vault, nodes, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Scores, resp.Labels, nil
+}
+
+// PredictNodes POSTs a label query to /predict_nodes.
+func (c *HTTPClient) PredictNodes(client, vault string, nodes []int) ([]int, error) {
+	resp, err := c.post("/predict_nodes", client, vault, nodes, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Labels, nil
+}
+
+// PredictNodesScores POSTs a scores query to /predict_nodes.
+func (c *HTTPClient) PredictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	resp, err := c.post("/predict_nodes", client, vault, nodes, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Scores, resp.Labels, nil
+}
+
+// wireResponse mirrors the serve.API predict response body.
+type wireResponse struct {
+	Labels []int       `json:"labels"`
+	Scores [][]float64 `json:"scores"`
+	Error  string      `json:"error"`
+}
+
+func (c *HTTPClient) post(path, client, vault string, nodes []int, scores bool) (*wireResponse, error) {
+	body, err := json.Marshal(map[string]any{"vault": vault, "nodes": nodes, "scores": scores})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client", client)
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	httpResp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close() //nolint:errcheck
+	var resp wireResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("privharness: decoding %s response (status %d): %w", path, httpResp.StatusCode, err)
+	}
+	// Map the typed statuses back to the serve errors so attack drivers
+	// react identically over both backends (errors.Is on the sentinel).
+	switch httpResp.StatusCode {
+	case http.StatusOK:
+		return &resp, nil
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w: %s", serve.ErrRateLimited, resp.Error)
+	case http.StatusForbidden:
+		return nil, fmt.Errorf("%w: %s", serve.ErrScoresDisabled, resp.Error)
+	default:
+		return nil, fmt.Errorf("privharness: %s failed with status %d: %s", path, httpResp.StatusCode, resp.Error)
+	}
+}
+
+// Trace is the canonical record of an attack's query stream: one encoded
+// line and one latency per query, in issue order. Two attack runs with
+// the same seed must produce byte-identical Log slices — across repeats
+// and across backends — which the golden test enforces.
+type Trace struct {
+	Log       []string
+	Latencies []time.Duration
+}
+
+// Traced decorates a QueryClient, appending every query to a Trace.
+type Traced struct {
+	Inner QueryClient
+	Trace *Trace
+}
+
+// Backend reports the inner client's transport.
+func (t *Traced) Backend() string { return t.Inner.Backend() }
+
+func (t *Traced) record(kind, client, vault string, nodes []int, scores bool, start time.Time) {
+	t.Trace.Log = append(t.Trace.Log,
+		fmt.Sprintf("%s client=%s vault=%s scores=%v nodes=%v", kind, client, vault, scores, nodes))
+	t.Trace.Latencies = append(t.Trace.Latencies, time.Since(start))
+}
+
+// Predict forwards to the inner client, recording the query.
+func (t *Traced) Predict(client, vault string, nodes []int) ([]int, error) {
+	start := time.Now()
+	out, err := t.Inner.Predict(client, vault, nodes)
+	t.record("predict", client, vault, nodes, false, start)
+	return out, err
+}
+
+// PredictScores forwards to the inner client, recording the query.
+func (t *Traced) PredictScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	start := time.Now()
+	scores, out, err := t.Inner.PredictScores(client, vault, nodes)
+	t.record("predict", client, vault, nodes, true, start)
+	return scores, out, err
+}
+
+// PredictNodes forwards to the inner client, recording the query.
+func (t *Traced) PredictNodes(client, vault string, nodes []int) ([]int, error) {
+	start := time.Now()
+	out, err := t.Inner.PredictNodes(client, vault, nodes)
+	t.record("predict_nodes", client, vault, nodes, false, start)
+	return out, err
+}
+
+// PredictNodesScores forwards to the inner client, recording the query.
+func (t *Traced) PredictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	start := time.Now()
+	scores, out, err := t.Inner.PredictNodesScores(client, vault, nodes)
+	t.record("predict_nodes", client, vault, nodes, true, start)
+	return scores, out, err
+}
+
+// PerfSummary prices an attack's query stream: how many requests it
+// issued and what the serving stack's latency distribution looked like
+// from the adversary's side of the API.
+type PerfSummary struct {
+	Queries   int
+	ReqPerSec float64
+	AvgMS     float64
+	P99MS     float64
+}
+
+// Perf summarises the recorded latencies. Queries are issued
+// sequentially, so throughput is queries over summed latency.
+func (t *Trace) Perf() PerfSummary {
+	p := PerfSummary{Queries: len(t.Latencies)}
+	if p.Queries == 0 {
+		return p
+	}
+	var total time.Duration
+	sorted := make([]time.Duration, len(t.Latencies))
+	copy(sorted, t.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, d := range sorted {
+		total += d
+	}
+	if s := total.Seconds(); s > 0 {
+		p.ReqPerSec = float64(p.Queries) / s
+	}
+	p.AvgMS = float64(total.Microseconds()) / float64(p.Queries) / 1e3
+	idx := (99*len(sorted) - 1) / 100
+	p.P99MS = float64(sorted[idx].Microseconds()) / 1e3
+	return p
+}

@@ -1,0 +1,275 @@
+package privharness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gnnvault/internal/attack"
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/serve"
+)
+
+// Surface names what the adversary reads off each answered query.
+const (
+	// SurfaceScores observes the defended per-class posterior rows — the
+	// richest output a deployment can expose.
+	SurfaceScores = "scores"
+	// SurfaceLabels observes hard labels only (one-hot observations) —
+	// the paper's label-only output rule.
+	SurfaceLabels = "labels"
+)
+
+// Path names which serving endpoint carries the queries.
+const (
+	// PathFull routes through POST /predict: exact full-graph inference
+	// with per-node selection.
+	PathFull = "full"
+	// PathSubgraph routes through POST /predict_nodes: sampled L-hop
+	// subgraph serving, whose fanout noise is itself a (cheap) defense.
+	PathSubgraph = "subgraph"
+)
+
+// LinkStealConfig shapes one link-stealing run against the served API.
+type LinkStealConfig struct {
+	Surface string // SurfaceScores or SurfaceLabels
+	Path    string // PathFull or PathSubgraph
+	// Classes is the vault's class count (the observation row width).
+	Classes int
+	// BatchSize is how many nodes each query asks for. On the subgraph
+	// path it must not exceed the fleet's MaxSeeds. Default 8.
+	BatchSize int
+	// MaxQueries caps the number of requests; 0 means query until every
+	// needed node is observed (or the limiter cuts the run off).
+	MaxQueries int
+}
+
+// LinkStealResult reports the attack strength and what it cost.
+type LinkStealResult struct {
+	// AUC per distance metric over the observation surface.
+	AUC map[attack.Metric]float64
+	// BestAUC is the strongest metric's AUC — the attacker picks their
+	// best tool, so this is the number a defense must push toward 0.5.
+	BestAUC float64
+	// Queries issued and nodes actually observed (the two diverge when
+	// the rate limiter cuts the run off).
+	Queries  int
+	Observed int
+	// Limited reports that the run was stopped by serve.ErrRateLimited
+	// and attacked with partial observations.
+	Limited bool
+}
+
+// StealLinks replays the link-stealing attack of He et al. through the
+// serving surface: it queries the posterior (or label) of every node
+// appearing in sample's pairs, builds the observation matrix from the
+// answers, and scores all six distance metrics. Nodes the adversary never
+// observes — budget exhausted, rate-limited — stay zero rows, degrading
+// their pairs toward coin-flip. The query stream is fully determined by
+// (sample, cfg), so fixed-seed runs replay byte-identically.
+func StealLinks(c QueryClient, attacker, vault string, n int, sample attack.PairSample, cfg LinkStealConfig) (LinkStealResult, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Classes <= 0 {
+		return LinkStealResult{}, fmt.Errorf("privharness: LinkStealConfig.Classes must be positive")
+	}
+	need := pairNodes(sample)
+	obs := mat.New(n, cfg.Classes)
+	res := LinkStealResult{}
+	for start := 0; start < len(need); start += cfg.BatchSize {
+		if cfg.MaxQueries > 0 && res.Queries >= cfg.MaxQueries {
+			break
+		}
+		end := start + cfg.BatchSize
+		if end > len(need) {
+			end = len(need)
+		}
+		batch := need[start:end]
+		scores, labels, limited, err := answerBatch(c, attacker, vault, batch, cfg)
+		res.Queries++
+		if limited {
+			res.Limited = true
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		for i, u := range batch {
+			row := obs.Row(u)
+			if scores != nil {
+				copy(row, scores[i])
+			} else {
+				row[labels[i]] = 1 // one-hot: hard labels are all we saw
+			}
+		}
+		res.Observed += len(batch)
+	}
+	res.AUC = make(map[attack.Metric]float64, len(attack.Metrics))
+	observations := []*mat.Matrix{obs}
+	for _, m := range attack.Metrics {
+		auc := attack.AUC(m, observations, sample)
+		res.AUC[m] = auc
+		if auc > res.BestAUC {
+			res.BestAUC = auc
+		}
+	}
+	return res, nil
+}
+
+// pairNodes returns the distinct node IDs appearing in sample, sorted
+// ascending — the deterministic query work-list.
+func pairNodes(sample attack.PairSample) []int {
+	seen := make(map[int]bool, 2*len(sample.Pairs))
+	for _, p := range sample.Pairs {
+		seen[p.U] = true
+		seen[p.V] = true
+	}
+	nodes := make([]int, 0, len(seen))
+	for u := range seen {
+		nodes = append(nodes, u)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// ExtractConfig shapes one model-extraction run against the served API.
+type ExtractConfig struct {
+	Surface string // SurfaceScores or SurfaceLabels
+	Path    string // PathFull or PathSubgraph
+	// Classes is the vault's class count.
+	Classes int
+	// Budget is how many distinct nodes the adversary may query.
+	Budget int
+	// BatchSize is nodes per query; default 8.
+	BatchSize int
+	// Seed draws the query nodes (and the held-out evaluation set is
+	// whatever the caller picked — see Eval).
+	Seed int64
+	// Eval is the held-out node set fidelity is measured on. The victim's
+	// reference labels for it are fetched under Oracle's identity so
+	// ground truth never spends the adversary's budget.
+	Eval []int
+	// Oracle is the evaluation client identity. Default "oracle".
+	Oracle string
+	// Train is the surrogate-training budget.
+	Train attack.ExtractionConfig
+}
+
+// ExtractResult reports extraction success and what it cost.
+type ExtractResult struct {
+	// Fidelity is the surrogate/victim agreement on the held-out set.
+	Fidelity float64
+	Queries  int
+	Observed int
+	Limited  bool
+}
+
+// ExtractModel replays the model-extraction attack through the serving
+// surface: Budget nodes are drawn deterministically from Seed, queried in
+// batches, and the answers — posterior rows or hard labels, whatever the
+// deployment exposes — train a surrogate on the public features x and
+// (optionally) the public substitute graph. Fidelity is measured against
+// the victim's own answers on cfg.Eval, fetched under the oracle
+// identity.
+func ExtractModel(c QueryClient, attacker, vault string, x *mat.Matrix, public *graph.Graph, cfg ExtractConfig) (ExtractResult, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.Oracle == "" {
+		cfg.Oracle = "oracle"
+	}
+	if cfg.Classes <= 0 {
+		return ExtractResult{}, fmt.Errorf("privharness: ExtractConfig.Classes must be positive")
+	}
+	n := x.Rows
+	if cfg.Budget <= 0 || cfg.Budget > n {
+		cfg.Budget = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queryNodes := rng.Perm(n)[:cfg.Budget]
+	sort.Ints(queryNodes)
+
+	res := ExtractResult{}
+	victimLabels := make([]int, n)
+	logits := mat.New(n, cfg.Classes)
+	var mask []int
+	lcfg := LinkStealConfig{Surface: cfg.Surface, Path: cfg.Path, Classes: cfg.Classes}
+	for start := 0; start < len(queryNodes); start += cfg.BatchSize {
+		end := start + cfg.BatchSize
+		if end > len(queryNodes) {
+			end = len(queryNodes)
+		}
+		batch := queryNodes[start:end]
+		scores, labels, limited, err := answerBatch(c, attacker, vault, batch, lcfg)
+		res.Queries++
+		if limited {
+			res.Limited = true
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		for i, u := range batch {
+			victimLabels[u] = labels[i]
+			if scores != nil {
+				// The surrogate distils Softmax(logits); log of the
+				// (defended) posterior reproduces it, with zeroed top-k
+				// entries clamped — the defense's dark knowledge loss.
+				row := logits.Row(u)
+				for k, p := range scores[i] {
+					row[k] = math.Log(math.Max(p, 1e-9))
+				}
+			}
+			mask = append(mask, u)
+		}
+		res.Observed += len(batch)
+	}
+	if len(mask) == 0 {
+		return res, nil // nothing observed: no surrogate, fidelity 0
+	}
+
+	var surrogate *attack.Surrogate
+	if cfg.Surface == SurfaceScores {
+		surrogate = attack.ExtractFromLogits(x, public, logits, mask, cfg.Train)
+	} else {
+		surrogate = attack.ExtractFromLabels(x, public, victimLabels, cfg.Classes, mask, cfg.Train)
+	}
+
+	// Ground truth on the held-out set, under the oracle identity: the
+	// victim's own labels, not spent from the adversary's budget.
+	evalLabels, err := c.Predict(cfg.Oracle, vault, cfg.Eval)
+	if err != nil {
+		return res, fmt.Errorf("privharness: oracle evaluation query: %w", err)
+	}
+	victimEval := make([]int, n)
+	for i, u := range cfg.Eval {
+		victimEval[u] = evalLabels[i]
+	}
+	res.Fidelity = attack.Fidelity(surrogate.Predict(x), victimEval, cfg.Eval)
+	return res, nil
+}
+
+// answerBatch issues one extraction query, returning the surface rows.
+func answerBatch(c QueryClient, attacker, vault string, batch []int, cfg LinkStealConfig) (scores [][]float64, labels []int, limited bool, err error) {
+	switch {
+	case cfg.Surface == SurfaceScores && cfg.Path == PathSubgraph:
+		scores, labels, err = c.PredictNodesScores(attacker, vault, batch)
+	case cfg.Surface == SurfaceScores:
+		scores, labels, err = c.PredictScores(attacker, vault, batch)
+	case cfg.Path == PathSubgraph:
+		labels, err = c.PredictNodes(attacker, vault, batch)
+	default:
+		labels, err = c.Predict(attacker, vault, batch)
+	}
+	if err != nil {
+		if errors.Is(err, serve.ErrRateLimited) {
+			return nil, nil, true, nil
+		}
+		return nil, nil, false, err
+	}
+	return scores, labels, false, nil
+}

@@ -1,0 +1,226 @@
+package privharness
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gnnvault/internal/attack"
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/serve"
+	"gnnvault/internal/substitute"
+)
+
+var (
+	fixOnce sync.Once
+	fixDS   *datasets.Dataset
+	fixV    *core.Vault
+)
+
+// fixture trains one small cora vault shared across the package's tests.
+func fixture(t testing.TB) (*datasets.Dataset, *core.Vault) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixDS = datasets.Load("cora")
+		cfg := core.TrainConfig{Epochs: 20, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
+		bb := core.TrainBackbone(fixDS, core.SpecForDataset("cora"), substitute.KindKNN, substitute.KNN(fixDS.X, 2), cfg)
+		rec := core.TrainRectifier(fixDS, bb, core.Parallel, cfg)
+		v, err := core.Deploy(bb, rec, fixDS.Graph, enclave.DefaultCostModel())
+		if err != nil {
+			panic(err)
+		}
+		fixV = v
+	})
+	return fixDS, fixV
+}
+
+// servedAPI stands up the full stack — registry, MultiServer, serve.API —
+// over the fixture vault. Fanout 0 keeps subgraph extraction a pure
+// function of the seed set, so replays are deterministic.
+func servedAPI(t *testing.T, scfg serve.Config, limit *serve.RateLimit) (*datasets.Dataset, *serve.API) {
+	t.Helper()
+	ds, v := fixture(t)
+	reg := registry.New(v.Enclave, registry.Config{
+		WorkspacesPerVault: 2,
+		NodeQuery:          &registry.NodeQueryConfig{Hops: 2, Fanout: 0, MaxSeeds: 8, Seed: 5},
+	})
+	if err := reg.Register("cora/parallel", v); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.EnableNodeQueries("cora/parallel", ds.X); err != nil {
+		t.Fatalf("EnableNodeQueries: %v", err)
+	}
+	srv := serve.NewMulti(reg, scfg)
+	api := serve.NewAPI(srv, reg, serve.APIConfig{
+		Vaults: []serve.APIVault{
+			{ID: "cora/parallel", Dataset: "cora", Design: "parallel", Nodes: ds.Graph.N()},
+		},
+		Features:    func(string) *mat.Matrix { return ds.X },
+		NodeQueries: true,
+		Limit:       limit,
+	})
+	t.Cleanup(func() {
+		srv.Close()
+		reg.Close()
+	})
+	return ds, api
+}
+
+// TestGoldenDeterministicReplay is the golden determinism satellite:
+// SamplePairs plus harness replay with a fixed seed must produce
+// byte-identical query streams across two runs and across the in-process
+// vs HTTP backends — and the attack must read the same labels and compute
+// the same AUC either way.
+func TestGoldenDeterministicReplay(t *testing.T) {
+	ds, api := servedAPI(t, serve.Config{Workers: 1, ExposeScores: true, RoundDigits: 3}, nil)
+	sample := attack.SamplePairs(ds.Graph, 30, 7)
+	classes := ds.NumClasses
+	run := func(c QueryClient, path string) (*Trace, LinkStealResult, []int) {
+		tr := &Trace{}
+		tc := &Traced{Inner: c, Trace: tr}
+		res, err := StealLinks(tc, "attacker", "cora/parallel", ds.Graph.N(), sample, LinkStealConfig{
+			Surface:   SurfaceScores,
+			Path:      path,
+			Classes:   classes,
+			BatchSize: 4,
+		})
+		if err != nil {
+			t.Fatalf("StealLinks(%s/%s): %v", c.Backend(), path, err)
+		}
+		labels, err := tc.Predict("attacker", "cora/parallel", []int{0, 1, 2, 3, 4})
+		if err != nil {
+			t.Fatalf("Predict(%s): %v", c.Backend(), err)
+		}
+		return tr, res, labels
+	}
+
+	inproc := &InProc{API: api}
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+	httpc := &HTTPClient{Base: ts.URL, HTTP: ts.Client()}
+
+	for _, path := range []string{PathFull, PathSubgraph} {
+		tr1, res1, lab1 := run(inproc, path)
+		tr2, res2, lab2 := run(inproc, path)
+		trH, resH, labH := run(httpc, path)
+
+		if len(tr1.Log) == 0 {
+			t.Fatalf("%s: empty query stream", path)
+		}
+		for i := range tr1.Log {
+			if tr1.Log[i] != tr2.Log[i] {
+				t.Fatalf("%s: replay diverged at query %d:\n  %s\n  %s", path, i, tr1.Log[i], tr2.Log[i])
+			}
+			if tr1.Log[i] != trH.Log[i] {
+				t.Fatalf("%s: http stream diverged at query %d:\n  %s\n  %s", path, i, tr1.Log[i], trH.Log[i])
+			}
+		}
+		if len(tr1.Log) != len(tr2.Log) || len(tr1.Log) != len(trH.Log) {
+			t.Fatalf("%s: stream lengths %d/%d/%d", path, len(tr1.Log), len(tr2.Log), len(trH.Log))
+		}
+		for _, m := range attack.Metrics {
+			if res1.AUC[m] != res2.AUC[m] {
+				t.Fatalf("%s/%s: AUC diverged across replays: %v vs %v", path, m, res1.AUC[m], res2.AUC[m])
+			}
+			// encoding/json round-trips float64 exactly, so the HTTP
+			// backend must agree to the last bit.
+			if res1.AUC[m] != resH.AUC[m] {
+				t.Fatalf("%s/%s: AUC diverged across backends: %v vs %v", path, m, res1.AUC[m], resH.AUC[m])
+			}
+		}
+		for i := range lab1 {
+			if lab1[i] != lab2[i] || lab1[i] != labH[i] {
+				t.Fatalf("%s: labels diverged at %d: %d/%d/%d", path, i, lab1[i], lab2[i], labH[i])
+			}
+		}
+	}
+}
+
+// TestLabelSurfaceWeakensLinkSteal sanity-checks the defense ordering the
+// bench relies on: one-hot label observations cannot leak more than exact
+// posterior observations, and both flow entirely through the served API.
+func TestLabelSurfaceWeakensLinkSteal(t *testing.T) {
+	ds, api := servedAPI(t, serve.Config{Workers: 2, ExposeScores: true}, nil)
+	sample := attack.SamplePairs(ds.Graph, 60, 11)
+	c := &InProc{API: api}
+	steal := func(surface string) LinkStealResult {
+		res, err := StealLinks(c, "atk-"+surface, "cora/parallel", ds.Graph.N(), sample, LinkStealConfig{
+			Surface: surface, Path: PathFull, Classes: ds.NumClasses, BatchSize: 16,
+		})
+		if err != nil {
+			t.Fatalf("StealLinks(%s): %v", surface, err)
+		}
+		return res
+	}
+	scores := steal(SurfaceScores)
+	labels := steal(SurfaceLabels)
+	if scores.BestAUC <= 0.5 {
+		t.Fatalf("undefended scores AUC %.3f; the attack should beat a coin flip", scores.BestAUC)
+	}
+	if labels.BestAUC > scores.BestAUC+0.05 {
+		t.Fatalf("label-only AUC %.3f above scores AUC %.3f: defense ordering inverted",
+			labels.BestAUC, scores.BestAUC)
+	}
+}
+
+// TestRateLimitedStealIsPartial checks the budget path end to end: the
+// limiter cuts the attacker off mid-run, the harness attacks with partial
+// observations, and the oracle identity is unaffected.
+func TestRateLimitedStealIsPartial(t *testing.T) {
+	ds, api := servedAPI(t, serve.Config{Workers: 1, ExposeScores: true}, &serve.RateLimit{Budget: 40})
+	sample := attack.SamplePairs(ds.Graph, 60, 11)
+	c := &InProc{API: api}
+	res, err := StealLinks(c, "budgeted", "cora/parallel", ds.Graph.N(), sample, LinkStealConfig{
+		Surface: SurfaceScores, Path: PathFull, Classes: ds.NumClasses, BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatalf("StealLinks: %v", err)
+	}
+	if !res.Limited {
+		t.Fatal("expected the rate limiter to cut the run off")
+	}
+	if res.Observed == 0 || res.Observed > 40 {
+		t.Fatalf("observed %d nodes, want in (0,40]", res.Observed)
+	}
+	// The oracle identity has its own bucket: ground truth still flows.
+	if _, err := c.Predict("oracle", "cora/parallel", []int{0, 1}); err != nil {
+		t.Fatalf("oracle query: %v", err)
+	}
+}
+
+// TestExtractModelThroughAPI runs a tiny extraction end to end on both
+// surfaces and checks the fidelity ordering the bench relies on.
+func TestExtractModelThroughAPI(t *testing.T) {
+	ds, api := servedAPI(t, serve.Config{Workers: 2, ExposeScores: true}, nil)
+	c := &InProc{API: api}
+	eval := make([]int, 0, 80)
+	for i := 0; i < 80; i++ {
+		eval = append(eval, (i*7+3)%ds.Graph.N())
+	}
+	train := attack.ExtractionConfig{HiddenDims: []int{16}, Epochs: 30, LR: 0.02, Seed: 3}
+	ext := func(surface string) ExtractResult {
+		res, err := ExtractModel(c, "thief-"+surface, "cora/parallel", ds.X, nil, ExtractConfig{
+			Surface: surface, Path: PathFull, Classes: ds.NumClasses,
+			Budget: 200, BatchSize: 32, Seed: 9, Eval: eval, Train: train,
+		})
+		if err != nil {
+			t.Fatalf("ExtractModel(%s): %v", surface, err)
+		}
+		return res
+	}
+	scores := ext(SurfaceScores)
+	labels := ext(SurfaceLabels)
+	if scores.Fidelity <= 0 || scores.Fidelity > 1 {
+		t.Fatalf("scores fidelity %v outside (0,1]", scores.Fidelity)
+	}
+	if labels.Fidelity <= 0 || labels.Fidelity > 1 {
+		t.Fatalf("labels fidelity %v outside (0,1]", labels.Fidelity)
+	}
+	if scores.Observed != 200 || scores.Queries == 0 {
+		t.Fatalf("scores run observed %d nodes over %d queries", scores.Observed, scores.Queries)
+	}
+}

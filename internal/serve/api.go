@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/registry"
+	"gnnvault/internal/subgraph"
+)
+
+// errEmptyNodes rejects node-level queries with no seeds at the API
+// surface (the in-process PredictNodes treats them as free no-ops, but a
+// client sending one is malformed).
+var errEmptyNodes = errors.New("serve: predict_nodes needs a non-empty \"nodes\" list")
+
+// APIVault describes one fleet member in the API catalog. JSON tags match
+// the wire format the gnnvault CLI has always served.
+type APIVault struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	Design  string `json:"design"`
+	Nodes   int    `json:"nodes"`
+	Params  int    `json:"rectifier_params"`
+}
+
+// APIConfig wires an API front-end over a MultiServer fleet.
+type APIConfig struct {
+	// Vaults is the fleet catalog; requests for IDs outside it fail with
+	// registry.ErrUnknownVault.
+	Vaults []APIVault
+	// Features resolves a vault ID to its deployed public feature matrix
+	// (the full-graph query input). Required.
+	Features func(vaultID string) *mat.Matrix
+	// NodeQueries reports whether the fleet serves the sampled-subgraph
+	// node-query path; when false, PredictNodes fails with
+	// registry.ErrNodeQueriesDisabled.
+	NodeQueries bool
+	// Limit, when non-nil, applies a per-client token-bucket/budget rate
+	// limit. Cost is counted in answered labels, so a full-graph query
+	// costs the graph size and a node query its seed count — the limiter
+	// prices exactly what an extraction adversary consumes.
+	Limit *RateLimit
+}
+
+// API is the serving surface shared by every front-end: the HTTP/JSON
+// handlers and in-process clients (the privacy harness) call the same
+// methods, so an attack driven through either sees byte-identical
+// behavior. Client identity exists only at this layer — the worker pool
+// below it has no notion of who is asking — which is why the rate limiter
+// lives here.
+type API struct {
+	srv  *MultiServer
+	reg  *registry.Registry
+	cfg  APIConfig
+	lim  *limiter
+	byID map[string]*APIVault
+}
+
+// NewAPI builds the shared serving surface over a running MultiServer and
+// its registry.
+func NewAPI(srv *MultiServer, reg *registry.Registry, cfg APIConfig) *API {
+	a := &API{srv: srv, reg: reg, cfg: cfg, byID: make(map[string]*APIVault, len(cfg.Vaults))}
+	for i := range cfg.Vaults {
+		a.byID[cfg.Vaults[i].ID] = &cfg.Vaults[i]
+	}
+	if cfg.Limit != nil {
+		a.lim = newLimiter(*cfg.Limit)
+	}
+	return a
+}
+
+// lookup resolves a vault ID and validates the requested node indices.
+func (a *API) lookup(vault string, nodes []int) (*APIVault, error) {
+	info := a.byID[vault]
+	if info == nil {
+		return nil, fmt.Errorf("%w: %q", registry.ErrUnknownVault, vault)
+	}
+	for _, n := range nodes {
+		if n < 0 || n >= info.Nodes {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", core.ErrNodeOutOfRange, n, info.Nodes)
+		}
+	}
+	return info, nil
+}
+
+// allow charges the client for cost answered labels against the
+// configured rate limit, if any.
+func (a *API) allow(client string, cost int) error {
+	if a.lim == nil {
+		return nil
+	}
+	return a.lim.allow(client, cost)
+}
+
+// Predict answers a full-graph label query: the exact pass over the
+// vault's deployed features, with nodes selecting which labels to return
+// (empty means all). The client is charged one answered label per
+// returned entry.
+func (a *API) Predict(client, vault string, nodes []int) ([]int, error) {
+	info, err := a.lookup(vault, nodes)
+	if err != nil {
+		return nil, err
+	}
+	cost := len(nodes)
+	if cost == 0 {
+		cost = info.Nodes
+	}
+	if err := a.allow(client, cost); err != nil {
+		return nil, err
+	}
+	labels, err := a.srv.Predict(vault, a.cfg.Features(vault))
+	if err != nil {
+		return nil, err
+	}
+	return pickInts(labels, nodes), nil
+}
+
+// PredictScores is Predict over the defended score surface: one posterior
+// row and label per selected node. Fails with ErrScoresDisabled unless
+// the fleet exposes scores.
+func (a *API) PredictScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	info, err := a.lookup(vault, nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	cost := len(nodes)
+	if cost == 0 {
+		cost = info.Nodes
+	}
+	if err := a.allow(client, cost); err != nil {
+		return nil, nil, err
+	}
+	scores, labels, err := a.srv.PredictScores(vault, a.cfg.Features(vault))
+	if err != nil {
+		return nil, nil, err
+	}
+	return pickRows(scores, nodes), pickInts(labels, nodes), nil
+}
+
+// PredictNodes answers a node-level label query through the sampled
+// subgraph path: per-query cost O(hops × fanout) instead of O(graph).
+func (a *API) PredictNodes(client, vault string, nodes []int) ([]int, error) {
+	if _, err := a.lookup(vault, nodes); err != nil {
+		return nil, err
+	}
+	if !a.cfg.NodeQueries {
+		return nil, registry.ErrNodeQueriesDisabled
+	}
+	if len(nodes) == 0 {
+		return nil, errEmptyNodes
+	}
+	if err := a.allow(client, len(nodes)); err != nil {
+		return nil, err
+	}
+	return a.srv.PredictNodes(vault, nodes)
+}
+
+// PredictNodesScores is PredictNodes over the defended score surface.
+func (a *API) PredictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	if _, err := a.lookup(vault, nodes); err != nil {
+		return nil, nil, err
+	}
+	if !a.cfg.NodeQueries {
+		return nil, nil, registry.ErrNodeQueriesDisabled
+	}
+	if len(nodes) == 0 {
+		return nil, nil, errEmptyNodes
+	}
+	if err := a.allow(client, len(nodes)); err != nil {
+		return nil, nil, err
+	}
+	return a.srv.PredictNodesScores(vault, nodes)
+}
+
+// pickInts gathers the selected entries of all, or returns all when no
+// selection was made.
+func pickInts(all, nodes []int) []int {
+	if len(nodes) == 0 {
+		return all
+	}
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = all[n]
+	}
+	return out
+}
+
+// pickRows gathers the selected rows of all, or returns all when no
+// selection was made.
+func pickRows(all [][]float64, nodes []int) [][]float64 {
+	if len(nodes) == 0 {
+		return all
+	}
+	out := make([][]float64, len(nodes))
+	for i, n := range nodes {
+		out[i] = all[n]
+	}
+	return out
+}
+
+// --- HTTP front-end -------------------------------------------------------
+
+// apiRequest is the POST /predict and /predict_nodes payload.
+type apiRequest struct {
+	// Vault is the fleet member to query, "dataset/design".
+	Vault string `json:"vault"`
+	// Nodes are the node indices whose answers to return; empty means all
+	// for /predict and is rejected for /predict_nodes.
+	Nodes []int `json:"nodes"`
+	// Scores asks for the defended per-class posterior rows alongside
+	// labels. Requires the fleet to expose scores.
+	Scores bool `json:"scores"`
+}
+
+// apiResponse is the answer to both predict endpoints.
+type apiResponse struct {
+	Vault     string      `json:"vault"`
+	Nodes     []int       `json:"nodes,omitempty"`
+	Labels    []int       `json:"labels"`
+	Scores    [][]float64 `json:"scores,omitempty"`
+	LatencyMS float64     `json:"latency_ms"`
+}
+
+// Handler returns the HTTP/JSON front-end over the API:
+//
+//	POST /predict        {"vault":"cora/parallel","nodes":[0,1],"scores":false} → labels (exact, full-graph)
+//	POST /predict_nodes  {"vault":"cora/parallel","nodes":[0,1],"scores":false} → labels (sampled subgraph)
+//	GET  /vaults                                                               → fleet catalog
+//	GET  /stats                                                                → serving + scheduler + EPC counters
+//
+// Client identity for rate limiting is the X-Client header when present,
+// else the remote address. Throttled clients get 429, score queries
+// against a label-only fleet 403, unknown vaults 404, malformed or
+// out-of-range queries 400, node queries on a full-graph-only fleet 501.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		a.handlePredict(w, r, a.Predict, a.PredictScores)
+	})
+	mux.HandleFunc("POST /predict_nodes", func(w http.ResponseWriter, r *http.Request) {
+		a.handlePredict(w, r, a.PredictNodes, a.PredictNodesScores)
+	})
+	mux.HandleFunc("GET /vaults", a.handleVaults)
+	mux.HandleFunc("GET /stats", a.handleStats)
+	return mux
+}
+
+// clientID identifies the caller for rate limiting.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	return r.RemoteAddr
+}
+
+// handlePredict decodes one predict request and dispatches it to the
+// label or score variant of the given endpoint.
+func (a *API) handlePredict(w http.ResponseWriter, r *http.Request,
+	labelsOf func(client, vault string, nodes []int) ([]int, error),
+	scoresOf func(client, vault string, nodes []int) ([][]float64, []int, error),
+) {
+	var req apiRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	client := clientID(r)
+	start := time.Now()
+	resp := apiResponse{Vault: req.Vault, Nodes: req.Nodes}
+	var err error
+	if req.Scores {
+		resp.Scores, resp.Labels, err = scoresOf(client, req.Vault, req.Nodes)
+	} else {
+		resp.Labels, err = labelsOf(client, req.Vault, req.Nodes)
+	}
+	if err != nil {
+		httpError(w, httpStatus(err), err)
+		return
+	}
+	resp.LatencyMS = float64(time.Since(start).Microseconds()) / 1e3
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) handleVaults(w http.ResponseWriter, r *http.Request) {
+	type vaultEntry struct {
+		APIVault
+		Resident   bool   `json:"resident"`
+		Workspaces int    `json:"workspaces"`
+		Requests   uint64 `json:"requests"`
+		Plans      uint64 `json:"plans"`
+		Evictions  uint64 `json:"evictions"`
+	}
+	rst := a.reg.Stats()
+	byID := map[string]registry.VaultStats{}
+	for _, vs := range rst.PerVault {
+		byID[vs.ID] = vs
+	}
+	out := make([]vaultEntry, 0, len(a.cfg.Vaults))
+	for _, info := range a.cfg.Vaults {
+		vs := byID[info.ID]
+		out = append(out, vaultEntry{
+			APIVault:   info,
+			Resident:   vs.Resident,
+			Workspaces: vs.Workspaces,
+			Requests:   vs.Requests,
+			Plans:      vs.Plans,
+			Evictions:  vs.Evictions,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"vaults": out})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	rst := a.reg.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serving": map[string]any{
+			"requests":       st.Requests,
+			"completed":      st.Completed,
+			"errors":         st.Errors,
+			"batches":        st.Batches,
+			"avg_batch":      st.AvgBatch,
+			"avg_latency_ms": float64(st.AvgLatency.Microseconds()) / 1e3,
+			"max_latency_ms": float64(st.MaxLatency.Microseconds()) / 1e3,
+			"throughput_rps": st.Throughput,
+			"uptime_s":       st.Uptime.Seconds(),
+		},
+		"scheduler": map[string]any{
+			"vaults":    rst.Vaults,
+			"resident":  rst.Resident,
+			"requests":  rst.Requests,
+			"plans":     rst.Plans,
+			"evictions": rst.Evictions,
+		},
+		"enclave": map[string]any{
+			"epc_used_bytes":  rst.EPCUsed,
+			"epc_free_bytes":  rst.EPCFree,
+			"epc_limit_bytes": rst.EPCLimit,
+			"epc_used_mb":     float64(rst.EPCUsed) / (1 << 20),
+			"epc_limit_mb":    float64(rst.EPCLimit) / (1 << 20),
+		},
+	})
+}
+
+// httpStatus maps an API error to its HTTP status. Client-caused errors
+// are 4xx — a 503 would invite retries of requests that can never
+// succeed.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrScoresDisabled):
+		return http.StatusForbidden
+	case errors.Is(err, registry.ErrUnknownVault):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrNodeQueriesDisabled), errors.Is(err, ErrNodeQueriesDisabled):
+		return http.StatusNotImplemented
+	case errors.Is(err, subgraph.ErrTooManySeeds),
+		errors.Is(err, core.ErrNodeOutOfRange),
+		errors.Is(err, errEmptyNodes):
+		return http.StatusBadRequest
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+// writeJSON sends one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError sends a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

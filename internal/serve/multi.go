@@ -13,13 +13,14 @@ import (
 // mrequest is one queued multi-vault inference: a request plus the vault
 // ID it is routed to. A non-nil nodes marks a node-level query.
 type mrequest struct {
-	vault string
-	x     *mat.Matrix
-	nodes []int
-	out   []int
-	err   error
-	enq   time.Time
-	done  chan struct{}
+	vault  string
+	x      *mat.Matrix
+	nodes  []int
+	out    []int
+	scores [][]float64 // non-nil marks a score query; one row per label
+	err    error
+	enq    time.Time
+	done   chan struct{}
 }
 
 // MultiServer routes label queries across a fleet of vaults sharing one
@@ -97,6 +98,84 @@ func (s *MultiServer) Predict(vaultID string, x *mat.Matrix) ([]int, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// PredictScores enqueues one inference over x for the vault registered
+// under vaultID and blocks until a worker answers with the defended
+// per-class posterior row and label for every input row. Fails with
+// ErrScoresDisabled unless the server was started with
+// Config.ExposeScores. Returned slices are freshly allocated and owned by
+// the caller.
+func (s *MultiServer) PredictScores(vaultID string, x *mat.Matrix) ([][]float64, []int, error) {
+	if !s.cfg.ExposeScores {
+		return nil, nil, ErrScoresDisabled
+	}
+	req := s.pool.Get().(*mrequest)
+	req.vault = vaultID
+	req.x = x
+	req.out = make([]int, x.Rows)
+	req.scores = make([][]float64, x.Rows)
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	scores, out, err := req.scores, req.out, req.err
+	req.x, req.out, req.scores, req.err = nil, nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scores, out, nil
+}
+
+// PredictNodesScores is PredictNodes for fleets exposing scores: one
+// defended posterior row and label per requested node, served through the
+// same coalesced subgraph extractions. Fails with ErrScoresDisabled
+// unless the server was started with Config.ExposeScores.
+func (s *MultiServer) PredictNodesScores(vaultID string, nodes []int) ([][]float64, []int, error) {
+	if !s.cfg.ExposeScores {
+		return nil, nil, ErrScoresDisabled
+	}
+	if len(nodes) == 0 {
+		return [][]float64{}, []int{}, nil
+	}
+	req := s.pool.Get().(*mrequest)
+	req.vault = vaultID
+	req.x = nil
+	req.nodes = nodes
+	req.out = make([]int, len(nodes))
+	req.scores = make([][]float64, len(nodes))
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	scores, out, err := req.scores, req.out, req.err
+	req.vault, req.nodes, req.out, req.scores, req.err = "", nil, nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scores, out, nil
 }
 
 // PredictNodes enqueues one node-level query for the vault registered
@@ -208,7 +287,19 @@ func (s *MultiServer) answerBatch(batch []*mrequest, st *mworkerState) {
 				}
 			} else {
 				for _, r := range st.full {
-					labels, _, perr := v.PredictInto(r.x, ws)
+					var labels []int
+					var perr error
+					if r.scores != nil {
+						var logits *mat.Matrix
+						logits, labels, _, perr = v.PredictScoresInto(r.x, ws)
+						if perr == nil {
+							for k := range r.scores { // the machine's output view is reused
+								r.scores[k] = s.cfg.defendedRow(logits.Row(k))
+							}
+						}
+					} else {
+						labels, _, perr = v.PredictInto(r.x, ws)
+					}
 					s.answer(r, labels, perr)
 				}
 				s.reg.Release(id, ws)
@@ -252,7 +343,24 @@ func (s *MultiServer) answerNodeRun(id string, st *mworkerState) {
 			s.answer(st.node[i], nil, err)
 		},
 		func(idxs, union []int) {
-			labels, _, err := v.PredictNodesInto(x, union, ws)
+			// One score query in the chunk upgrades the whole extraction
+			// to the scores variant; label-only requests still read just
+			// their labels.
+			wantScores := false
+			for _, i := range idxs {
+				if st.node[i].scores != nil {
+					wantScores = true
+					break
+				}
+			}
+			var labels []int
+			var logits *mat.Matrix
+			var err error
+			if wantScores {
+				logits, labels, _, err = v.PredictNodesScoresInto(x, union, ws)
+			} else {
+				labels, _, err = v.PredictNodesInto(x, union, ws)
+			}
 			for _, i := range idxs {
 				r := st.node[i]
 				if err != nil {
@@ -260,7 +368,11 @@ func (s *MultiServer) answerNodeRun(id string, st *mworkerState) {
 					continue
 				}
 				for k, u := range r.nodes {
-					r.out[k] = labels[indexOf(union, u)]
+					j := indexOf(union, u)
+					r.out[k] = labels[j]
+					if r.scores != nil {
+						r.scores[k] = s.cfg.defendedRow(logits.Row(j))
+					}
 				}
 				s.observe(nil, r.enq)
 				r.done <- struct{}{}

@@ -72,6 +72,18 @@ type Config struct {
 	// reduced-precision plans (Plan.Precision) can derive their scales and
 	// pass the agreement gate.
 	Features *mat.Matrix
+	// ExposeScores opens the PredictScores/PredictNodesScores surface:
+	// per-class softmax posteriors cross the enclave boundary alongside
+	// labels. Off by default — label-only output is the paper's strongest
+	// defense — and priced into the ECALL result payload when on.
+	ExposeScores bool
+	// RoundDigits, when > 0, coarsens every exposed score row to that
+	// many decimal digits. Rounding is argmax-preserving: the top entry
+	// rounds up, the rest round down, so labels never change.
+	RoundDigits int
+	// TopK, when > 0, keeps only the K largest entries of each exposed
+	// score row and zeroes the rest (the argmax entry always survives).
+	TopK int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,12 +114,13 @@ type Stats struct {
 }
 
 type request struct {
-	x     *mat.Matrix
-	nodes []int // non-nil marks a node-level query
-	out   []int
-	err   error
-	enq   time.Time
-	done  chan struct{}
+	x      *mat.Matrix
+	nodes  []int // non-nil marks a node-level query
+	out    []int
+	scores [][]float64 // non-nil marks a score query; one row per label
+	err    error
+	enq    time.Time
+	done   chan struct{}
 }
 
 // counters aggregates the serving statistics shared by Server and
@@ -273,6 +286,85 @@ func (s *Server) Predict(x *mat.Matrix) ([]int, error) {
 	return out, nil
 }
 
+// PredictScores enqueues one inference over x and blocks until a worker
+// answers with the defended per-class posterior row and label for every
+// input row. The server must have been started with Config.ExposeScores;
+// otherwise it fails with ErrScoresDisabled. Returned slices are freshly
+// allocated and owned by the caller.
+func (s *Server) PredictScores(x *mat.Matrix) ([][]float64, []int, error) {
+	if !s.cfg.ExposeScores {
+		return nil, nil, ErrScoresDisabled
+	}
+	req := s.pool.Get().(*request)
+	req.x = x
+	req.out = make([]int, x.Rows)
+	req.scores = make([][]float64, x.Rows)
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	scores, out, err := req.scores, req.out, req.err
+	req.x, req.out, req.scores, req.err = nil, nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scores, out, nil
+}
+
+// PredictNodesScores is PredictNodes for servers exposing scores: one
+// defended posterior row and label per requested node, served through the
+// same coalesced subgraph extractions. Fails with ErrScoresDisabled when
+// Config.ExposeScores is off and ErrNodeQueriesDisabled when node queries
+// are not planned.
+func (s *Server) PredictNodesScores(nodes []int) ([][]float64, []int, error) {
+	if !s.cfg.ExposeScores {
+		return nil, nil, ErrScoresDisabled
+	}
+	if s.cfg.NodeQuery == nil {
+		return nil, nil, ErrNodeQueriesDisabled
+	}
+	if len(nodes) == 0 {
+		return [][]float64{}, []int{}, nil
+	}
+	req := s.pool.Get().(*request)
+	req.x = nil
+	req.nodes = nodes
+	req.out = make([]int, len(nodes))
+	req.scores = make([][]float64, len(nodes))
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	scores, out, err := req.scores, req.out, req.err
+	req.nodes, req.out, req.scores, req.err = nil, nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scores, out, nil
+}
+
 // PredictNodes enqueues one node-level query and blocks until a worker
 // answers with one label per requested node. The server must have been
 // started with Config.NodeQuery; queries whose distinct seed count
@@ -374,7 +466,19 @@ func (s *Server) worker(ws *core.Workspace, sub *core.SubgraphWorkspace) {
 }
 
 func (s *Server) answer(r *request, ws *core.Workspace) {
-	labels, _, err := s.vault.PredictInto(r.x, ws)
+	var labels []int
+	var err error
+	if r.scores != nil {
+		var logits *mat.Matrix
+		logits, labels, _, err = s.vault.PredictScoresInto(r.x, ws)
+		if err == nil {
+			for i := range r.scores { // the machine's output view is reused
+				r.scores[i] = s.cfg.defendedRow(logits.Row(i))
+			}
+		}
+	} else {
+		labels, _, err = s.vault.PredictInto(r.x, ws)
+	}
 	if err != nil {
 		r.err = err
 	} else {
@@ -411,14 +515,35 @@ func (s *Server) answerNodeBatch(reqs []*request, sub *core.SubgraphWorkspace, c
 			reqs[i].done <- struct{}{}
 		},
 		func(idxs, union []int) {
-			labels, _, err := s.vault.PredictNodesInto(s.cfg.Features, union, sub)
+			// One score query in the chunk upgrades the whole extraction
+			// to the scores variant; label-only requests still read just
+			// their labels.
+			wantScores := false
+			for _, i := range idxs {
+				if reqs[i].scores != nil {
+					wantScores = true
+					break
+				}
+			}
+			var labels []int
+			var logits *mat.Matrix
+			var err error
+			if wantScores {
+				logits, labels, _, err = s.vault.PredictNodesScoresInto(s.cfg.Features, union, sub)
+			} else {
+				labels, _, err = s.vault.PredictNodesInto(s.cfg.Features, union, sub)
+			}
 			for _, i := range idxs {
 				r := reqs[i]
 				if err != nil {
 					r.err = err
 				} else {
 					for k, u := range r.nodes {
-						r.out[k] = labels[indexOf(union, u)]
+						j := indexOf(union, u)
+						r.out[k] = labels[j]
+						if r.scores != nil {
+							r.scores[k] = s.cfg.defendedRow(logits.Row(j))
+						}
 					}
 				}
 				s.observe(err, r.enq)
