@@ -30,8 +30,9 @@ bench:
 # (calibrated fp64/fp32/int8 tiled plans on trained vaults), and
 # BENCH_attack.json (link-stealing AUC and extraction fidelity per serving
 # defense, priced against throughput — checked against the committed
-# ceilings in ci/attack_thresholds.json). Override SIZES for bigger
-# graphs, e.g. `make bench-json SIZES=100000,200000`.
+# ceilings in ci/attack_thresholds.json), and BENCH_obs.json (flight-
+# recorder overhead, no-op vs live span ring — gated at ≤5% by -obs-check).
+# Override SIZES for bigger graphs, e.g. `make bench-json SIZES=100000,200000`.
 SIZES ?= 20000,50000
 bench-json:
 	$(GO) run ./cmd/experiments -run ext-subgraph -epochs 3 -sizes $(SIZES) -bench-out BENCH_subgraph.json
@@ -40,6 +41,7 @@ bench-json:
 	$(GO) run ./cmd/experiments -run ext-exec -sizes $(SIZES) -bench-out BENCH_exec.json
 	$(GO) run ./cmd/experiments -run ext-precision -sizes $(SIZES) -bench-out BENCH_precision.json
 	$(GO) run ./cmd/experiments -run ext-attack -epochs 30 -bench-out BENCH_attack.json -attack-check ci/attack_thresholds.json
+	$(GO) run ./cmd/experiments -run ext-obs -epochs 3 -bench-out BENCH_obs.json -obs-check
 
 # Short fuzz passes over the engine and attack-surface invariants:
 # induced-subgraph extraction, tiled-vs-direct execution equivalence,

@@ -12,6 +12,11 @@
 // With -md it additionally walks *.md files under the given directory and
 // fails on relative links to files that do not exist, catching doc drift
 // like renamed files still referenced from README.md or DESIGN.md.
+//
+// With -metrics-src it additionally extracts every gnnvault_* metric-name
+// string literal from the given Go source file and fails unless each name
+// appears verbatim in -metrics-doc, so the /metrics scrape surface and the
+// README's metrics reference cannot drift apart.
 package main
 
 import (
@@ -24,11 +29,15 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	mdRoot := flag.String("md", "", "also check relative links in *.md files under this directory")
+	metricsSrc := flag.String("metrics-src", "", "Go file whose gnnvault_* metric-name string literals must all be documented")
+	metricsDoc := flag.String("metrics-doc", "README.md", "markdown file that must mention every metric name found in -metrics-src")
 	flag.Parse()
 
 	problems := 0
@@ -37,6 +46,9 @@ func main() {
 	}
 	if *mdRoot != "" {
 		problems += lintMarkdown(*mdRoot)
+	}
+	if *metricsSrc != "" {
+		problems += lintMetrics(*metricsSrc, *metricsDoc)
 	}
 	if problems > 0 {
 		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", problems)
@@ -142,6 +154,55 @@ func exportedReceiver(recv *ast.FieldList) bool {
 func complain(fset *token.FileSet, pos token.Pos, kind, name string) {
 	fmt.Fprintf(os.Stderr, "%s: exported %s %s is missing a doc comment\n",
 		fset.Position(pos), kind, name)
+}
+
+// metricName matches exposition metric-name literals: the gnnvault_*
+// family written by internal/serve/metrics.go.
+var metricName = regexp.MustCompile(`^gnnvault_[a-z0-9_]+$`)
+
+// lintMetrics extracts every gnnvault_* string literal from the Go source
+// file src and reports each one missing from the markdown file doc,
+// returning the problem count. Finding no metric literals at all is itself
+// a problem — it means the lint is pointed at the wrong file.
+func lintMetrics(src, doc string) int {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, src, nil, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", src, err)
+		return 1
+	}
+	names := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if s, err := strconv.Unquote(lit.Value); err == nil && metricName.MatchString(s) {
+			names[s] = true
+		}
+		return true
+	})
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %s: no gnnvault_* metric-name literals found\n", src)
+		return 1
+	}
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", doc, err)
+		return 1
+	}
+	text := string(data)
+	var missing []string
+	for name := range names {
+		if !strings.Contains(text, name) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "%s: metric %s is not documented in %s\n", src, name, doc)
+	}
+	return len(missing)
 }
 
 // mdLink matches markdown links and images; group 1 is the target.

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
 	"gnnvault/internal/serve"
 )
 
@@ -14,7 +15,7 @@ import (
 // per-client rate limit. The HTTP handlers themselves live in
 // internal/serve so that in-process clients — notably the privacy
 // harness — exercise byte-identical endpoint behavior.
-func apiConfig(fl *fleet, limit *serve.RateLimit) serve.APIConfig {
+func apiConfig(fl *fleet, limit *serve.RateLimit, precision string, ring *obs.Ring, pprof bool) serve.APIConfig {
 	vaults := make([]serve.APIVault, len(fl.vaults))
 	for i, v := range fl.vaults {
 		vaults[i] = serve.APIVault{
@@ -40,13 +41,23 @@ func apiConfig(fl *fleet, limit *serve.RateLimit) serve.APIConfig {
 		},
 		NodeQueries: fl.nodeQueries,
 		Limit:       limit,
+		Precision:   precision,
+		Trace:       ring,
+		EnablePprof: pprof,
 	}
 }
 
 // runHTTP serves the fleet API until the process is interrupted.
-func runHTTP(addr string, fl *fleet, srv *serve.MultiServer, limit *serve.RateLimit) {
-	api := serve.NewAPI(srv, fl.reg, apiConfig(fl, limit))
-	fmt.Printf("HTTP API on %s: POST /predict, POST /predict_nodes, GET /vaults, GET /stats\n", addr)
+func runHTTP(addr string, fl *fleet, srv *serve.MultiServer, limit *serve.RateLimit, precision string, ring *obs.Ring, pprof bool) {
+	api := serve.NewAPI(srv, fl.reg, apiConfig(fl, limit, precision, ring, pprof))
+	extra := ""
+	if ring != nil {
+		extra += ", GET /debug/trace"
+	}
+	if pprof {
+		extra += ", GET /debug/pprof/"
+	}
+	fmt.Printf("HTTP API on %s: POST /predict, POST /predict_nodes, GET /vaults, GET /stats, GET /metrics%s\n", addr, extra)
 	if err := http.ListenAndServe(addr, api.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "http server:", err)
 		os.Exit(1)

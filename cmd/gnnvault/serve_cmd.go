@@ -11,6 +11,7 @@ import (
 	"gnnvault/internal/core"
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
+	"gnnvault/internal/obs"
 	"gnnvault/internal/registry"
 	"gnnvault/internal/serve"
 	"gnnvault/internal/substitute"
@@ -70,6 +71,9 @@ func cmdServe(args []string) {
 	rateLimit := fs.Float64("rate-limit", 0, "per-client sustained answered-labels/second over the HTTP API (0 = unlimited)")
 	rateBurst := fs.Int("rate-burst", 0, "per-client token-bucket capacity in labels (0 = derived from -rate-limit)")
 	queryBudget := fs.Int("query-budget", 0, "per-client lifetime cap on total answered labels (0 = unlimited)")
+	metricsOn := fs.Bool("metrics", false, "record flight-recorder spans (per-op, ECALL, plan/evict) into a live telemetry ring; implied by -trace-buffer")
+	traceBuffer := fs.Int("trace-buffer", 0, "span ring capacity behind GET /debug/trace (0 = 4096 when -metrics is set, else tracing off)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the HTTP API")
 	fs.Parse(args) //nolint:errcheck
 
 	if *workers <= 0 {
@@ -90,7 +94,20 @@ func cmdServe(args []string) {
 		Precision:      prec,
 		MinAgreement:   *minAgree,
 	}
-	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq)
+	// The flight-recorder ring doubles as the live span recorder for every
+	// layer below: plan/evict events, per-query ECALL spans and per-op tile
+	// timings all land in one buffer that /debug/trace reads back out.
+	var ring *obs.Ring
+	var recorder obs.Recorder
+	if *metricsOn || *traceBuffer > 0 {
+		capacity := *traceBuffer
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		ring = obs.NewRing(capacity)
+		recorder = ring
+	}
+	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq, recorder)
 	srv := serve.NewMulti(fl.reg, serve.Config{
 		Workers:      *workers,
 		MaxBatch:     *batch,
@@ -118,7 +135,7 @@ func cmdServe(args []string) {
 		len(fl.vaults), float64(fl.encl.EPCUsed())/(1<<20), fl.encl.EPCLimit()>>20, *workers, mode)
 
 	if *httpAddr != "" {
-		runHTTP(*httpAddr, fl, srv, limit)
+		runHTTP(*httpAddr, fl, srv, limit, prec.String(), ring, *pprofOn)
 		return
 	}
 	runSyntheticStream(fl, srv, *clients, *requests)
@@ -130,7 +147,7 @@ func cmdServe(args []string) {
 // registry admits (EPC budget → tiled streaming); a non-nil nq
 // additionally enables node-level (subgraph) serving on every GNN-backed
 // vault.
-func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int, plan core.PlanConfig, nq *registry.NodeQueryConfig) *fleet {
+func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcMB int64, wsPerVault int, plan core.PlanConfig, nq *registry.NodeQueryConfig, rec obs.Recorder) *fleet {
 	dsNames := splitCSV(datasetCSV)
 	designs := splitCSV(designCSV)
 	if len(dsNames) == 0 || len(designs) == 0 {
@@ -176,7 +193,7 @@ func buildFleet(datasetCSV, designCSV string, sub string, epochs int, seed, epcM
 	cost := enclave.DefaultCostModel()
 	cost.EPCBytes = epcMB << 20
 	encl := enclave.New(cost, identities...)
-	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault, Plan: plan, NodeQuery: nq})
+	reg := registry.New(encl, registry.Config{WorkspacesPerVault: wsPerVault, Plan: plan, NodeQuery: nq, Recorder: rec})
 	fl := &fleet{encl: encl, reg: reg, data: data, nodeQueries: nq != nil}
 	for _, m := range fleetMembers {
 		v, err := core.DeployInto(encl, m.bb, m.rec, m.ds.Graph)
@@ -259,18 +276,33 @@ func runSyntheticStream(fl *fleet, srv *serve.MultiServer, clients, requests int
 	fmt.Printf("\nserved %d requests in %v\n", st.Completed, wall.Round(time.Millisecond))
 	fmt.Printf("  throughput  %.1f req/s (%.1f req/s over uptime)\n",
 		float64(st.Completed)/wall.Seconds(), st.Throughput)
-	fmt.Printf("  latency     avg %v, max %v\n",
-		st.AvgLatency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	fmt.Printf("  latency     p50 %v, p95 %v, p99 %v, max %v\n",
+		st.P50Latency.Round(time.Microsecond), st.P95Latency.Round(time.Microsecond),
+		st.P99Latency.Round(time.Microsecond), st.MaxLatency.Round(time.Microsecond))
+	printEndpointLatency("predict", st.FullLatency)
+	printEndpointLatency("predict_nodes", st.NodeLatency)
 	fmt.Printf("  batching    %d wake-ups, %.2f requests per batch\n", st.Batches, st.AvgBatch)
 	fmt.Printf("  errors      %d\n", st.Errors)
 	fmt.Printf("  scheduler   %d plans, %d evictions, %d/%d vaults resident\n",
 		rst.Plans, rst.Evictions, rst.Resident, rst.Vaults)
+	fmt.Printf("  enclave     %d ECALLs, %.2f MB in, %.2f MB out, %d page swaps\n",
+		rst.Ledger.ECalls, float64(rst.Ledger.BytesIn)/(1<<20),
+		float64(rst.Ledger.BytesOut)/(1<<20), rst.Ledger.PageSwaps)
+	fmt.Printf("  spill       %.2f MB streamed through untrusted scratch\n",
+		float64(st.SpillBytes)/(1<<20))
 	fmt.Printf("  EPC         %.2f MB used of %d MB\n",
 		float64(rst.EPCUsed)/(1<<20), rst.EPCLimit>>20)
-	for _, vs := range rst.PerVault {
-		fmt.Printf("    %-20s requests %-5d plans %-3d evictions %-3d resident %v\n",
-			vs.ID, vs.Requests, vs.Plans, vs.Evictions, vs.Resident)
+}
+
+// printEndpointLatency prints one endpoint's latency quantiles from its
+// obs histogram snapshot, skipping endpoints that served nothing.
+func printEndpointLatency(name string, s obs.HistSnapshot) {
+	if s.Count == 0 {
+		return
 	}
+	fmt.Printf("    %-14s %d requests, p50 %v, p99 %v\n", name, s.Count,
+		time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.99)).Round(time.Microsecond))
 }
 
 // splitCSV splits a comma-separated flag value, dropping empty items.

@@ -7,6 +7,7 @@ import (
 
 	"gnnvault/internal/exec"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
 )
 
 // Execution plans. A deployed vault answers a stream of inference requests;
@@ -67,6 +68,12 @@ type PlanConfig struct {
 	// MinAgreement overrides the argmax-agreement floor a reduced plan
 	// must reach on the calibration batch (0 = DefaultMinAgreement).
 	MinAgreement float64
+	// Recorder receives the plan's flight-recorder spans: one query root
+	// per call plus backbone/ECALL stage spans and the executor's per-op
+	// spans beneath them. Nil means obs.Nop — probes compile in, record
+	// nothing, and the hot path keeps 0 allocs/op and bit-identical
+	// outputs either way.
+	Recorder obs.Recorder
 }
 
 // tiled reports whether the config selects tiled streaming execution.
@@ -144,6 +151,7 @@ type Workspace struct {
 	spill   int64 // tiled only: modelled tile-flush traffic per call
 	epc     int64 // EPC charged at plan time
 	ecall   func() error
+	rec     obs.Recorder // never nil; obs.Nop when unconfigured
 
 	released bool
 }
@@ -180,7 +188,11 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 	if elem != exec.F64 && !prog.Tileable() {
 		return nil, fmt.Errorf("core: %s plan: %w", cfg.Precision, exec.ErrPrecisionUnsupported)
 	}
-	machCfg := exec.Config{Workers: 1, Elem: elem} // direct in-enclave: single-threaded
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.Nop
+	}
+	machCfg := exec.Config{Workers: 1, Elem: elem, Recorder: rec} // direct in-enclave: single-threaded
 	if cfg.tiled() {
 		if !prog.Tileable() {
 			return nil, ErrTiledUnsupported
@@ -193,12 +205,13 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 			TileRows: deriveTileRows(cfg, prog.MaxWidth(), rows, workers, cfg.Precision.ElemBytes()),
 			Workers:  workers,
 			Elem:     elem,
+			Recorder: rec,
 		}
 	}
 	// Backbone first: reduced plans calibrate their scales and agreement
 	// against its fp64 embeddings before the enclave machine exists.
 	bbProg, blockVals, _ := v.Backbone.compileBackbone(rows, nil, cfg.Workers)
-	bbMach, err := bbProg.NewMachine(exec.Config{Workers: cfg.Workers})
+	bbMach, err := bbProg.NewMachine(exec.Config{Workers: cfg.Workers, Recorder: rec})
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling backbone plan: %w", err)
 	}
@@ -236,6 +249,7 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 		needed: v.rectifier.RequiredEmbeddings(),
 		labels: make([]int, rows),
 		blocks: blocks,
+		rec:    rec,
 	}
 	ws.embs = make([]*mat.Matrix, 0, len(ws.needed))
 	for _, i := range ws.needed {
@@ -379,11 +393,36 @@ func (v *Vault) predictInto(x *mat.Matrix, ws *Workspace, wantScores bool) ([]in
 	before := v.Enclave.Ledger()
 	v.Enclave.ResetPeak()
 
+	// Flight recorder: one trace per call — a query root with backbone
+	// and ECALL stage spans beneath it; the machines attach their per-op
+	// spans to those stages. All probe state is scalar, so an enabled
+	// recorder costs a handful of clock reads and ring writes and the
+	// disabled one a predictable branch — either way 0 allocs/op.
+	rec := ws.rec
+	recOn := rec.Enabled()
+	var trace, bbID, ecID uint64
+	var qStart, stageStart int64
+	if recOn {
+		trace = rec.NewSpan()
+		bbID = rec.NewSpan()
+		ecID = rec.NewSpan()
+		ws.bbMach.SetTrace(trace, bbID)
+		ws.mach.SetTrace(trace, ecID)
+		qStart = rec.Clock()
+		stageStart = qStart
+	}
+
 	// Normal world: the fused backbone program into machine buffers.
 	start := time.Now()
 	ws.bbIn[0] = x
 	ws.bbMach.Run(ws.Rows, ws.bbIn, nil)
 	bd.BackboneTime = time.Since(start)
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, ID: bbID, Parent: trace, Kind: obs.SpanBackbone,
+			Rows: int32(ws.Rows), Start: stageStart, Dur: now - stageStart})
+		stageStart = now
+	}
 
 	// One-way transfer of exactly the embeddings the design requires,
 	// modelled as a single ECALL (for untiled plans the buffers are
@@ -401,6 +440,14 @@ func (v *Vault) predictInto(x *mat.Matrix, ws *Workspace, wantScores bool) ([]in
 	}
 	if err := v.Enclave.Ecall(ws.payload+ws.spill, resultBytes, ws.ecall); err != nil {
 		return nil, nil, bd, fmt.Errorf("core: enclave inference: %w", err)
+	}
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, ID: ecID, Parent: trace, Kind: obs.SpanECall,
+			Rows: int32(ws.Rows), Bytes: ws.payload + ws.spill + resultBytes,
+			Start: stageStart, Dur: now - stageStart})
+		rec.Record(obs.Span{Trace: trace, ID: trace, Kind: obs.SpanQuery,
+			Rows: int32(ws.Rows), Start: qStart, Dur: now - qStart})
 	}
 
 	fillBreakdown(&bd, before, v.Enclave.Ledger())

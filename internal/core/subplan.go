@@ -8,6 +8,7 @@ import (
 	"gnnvault/internal/exec"
 	"gnnvault/internal/mat"
 	"gnnvault/internal/nn"
+	"gnnvault/internal/obs"
 	"gnnvault/internal/subgraph"
 )
 
@@ -90,6 +91,14 @@ type SubgraphWorkspace struct {
 	epc      int64 // EPC charged at plan time
 	ecall    func() error
 
+	// Flight-recorder state. rec is never nil (obs.Nop default);
+	// curTrace/curECall carry the in-flight query's trace and ECALL span
+	// IDs into the pre-bound ECALL body, which records the private-side
+	// induction span under them.
+	rec      obs.Recorder
+	curTrace uint64
+	curECall uint64
+
 	released bool
 }
 
@@ -144,7 +153,11 @@ func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanCon
 
 	n := v.privateGraph.N()
 	elem := pcfg.Precision.Elem()
-	rectCfg := exec.Config{Workers: 1, Elem: elem}
+	rec := pcfg.Recorder
+	if rec == nil {
+		rec = obs.Nop
+	}
+	rectCfg := exec.Config{Workers: 1, Elem: elem, Recorder: rec}
 	if elem != exec.F64 {
 		// Calibrate against the full graph: the per-query sub-CSR is not
 		// known at plan time, but the sub program compiles from the same
@@ -189,6 +202,7 @@ func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanCon
 		feat:   mat.New(capRows, v.Backbone.FeatureDim),
 		needed: v.rectifier.RequiredEmbeddings(),
 		labels: make([]int, capRows),
+		rec:    rec,
 	}
 
 	// Compile both halves against the induced sub-CSR headers: the header
@@ -198,7 +212,7 @@ func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanCon
 	// (global worker default); the rectifier machine is in-enclave,
 	// single-threaded.
 	bbProg, blockVals, _ := v.Backbone.compileBackbone(capRows, ws.pubCS.Sub(), 0)
-	bbMach, err := bbProg.NewMachine(exec.Config{})
+	bbMach, err := bbProg.NewMachine(exec.Config{Recorder: rec})
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling subgraph backbone: %w", err)
 	}
@@ -238,8 +252,18 @@ func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanCon
 // never allocates.
 func (ws *SubgraphWorkspace) rectifyExtracted() error {
 	s := ws.curRows
+	rec := ws.rec
+	var t0 int64
+	recOn := rec.Enabled()
+	if recOn {
+		t0 = rec.Clock()
+	}
 	if _, err := ws.exp.Induce(ws.v.rectifier.adj, ws.privCS); err != nil {
 		return err
+	}
+	if recOn {
+		rec.Record(obs.Span{Trace: ws.curTrace, Parent: ws.curECall, Kind: obs.SpanInducePrivate,
+			Rows: int32(s), Start: t0, Dur: rec.Clock() - t0})
 	}
 	ws.rectMach.Run(s, ws.embs, ws.labels[:s])
 	return nil
@@ -328,12 +352,37 @@ func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	before := v.Enclave.Ledger()
 	v.Enclave.ResetPeak()
 
+	// Flight recorder: one trace per node query — expand, induce and
+	// backbone stage spans in the normal world, the ECALL span wrapping
+	// the in-enclave induction and rectifier ops, all under one
+	// SpanNodeQuery root. Scalar probe state only; the hot path stays at
+	// 0 allocs/op with recording on or off.
+	rec := ws.rec
+	recOn := rec.Enabled()
+	var trace, ecID uint64
+	var qStart, stageStart int64
+	if recOn {
+		trace = rec.NewSpan()
+		ecID = rec.NewSpan()
+		ws.bbMach.SetTrace(trace, trace)
+		ws.rectMach.SetTrace(trace, ecID)
+		ws.curTrace, ws.curECall = trace, ecID
+		qStart = rec.Clock()
+		stageStart = qStart
+	}
+
 	// Normal world: expand, induce the public operator, gather features,
 	// run the backbone program — all into planned buffers.
 	start := time.Now()
 	cnt, err := ws.exp.Expand(v.Backbone.adj, seeds)
 	if err != nil {
 		return nil, nil, bd, err
+	}
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, Parent: trace, Kind: obs.SpanExpand,
+			Rows: int32(cnt), Start: stageStart, Dur: now - stageStart})
+		stageStart = now
 	}
 	if cnt*4 >= n*3 {
 		// The frontier is most of the graph: sampled inference saves
@@ -353,6 +402,10 @@ func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 				copy(scores.Row(i), allScores.Row(s))
 			}
 		}
+		if recOn {
+			rec.Record(obs.Span{Trace: trace, ID: trace, Kind: obs.SpanNodeQuery,
+				Rows: int32(len(seeds)), Start: qStart, Dur: rec.Clock() - qStart})
+		}
 		return out, scores, fbd, nil
 	}
 	if _, err := ws.exp.Induce(v.Backbone.adj, ws.pubCS); err != nil {
@@ -360,8 +413,20 @@ func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	}
 	viewRows(ws.feat, cnt)
 	subgraph.GatherRowsInto(ws.feat, x, ws.exp.Nodes())
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, Parent: trace, Kind: obs.SpanInduce,
+			Rows: int32(cnt), Start: stageStart, Dur: now - stageStart})
+		stageStart = now
+	}
 	ws.bbMach.Run(cnt, ws.featIn, nil)
 	bd.BackboneTime = time.Since(start)
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, Parent: trace, Kind: obs.SpanBackbone,
+			Rows: int32(cnt), Start: stageStart, Dur: now - stageStart})
+		stageStart = now
+	}
 
 	// One ECALL: seed IDs and the extracted embeddings cross in, labels
 	// — plus, for a scores call, the seeds' logit rows — cross out.
@@ -378,6 +443,14 @@ func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	}
 	if err := v.Enclave.Ecall(payload, resultBytes, ws.ecall); err != nil {
 		return nil, nil, bd, fmt.Errorf("core: enclave subgraph inference: %w", err)
+	}
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, ID: ecID, Parent: trace, Kind: obs.SpanECall,
+			Rows: int32(cnt), Bytes: payload + resultBytes,
+			Start: stageStart, Dur: now - stageStart})
+		rec.Record(obs.Span{Trace: trace, ID: trace, Kind: obs.SpanNodeQuery,
+			Rows: int32(len(seeds)), Start: qStart, Dur: now - qStart})
 	}
 
 	fillBreakdown(&bd, before, v.Enclave.Ledger())

@@ -42,6 +42,7 @@ import (
 
 	"gnnvault/internal/graph"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
 )
 
 // OpKind enumerates the primitive operations a compiled program is made of.
@@ -389,6 +390,11 @@ type Config struct {
 	// single-threaded ECALL of PR 4; the fan-out is clamped to the tile
 	// count. Per-tile kernels always run inline.
 	Workers int
+	// Recorder receives one obs.SpanOp span per executed op (kind, rows,
+	// tile count, flush bytes, duration) and feeds the machine's per-op
+	// profile. Nil means obs.Nop: probes stay, recording doesn't, and Run
+	// keeps its zero-allocation guarantee either way.
+	Recorder obs.Recorder
 }
 
 // ErrNotTileable is returned when a tiled machine is requested for a
@@ -428,6 +434,17 @@ type Machine struct {
 	curIdx  int // index of curOp in the op sequence
 	curRows int
 	curLab  []int
+
+	// Flight-recorder state. rec is never nil (obs.Nop by default); trace
+	// and parent are the IDs the next Run's op spans attach to, bound by
+	// SetTrace from the caller that owns the enclosing query span. profNs
+	// accumulates per-op wall time across recorded runs — the plan-owned
+	// profile — under the machine's one-goroutine-at-a-time contract.
+	rec      obs.Recorder
+	trace    uint64
+	parent   uint64
+	profNs   []int64
+	profRuns int64
 }
 
 // workerScratch is one tile worker's pre-allocated header set. Workers
@@ -465,6 +482,11 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 		tileWorkers: 1,
 		spill:       make([]*mat.Matrix, len(p.vals)),
 		views:       make([]mat.Matrix, len(p.vals)),
+		rec:         cfg.Recorder,
+		profNs:      make([]int64, len(p.ops)),
+	}
+	if m.rec == nil {
+		m.rec = obs.Nop
 	}
 	if cfg.Elem == F64 {
 		for i, v := range p.vals {
@@ -573,6 +595,60 @@ func (m *Machine) SpillTraffic(rows int) int64 {
 	return n
 }
 
+// SetTrace binds the trace and parent span IDs the next Run's op spans
+// attach to. The caller owning the enclosing span (the ECALL span for an
+// in-enclave machine, the query span for the backbone) sets it before
+// each Run; it is a plain field write under the machine's one-goroutine
+// contract.
+func (m *Machine) SetTrace(trace, parent uint64) { m.trace, m.parent = trace, parent }
+
+// OpProfile is one op's accumulated execution profile across every run
+// recorded while the machine's Recorder was enabled.
+type OpProfile struct {
+	Kind OpKind
+	Ns   int64 // total wall time across recorded runs
+	Runs int64 // recorded run count (shared by all ops of the program)
+}
+
+// Profile returns the plan-owned per-op profile. It allocates (cold
+// path) and shares the machine's one-goroutine-at-a-time contract with
+// Run.
+func (m *Machine) Profile() []OpProfile {
+	out := make([]OpProfile, len(m.prog.ops))
+	for i := range m.prog.ops {
+		out[i] = OpProfile{Kind: m.prog.ops[i].Kind, Ns: m.profNs[i], Runs: m.profRuns}
+	}
+	return out
+}
+
+// opDone closes one op's span: accumulates the plan-owned profile and
+// records a SpanOp carrying the op kind, batch height, tile count and
+// the bytes the op's tiles flushed across the boundary. Called only when
+// the recorder is enabled.
+func (m *Machine) opDone(i int, op *Op, rows int, t0 int64) {
+	dur := m.rec.Clock() - t0
+	m.profNs[i] += dur
+	tiles := int32(1)
+	var bytes int64
+	if m.tiled {
+		tiles = int32((rows + m.cfg.TileRows - 1) / m.cfg.TileRows)
+		if op.Dst >= 0 {
+			bytes = int64(rows) * int64(m.prog.vals[op.Dst].width) * int64(m.elem.Size())
+		}
+	}
+	m.rec.Record(obs.Span{
+		Trace:  m.trace,
+		Parent: m.parent,
+		Kind:   obs.SpanOp,
+		Op:     uint8(op.Kind),
+		Rows:   int32(rows),
+		Tiles:  tiles,
+		Bytes:  bytes,
+		Start:  t0,
+		Dur:    dur,
+	})
+}
+
 // Value returns the machine's stable header for a program value — the way
 // callers read intermediate results (e.g. backbone block embeddings) after
 // Run. The header is re-bound by every Run; the pointer itself is stable,
@@ -629,10 +705,18 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 			m.spill[i].ViewRows(0, rows, &m.views[i])
 		}
 	}
+	recOn := m.rec.Enabled()
+	if recOn {
+		m.profRuns++
+	}
 	for i := range p.ops {
 		op := &p.ops[i]
 		if op.Kind == OpSpMM && op.CSR.N != rows {
 			panic(fmt.Sprintf("exec: SpMM operator over %d rows, run over %d", op.CSR.N, rows))
+		}
+		var t0 int64
+		if recOn {
+			t0 = m.rec.Clock()
 		}
 		switch {
 		case !m.tiled:
@@ -644,6 +728,9 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 				hi := min(lo+m.cfg.TileRows, rows)
 				m.runTile(0, i, op, lo, hi, labels)
 			}
+		}
+		if recOn {
+			m.opDone(i, op, rows, t0)
 		}
 	}
 	return &m.views[p.output]

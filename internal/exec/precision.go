@@ -361,10 +361,18 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 			}
 		}
 	}
+	recOn := m.rec.Enabled()
+	if recOn {
+		m.profRuns++
+	}
 	for i := range p.ops {
 		op := &p.ops[i]
 		if op.Kind == OpSpMM && op.CSR.N != rows {
 			panic(fmt.Sprintf("exec: SpMM operator over %d rows, run over %d", op.CSR.N, rows))
+		}
+		var t0 int64
+		if recOn {
+			t0 = m.rec.Clock()
 		}
 		switch {
 		case !m.tiled:
@@ -380,6 +388,9 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 				hi := min(lo+m.cfg.TileRows, rows)
 				m.runTile(0, i, op, lo, hi, labels)
 			}
+		}
+		if recOn {
+			m.opDone(i, op, rows, t0)
 		}
 	}
 	out := &m.views[p.output]

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets covers every non-negative int64 at power-of-two resolution:
+// bucket 0 holds the value 0, bucket i (i ≥ 1) holds [2^(i-1), 2^i).
+const numBuckets = 64
+
+// Histogram is a fixed-bucket log₂-scale histogram of non-negative
+// values (latencies in ns, byte counts). Observe is an index computation
+// plus three atomic ops — no per-sample allocation ever — and quantiles
+// are derived from the buckets at snapshot time, so p50/p95/p99 cost
+// nothing until someone asks. The zero value is ready to use and the
+// struct embeds directly into hot-path owners (no pointer indirection).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	return bits.Len64(uint64(v)) // 0 → 0, [2^(i-1), 2^i) → i
+}
+
+// Observe records one sample. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the histogram state for reading. Concurrent Observe
+// calls may land between field reads; derived statistics (Avg, Quantile)
+// clamp against Max so a snapshot can never report avg > max.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Max     int64
+	Buckets [numBuckets]uint64
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return (int64(1) << i) - 1
+}
+
+// Avg returns the mean sample, clamped to Max (concurrent observes can
+// skew Sum ahead of Max inside one snapshot; the clamp keeps the
+// reported pair consistent).
+func (s *HistSnapshot) Avg() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	avg := s.Sum / int64(s.Count)
+	if avg > s.Max {
+		avg = s.Max
+	}
+	return avg
+}
+
+// Quantile returns the q-th (0 < q ≤ 1) sample quantile at the ceiling
+// rank — the smallest rank r with r/Count ≥ q, so p99 of two samples is
+// the larger one — linearly interpolated inside the bucket holding that
+// rank and clamped to the observed Max. Quantile(1) is exactly Max and
+// every quantile of a one-bucket histogram stays inside that bucket's
+// bounds.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+			}
+			hi := BucketUpper(i)
+			// Position of the target rank inside this bucket.
+			frac := float64(rank-cum) / float64(n)
+			v := lo + int64(frac*float64(hi-lo))
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum += n
+	}
+	return s.Max
+}
+
+// Merge returns the bucket-wise union of two snapshots — how the serving
+// layer derives one overall latency distribution from its per-endpoint
+// histograms without a second recording path.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Hand-rolled Prometheus text exposition (format version 0.0.4). The
+// metric owners call these helpers from their scrape handlers; there is
+// no registry and no client library — a metric line is just a name, an
+// ordered label list and a value.
+
+// Label is one name="value" pair; samples carry an ordered list of them.
+type Label struct {
+	Name, Value string
+}
+
+// WriteHeader emits the # HELP / # TYPE preamble for a metric family.
+// Call it once per family, before the family's samples.
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample emits one sample line.
+func WriteSample(w io.Writer, name string, labels []Label, value float64) {
+	writeName(w, name, labels, "")
+	fmt.Fprintf(w, " %g\n", value)
+}
+
+// WriteHistogram emits a snapshot as a Prometheus histogram: cumulative
+// le buckets at the power-of-two upper bounds (empty buckets elided,
+// +Inf always present), then _sum and _count. scale converts recorded
+// units to exposed units — 1e-9 turns nanosecond samples into the
+// seconds Prometheus conventions expect.
+func WriteHistogram(w io.Writer, name string, labels []Label, s HistSnapshot, scale float64) {
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		writeName(w, name+"_bucket", labels, fmt.Sprintf("%g", float64(BucketUpper(i))*scale))
+		fmt.Fprintf(w, " %d\n", cum)
+	}
+	writeName(w, name+"_bucket", labels, "+Inf")
+	fmt.Fprintf(w, " %d\n", s.Count)
+	writeName(w, name+"_sum", labels, "")
+	fmt.Fprintf(w, " %g\n", float64(s.Sum)*scale)
+	writeName(w, name+"_count", labels, "")
+	fmt.Fprintf(w, " %d\n", s.Count)
+}
+
+// writeName emits `name{labels...}` with le appended when non-empty.
+// Label values go through %q, which produces exactly the \\, \" and \n
+// escapes the exposition format requires.
+func writeName(w io.Writer, name string, labels []Label, le string) {
+	io.WriteString(w, name) //nolint:errcheck
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	sep := "{"
+	for _, l := range labels {
+		fmt.Fprintf(w, "%s%s=%q", sep, l.Name, l.Value)
+		sep = ","
+	}
+	if le != "" {
+		fmt.Fprintf(w, "%sle=%q", sep, le)
+		sep = ","
+	}
+	io.WriteString(w, "}") //nolint:errcheck
+}

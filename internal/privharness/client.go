@@ -18,9 +18,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"time"
 
+	"gnnvault/internal/obs"
 	"gnnvault/internal/serve"
 )
 
@@ -224,25 +224,24 @@ type PerfSummary struct {
 	P99MS     float64
 }
 
-// Perf summarises the recorded latencies. Queries are issued
+// Perf summarises the recorded latencies through the same obs.Histogram
+// the serving stack reports from, so the adversary-side and server-side
+// percentiles come from one implementation. Queries are issued
 // sequentially, so throughput is queries over summed latency.
 func (t *Trace) Perf() PerfSummary {
 	p := PerfSummary{Queries: len(t.Latencies)}
 	if p.Queries == 0 {
 		return p
 	}
-	var total time.Duration
-	sorted := make([]time.Duration, len(t.Latencies))
-	copy(sorted, t.Latencies)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, d := range sorted {
-		total += d
+	var h obs.Histogram
+	for _, d := range t.Latencies {
+		h.Observe(d.Nanoseconds())
 	}
-	if s := total.Seconds(); s > 0 {
-		p.ReqPerSec = float64(p.Queries) / s
+	s := h.Snapshot()
+	if secs := float64(s.Sum) * 1e-9; secs > 0 {
+		p.ReqPerSec = float64(p.Queries) / secs
 	}
-	p.AvgMS = float64(total.Microseconds()) / float64(p.Queries) / 1e3
-	idx := (99*len(sorted) - 1) / 100
-	p.P99MS = float64(sorted[idx].Microseconds()) / 1e3
+	p.AvgMS = float64(s.Avg()) / 1e6
+	p.P99MS = float64(s.Quantile(0.99)) / 1e6
 	return p
 }

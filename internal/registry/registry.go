@@ -30,6 +30,7 @@ import (
 	"gnnvault/internal/core"
 	"gnnvault/internal/enclave"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
 	"gnnvault/internal/subgraph"
 )
 
@@ -108,6 +109,12 @@ type Config struct {
 	// NodeQuery, when non-nil, lets vaults with EnableNodeQueries serve
 	// node-level requests through AcquireSubgraph.
 	NodeQuery *NodeQueryConfig
+	// Recorder receives the scheduler's flight-recorder events: one
+	// SpanPlan per cold-start workspace plan and one SpanEvict per LRU
+	// eviction. When Plan.Recorder is unset it also propagates to every
+	// planned workspace, so one recorder wires the whole stack. Nil means
+	// obs.Nop.
+	Recorder obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +124,12 @@ func (c Config) withDefaults() Config {
 	if c.NodeQuery != nil {
 		nq := c.NodeQuery.WithDefaults()
 		c.NodeQuery = &nq
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.Nop
+	}
+	if c.Plan.Recorder == nil {
+		c.Plan.Recorder = c.Recorder
 	}
 	return c
 }
@@ -432,11 +445,19 @@ func (r *Registry) planSubLocked(e *entry) (*core.SubgraphWorkspace, error) {
 // admitLocked runs one plan attempt, evicting idle vaults LRU-first for
 // as long as the enclave reports EPC exhaustion and victims remain.
 func (r *Registry) admitLocked(e *entry, plan func() error) error {
+	rec := r.cfg.Recorder
 	for {
+		var t0 int64
+		if rec.Enabled() {
+			t0 = rec.Clock()
+		}
 		err := plan()
 		if err == nil {
 			e.plans++
 			r.plans++
+			if rec.Enabled() {
+				rec.Record(obs.Span{Kind: obs.SpanPlan, Start: t0, Dur: rec.Clock() - t0})
+			}
 			return nil
 		}
 		if !errors.Is(err, enclave.ErrEPCExhausted) {
@@ -471,6 +492,16 @@ func (r *Registry) lruIdleLocked(requester *entry) *entry {
 // room for another vault, counting each as an eviction.
 func (r *Registry) evictLocked(e *entry) {
 	n := uint64(len(e.free) + len(e.freeSub))
+	if rec := r.cfg.Recorder; rec.Enabled() {
+		var bytes int64
+		for _, ws := range e.free {
+			bytes += ws.EnclaveBytes()
+		}
+		for _, ws := range e.freeSub {
+			bytes += ws.EnclaveBytes()
+		}
+		rec.Record(obs.Span{Kind: obs.SpanEvict, Rows: int32(n), Bytes: bytes, Start: rec.Clock()})
+	}
 	r.releaseAllLocked(e)
 	e.evictions += n
 	r.evictions += n
@@ -564,6 +595,11 @@ type Stats struct {
 	EPCFree  int64 // headroom before the next plan must evict
 	EPCLimit int64
 
+	// Ledger is the shared enclave's transition ledger at snapshot time —
+	// ECALL/OCALL counts, boundary bytes, page swaps — the numbers the
+	// serving /metrics surface exposes as enclave counters.
+	Ledger enclave.Ledger
+
 	PerVault []VaultStats // sorted by ID
 }
 
@@ -579,6 +615,7 @@ func (r *Registry) Stats() Stats {
 		EPCUsed:   r.encl.EPCUsed(),
 		EPCFree:   r.encl.EPCFree(),
 		EPCLimit:  r.encl.EPCLimit(),
+		Ledger:    r.encl.Ledger(),
 		PerVault:  make([]VaultStats, 0, len(r.vaults)),
 	}
 	for _, e := range r.vaults {

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"gnnvault/internal/core"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
 	"gnnvault/internal/registry"
 	"gnnvault/internal/subgraph"
 )
@@ -45,6 +47,18 @@ type APIConfig struct {
 	// costs the graph size and a node query its seed count — the limiter
 	// prices exactly what an extraction adversary consumes.
 	Limit *RateLimit
+	// Precision labels every request metric with the fleet's serving
+	// precision tier ("fp64", "fp32", "int8"). Empty defaults to "fp64".
+	Precision string
+	// Trace, when non-nil, is the flight recorder's span ring; it opens
+	// the GET /debug/trace endpoint. The same ring should be wired into
+	// the registry (and through it every plan) so query span trees are
+	// complete.
+	Trace *obs.Ring
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/. Off by
+	// default: profiling endpoints on a privacy-focused serving surface
+	// are opt-in.
+	EnablePprof bool
 }
 
 // API is the serving surface shared by every front-end: the HTTP/JSON
@@ -54,19 +68,32 @@ type APIConfig struct {
 // below it has no notion of who is asking — which is why the rate limiter
 // lives here.
 type API struct {
-	srv  *MultiServer
-	reg  *registry.Registry
-	cfg  APIConfig
-	lim  *limiter
-	byID map[string]*APIVault
+	srv       *MultiServer
+	reg       *registry.Registry
+	cfg       APIConfig
+	lim       *limiter
+	byID      map[string]*APIVault
+	vm        map[string]*vaultMetrics // per-vault endpoint metrics; read-only after NewAPI
+	precision string
 }
 
 // NewAPI builds the shared serving surface over a running MultiServer and
 // its registry.
 func NewAPI(srv *MultiServer, reg *registry.Registry, cfg APIConfig) *API {
-	a := &API{srv: srv, reg: reg, cfg: cfg, byID: make(map[string]*APIVault, len(cfg.Vaults))}
+	a := &API{
+		srv:       srv,
+		reg:       reg,
+		cfg:       cfg,
+		byID:      make(map[string]*APIVault, len(cfg.Vaults)),
+		vm:        make(map[string]*vaultMetrics, len(cfg.Vaults)),
+		precision: cfg.Precision,
+	}
+	if a.precision == "" {
+		a.precision = "fp64"
+	}
 	for i := range cfg.Vaults {
 		a.byID[cfg.Vaults[i].ID] = &cfg.Vaults[i]
+		a.vm[cfg.Vaults[i].ID] = &vaultMetrics{}
 	}
 	if cfg.Limit != nil {
 		a.lim = newLimiter(*cfg.Limit)
@@ -102,6 +129,13 @@ func (a *API) allow(client string, cost int) error {
 // (empty means all). The client is charged one answered label per
 // returned entry.
 func (a *API) Predict(client, vault string, nodes []int) ([]int, error) {
+	start := time.Now()
+	labels, err := a.predict(client, vault, nodes)
+	a.observeReq(vault, epPredict, start, err)
+	return labels, err
+}
+
+func (a *API) predict(client, vault string, nodes []int) ([]int, error) {
 	info, err := a.lookup(vault, nodes)
 	if err != nil {
 		return nil, err
@@ -124,6 +158,13 @@ func (a *API) Predict(client, vault string, nodes []int) ([]int, error) {
 // row and label per selected node. Fails with ErrScoresDisabled unless
 // the fleet exposes scores.
 func (a *API) PredictScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	start := time.Now()
+	scores, labels, err := a.predictScores(client, vault, nodes)
+	a.observeReq(vault, epPredict, start, err)
+	return scores, labels, err
+}
+
+func (a *API) predictScores(client, vault string, nodes []int) ([][]float64, []int, error) {
 	info, err := a.lookup(vault, nodes)
 	if err != nil {
 		return nil, nil, err
@@ -145,6 +186,13 @@ func (a *API) PredictScores(client, vault string, nodes []int) ([][]float64, []i
 // PredictNodes answers a node-level label query through the sampled
 // subgraph path: per-query cost O(hops × fanout) instead of O(graph).
 func (a *API) PredictNodes(client, vault string, nodes []int) ([]int, error) {
+	start := time.Now()
+	labels, err := a.predictNodes(client, vault, nodes)
+	a.observeReq(vault, epPredictNodes, start, err)
+	return labels, err
+}
+
+func (a *API) predictNodes(client, vault string, nodes []int) ([]int, error) {
 	if _, err := a.lookup(vault, nodes); err != nil {
 		return nil, err
 	}
@@ -162,6 +210,13 @@ func (a *API) PredictNodes(client, vault string, nodes []int) ([]int, error) {
 
 // PredictNodesScores is PredictNodes over the defended score surface.
 func (a *API) PredictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error) {
+	start := time.Now()
+	scores, labels, err := a.predictNodesScores(client, vault, nodes)
+	a.observeReq(vault, epPredictNodes, start, err)
+	return scores, labels, err
+}
+
+func (a *API) predictNodesScores(client, vault string, nodes []int) ([][]float64, []int, error) {
 	if _, err := a.lookup(vault, nodes); err != nil {
 		return nil, nil, err
 	}
@@ -232,6 +287,9 @@ type apiResponse struct {
 //	POST /predict_nodes  {"vault":"cora/parallel","nodes":[0,1],"scores":false} → labels (sampled subgraph)
 //	GET  /vaults                                                               → fleet catalog
 //	GET  /stats                                                                → serving + scheduler + EPC counters
+//	GET  /metrics                                                              → Prometheus text exposition
+//	GET  /debug/trace?n=K                                                      → last K flight-recorder spans as trees
+//	GET  /debug/pprof/                                                         → net/http/pprof (when EnablePprof)
 //
 // Client identity for rate limiting is the X-Client header when present,
 // else the remote address. Throttled clients get 429, score queries
@@ -247,6 +305,15 @@ func (a *API) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /vaults", a.handleVaults)
 	mux.HandleFunc("GET /stats", a.handleStats)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", a.handleTrace)
+	if a.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -327,6 +394,10 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			"avg_batch":      st.AvgBatch,
 			"avg_latency_ms": float64(st.AvgLatency.Microseconds()) / 1e3,
 			"max_latency_ms": float64(st.MaxLatency.Microseconds()) / 1e3,
+			"p50_latency_ms": float64(st.P50Latency.Microseconds()) / 1e3,
+			"p95_latency_ms": float64(st.P95Latency.Microseconds()) / 1e3,
+			"p99_latency_ms": float64(st.P99Latency.Microseconds()) / 1e3,
+			"spill_bytes":    st.SpillBytes,
 			"throughput_rps": st.Throughput,
 			"uptime_s":       st.Uptime.Seconds(),
 		},

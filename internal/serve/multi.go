@@ -300,6 +300,9 @@ func (s *MultiServer) answerBatch(batch []*mrequest, st *mworkerState) {
 					} else {
 						labels, _, perr = v.PredictInto(r.x, ws)
 					}
+					if perr == nil {
+						s.spillBytes.Add(ws.SpillBytes())
+					}
 					s.answer(r, labels, perr)
 				}
 				s.reg.Release(id, ws)
@@ -374,7 +377,7 @@ func (s *MultiServer) answerNodeRun(id string, st *mworkerState) {
 						r.scores[k] = s.cfg.defendedRow(logits.Row(j))
 					}
 				}
-				s.observe(nil, r.enq)
+				s.observe(nil, r.enq, true)
 				r.done <- struct{}{}
 			}
 		})
@@ -387,7 +390,7 @@ func (s *MultiServer) answer(r *mrequest, labels []int, err error) {
 	} else {
 		copy(r.out, labels) // the workspace's label buffer is reused
 	}
-	s.observe(err, r.enq)
+	s.observe(err, r.enq, r.nodes != nil)
 	r.done <- struct{}{}
 }
 

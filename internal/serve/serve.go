@@ -27,6 +27,7 @@ import (
 
 	"gnnvault/internal/core"
 	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
 	"gnnvault/internal/registry"
 	"gnnvault/internal/subgraph"
 )
@@ -99,7 +100,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a snapshot of the server's counters since New.
+// Stats is a snapshot of the server's counters since New. The latency
+// fields all derive from one pair of histogram snapshots taken at the
+// same instant, so they are mutually consistent — AvgLatency can never
+// exceed MaxLatency, and the quantiles are cut from the same
+// distribution the average summarises.
 type Stats struct {
 	Requests  uint64 // accepted by Predict
 	Completed uint64 // answered successfully
@@ -109,8 +114,21 @@ type Stats struct {
 	AvgBatch   float64       // Completed+Errors per batch
 	AvgLatency time.Duration // mean enqueue→answer time
 	MaxLatency time.Duration
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
 	Throughput float64 // completed requests per second of uptime
 	Uptime     time.Duration
+
+	// FullLatency and NodeLatency are the per-endpoint enqueue→answer
+	// distributions (ns samples) the aggregate fields above merge — the
+	// same histograms the /metrics scrape surface renders.
+	FullLatency obs.HistSnapshot
+	NodeLatency obs.HistSnapshot
+
+	// SpillBytes is the accumulated modelled tile-flush traffic of every
+	// answered full-graph request (0 for untiled plans).
+	SpillBytes int64
 }
 
 type request struct {
@@ -124,48 +142,60 @@ type request struct {
 }
 
 // counters aggregates the serving statistics shared by Server and
-// MultiServer.
+// MultiServer. Latency lives in two obs histograms (one per endpoint
+// family) instead of separate sum/max atomics: every derived figure —
+// average, max, quantiles, the /metrics exposition — is cut from the
+// same buckets, so the old inconsistency where a racing sum and CAS-max
+// could report avg > max is gone by construction. Observing stays
+// allocation-free (atomic bucket increments).
 type counters struct {
-	requests  atomic.Uint64
-	completed atomic.Uint64
-	errors    atomic.Uint64
-	batches   atomic.Uint64
-	latencyNs atomic.Int64
-	maxLatNs  atomic.Int64
+	requests   atomic.Uint64
+	completed  atomic.Uint64
+	errors     atomic.Uint64
+	batches    atomic.Uint64
+	latFull    obs.Histogram // full-graph enqueue→answer ns
+	latNode    obs.Histogram // node-query enqueue→answer ns
+	spillBytes atomic.Int64  // modelled tile-flush traffic of answered full-graph requests
 }
 
 // observe records one answered request: its outcome and its
-// enqueue→answer latency.
-func (c *counters) observe(err error, enq time.Time) {
+// enqueue→answer latency, bucketed by endpoint family.
+func (c *counters) observe(err error, enq time.Time, node bool) {
 	if err != nil {
 		c.errors.Add(1)
 	} else {
 		c.completed.Add(1)
 	}
 	lat := time.Since(enq).Nanoseconds()
-	c.latencyNs.Add(lat)
-	for {
-		cur := c.maxLatNs.Load()
-		if lat <= cur || c.maxLatNs.CompareAndSwap(cur, lat) {
-			break
-		}
+	if node {
+		c.latNode.Observe(lat)
+	} else {
+		c.latFull.Observe(lat)
 	}
 }
 
 // snapshot derives a Stats from the counters and the server start time.
+// All latency figures come from one pair of histogram snapshots.
 func (c *counters) snapshot(start time.Time) Stats {
+	full := c.latFull.Snapshot()
+	node := c.latNode.Snapshot()
+	all := full.Merge(node)
 	st := Stats{
-		Requests:   c.requests.Load(),
-		Completed:  c.completed.Load(),
-		Errors:     c.errors.Load(),
-		Batches:    c.batches.Load(),
-		MaxLatency: time.Duration(c.maxLatNs.Load()),
-		Uptime:     time.Since(start),
+		Requests:    c.requests.Load(),
+		Completed:   c.completed.Load(),
+		Errors:      c.errors.Load(),
+		Batches:     c.batches.Load(),
+		AvgLatency:  time.Duration(all.Avg()),
+		MaxLatency:  time.Duration(all.Max),
+		P50Latency:  time.Duration(all.Quantile(0.50)),
+		P95Latency:  time.Duration(all.Quantile(0.95)),
+		P99Latency:  time.Duration(all.Quantile(0.99)),
+		Uptime:      time.Since(start),
+		FullLatency: full,
+		NodeLatency: node,
+		SpillBytes:  c.spillBytes.Load(),
 	}
 	answered := st.Completed + st.Errors
-	if answered > 0 {
-		st.AvgLatency = time.Duration(c.latencyNs.Load() / int64(answered))
-	}
 	if st.Batches > 0 {
 		st.AvgBatch = float64(answered) / float64(st.Batches)
 	}
@@ -455,7 +485,7 @@ func (s *Server) worker(ws *core.Workspace, sub *core.SubgraphWorkspace) {
 				// Unreachable through PredictNodes' guard; defence in depth.
 				for _, r := range nodeReqs {
 					r.err = ErrNodeQueriesDisabled
-					s.observe(r.err, r.enq)
+					s.observe(r.err, r.enq, true)
 					r.done <- struct{}{}
 				}
 			} else {
@@ -483,8 +513,9 @@ func (s *Server) answer(r *request, ws *core.Workspace) {
 		r.err = err
 	} else {
 		copy(r.out, labels) // the workspace's label buffer is reused
+		s.spillBytes.Add(ws.SpillBytes())
 	}
-	s.observe(err, r.enq)
+	s.observe(err, r.enq, false)
 	r.done <- struct{}{}
 }
 
@@ -500,7 +531,7 @@ func (s *Server) answerNodeBatch(reqs []*request, sub *core.SubgraphWorkspace, c
 	for _, r := range reqs {
 		if !nodesInRange(r.nodes, n) {
 			r.err = core.ErrNodeOutOfRange
-			s.observe(r.err, r.enq)
+			s.observe(r.err, r.enq, true)
 			r.done <- struct{}{}
 			continue
 		}
@@ -511,7 +542,7 @@ func (s *Server) answerNodeBatch(reqs []*request, sub *core.SubgraphWorkspace, c
 		func(i int) []int { return reqs[i].nodes },
 		func(i int, err error) {
 			reqs[i].err = err
-			s.observe(err, reqs[i].enq)
+			s.observe(err, reqs[i].enq, true)
 			reqs[i].done <- struct{}{}
 		},
 		func(idxs, union []int) {
@@ -546,7 +577,7 @@ func (s *Server) answerNodeBatch(reqs []*request, sub *core.SubgraphWorkspace, c
 						}
 					}
 				}
-				s.observe(err, r.enq)
+				s.observe(err, r.enq, true)
 				r.done <- struct{}{}
 			}
 		})
