@@ -30,8 +30,10 @@ bench:
 # (calibrated fp64/fp32/int8 tiled plans on trained vaults), and
 # BENCH_attack.json (link-stealing AUC and extraction fidelity per serving
 # defense, priced against throughput — checked against the committed
-# ceilings in ci/attack_thresholds.json), and BENCH_obs.json (flight-
-# recorder overhead, no-op vs live span ring — gated at ≤5% by -obs-check).
+# ceilings in ci/attack_thresholds.json), BENCH_obs.json (flight-
+# recorder overhead, no-op vs live span ring — gated at ≤5% by -obs-check),
+# and BENCH_shard.json (multi-enclave shard fleet: full-graph throughput,
+# p99, and halo traffic vs shard count at a fixed per-shard EPC budget).
 # Override SIZES for bigger graphs, e.g. `make bench-json SIZES=100000,200000`.
 SIZES ?= 20000,50000
 bench-json:
@@ -42,15 +44,18 @@ bench-json:
 	$(GO) run ./cmd/experiments -run ext-precision -sizes $(SIZES) -bench-out BENCH_precision.json
 	$(GO) run ./cmd/experiments -run ext-attack -epochs 30 -bench-out BENCH_attack.json -attack-check ci/attack_thresholds.json
 	$(GO) run ./cmd/experiments -run ext-obs -epochs 3 -bench-out BENCH_obs.json -obs-check
+	$(GO) run ./cmd/experiments -run ext-shard -epochs 3 -sizes $(SIZES) -bench-out BENCH_shard.json
 
 # Short fuzz passes over the engine and attack-surface invariants:
 # induced-subgraph extraction, tiled-vs-direct execution equivalence,
-# reduced-precision (fp32/int8) accuracy + within-tier bit-identity, and
-# the attack math (AUC/Fidelity in [0,1], no panics) under degenerate
-# observation surfaces.
+# reduced-precision (fp32/int8) accuracy + within-tier bit-identity,
+# sharded-vs-single-enclave bit-identity across fuzzed shapes × shard
+# counts × precisions, and the attack math (AUC/Fidelity in [0,1], no
+# panics) under degenerate observation surfaces.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInducedSubgraph -fuzztime $(FUZZTIME) ./internal/subgraph/
 	$(GO) test -run '^$$' -fuzz FuzzTiledExec -fuzztime $(FUZZTIME) ./internal/exec/
 	$(GO) test -run '^$$' -fuzz FuzzPrecision -fuzztime $(FUZZTIME) ./internal/exec/
+	$(GO) test -run '^$$' -fuzz FuzzShardedExec -fuzztime $(FUZZTIME) ./internal/exec/
 	$(GO) test -run '^$$' -fuzz FuzzAttackSurface -fuzztime $(FUZZTIME) ./internal/attack/

@@ -25,12 +25,12 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|ext-core|ext-serve|ext-exec|ext-precision|ext-attack|ext-obs|all")
+	run := flag.String("run", "all", "experiment to run: table1|table2|table3|table4|fig4|fig5|fig6|ext-arch|ext-labelonly|ext-extract|ext-stream|ext-subgraph|ext-core|ext-serve|ext-exec|ext-precision|ext-attack|ext-obs|ext-shard|all")
 	epochs := flag.Int("epochs", 200, "training epochs per model")
 	seed := flag.Int64("seed", 1, "random seed")
 	datasetsFlag := flag.String("datasets", "", "comma-separated dataset subset (default: all)")
 	tsneDir := flag.String("tsne-dir", "", "directory to write fig4 t-SNE CSVs into")
-	sizesFlag := flag.String("sizes", "", "comma-separated power-law graph sizes for ext-subgraph (default 20000,50000)")
+	sizesFlag := flag.String("sizes", "", "comma-separated power-law graph sizes for ext-subgraph and ext-shard (default 20000,50000; ext-shard uses the largest, floor 50000 — shard scale-out is degenerate on tiny graphs)")
 	benchOut := flag.String("bench-out", "", "write ext-subgraph results as JSON to this path (e.g. BENCH_subgraph.json)")
 	attackCheck := flag.String("attack-check", "", "validate ext-attack rows against this thresholds JSON (e.g. ci/attack_thresholds.json); exits non-zero on a privacy regression")
 	obsCheck := flag.Bool("obs-check", false, "fail when any ext-obs telemetry overhead row exceeds the committed ceiling; exits non-zero on an observability tax")
@@ -114,8 +114,13 @@ func main() {
 			obsRows = rows
 			return t
 		},
+		"ext-shard": func() string {
+			rows, t := experiments.ExtShard(opts)
+			bench.add("shard_fleet", rows)
+			return t
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph", "ext-core", "ext-serve", "ext-exec", "ext-precision", "ext-attack", "ext-obs"}
+	order := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "table4", "ext-arch", "ext-labelonly", "ext-extract", "ext-stream", "ext-subgraph", "ext-core", "ext-serve", "ext-exec", "ext-precision", "ext-attack", "ext-obs", "ext-shard"}
 
 	selected := strings.Split(*run, ",")
 	if *run == "all" {

@@ -53,6 +53,7 @@ func cmdServe(args []string) {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 2, "inference workers shared across the fleet")
 	batch := fs.Int("batch", 8, "max requests coalesced per worker wake-up")
+	shards := fs.Int("shards", 1, "shard the vault across this many enclaves: the private CSR splits at nnz-balanced row boundaries, each shard sealed in its own enclave with its own -epc-mb budget, coupled through halo-exchange SpMM (>1 requires a single dataset × design; label-only)")
 	wsPerVault := fs.Int("ws-per-vault", 2, "max concurrent inference workspaces per vault")
 	epcMB := fs.Int64("epc-mb", 96, "enclave EPC capacity in MB (lower it to force eviction churn)")
 	epcBudgetMB := fs.Int64("epc-budget-mb", 0, "per-workspace EPC budget in MB: plans execute tile-streamed under this bound (0 = classic untiled plans)")
@@ -106,6 +107,25 @@ func cmdServe(args []string) {
 		}
 		ring = obs.NewRing(capacity)
 		recorder = ring
+	}
+	if *shards > 1 {
+		var limit *serve.RateLimit
+		if *rateLimit > 0 || *queryBudget > 0 {
+			limit = &serve.RateLimit{PerSec: *rateLimit, Burst: *rateBurst, Budget: *queryBudget}
+		}
+		if *exposeScores {
+			fmt.Fprintln(os.Stderr, "serve: -shards is label-only; -expose-scores is not supported on a shard fleet")
+			os.Exit(2)
+		}
+		runSharded(shardedServeConfig{
+			dataset: *dataset, design: *design, sub: *sub,
+			epochs: *epochs, seed: *seed, shards: *shards, epcMB: *epcMB,
+			workers: *workers, batch: *batch, plan: plan, nq: nq,
+			clients: *clients, requests: *requests,
+			httpAddr: *httpAddr, limit: limit, precision: prec.String(),
+			ring: ring, recorder: recorder, pprof: *pprofOn,
+		})
+		return
 	}
 	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq, recorder)
 	srv := serve.NewMulti(fl.reg, serve.Config{

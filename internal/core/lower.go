@@ -97,11 +97,18 @@ func (b *Backbone) lowerIntoExtra(bld *exec.Builder, x int, csr *graph.NormAdjac
 // lowerInto compiles the rectifier's design wiring into bld. inputs are
 // the program values of the transferred embeddings, in RequiredEmbeddings
 // order; csr, when non-nil, substitutes the private message-passing
-// operator (the subgraph path passes its induced private sub-CSR header).
+// operator (the subgraph path passes its induced private sub-CSR header,
+// the sharded path its rectangular row-range shard). halo, when non-nil,
+// marks a sharded lowering: every GCN conv gathers its boundary rows
+// through a halo op between the feature transform and the aggregation —
+// the MatMul output is row-local, so the SpMM over a rectangular shard
+// CSR needs the out-of-range rows computed by the peers that own them.
+// The slots are identical for every layer because the shard's halo
+// column set is a property of the partition, not of the layer.
 // workers should be 1 — the rectifier is in-enclave, single-threaded — and
 // is baked into any opaque (non-GCN) conv ops, whose closure-held
 // workspace bytes accumulate into *extra. Returns the logits value.
-func (r *Rectifier) lowerInto(bld *exec.Builder, inputs []int, csr *graph.NormAdjacency, maxRows, workers int, extra *int64) int {
+func (r *Rectifier) lowerInto(bld *exec.Builder, inputs []int, csr *graph.NormAdjacency, halo []exec.HaloSlot, maxRows, workers int, extra *int64) int {
 	if want := len(r.RequiredEmbeddings()); len(inputs) != want {
 		panic(fmt.Sprintf("core: rectifier %s wants %d embeddings, got %d", r.Design, want, len(inputs)))
 	}
@@ -125,6 +132,9 @@ func (r *Rectifier) lowerInto(bld *exec.Builder, inputs []int, csr *graph.NormAd
 		var v int
 		if conv, ok := r.convs[k].(*nn.GCNConv); ok {
 			v = bld.MatMul(in, conv.W)
+			if halo != nil {
+				v = bld.Halo(v, halo)
+			}
 			v = bld.SpMM(adj, v)
 			v = bld.AddBias(v, conv.B)
 		} else {
@@ -141,10 +151,11 @@ func (r *Rectifier) lowerInto(bld *exec.Builder, inputs []int, csr *graph.NormAd
 // compileRectifier builds the full rectifier program for batches of
 // maxRows rows — one input per required embedding, the design wiring, the
 // terminal label reduction — and epilogue-fuses it. csr substitutes the
-// private operator when non-nil. The second result is the closure-held
+// private operator when non-nil; halo, when non-nil, lowers the sharded
+// variant (see lowerInto). The second result is the closure-held
 // workspace footprint of any opaque (non-GCN) conv ops — bytes a direct
 // plan must charge on top of the machine's BufferBytes.
-func (r *Rectifier) compileRectifier(maxRows int, csr *graph.NormAdjacency) (*exec.Program, int64) {
+func (r *Rectifier) compileRectifier(maxRows int, csr *graph.NormAdjacency, halo []exec.HaloSlot) (*exec.Program, int64) {
 	bld := exec.NewBuilder(maxRows)
 	needed := r.RequiredEmbeddings()
 	inputs := make([]int, 0, len(needed))
@@ -152,7 +163,7 @@ func (r *Rectifier) compileRectifier(maxRows int, csr *graph.NormAdjacency) (*ex
 		inputs = append(inputs, bld.Input(r.BackboneDims[i]))
 	}
 	var extra int64
-	out := r.lowerInto(bld, inputs, csr, maxRows, 1, &extra)
+	out := r.lowerInto(bld, inputs, csr, halo, maxRows, 1, &extra)
 	bld.Argmax(out)
 	return bld.Build().Fused(), extra
 }

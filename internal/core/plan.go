@@ -108,7 +108,7 @@ func (r *Rectifier) Plan(rows int) *RectifierWorkspace {
 		inputs = append(inputs, bld.Input(r.BackboneDims[i]))
 	}
 	var extra int64
-	r.lowerInto(bld, inputs, nil, rows, 1, &extra)
+	r.lowerInto(bld, inputs, nil, nil, rows, 1, &extra)
 	mach, err := bld.Build().Fused().NewMachine(exec.Config{Workers: 1})
 	if err != nil {
 		panic(fmt.Sprintf("core: rectifier plan: %v", err))
@@ -184,7 +184,7 @@ func (v *Vault) PlanWith(rows int, cfg PlanConfig) (*Workspace, error) {
 		return nil, fmt.Errorf("core: unknown plan precision %d", cfg.Precision)
 	}
 	elem := cfg.Precision.Elem()
-	prog, extra := v.rectifier.compileRectifier(rows, nil)
+	prog, extra := v.rectifier.compileRectifier(rows, nil, nil)
 	if elem != exec.F64 && !prog.Tileable() {
 		return nil, fmt.Errorf("core: %s plan: %w", cfg.Precision, exec.ErrPrecisionUnsupported)
 	}

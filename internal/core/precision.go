@@ -161,6 +161,14 @@ func (v *Vault) calibrateReduced(prog *exec.Program, bbMach *exec.Machine, block
 func checkAgreement(mach *exec.Machine, rows int, embs []*mat.Matrix, ref []int, cfg PlanConfig) error {
 	labels := make([]int, rows)
 	mach.Run(rows, embs, labels)
+	return agreementFloor(labels, ref, cfg)
+}
+
+// agreementFloor compares reduced-precision argmax labels against the
+// fp64 reference and enforces the configured floor. Shared by the
+// single-machine gate above and the sharded fleet's gate, which produces
+// its labels by running every shard concurrently.
+func agreementFloor(labels, ref []int, cfg PlanConfig) error {
 	agree := 0
 	for i, l := range labels {
 		if l == ref[i] {
@@ -168,8 +176,8 @@ func checkAgreement(mach *exec.Machine, rows int, embs []*mat.Matrix, ref []int,
 		}
 	}
 	frac := 1.0
-	if rows > 0 {
-		frac = float64(agree) / float64(rows)
+	if len(labels) > 0 {
+		frac = float64(agree) / float64(len(labels))
 	}
 	if floor := cfg.minAgreement(); frac < floor {
 		return fmt.Errorf("%w: %s agrees with fp64 on %.4f of calibration nodes, floor %.4f", ErrCalibrationFailed, cfg.Precision, frac, floor)

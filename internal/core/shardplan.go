@@ -1,0 +1,572 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/exec"
+	"gnnvault/internal/graph"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/nn"
+	"gnnvault/internal/obs"
+)
+
+// Sharded deployment: the vault split across a multi-enclave fleet. One
+// enclave's EPC caps how large a private graph a single vault can seal;
+// DeploySharded instead cuts the private CSR into contiguous row-range
+// shards at nnz-balanced boundaries (graph.Partition) and seals each
+// shard — its rectangular CSR slab plus a full copy of the rectifier
+// parameters — inside its own enclave with its own EPC budget and cost
+// ledger. Cross-shard message passing lowers to a local SpMM over the
+// shard's resident rows plus a halo op that gathers the boundary nodes'
+// activations from the peers that own them (exec.Fleet); the gathered
+// bytes are priced into each shard's ECALL payload exactly like spill
+// traffic, so the sealed halo exchange shows up in the modelled cost the
+// same way SGX sealed buffers would on real hardware.
+//
+// The partition preserves per-row non-zero order and pins the parent's
+// value-scale hint, so a sharded plan's labels are bit-identical to the
+// single-enclave plan's at every precision tier — sharding is a capacity
+// and throughput move, never an accuracy one.
+
+// ErrShardUnsupported is returned by DeploySharded for rectifiers the
+// fleet cannot run: non-GCN convolutions lower to opaque ops that cannot
+// participate in barrier-synchronised fleet execution.
+var ErrShardUnsupported = errors.New("core: deployment not shardable (GCN rectifier required)")
+
+// ShardedVault is a GNNVault deployment split across a fleet of shard
+// enclaves. The backbone and rectifier objects are shared (the same
+// trained parameters everywhere); each shard holds its own enclave,
+// sealed with the shard's row-range slab of the private adjacency.
+type ShardedVault struct {
+	Backbone *Backbone
+	Part     *graph.Partition
+
+	rectifier    *Rectifier
+	privateGraph *graph.Graph
+	vaults       []*Vault
+}
+
+// DeploySharded provisions a trained GNNVault across shards enclaves,
+// each created with the given (per-shard) cost model: the private CSR is
+// cut at nnz-balanced row boundaries and every shard's enclave is charged
+// for the rectifier parameters plus its own slab — so the fleet's
+// admissible graph size scales with the shard count while each enclave's
+// EPC stays fixed. Fails with ErrShardUnsupported for non-GCN rectifiers
+// and with enclave.ErrEPCExhausted (wrapped) when a shard's residents do
+// not fit its EPC.
+func DeploySharded(bb *Backbone, rec *Rectifier, private *graph.Graph, cost enclave.CostModel, shards int) (*ShardedVault, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("core: sharded deploy wants >= 1 shards, got %d", shards)
+	}
+	for _, c := range rec.convs {
+		if _, ok := c.(*nn.GCNConv); !ok {
+			return nil, fmt.Errorf("%w: rectifier conv %T", ErrShardUnsupported, c)
+		}
+	}
+	part := graph.NewPartition(rec.Adjacency(), shards)
+	sv := &ShardedVault{Backbone: bb, Part: part, rectifier: rec, privateGraph: private}
+	for s := 0; s < shards; s++ {
+		// Each shard enclave's measurement covers the rectifier identity
+		// plus its shard index, so peers have distinct sealing keys.
+		encl := enclave.New(cost, rec.Identity(), []byte{byte(s)})
+		v, err := deployInto(encl, bb, rec, private, nil, part.CSR[s].NumBytes())
+		if err != nil {
+			sv.Undeploy()
+			return nil, fmt.Errorf("core: deploying shard %d: %w", s, err)
+		}
+		sv.vaults = append(sv.vaults, v)
+	}
+	return sv, nil
+}
+
+// Shards returns the fleet's shard count.
+func (sv *ShardedVault) Shards() int { return len(sv.vaults) }
+
+// Shard returns shard s's vault — its own enclave over the shared model.
+// Node-query serving plans per-shard subgraph workspaces through it.
+func (sv *ShardedVault) Shard(s int) *Vault { return sv.vaults[s] }
+
+// Owner returns the shard owning global node u.
+func (sv *ShardedVault) Owner(u int) int { return sv.Part.Owner(u) }
+
+// Nodes returns the node count of the deployed private graph.
+func (sv *ShardedVault) Nodes() int { return sv.privateGraph.N() }
+
+// Classes returns the label-space width every served prediction reduces to.
+func (sv *ShardedVault) Classes() int { return sv.vaults[0].Classes() }
+
+// Design returns the deployed rectifier's communication scheme.
+func (sv *ShardedVault) Design() RectifierDesign { return sv.rectifier.Design }
+
+// Undeploy returns every shard's persistent EPC. Idempotent.
+func (sv *ShardedVault) Undeploy() {
+	for _, v := range sv.vaults {
+		v.Undeploy()
+	}
+}
+
+// SetCalibrationFeatures registers the calibration batch on every shard
+// vault, so both the sharded planner and per-shard subgraph planners can
+// gate reduced-precision plans against the fp64 reference.
+func (sv *ShardedVault) SetCalibrationFeatures(x *mat.Matrix) error {
+	for _, v := range sv.vaults {
+		if err := v.SetCalibrationFeatures(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardedWorkspace is a full-graph inference plan over the shard fleet:
+// the backbone compiled once at full height in the normal world, one
+// rectifier machine per shard — lowered against the shard's rectangular
+// CSR with a halo gather per conv layer — coupled into an exec.Fleet, and
+// per-shard EPC, payload, spill and halo accounting. PredictInto fans one
+// modelled ECALL out per shard (concurrently — the fleet's barriers
+// require it) and the shards write disjoint ranges of one label buffer,
+// so stitching is free. Like Workspace, it belongs to one goroutine at a
+// time.
+type ShardedWorkspace struct {
+	Rows int
+
+	sv     *ShardedVault
+	bbMach *exec.Machine
+	bbIn   []*mat.Matrix
+	blocks []*mat.Matrix
+	fleet  *exec.Fleet
+	needed []int
+
+	// Per-shard state, indexed by shard. shardEmbs[s] holds reusable view
+	// headers over the backbone block matrices, rebound to the shard's row
+	// range after every backbone run; shardLabels[s] is the shard's slice
+	// of the shared label buffer.
+	shardEmbs   [][]*mat.Matrix
+	shardLabels [][]int
+	payload     []int64
+	spill       []int64
+	halo        []int64
+	epc         []int64
+	ecalls      []func() (int64, error)
+	errs        []error
+	ecIDs       []uint64
+
+	labels   []int
+	rec      obs.Recorder
+	released bool
+}
+
+// PlanSharded builds a reusable sharded inference workspace for batches
+// of rows nodes (rows must equal the deployed graph's node count). Every
+// PlanConfig knob keeps its PlanWith meaning, applied per shard: an
+// EPCBudgetBytes is each *shard's* budget — tiles derive from the shard's
+// own row count — and reduced precisions calibrate once against the
+// unsharded fp64 reference, so every shard quantizes on the same grid and
+// the fleet's labels stay bit-identical to the single-enclave plan's.
+func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace, error) {
+	if n := sv.privateGraph.N(); rows != n {
+		return nil, fmt.Errorf("core: sharded plan rows %d != deployed graph nodes %d", rows, n)
+	}
+	if !cfg.Precision.valid() {
+		return nil, fmt.Errorf("core: unknown plan precision %d", cfg.Precision)
+	}
+	part := sv.Part
+	shards := sv.Shards()
+	elem := cfg.Precision.Elem()
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.Nop
+	}
+
+	// Per-shard rectifier programs: identical lowering everywhere (the
+	// fleet checks), with a halo gather between each conv's MatMul and
+	// SpMM whenever the partition has boundary columns at all — shards
+	// whose own halo is empty still emit the op, as a barrier the peers'
+	// gathers rely on.
+	withHalo := part.HaloCols() > 0
+	progs := make([]*exec.Program, shards)
+	for s := range progs {
+		var hs []exec.HaloSlot
+		if withHalo {
+			hs = exec.HaloSlots(part.Bounds, part.Halo[s])
+		}
+		prog, _ := sv.rectifier.compileRectifier(part.Rows(s), part.CSR[s], hs)
+		if !prog.Tileable() {
+			return nil, ErrShardUnsupported
+		}
+		progs[s] = prog
+	}
+
+	bbProg, blockVals, _ := sv.Backbone.compileBackbone(rows, nil, cfg.Workers)
+	bbMach, err := bbProg.NewMachine(exec.Config{Workers: cfg.Workers, Recorder: rec})
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling backbone plan: %w", err)
+	}
+	blocks := make([]*mat.Matrix, 0, len(blockVals))
+	for _, bv := range blockVals {
+		blocks = append(blocks, bbMach.Value(bv))
+	}
+
+	// Reduced tiers calibrate against the unsharded reference program —
+	// the scale grid every shard must share — and remap the scales onto
+	// each shard's value table (halo values copy their source's grid).
+	var baseScales [][]float64
+	var refLabels []int
+	if elem != exec.F64 {
+		fullProg, _ := sv.rectifier.compileRectifier(rows, nil, nil)
+		scales, ref, _, err := sv.vaults[0].calibrateReduced(fullProg, bbMach, blocks, cfg)
+		if err != nil {
+			return nil, err
+		}
+		baseScales, refLabels = scales, ref
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	machines := make([]*exec.Machine, shards)
+	for s := range machines {
+		mcfg := exec.Config{Workers: 1, Elem: elem, Recorder: rec} // direct in-enclave: single-threaded
+		if cfg.tiled() {
+			if t := deriveTileRows(cfg, progs[s].MaxWidth(), part.Rows(s), workers, cfg.Precision.ElemBytes()); t > 0 {
+				mcfg = exec.Config{TileRows: t, Workers: workers, Elem: elem, Recorder: rec}
+			}
+		}
+		if baseScales != nil {
+			shardScales, err := exec.ShardScales(progs[s], baseScales)
+			if err != nil {
+				return nil, fmt.Errorf("core: shard %d scales: %w", s, err)
+			}
+			mcfg.Scales = shardScales
+		}
+		m, err := progs[s].NewMachine(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling shard %d plan: %w", s, err)
+		}
+		machines[s] = m
+	}
+	fleet, err := exec.NewFleet(machines)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling shard fleet: %w", err)
+	}
+
+	ws := &ShardedWorkspace{
+		Rows:        rows,
+		sv:          sv,
+		bbMach:      bbMach,
+		bbIn:        make([]*mat.Matrix, 1),
+		blocks:      blocks,
+		fleet:       fleet,
+		needed:      sv.rectifier.RequiredEmbeddings(),
+		shardEmbs:   make([][]*mat.Matrix, shards),
+		shardLabels: make([][]int, shards),
+		payload:     make([]int64, shards),
+		spill:       make([]int64, shards),
+		halo:        make([]int64, shards),
+		epc:         make([]int64, shards),
+		ecalls:      make([]func() (int64, error), shards),
+		errs:        make([]error, shards),
+		ecIDs:       make([]uint64, shards),
+		labels:      make([]int, rows),
+		rec:         rec,
+	}
+	for s := 0; s < shards; s++ {
+		s := s
+		lo, hi := part.Bounds[s], part.Bounds[s+1]
+		local := hi - lo
+		embs := make([]*mat.Matrix, len(ws.needed))
+		for k := range embs {
+			embs[k] = &mat.Matrix{}
+		}
+		ws.shardEmbs[s] = embs
+		ws.shardLabels[s] = ws.labels[lo:hi:hi]
+		for _, i := range ws.needed {
+			ws.payload[s] += int64(sv.Backbone.BlockDims[i]) * int64(local) * cfg.Precision.ElemBytes()
+		}
+		m := machines[s]
+		ws.halo[s] = m.HaloBytes()
+		if m.TileRows() > 0 {
+			// Tiled shard: only the staging tiles are enclave-resident;
+			// activations — including the halo extension rows — stream
+			// through sealed spill buffers, charged as transfer.
+			ws.epc[s] = m.TileBytes()
+			ws.spill[s] = m.SpillTraffic(local)
+		} else {
+			ws.epc[s] = m.BufferBytes() + ws.payload[s]
+		}
+		ws.ecalls[s] = func() (int64, error) {
+			ws.fleet.RunShard(s, local, ws.shardEmbs[s], ws.shardLabels[s])
+			// The machine's busy time — kernels and halo copies, not
+			// fleet-barrier waits — is this ECALL's in-enclave compute.
+			return ws.fleet.Machine(s).TakeBusyNs(), nil
+		}
+	}
+
+	// Admission gate for reduced tiers: the actual fleet must reproduce
+	// the fp64 reference labels on the calibration batch (the backbone
+	// machine still holds the calibration embeddings from calibrateReduced).
+	if refLabels != nil {
+		check := make([]int, rows)
+		ws.bindShardEmbs()
+		ws.runFleet(check)
+		if err := agreementFloor(check, refLabels, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	for s := 0; s < shards; s++ {
+		if err := sv.vaults[s].Enclave.Alloc(ws.epc[s]); err != nil {
+			for t := 0; t < s; t++ {
+				sv.vaults[t].Enclave.Free(ws.epc[t])
+			}
+			return nil, fmt.Errorf("core: shard %d inference workspace does not fit EPC: %w", s, err)
+		}
+	}
+	return ws, nil
+}
+
+// bindShardEmbs rebinds every shard's embedding views onto the backbone
+// block matrices' current contents — called after each backbone run, and
+// zero-alloc: the view headers are planned once.
+func (ws *ShardedWorkspace) bindShardEmbs() {
+	part := ws.sv.Part
+	for s := range ws.shardEmbs {
+		lo, hi := part.Bounds[s], part.Bounds[s+1]
+		for k, i := range ws.needed {
+			ws.blocks[i].ViewRows(lo, hi, ws.shardEmbs[s][k])
+		}
+	}
+}
+
+// runFleet executes one fleet round outside any enclave accounting —
+// plan-time only (the calibration agreement gate). labels must have Rows
+// entries; each shard writes its own range.
+func (ws *ShardedWorkspace) runFleet(labels []int) {
+	part := ws.sv.Part
+	var wg sync.WaitGroup
+	for s := 0; s < ws.fleet.Shards(); s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := part.Bounds[s], part.Bounds[s+1]
+			ws.fleet.RunShard(s, hi-lo, ws.shardEmbs[s], labels[lo:hi])
+		}()
+	}
+	wg.Wait()
+	// Drain the busy counters this unaccounted round accumulated, so the
+	// first real ECALL charges only its own run.
+	for s := 0; s < ws.fleet.Shards(); s++ {
+		ws.fleet.Machine(s).TakeBusyNs()
+	}
+}
+
+// Shards returns the workspace's shard count.
+func (ws *ShardedWorkspace) Shards() int { return ws.fleet.Shards() }
+
+// EnclaveBytes returns the total EPC charged across all shard enclaves at
+// plan time.
+func (ws *ShardedWorkspace) EnclaveBytes() int64 {
+	var n int64
+	for _, b := range ws.epc {
+		n += b
+	}
+	return n
+}
+
+// ShardEnclaveBytes returns the EPC charged to shard s's enclave.
+func (ws *ShardedWorkspace) ShardEnclaveBytes(s int) int64 { return ws.epc[s] }
+
+// HaloBytes returns the boundary-activation bytes one inference exchanges
+// across the fleet — the per-call halo traffic priced into the shard
+// ECALL payloads and surfaced on /metrics.
+func (ws *ShardedWorkspace) HaloBytes() int64 { return ws.fleet.HaloBytes() }
+
+// ShardHaloBytes returns shard s's gathered halo bytes per call.
+func (ws *ShardedWorkspace) ShardHaloBytes(s int) int64 { return ws.halo[s] }
+
+// PayloadBytes returns the total per-call ECALL embedding payload summed
+// over shards — each shard receives exactly its own rows of each required
+// block, so the fleet total matches the unsharded plan's payload.
+func (ws *ShardedWorkspace) PayloadBytes() int64 {
+	var n int64
+	for _, b := range ws.payload {
+		n += b
+	}
+	return n
+}
+
+// SpillBytes returns the total per-call tile-flush traffic over shards
+// (0 when every shard planned untiled).
+func (ws *ShardedWorkspace) SpillBytes() int64 {
+	var n int64
+	for _, b := range ws.spill {
+		n += b
+	}
+	return n
+}
+
+// Release returns every shard's workspace EPC. Idempotent.
+func (ws *ShardedWorkspace) Release() {
+	if ws.released {
+		return
+	}
+	ws.released = true
+	for s, v := range ws.sv.vaults {
+		v.Enclave.Free(ws.epc[s])
+	}
+}
+
+// PredictInto runs one full sharded inference: the backbone once at full
+// height in the normal world, then one modelled ECALL per shard, fanned
+// out concurrently — each carries the shard's embedding rows plus its
+// spill and halo traffic in, and its rows of the label vector out, while
+// the fleet's barriers synchronise the per-layer halo exchange between
+// the enclaves. The returned labels are in seed (global row) order,
+// owned by the workspace and overwritten by the next call; they are
+// bit-identical to the single-enclave plan's at every precision tier.
+//
+// The breakdown's byte and call counts sum over shards; its modelled time
+// components follow the slowest shard, since the fleet runs them in
+// parallel. PeakEPCBytes is the busiest single enclave — each shard has
+// its own EPC.
+func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int, InferenceBreakdown, error) {
+	var bd InferenceBreakdown
+	if ws.released {
+		return nil, bd, fmt.Errorf("core: PredictInto on released sharded workspace")
+	}
+	if ws.sv != sv {
+		return nil, bd, fmt.Errorf("core: workspace planned for a different sharded vault")
+	}
+	if x.Rows != ws.Rows {
+		return nil, bd, fmt.Errorf("core: input rows %d != planned rows %d", x.Rows, ws.Rows)
+	}
+	if x.Cols != sv.Backbone.FeatureDim {
+		return nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, sv.Backbone.FeatureDim)
+	}
+	shards := sv.Shards()
+	before := make([]enclave.Ledger, shards)
+	for s, v := range sv.vaults {
+		before[s] = v.Enclave.Ledger()
+		v.Enclave.ResetPeak()
+	}
+
+	// Flight recorder: one trace per call — a query root, the backbone
+	// stage, and one ECALL span per shard, so the trace tree shows the
+	// fan-out and each shard's halo-priced payload.
+	rec := ws.rec
+	recOn := rec.Enabled()
+	var trace, bbID uint64
+	var qStart, stageStart int64
+	if recOn {
+		trace = rec.NewSpan()
+		bbID = rec.NewSpan()
+		ws.bbMach.SetTrace(trace, bbID)
+		for s := range ws.ecIDs {
+			ws.ecIDs[s] = rec.NewSpan()
+			ws.fleet.Machine(s).SetTrace(trace, ws.ecIDs[s])
+		}
+		qStart = rec.Clock()
+		stageStart = qStart
+	}
+
+	start := time.Now()
+	ws.bbIn[0] = x
+	ws.bbMach.Run(ws.Rows, ws.bbIn, nil)
+	bd.BackboneTime = time.Since(start)
+	if recOn {
+		now := rec.Clock()
+		rec.Record(obs.Span{Trace: trace, ID: bbID, Parent: trace, Kind: obs.SpanBackbone,
+			Rows: int32(ws.Rows), Start: stageStart, Dur: now - stageStart})
+		stageStart = now
+	}
+
+	// Fan out: one ECALL per shard, necessarily concurrent — every shard
+	// must reach the fleet barriers for any to pass them.
+	ws.bindShardEmbs()
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resultBytes := int64(len(ws.shardLabels[s])) * 8
+			ws.errs[s] = sv.vaults[s].Enclave.EcallMeasured(ws.payload[s]+ws.spill[s]+ws.halo[s], resultBytes, ws.ecalls[s])
+		}()
+	}
+	wg.Wait()
+	for s, err := range ws.errs {
+		if err != nil {
+			return nil, bd, fmt.Errorf("core: shard %d enclave inference: %w", s, err)
+		}
+	}
+	if recOn {
+		now := rec.Clock()
+		for s := range ws.ecIDs {
+			rec.Record(obs.Span{Trace: trace, ID: ws.ecIDs[s], Parent: trace, Kind: obs.SpanECall,
+				Rows:  int32(len(ws.shardLabels[s])),
+				Bytes: ws.payload[s] + ws.spill[s] + ws.halo[s] + int64(len(ws.shardLabels[s]))*8,
+				Start: stageStart, Dur: now - stageStart})
+		}
+		rec.Record(obs.Span{Trace: trace, ID: trace, Kind: obs.SpanQuery,
+			Rows: int32(ws.Rows), Start: qStart, Dur: now - qStart})
+	}
+
+	var slowest time.Duration
+	for s, v := range sv.vaults {
+		after := v.Enclave.Ledger()
+		tr := after.TransferTime() - before[s].TransferTime()
+		en := after.EnclaveTime() - before[s].EnclaveTime()
+		if tr+en >= slowest {
+			slowest = tr + en
+			bd.TransferTime, bd.EnclaveTime = tr, en
+		}
+		bd.BytesIn += after.BytesIn - before[s].BytesIn
+		bd.ECalls += after.ECalls - before[s].ECalls
+		if after.PeakEPCBytes > bd.PeakEPCBytes {
+			bd.PeakEPCBytes = after.PeakEPCBytes
+		}
+	}
+	return ws.labels, bd, nil
+}
+
+// RouteSeeds returns the shard a node-query batch routes to: the owner of
+// the first seed. The whole batch goes to one shard — splitting seeds
+// would change the joint L-hop frontier the subgraph engine extracts and
+// break bit-identity with the single-enclave answer. Fails with
+// ErrNodeOutOfRange on an empty batch or an out-of-range first seed (the
+// per-seed validation of the query itself happens downstream).
+func (sv *ShardedVault) RouteSeeds(seeds []int) (int, error) {
+	if len(seeds) == 0 {
+		return 0, ErrNodeOutOfRange
+	}
+	if u := seeds[0]; u >= 0 && u < sv.privateGraph.N() {
+		return sv.Part.Owner(u), nil
+	}
+	return 0, ErrNodeOutOfRange
+}
+
+// PredictNodesAt answers a node-level query on shard s's vault (ws must
+// be a subgraph workspace planned from that vault) and prices the
+// cross-shard traffic the query induced: every extracted node owned by a
+// peer shard models one OCALL from s's enclave — the sealed fetch of that
+// node's embedding row — and the fetched bytes are returned as halo
+// traffic for the caller's accounting. Labels alias ws, one per seed.
+func (sv *ShardedVault) PredictNodesAt(x *mat.Matrix, seeds []int, s int, ws *SubgraphWorkspace) ([]int, int64, InferenceBreakdown, error) {
+	labels, bd, err := sv.vaults[s].PredictNodesInto(x, seeds, ws)
+	if err != nil {
+		return nil, 0, bd, err
+	}
+	var haloBytes int64
+	for _, u := range ws.ExtractedNodes() {
+		if sv.Part.Owner(u) != s {
+			sv.vaults[s].Enclave.Ocall()
+			haloBytes += ws.payload
+		}
+	}
+	return labels, haloBytes, bd, nil
+}

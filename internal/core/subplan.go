@@ -163,7 +163,7 @@ func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanCon
 		// known at plan time, but the sub program compiles from the same
 		// lowering as the full-graph one, so scales derived here index the
 		// same values the per-query machine computes.
-		fullProg, _ := v.rectifier.compileRectifier(n, nil)
+		fullProg, _ := v.rectifier.compileRectifier(n, nil, nil)
 		if !fullProg.Tileable() {
 			return nil, fmt.Errorf("core: %s subgraph plan: %w", pcfg.Precision, exec.ErrPrecisionUnsupported)
 		}
@@ -221,7 +221,7 @@ func (v *Vault) PlanSubgraphWith(maxSeeds int, cfg subgraph.Config, pcfg PlanCon
 	for _, bv := range blockVals {
 		ws.blocks = append(ws.blocks, bbMach.Value(bv))
 	}
-	rectProg, _ := v.rectifier.compileRectifier(capRows, ws.privCS.Sub()) // GCN-only here: no opaque bytes
+	rectProg, _ := v.rectifier.compileRectifier(capRows, ws.privCS.Sub(), nil) // GCN-only here: no opaque bytes
 	rectMach, err := rectProg.NewMachine(rectCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling subgraph rectifier: %w", err)
@@ -284,6 +284,12 @@ func (ws *SubgraphWorkspace) CapNodes() int { return ws.plan.CapNodes }
 // LastExtracted returns the node count of the most recent extraction —
 // the effective batch height of the last query's forward pass.
 func (ws *SubgraphWorkspace) LastExtracted() int { return ws.curRows }
+
+// ExtractedNodes returns the global node ids of the most recent
+// extraction, seeds first. The slice aliases workspace state and is
+// overwritten by the next query. Sharded routing uses it to price the
+// induced rows a shard enclave had to fetch from peers.
+func (ws *SubgraphWorkspace) ExtractedNodes() []int { return ws.exp.Nodes() }
 
 // Release returns the workspace's EPC to the enclave. The workspace must
 // not be used afterwards. Idempotent.

@@ -91,25 +91,32 @@ func Deploy(bb *Backbone, rec *Rectifier, private *graph.Graph, cost enclave.Cos
 // A multi-vault enclave's measurement covers whatever identities the caller
 // passed to enclave.New, typically every hosted rectifier's Identity.
 func DeployInto(encl *enclave.Enclave, bb *Backbone, rec *Rectifier, private *graph.Graph) (*Vault, error) {
-	params := rec.MarshalParams()
-	coo := graph.MarshalCOO(private)
-
-	sealedParams, err := encl.Seal(params)
-	if err != nil {
-		return nil, fmt.Errorf("core: sealing rectifier params: %w", err)
-	}
-	sealedGraph, err := encl.Seal(coo)
+	sealedGraph, err := encl.Seal(graph.MarshalCOO(private))
 	if err != nil {
 		return nil, fmt.Errorf("core: sealing private graph: %w", err)
 	}
+	return deployInto(encl, bb, rec, private, sealedGraph, rec.Adjacency().NumBytes())
+}
 
-	// Persistent EPC residents: parameters + normalised COO adjacency.
+// deployInto seals the rectifier parameters under the enclave's identity,
+// charges the EPC for the persistent residents (parameters + graphBytes of
+// adjacency), and assembles the vault handle. The full-graph path passes
+// the whole normalised adjacency's bytes; a shard deployment
+// (DeploySharded) passes only its row-range slab's bytes — and a nil
+// sealedGraph, because the shard's at-rest adjacency lives inside the
+// partition's shared value slab rather than as a standalone COO blob.
+func deployInto(encl *enclave.Enclave, bb *Backbone, rec *Rectifier, private *graph.Graph, sealedGraph []byte, graphBytes int64) (*Vault, error) {
+	sealedParams, err := encl.Seal(rec.MarshalParams())
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing rectifier params: %w", err)
+	}
+
+	// Persistent EPC residents: parameters + normalised adjacency share.
 	paramBytes := rec.ParamBytes()
-	adjBytes := rec.Adjacency().NumBytes()
 	if err := encl.Alloc(paramBytes); err != nil {
 		return nil, fmt.Errorf("core: rectifier parameters do not fit EPC: %w", err)
 	}
-	if err := encl.Alloc(adjBytes); err != nil {
+	if err := encl.Alloc(graphBytes); err != nil {
 		encl.Free(paramBytes)
 		return nil, fmt.Errorf("core: private adjacency does not fit EPC: %w", err)
 	}
@@ -122,7 +129,7 @@ func DeployInto(encl *enclave.Enclave, bb *Backbone, rec *Rectifier, private *gr
 		privateGraph:    private,
 		sealedParams:    sealedParams,
 		sealedGraph:     sealedGraph,
-		persistentBytes: paramBytes + adjBytes,
+		persistentBytes: paramBytes + graphBytes,
 	}, nil
 }
 

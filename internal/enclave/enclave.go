@@ -250,6 +250,33 @@ func (e *Enclave) Ecall(payloadBytes, resultBytes int64, fn func() error) error 
 	return err
 }
 
+// EcallMeasured models an enclave entry whose body reports its own
+// in-enclave busy time instead of having it measured from the wall clock.
+// Transition, transfer and byte accounting match Ecall exactly; the
+// returned busy nanoseconds are charged as compute (scaled by
+// ComputeSlowdown like measured compute). Fleet shard ECALLs use it: on a
+// shared simulation host a shard's wall time includes fleet-barrier waits
+// and interleaved peer compute, which distinct enclaves on real
+// multi-enclave hardware would overlap — charging wall time would bill
+// the whole fleet's work to every shard.
+func (e *Enclave) EcallMeasured(payloadBytes, resultBytes int64, fn func() (busyNs int64, err error)) error {
+	e.mu.Lock()
+	e.ledger.ECalls++
+	e.ledger.BytesIn += payloadBytes
+	e.ledger.BytesOut += resultBytes
+	e.ledger.TransitionNs += e.cost.ECallLatency.Nanoseconds() + e.cost.OCallLatency.Nanoseconds()
+	if e.cost.TransferBytesPerSec > 0 {
+		ns := float64(payloadBytes+resultBytes) / e.cost.TransferBytesPerSec * 1e9
+		e.ledger.TransferNs += int64(ns)
+	}
+	e.mu.Unlock()
+	busyNs, err := fn()
+	e.mu.Lock()
+	e.ledger.ComputeNs += int64(float64(busyNs) * e.cost.ComputeSlowdown)
+	e.mu.Unlock()
+	return err
+}
+
 // Ocall models a call out of the enclave (fixed transition cost only).
 func (e *Enclave) Ocall() {
 	e.mu.Lock()

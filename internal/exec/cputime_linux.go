@@ -1,0 +1,26 @@
+//go:build linux
+
+package exec
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID: the per-thread CPU
+// clock, counting only cycles the calling OS thread actually executed.
+const clockThreadCPUTimeID = 3
+
+// threadCPUNs returns the calling OS thread's consumed CPU time. Busy
+// accounting uses it instead of the wall clock so a fleet shard whose
+// goroutine is preempted mid-kernel — on a shared host the scheduler
+// interleaves peer shards inside any wall-clock window — is charged
+// only for its own cycles. Callers must be pinned to their thread
+// (runtime.LockOSThread) for deltas to be meaningful.
+func threadCPUNs() int64 {
+	var ts syscall.Timespec
+	if _, _, errno := syscall.Syscall(syscall.SYS_CLOCK_GETTIME, clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0); errno != 0 {
+		return 0
+	}
+	return syscall.TimespecToNsec(ts)
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package exec
+
+import "time"
+
+var threadCPUBase = time.Now()
+
+// threadCPUNs falls back to the monotonic wall clock where the OS does
+// not expose a per-thread CPU clock. Busy deltas then include any peer
+// work the scheduler interleaves into the window, so sharded modelled
+// compute is a (pessimistic) upper bound on such hosts.
+func threadCPUNs() int64 {
+	return int64(time.Since(threadCPUBase))
+}

@@ -61,6 +61,7 @@ const (
 	OpConcat                // dst = [src0 | src1 | …]
 	OpArgmax                // labels[i] = argmax(src row i); terminal, no dst
 	OpFunc                  // dst = fn(src), opaque full-width layer
+	OpHalo                  // dst = [src | peer boundary rows], fleet exchange
 )
 
 // String names the op kind for diagnostics.
@@ -82,6 +83,8 @@ func (k OpKind) String() string {
 		return "argmax"
 	case OpFunc:
 		return "func"
+	case OpHalo:
+		return "halo"
 	default:
 		return fmt.Sprintf("opkind(%d)", uint8(k))
 	}
@@ -112,6 +115,17 @@ type Op struct {
 	// invocation), which the machine binds as the destination value — no
 	// staging buffer, no copy. Direct mode only.
 	Fn func(src *mat.Matrix) *mat.Matrix
+	// Halo lists, for an OpHalo, the peer rows gathered below the local
+	// rows of src: dst row rows+k is peer Halo[k].Shard's local row
+	// Halo[k].Row of the same value. Executing one requires a Fleet.
+	Halo []HaloSlot
+}
+
+// HaloSlot addresses one boundary-node activation in a sharded fleet:
+// the shard owning the row and the row's index local to that shard.
+type HaloSlot struct {
+	Shard int
+	Row   int
 }
 
 // value is one entry of the program's value table.
@@ -129,6 +143,11 @@ type value struct {
 	// dead marks a value orphaned by fusion: no surviving op touches it,
 	// machines allocate no buffer for it.
 	dead bool
+	// extra is the halo row count of an OpHalo destination: its buffer
+	// holds MaxRows local rows plus extra gathered peer rows, and views
+	// bind rows+extra high so the shard's rectangular SpMM can consume
+	// the halo-extended operand.
+	extra int
 }
 
 // Program is a compiled forward pass: a value table (external inputs plus
@@ -144,10 +163,15 @@ type Program struct {
 	numInputs int
 	output    int
 	hasArgmax bool
+	hasHalo   bool
 	maxWidth  int
 	maxArity  int
 	tileable  bool
 }
+
+// HasHalo reports whether the program contains halo-exchange ops —
+// machines planned from it can only Run inside a Fleet, at full height.
+func (p *Program) HasHalo() bool { return p.hasHalo }
 
 // NumInputs returns how many external input matrices Run expects.
 func (p *Program) NumInputs() int { return p.numInputs }
@@ -195,10 +219,12 @@ type Builder struct {
 	last int
 }
 
-// NewBuilder starts a program for batches of up to maxRows rows.
+// NewBuilder starts a program for batches of up to maxRows rows. Zero
+// is legal — an empty shard of a partitioned fleet still lowers and runs
+// a (trivially empty) program so it participates in the fleet barriers.
 func NewBuilder(maxRows int) *Builder {
-	if maxRows <= 0 {
-		panic(fmt.Sprintf("exec: non-positive maxRows %d", maxRows))
+	if maxRows < 0 {
+		panic(fmt.Sprintf("exec: negative maxRows %d", maxRows))
 	}
 	return &Builder{p: Program{MaxRows: maxRows, tileable: true}, last: -1}
 }
@@ -319,6 +345,23 @@ func (b *Builder) Concat(srcs ...int) int {
 	return dst
 }
 
+// Halo appends dst = [src | gathered peer rows]: dst's first rows rows
+// copy src and the next len(slots) rows gather, in slot order, the named
+// boundary activations of the same value from peer shards of a Fleet.
+// The dst value is rows+len(slots) high at run time — the halo-extended
+// operand a shard's rectangular SpMM consumes. The op is emitted even
+// with zero slots (a shard whose rows are all-local still synchronises
+// with its peers — every shard of a fleet must make the same barrier
+// calls per run); lowerings omit Halo entirely only when no shard of the
+// partition has any halo column.
+func (b *Builder) Halo(src int, slots []HaloSlot) int {
+	dst := b.newValue(b.width(src), -1)
+	b.p.vals[dst].extra = len(slots)
+	b.push(Op{Kind: OpHalo, Dst: dst, Srcs: []int{src}, Halo: append([]HaloSlot{}, slots...)})
+	b.p.hasHalo = true
+	return dst
+}
+
 // Func appends dst = fn(src), an opaque full-width layer of the given
 // output width. fn consumes src and returns its result in a buffer it
 // owns (a planned layer workspace's output, typically); it is invoked
@@ -423,6 +466,14 @@ type Machine struct {
 	// reduced-precision (F32/I8) machine; nil at F64.
 	red *reduced
 
+	// Fleet wiring for halo-exchange programs: peers[s] is shard s's
+	// machine (including this one at its own index) and sync is the
+	// fleet barrier, called after input binding and again before each
+	// halo op so every peer's gathered value is complete. Both are set
+	// by NewFleet; nil outside a fleet.
+	peers []*Machine
+	sync  func()
+
 	scratch []workerScratch // per tile worker (index 0 serves direct mode too)
 	fns     []func()        // pre-built worker bodies, spawned per op
 	wg      sync.WaitGroup
@@ -445,6 +496,17 @@ type Machine struct {
 	parent   uint64
 	profNs   []int64
 	profRuns int64
+
+	// busyNs accumulates this machine's own execution time — input
+	// binding/conversion, op kernels and halo copies, but never fleet
+	// barrier waits. Shard ECALLs charge it as in-enclave compute via
+	// TakeBusyNs: a fleet shard's wall time on a shared host includes
+	// peer compute and barrier waits that distinct enclaves on real
+	// hardware would overlap. Measured on the per-thread CPU clock
+	// where the OS has one (see threadCPUNs), so even a goroutine
+	// preempted mid-kernel is charged only its own cycles; the fleet
+	// pins each shard goroutine to its thread for the run.
+	busyNs int64
 }
 
 // workerScratch is one tile worker's pre-allocated header set. Workers
@@ -491,7 +553,7 @@ func (p *Program) NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Elem == F64 {
 		for i, v := range p.vals {
 			if v.input < 0 && !v.funcOut && !v.dead {
-				m.spill[i] = mat.New(p.MaxRows, v.width)
+				m.spill[i] = mat.New(p.MaxRows+v.extra, v.width)
 			}
 		}
 	}
@@ -589,9 +651,40 @@ func (m *Machine) SpillTraffic(rows int) int64 {
 	n := int64(0)
 	for _, op := range m.prog.ops {
 		if op.Dst >= 0 {
-			n += int64(rows) * int64(m.prog.vals[op.Dst].width) * es
+			n += int64(rows+m.prog.vals[op.Dst].extra) * int64(m.prog.vals[op.Dst].width) * es
 		}
 	}
+	return n
+}
+
+// HaloBytes returns the bytes one Run gathers from peer shards — Σ over
+// halo ops of slot count × value width at the machine's element width.
+// This is cross-enclave traffic through sealed buffers, so callers add
+// it to the ECALL payload accounting alongside SpillTraffic; zero for
+// programs without halo ops.
+func (m *Machine) HaloBytes() int64 {
+	es := int64(m.elem.Size())
+	n := int64(0)
+	for i := range m.prog.ops {
+		op := &m.prog.ops[i]
+		if op.Kind == OpHalo {
+			n += int64(len(op.Halo)) * int64(m.prog.vals[op.Dst].width) * es
+		}
+	}
+	return n
+}
+
+// TakeBusyNs returns and resets the machine's accumulated busy time:
+// input binding/conversion, op kernels and halo gather copies, excluding
+// fleet barrier waits. Fleet shard ECALLs charge it as in-enclave compute
+// (enclave.EcallMeasured) — a shard's wall time on a shared host includes
+// peer compute and barrier waits that distinct enclaves on real hardware
+// would overlap, so wall-clock measurement would charge the whole fleet's
+// work to every shard. Shares the machine's one-goroutine-at-a-time
+// contract with Run.
+func (m *Machine) TakeBusyNs() int64 {
+	n := m.busyNs
+	m.busyNs = 0
 	return n
 }
 
@@ -630,7 +723,12 @@ func (m *Machine) opDone(i int, op *Op, rows int, t0 int64) {
 	m.profNs[i] += dur
 	tiles := int32(1)
 	var bytes int64
-	if m.tiled {
+	switch {
+	case op.Kind == OpHalo:
+		// Halo ops run full-height in every mode; the boundary traffic
+		// is the gathered peer rows.
+		bytes = int64(len(op.Halo)) * int64(m.prog.vals[op.Dst].width) * int64(m.elem.Size())
+	case m.tiled:
 		tiles = int32((rows + m.cfg.TileRows - 1) / m.cfg.TileRows)
 		if op.Dst >= 0 {
 			bytes = int64(rows) * int64(m.prog.vals[op.Dst].width) * int64(m.elem.Size())
@@ -682,6 +780,11 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 	if rows < 0 || rows > p.MaxRows {
 		panic(fmt.Sprintf("exec: rows %d outside [0, %d]", rows, p.MaxRows))
 	}
+	if p.hasHalo && rows != p.MaxRows {
+		// Halo slots address peer rows assuming every shard runs full
+		// height; partial batches have no meaning on a sharded program.
+		panic(fmt.Sprintf("exec: halo program requires full height %d, got %d", p.MaxRows, rows))
+	}
 	if len(inputs) != p.numInputs {
 		panic(fmt.Sprintf("exec: %d inputs, want %d", len(inputs), p.numInputs))
 	}
@@ -689,10 +792,11 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 		return m.runReduced(rows, inputs, labels)
 	}
 	// Bind every value's full-rows view: inputs alias the caller's
-	// matrices, intermediates alias the first rows rows of their buffer.
-	// Func outputs are bound when their op executes (the kernel owns the
-	// buffer), which op order guarantees happens before any consumer;
-	// values the fusion pass eliminated have no buffer to bind.
+	// matrices, intermediates alias the first rows rows of their buffer
+	// (plus the gathered halo rows for a halo destination). Func outputs
+	// are bound when their op executes (the kernel owns the buffer),
+	// which op order guarantees happens before any consumer; values the
+	// fusion pass eliminated have no buffer to bind.
 	for i, v := range p.vals {
 		switch {
 		case v.input >= 0:
@@ -702,12 +806,17 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 			}
 			m.views[i] = *in
 		case !v.funcOut && !v.dead:
-			m.spill[i].ViewRows(0, rows, &m.views[i])
+			m.spill[i].ViewRows(0, rows+v.extra, &m.views[i])
 		}
 	}
 	recOn := m.rec.Enabled()
 	if recOn {
 		m.profRuns++
+	}
+	if m.sync != nil {
+		// Fleet entry barrier: every peer's views are bound before any
+		// shard starts reading across the fleet.
+		m.sync()
 	}
 	for i := range p.ops {
 		op := &p.ops[i]
@@ -718,6 +827,14 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 		if recOn {
 			t0 = m.rec.Clock()
 		}
+		if op.Kind == OpHalo {
+			m.runHalo(op, rows)
+			if recOn {
+				m.opDone(i, op, rows, t0)
+			}
+			continue
+		}
+		busy0 := threadCPUNs()
 		switch {
 		case !m.tiled:
 			m.runDirect(op, rows, labels)
@@ -729,6 +846,7 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 				m.runTile(0, i, op, lo, hi, labels)
 			}
 		}
+		m.busyNs += threadCPUNs() - busy0
 		if recOn {
 			m.opDone(i, op, rows, t0)
 		}
@@ -876,4 +994,75 @@ func (m *Machine) runTile(w, idx int, op *Op, lo, hi int, labels []int) {
 	}
 	m.views[op.Dst].ViewRows(lo, hi, &s.dstTile)
 	mat.CopyInto(&s.dstTile, &s.tileView)
+}
+
+// runHalo executes one halo-exchange op: wait on the fleet barrier (ops
+// preceding the halo op are identical across shards, so passing it means
+// every peer's gathered value is complete), copy the local rows of src
+// into dst, then gather each slot's peer row below them. The copies are
+// bit-exact row moves at the machine's element width, so sharded
+// execution inherits the engine's bit-identity contract; the op runs
+// full-height in every mode (direct, serial-tiled, tile-parallel) on the
+// calling goroutine.
+func (m *Machine) runHalo(op *Op, rows int) {
+	if m.peers == nil {
+		panic("exec: halo op outside a fleet (plan through NewFleet)")
+	}
+	m.sync()
+	// Busy time starts after the barrier: only the gather copies are this
+	// shard's own work; the wait is peer compute that real multi-enclave
+	// hardware would overlap.
+	busy0 := threadCPUNs()
+	src, dst := op.Srcs[0], op.Dst
+	d := m.prog.vals[dst].width
+	// Halo slots are sorted by global column, so consecutive slots owned
+	// by the same peer with adjacent local rows form runs that gather as
+	// one copy each. On power-law graphs the halo is near-all-to-all and
+	// runs span most of a peer's range, collapsing hundreds of thousands
+	// of row-sized copies into a handful of block moves — same bytes,
+	// same layout, so bit-identity is untouched.
+	switch m.elem {
+	case F32:
+		r := m.red
+		dv, sv := &r.views32[dst], &r.views32[src]
+		copy(dv.Data[:rows*d], sv.Data[:rows*d])
+		for k := 0; k < len(op.Halo); {
+			sl := &op.Halo[k]
+			j := k + 1
+			for j < len(op.Halo) && op.Halo[j].Shard == sl.Shard && op.Halo[j].Row == sl.Row+(j-k) {
+				j++
+			}
+			pv := &m.peers[sl.Shard].red.views32[src]
+			copy(dv.Data[(rows+k)*d:(rows+j)*d], pv.Data[sl.Row*d:(sl.Row+j-k)*d])
+			k = j
+		}
+	case I8:
+		r := m.red
+		dv, sv := &r.views8[dst], &r.views8[src]
+		copy(dv.Data[:rows*d], sv.Data[:rows*d])
+		for k := 0; k < len(op.Halo); {
+			sl := &op.Halo[k]
+			j := k + 1
+			for j < len(op.Halo) && op.Halo[j].Shard == sl.Shard && op.Halo[j].Row == sl.Row+(j-k) {
+				j++
+			}
+			pv := &m.peers[sl.Shard].red.views8[src]
+			copy(dv.Data[(rows+k)*d:(rows+j)*d], pv.Data[sl.Row*d:(sl.Row+j-k)*d])
+			k = j
+		}
+	default:
+		dv, sv := &m.views[dst], &m.views[src]
+		copy(dv.Data[:rows*d], sv.Data[:rows*d])
+		for k := 0; k < len(op.Halo); {
+			sl := &op.Halo[k]
+			j := k + 1
+			for j < len(op.Halo) && op.Halo[j].Shard == sl.Shard && op.Halo[j].Row == sl.Row+(j-k) {
+				j++
+			}
+			pv := &m.peers[sl.Shard].views[src]
+			copy(dv.Data[(rows+k)*d:(rows+j)*d], pv.Data[sl.Row*d:(sl.Row+j-k)*d])
+			k = j
+		}
+	}
+	m.busyNs += threadCPUNs() - busy0
 }

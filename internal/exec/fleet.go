@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gnnvault/internal/mat"
+)
+
+// Fleet synchronisation for sharded execution. A partitioned vault runs
+// one machine per shard, each inside its own enclave, and the shards'
+// halo ops read each other's spill buffers directly — the simulation of
+// a sealed activation exchange between enclaves. Correctness needs only
+// two ordering guarantees, both provided by one reusable barrier: no
+// shard reads across the fleet before every peer has bound its views
+// (the entry barrier in Run), and no halo op gathers before every peer
+// has finished the ops preceding it (the barrier in runHalo — programs
+// are lowered with identical op sequences, so "my halo op i" implies
+// "your value from op < i is complete"). Values are written exactly once
+// per run, so no further synchronisation is needed: a shard that races
+// ahead only writes values no peer reads anymore.
+
+// barrier is a reusable counting barrier. Each wait blocks until all n
+// parties arrive; the phase counter makes it safely reusable because a
+// party cannot start its k+1-th wait before its k-th completed, so all
+// parties always sit in the same phase.
+type barrier struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	ph := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.phase == ph {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Fleet couples one machine per shard of a partitioned program so their
+// halo ops can exchange boundary activations. All shards of a round must
+// run concurrently (RunShard from one goroutine per shard — the per-
+// shard ECALL bodies); a shard run alone would wait forever on the
+// barrier. A fleet handles one round at a time; the caller joins every
+// RunShard before starting the next.
+type Fleet struct {
+	machines []*Machine
+	bar      *barrier
+}
+
+// NewFleet wires the shard machines into a fleet: validates that their
+// programs synchronise identically (same op-kind sequence, hence the
+// same barrier calls per run), that every halo slot addresses a real
+// peer row, and that all machines share an element type; then installs
+// the peer table and barrier into each machine. Machines may belong to
+// at most one fleet. Programs containing OpFunc are rejected — an opaque
+// kernel could fail mid-run between barriers, and fleet execution must
+// be infallible after the entry barrier.
+func NewFleet(machines []*Machine) (*Fleet, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("exec: fleet of zero machines")
+	}
+	ref := machines[0].prog
+	for s, m := range machines {
+		if m.peers != nil {
+			return nil, fmt.Errorf("exec: shard %d machine already belongs to a fleet", s)
+		}
+		if !m.prog.tileable {
+			return nil, fmt.Errorf("exec: shard %d program contains non-tileable ops (OpFunc cannot run in a fleet)", s)
+		}
+		if m.elem != machines[0].elem {
+			return nil, fmt.Errorf("exec: shard %d element type %s != shard 0 %s", s, m.elem, machines[0].elem)
+		}
+		if len(m.prog.ops) != len(ref.ops) {
+			return nil, fmt.Errorf("exec: shard %d has %d ops, shard 0 has %d — shards must lower identically", s, len(m.prog.ops), len(ref.ops))
+		}
+		for i := range m.prog.ops {
+			if m.prog.ops[i].Kind != ref.ops[i].Kind {
+				return nil, fmt.Errorf("exec: shard %d op %d is %s, shard 0 has %s — shards must lower identically", s, i, m.prog.ops[i].Kind, ref.ops[i].Kind)
+			}
+		}
+		for i := range m.prog.ops {
+			op := &m.prog.ops[i]
+			if op.Kind != OpHalo {
+				continue
+			}
+			for _, sl := range op.Halo {
+				if sl.Shard < 0 || sl.Shard >= len(machines) {
+					return nil, fmt.Errorf("exec: shard %d halo slot names shard %d of %d", s, sl.Shard, len(machines))
+				}
+				if sl.Row < 0 || sl.Row >= machines[sl.Shard].prog.MaxRows {
+					return nil, fmt.Errorf("exec: shard %d halo slot row %d outside peer %d's %d rows", s, sl.Row, sl.Shard, machines[sl.Shard].prog.MaxRows)
+				}
+			}
+		}
+	}
+	f := &Fleet{machines: machines, bar: newBarrier(len(machines))}
+	for _, m := range machines {
+		m.peers = machines
+		m.sync = f.bar.wait
+	}
+	return f, nil
+}
+
+// Shards returns the fleet's shard count.
+func (f *Fleet) Shards() int { return len(f.machines) }
+
+// Machine returns shard s's machine (for Value/Output reads and
+// accounting; it stays owned by the fleet).
+func (f *Fleet) Machine(s int) *Machine { return f.machines[s] }
+
+// RunShard executes shard s's machine over its full shard height. It
+// must be called concurrently for every shard of the fleet — typically
+// from inside each shard enclave's ECALL body — and blocks at the fleet
+// barriers until the peers catch up. Arguments and result are exactly
+// Machine.Run's, over the shard's local rows; labels receives the
+// shard's rows of the global label vector, so passing labels[lo:hi] per
+// shard stitches the full result with no extra copy.
+//
+// The calling goroutine is pinned to its OS thread for the duration so
+// the machine's busy accounting can read the per-thread CPU clock:
+// only this shard's own cycles are charged, no matter how the host
+// scheduler interleaves the peers.
+func (f *Fleet) RunShard(s, rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	return f.machines[s].Run(rows, inputs, labels)
+}
+
+// HaloBytes returns the total boundary-activation traffic one fleet
+// round exchanges, summed over shards — the quantity the sharded plans
+// price into each ECALL payload and surface on /metrics.
+func (f *Fleet) HaloBytes() int64 {
+	n := int64(0)
+	for _, m := range f.machines {
+		n += m.HaloBytes()
+	}
+	return n
+}
+
+// HaloSlots resolves global halo column indices to fleet slots under the
+// partition's row bounds (graph.Partition.Bounds): each column maps to
+// its owning shard and its row index local to that shard. Kept here so
+// lowering code can build halo ops without exec importing graph's
+// partition type.
+func HaloSlots(bounds []int, halo []int) []HaloSlot {
+	slots := make([]HaloSlot, len(halo))
+	for k, c := range halo {
+		s := sort.SearchInts(bounds, c+1) - 1
+		slots[k] = HaloSlot{Shard: s, Row: c - bounds[s]}
+	}
+	return slots
+}
+
+// ShardScales derives a sharded program's per-value int8 activation
+// scales from the unsharded program's calibrated scales (CalibrateScales
+// output). The two programs create non-halo values in identical order —
+// the sharded lowering only inserts Halo ops, and fusion folds the same
+// chains — so base scales are consumed sequentially, and each halo
+// destination copies its source's scales: a halo value holds rows of the
+// same global activation, so its per-column quantization grid must match
+// exactly for the gathered codes to be bit-identical across shards.
+func ShardScales(p *Program, base [][]float64) ([][]float64, error) {
+	haloSrc := make(map[int]int)
+	for i := range p.ops {
+		if p.ops[i].Kind == OpHalo {
+			haloSrc[p.ops[i].Dst] = p.ops[i].Srcs[0]
+		}
+	}
+	out := make([][]float64, len(p.vals))
+	j := 0
+	for i := range p.vals {
+		if src, ok := haloSrc[i]; ok {
+			out[i] = out[src]
+			continue
+		}
+		if j >= len(base) {
+			return nil, fmt.Errorf("exec: sharded program has more non-halo values than the %d base scales", len(base))
+		}
+		out[i] = base[j]
+		j++
+	}
+	if j != len(base) {
+		return nil, fmt.Errorf("exec: sharded program consumed %d of %d base scale vectors — programs do not correspond", j, len(base))
+	}
+	return out, nil
+}

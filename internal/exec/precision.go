@@ -218,7 +218,7 @@ func (m *Machine) planReduced() error {
 			case v.input >= 0:
 				r.in32[v.input] = mat.New32(p.MaxRows, v.width)
 			case !v.dead:
-				r.spill32[i] = mat.New32(p.MaxRows, v.width)
+				r.spill32[i] = mat.New32(p.MaxRows+v.extra, v.width)
 			}
 		}
 		if m.tiled {
@@ -246,7 +246,7 @@ func (m *Machine) planReduced() error {
 			case v.input >= 0:
 				r.in8[v.input] = mat.NewI8(p.MaxRows, v.width)
 			case !v.dead:
-				r.spill8[i] = mat.NewI8(p.MaxRows, v.width)
+				r.spill8[i] = mat.NewI8(p.MaxRows+v.extra, v.width)
 			}
 		}
 		if m.tiled {
@@ -320,6 +320,7 @@ func narrow(v []float64) []float32 {
 // the F64 body.
 func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix {
 	p, r := m.prog, m.red
+	busy0 := threadCPUNs()
 	for i, v := range p.vals {
 		switch {
 		case v.input >= 0:
@@ -336,9 +337,9 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 			}
 		case !v.dead:
 			if m.elem == F32 {
-				r.spill32[i].ViewRows(0, rows, &r.views32[i])
+				r.spill32[i].ViewRows(0, rows+v.extra, &r.views32[i])
 			} else {
-				r.spill8[i].ViewRows(0, rows, &r.views8[i])
+				r.spill8[i].ViewRows(0, rows+v.extra, &r.views8[i])
 			}
 		}
 	}
@@ -361,9 +362,17 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 			}
 		}
 	}
+	// Boundary conversion/quantization is this shard's own work; the
+	// entry barrier below is not.
+	m.busyNs += threadCPUNs() - busy0
 	recOn := m.rec.Enabled()
 	if recOn {
 		m.profRuns++
+	}
+	if m.sync != nil {
+		// Fleet entry barrier: every peer's typed views are bound (and
+		// boundary-converted) before any shard starts reading across.
+		m.sync()
 	}
 	for i := range p.ops {
 		op := &p.ops[i]
@@ -374,6 +383,14 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 		if recOn {
 			t0 = m.rec.Clock()
 		}
+		if op.Kind == OpHalo {
+			m.runHalo(op, rows)
+			if recOn {
+				m.opDone(i, op, rows, t0)
+			}
+			continue
+		}
+		opBusy0 := threadCPUNs()
 		switch {
 		case !m.tiled:
 			if m.elem == F32 {
@@ -389,10 +406,12 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 				m.runTile(0, i, op, lo, hi, labels)
 			}
 		}
+		m.busyNs += threadCPUNs() - opBusy0
 		if recOn {
 			m.opDone(i, op, rows, t0)
 		}
 	}
+	outBusy0 := threadCPUNs()
 	out := &m.views[p.output]
 	r.out64.ViewRows(0, rows, out)
 	if m.elem == F32 {
@@ -400,6 +419,7 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 	} else {
 		mat.DequantizeColumnsI8Into(out, &r.views8[p.output], m.cfg.Scales[p.output])
 	}
+	m.busyNs += threadCPUNs() - outBusy0
 	return out
 }
 

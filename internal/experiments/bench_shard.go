@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/datasets"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/graph"
+	"gnnvault/internal/substitute"
+)
+
+// extShardEPCMB is the fixed per-shard EPC budget the shard sweep holds
+// constant across shard counts: big enough that the 1M-node single-shard
+// baseline can deploy at all (its CSR alone is ~280 MB), small enough
+// that the single enclave must tile its workspace where the fleet plans
+// untiled. Sharding N× multiplies the fleet's total EPC while each
+// enclave stays at this budget — exactly the scale lever the
+// multi-enclave fleet exists to pull.
+const extShardEPCMB = 384
+
+// ExtShardRow is one shard-count point of the multi-enclave fleet sweep,
+// serialised into BENCH_shard.json by `make bench-json` so the scale-out
+// trajectory is tracked across PRs. Latencies are the repo's modelled
+// serving time (InferenceBreakdown.Total: measured backbone + the cost
+// model's transfer and in-enclave components) — on a real fleet the
+// shard enclaves run on their own hardware, which the simulation's
+// per-shard busy-time accounting models, while raw wall time on the
+// benchmark host would serialise the shards through its scheduler.
+type ExtShardRow struct {
+	Nodes         int   `json:"nodes"`
+	DirectedEdges int   `json:"directed_edges"`
+	Shards        int   `json:"shards"`
+	PerShardEPCMB int64 `json:"per_shard_epc_mb"`
+	// Mode is "untiled" when every shard's workspace fits its enclave
+	// budget, "tiled" when the fixed budget forced tiled execution.
+	Mode string `json:"mode"`
+	// NodesPerSec is full-graph inference throughput: graph nodes
+	// labelled per second of modelled serving time at the median pass
+	// (the median keeps the headline robust against a single
+	// GC-disturbed backbone measurement at multi-second pass times).
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	// P50US and P99US are modelled per-pass latency quantiles in
+	// microseconds.
+	P50US float64 `json:"p50_us"`
+	P99US float64 `json:"p99_us"`
+	// WallUS is the mean measured wall time per pass on the benchmark
+	// host, for reference (shards interleave on shared cores here).
+	WallUS float64 `json:"wall_us"`
+	// HaloMB is the boundary-activation traffic one pass exchanges across
+	// the fleet (0 for a single shard).
+	HaloMB float64 `json:"halo_mb_per_pass"`
+	// SpillMB is the per-pass tiled spill traffic (0 when every shard
+	// planned untiled within its EPC budget).
+	SpillMB float64 `json:"spill_mb_per_pass"`
+	// PeakShardEPCMB is the busiest single enclave's EPC occupancy after
+	// planning — the number that must stay under PerShardEPCMB.
+	PeakShardEPCMB float64 `json:"peak_shard_epc_mb"`
+	// MaxAdmissibleNodes is the headline: at this configuration's
+	// measured EPC bytes per node, how many nodes the fleet's total EPC
+	// (shards × per-shard budget) admits. Grows with the shard count
+	// while each enclave's budget stays fixed.
+	MaxAdmissibleNodes int `json:"max_admissible_nodes"`
+}
+
+// ExtShard sweeps full-graph inference across multi-enclave shard fleets
+// (shard count 1, 2, 4) on a power-law graph, holding the per-shard EPC
+// budget fixed. The graph size is the largest entry of
+// Options.SubgraphSizes (default 50k; the committed BENCH_shard.json run
+// uses 1M). Model dims are reduced (32-dim features, 32/16 backbone,
+// 16/8 rectifier) so the 1M-node sweep trains in minutes — the sweep
+// measures the fleet's scale-out, not accuracy. Per pass the backbone
+// runs once at full height in the normal world; the rectifier fans out
+// as one ECALL per shard with the per-layer halo exchange priced into
+// each shard's payload. Each shard count first tries an untiled plan and
+// falls back to tiling within the fixed budget — the single-enclave
+// baseline pays spill traffic where the fleet's pooled EPC plans
+// untiled, and the modelled latency prices both against the halo bytes
+// sharding costs.
+func ExtShard(opts Options) ([]ExtShardRow, string) {
+	opts = opts.normalise()
+	n := 50_000
+	for _, s := range opts.SubgraphSizes {
+		if s > n {
+			n = s
+		}
+	}
+	train := opts.train()
+	if train.Epochs > 3 {
+		train.Epochs = 3
+	}
+
+	ds := datasets.GeneratePowerLaw(datasets.PowerLawConfig{
+		Nodes: n, FeatureDim: 32, Seed: int64(n),
+	})
+	sub := graph.PreferentialAttachment(graph.PreferentialAttachmentConfig{
+		Nodes: n, EdgesPerNode: 8, Seed: int64(n) + 999,
+	})
+	spec := core.ModelSpec{Name: "bench-shard", BackboneHidden: []int{32, 16}, RectifierHidden: []int{16, 8}}
+	bb := core.TrainBackbone(ds, spec, substitute.KindRandom, sub, train)
+	rec := core.TrainRectifier(ds, bb, core.Series, train)
+
+	reps := 8
+	if n >= 200_000 {
+		reps = 6
+	}
+
+	var rows []ExtShardRow
+	var cells [][]string
+	for _, shards := range []int{1, 2, 4} {
+		cost := enclaveDefaultCost()
+		cost.EPCBytes = extShardEPCMB << 20 // per shard: each enclave has its own EPC
+		sv, err := core.DeploySharded(bb, rec, ds.Graph, cost, shards)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtShard deploy n=%d shards=%d: %v", n, shards, err))
+		}
+		mode := "untiled"
+		ws, err := sv.PlanSharded(sv.Nodes(), core.PlanConfig{})
+		if errors.Is(err, enclave.ErrEPCExhausted) {
+			// The fixed budget cannot hold this shard count's untiled
+			// workspace: re-plan tiled against the tightest shard's free
+			// EPC, like a real deployment would.
+			free := int64(0)
+			for s := 0; s < shards; s++ {
+				if f := sv.Shard(s).Enclave.EPCFree(); free == 0 || f < free {
+					free = f
+				}
+			}
+			mode = "tiled"
+			ws, err = sv.PlanSharded(sv.Nodes(), core.PlanConfig{EPCBudgetBytes: free})
+		}
+		if err != nil {
+			panic(fmt.Sprintf("experiments: ExtShard plan n=%d shards=%d: %v", n, shards, err))
+		}
+
+		predict := func() (time.Duration, time.Duration) {
+			start := time.Now()
+			_, bd, err := sv.PredictInto(ds.X, ws)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: ExtShard predict n=%d shards=%d: %v", n, shards, err))
+			}
+			return bd.Total(), time.Since(start)
+		}
+		predict()    // warm-up
+		runtime.GC() // settle training/planning garbage before timing
+		lat := make([]float64, reps)
+		var wall time.Duration
+		for i := 0; i < reps; i++ {
+			m, w := predict()
+			lat[i] = float64(m.Microseconds())
+			wall += w
+		}
+		sort.Float64s(lat)
+		quantile := func(q float64) float64 {
+			return lat[int(q*float64(len(lat)-1))]
+		}
+
+		var usedEPC, peakEPC int64
+		for s := 0; s < shards; s++ {
+			u := sv.Shard(s).Enclave.EPCUsed()
+			usedEPC += u
+			if u > peakEPC {
+				peakEPC = u
+			}
+		}
+		perNode := float64(usedEPC) / float64(n)
+		budget := float64(int64(shards) * extShardEPCMB << 20)
+
+		r := ExtShardRow{
+			Nodes: n, DirectedEdges: ds.Graph.NumDirectedEdges(),
+			Shards: shards, PerShardEPCMB: extShardEPCMB, Mode: mode,
+			NodesPerSec:        float64(n) / (quantile(0.50) * 1e-6),
+			P50US:              quantile(0.50),
+			P99US:              quantile(0.99),
+			WallUS:             float64(wall.Microseconds()) / float64(reps),
+			HaloMB:             float64(ws.HaloBytes()) / (1 << 20),
+			SpillMB:            float64(ws.SpillBytes()) / (1 << 20),
+			PeakShardEPCMB:     float64(peakEPC) / (1 << 20),
+			MaxAdmissibleNodes: int(budget / perNode),
+		}
+		rows = append(rows, r)
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.Shards), r.Mode,
+			fmt.Sprintf("%.0f", r.NodesPerSec),
+			fmt.Sprintf("%.0f", r.P50US), fmt.Sprintf("%.0f", r.P99US),
+			fmt.Sprintf("%.2f", r.HaloMB), fmt.Sprintf("%.2f", r.SpillMB),
+			fmt.Sprintf("%.1f", r.PeakShardEPCMB),
+			fmt.Sprintf("%d", r.MaxAdmissibleNodes),
+		})
+		ws.Release()
+		sv.Undeploy()
+	}
+	text := fmt.Sprintf("Ext: multi-enclave shard fleet, modelled full-graph serving (per-shard EPC %d MB)\n", extShardEPCMB) +
+		table([]string{"Nodes", "Shards", "mode", "nodes/s", "p50 µs", "p99 µs", "halo MB", "spill MB", "peak EPC(MB)", "max admissible"}, cells)
+	return rows, text
+}

@@ -21,6 +21,31 @@ type NormAdjacency struct {
 	RowPtr []int
 	ColIdx []int
 	Val    []float64
+
+	// NCols is the column count when the operator is rectangular — a
+	// shard of a partitioned graph owns N resident rows but gathers
+	// columns from N local + halo positions (see Partition). Zero means
+	// square (NCols == N), which every constructor other than
+	// NewPartition produces, so existing literals keep their meaning.
+	NCols int
+
+	// valMaxAbsHint, when positive, pins ValMaxAbs to the parent
+	// operator's global maximum. Shard CSRs carry their parent's bound so
+	// int8 plans quantize edge values under the same symmetric scale on
+	// every shard — the codes, and therefore the bits, match the
+	// single-enclave run.
+	valMaxAbsHint float64
+}
+
+// ColCount returns the operator's column count: N for the square
+// adjacencies built by Normalize and the subgraph inducers, N + halo
+// width for a partition shard. Dense operands multiplied from the right
+// must span this many rows.
+func (na *NormAdjacency) ColCount() int {
+	if na.NCols > 0 {
+		return na.NCols
+	}
+	return na.N
 }
 
 // Normalize builds the symmetric GCN normalisation of g with self loops.
@@ -153,8 +178,8 @@ func (na *NormAdjacency) NNZBound(lo, hi, part, parts int) int {
 // output tile by tile. Runs inline on the calling goroutine (the in-enclave
 // form) and never allocates.
 func (na *NormAdjacency) MulDenseRangeInto(dst, h *mat.Matrix, lo, hi int) {
-	if h.Rows != na.N {
-		panic(fmt.Sprintf("graph: MulDenseRangeInto rows %d != n %d", h.Rows, na.N))
+	if h.Rows != na.ColCount() {
+		panic(fmt.Sprintf("graph: MulDenseRangeInto rows %d != n %d", h.Rows, na.ColCount()))
 	}
 	if lo < 0 || hi > na.N || lo > hi {
 		panic(fmt.Sprintf("graph: MulDenseRangeInto range [%d,%d) out of [0,%d)", lo, hi, na.N))
@@ -232,8 +257,8 @@ func (na *NormAdjacency) accumRow(orow []float64, h *mat.Matrix, i int) {
 // tile form) and never allocates; results are bit-identical to the unfused
 // op sequence.
 func (na *NormAdjacency) MulDenseBiasReLURangeInto(dst, h *mat.Matrix, lo, hi int, bias []float64, res *mat.Matrix, relu bool) {
-	if h.Rows != na.N {
-		panic(fmt.Sprintf("graph: MulDenseBiasReLURangeInto rows %d != n %d", h.Rows, na.N))
+	if h.Rows != na.ColCount() {
+		panic(fmt.Sprintf("graph: MulDenseBiasReLURangeInto rows %d != n %d", h.Rows, na.ColCount()))
 	}
 	if lo < 0 || hi > na.N || lo > hi {
 		panic(fmt.Sprintf("graph: MulDenseBiasReLURangeInto range [%d,%d) out of [0,%d)", lo, hi, na.N))
@@ -287,8 +312,8 @@ func epilogueResRow(res *mat.Matrix, i, d int) []float64 {
 // run on direct machines; with no epilogue set it is exactly
 // MulDenseWorkersInto.
 func (na *NormAdjacency) MulDenseBiasReLUInto(dst, h *mat.Matrix, bias []float64, res *mat.Matrix, relu bool, workers int) {
-	if h.Rows != na.N {
-		panic(fmt.Sprintf("graph: MulDenseBiasReLUInto rows %d != n %d", h.Rows, na.N))
+	if h.Rows != na.ColCount() {
+		panic(fmt.Sprintf("graph: MulDenseBiasReLUInto rows %d != n %d", h.Rows, na.ColCount()))
 	}
 	if dst.Rows != na.N || dst.Cols != h.Cols {
 		panic(fmt.Sprintf("graph: MulDenseBiasReLUInto destination %s, want %dx%d", dst.Shape(), na.N, h.Cols))

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition splits a normalised adjacency into contiguous row-range
+// shards cut at nnz-balanced boundaries (NNZBound), the layout the
+// multi-enclave fleet seals one shard per enclave. Each shard owns the
+// rows [Bounds[s], Bounds[s+1]) and a compact rectangular CSR over a
+// local column space: columns [0, rows_s) are the shard's own rows and
+// columns [rows_s, rows_s+len(Halo[s])) are its halo — the boundary
+// nodes owned by other shards whose activations must be gathered before
+// the shard's local SpMM can run. The remap preserves each row's
+// non-zero order, so a shard SpMM accumulates in exactly the element
+// order of the unsharded kernel and the results agree bit-for-bit.
+type Partition struct {
+	// Bounds has len Shards+1; shard s owns global rows
+	// [Bounds[s], Bounds[s+1]). Boundaries come from NNZBound, so edge
+	// work — not row count — is what balances across shards, and
+	// degenerate cuts (empty shards on tiny or hub-dominated graphs) are
+	// legal.
+	Bounds []int
+
+	// Halo[s] lists, sorted ascending, the global column indices outside
+	// shard s's own row range that its rows reference: the activations
+	// shard s must fetch from their owners each layer. Halo[s][k] maps to
+	// local column rows_s + k of CSR[s].
+	Halo [][]int
+
+	// CSR[s] is shard s's rectangular operator: N = rows_s resident rows,
+	// ColCount() = rows_s + len(Halo[s]) columns, column indices remapped
+	// into the local space and Val aliasing the parent's value slab. Each
+	// shard CSR carries the parent's ValMaxAbs so int8 value codes match
+	// the unsharded run.
+	CSR []*NormAdjacency
+}
+
+// Shards returns the shard count the partition was cut for.
+func (p *Partition) Shards() int { return len(p.Bounds) - 1 }
+
+// Rows returns the number of resident rows of shard s.
+func (p *Partition) Rows(s int) int { return p.Bounds[s+1] - p.Bounds[s] }
+
+// Owner returns the shard owning global row i. Empty shards own no rows,
+// so the answer is the unique shard with Bounds[s] <= i < Bounds[s+1].
+func (p *Partition) Owner(i int) int {
+	n := p.Bounds[len(p.Bounds)-1]
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("graph: Partition.Owner row %d out of [0,%d)", i, n))
+	}
+	// The last bound <= i. Searching for i+1 lands past every empty
+	// shard ending at or before i, so [Bounds[s], Bounds[s+1]) is the
+	// unique non-empty range containing i.
+	return sort.SearchInts(p.Bounds, i+1) - 1
+}
+
+// HaloCols returns the total halo width — Σ_s len(Halo[s]) — the number
+// of boundary-node activations the fleet exchanges per layer.
+func (p *Partition) HaloCols() int {
+	total := 0
+	for _, h := range p.Halo {
+		total += len(h)
+	}
+	return total
+}
+
+// NewPartition cuts na into the given number of contiguous row-range
+// shards at nnz-balanced boundaries and builds each shard's compact
+// rectangular CSR plus halo column index. shards must be >= 1; counts
+// exceeding the row count simply yield trailing empty shards (legal, and
+// covered by the degenerate-graph tests).
+func NewPartition(na *NormAdjacency, shards int) *Partition {
+	if shards < 1 {
+		panic(fmt.Sprintf("graph: NewPartition shards %d < 1", shards))
+	}
+	if na.NCols > 0 {
+		panic("graph: NewPartition of an already-rectangular operator")
+	}
+	p := &Partition{
+		Bounds: make([]int, shards+1),
+		Halo:   make([][]int, shards),
+		CSR:    make([]*NormAdjacency, shards),
+	}
+	for s := 0; s <= shards; s++ {
+		p.Bounds[s] = na.NNZBound(0, na.N, s, shards)
+	}
+	hint := na.ValMaxAbs()
+	for s := 0; s < shards; s++ {
+		lo, hi := p.Bounds[s], p.Bounds[s+1]
+		rows := hi - lo
+		start, end := na.RowPtr[lo], na.RowPtr[hi]
+
+		// Collect the shard's out-of-range columns, then sort and
+		// deduplicate them into the halo index.
+		seen := map[int]int{}
+		halo := []int(nil)
+		for q := start; q < end; q++ {
+			c := na.ColIdx[q]
+			if c < lo || c >= hi {
+				if _, ok := seen[c]; !ok {
+					seen[c] = 0
+					halo = append(halo, c)
+				}
+			}
+		}
+		sort.Ints(halo)
+		for k, c := range halo {
+			seen[c] = rows + k
+		}
+
+		// Rebase the row pointers and remap the columns into the local
+		// space, preserving per-row non-zero order.
+		rowPtr := make([]int, rows+1)
+		for i := 0; i <= rows; i++ {
+			rowPtr[i] = na.RowPtr[lo+i] - start
+		}
+		colIdx := make([]int, end-start)
+		for q := start; q < end; q++ {
+			c := na.ColIdx[q]
+			if c >= lo && c < hi {
+				colIdx[q-start] = c - lo
+			} else {
+				colIdx[q-start] = seen[c]
+			}
+		}
+		p.Halo[s] = halo
+		p.CSR[s] = &NormAdjacency{
+			N:             rows,
+			RowPtr:        rowPtr,
+			ColIdx:        colIdx,
+			Val:           na.Val[start:end:end],
+			NCols:         rows + len(halo),
+			valMaxAbsHint: hint,
+		}
+	}
+	return p
+}

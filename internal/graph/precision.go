@@ -19,7 +19,12 @@ import (
 
 // ValMaxAbs returns the largest absolute stored value (0 when empty),
 // the deploy/plan-time input to the int8 kernels' symmetric value scale.
+// Partition shards return their parent operator's global maximum so the
+// per-shard quantization codes match the unsharded run exactly.
 func (na *NormAdjacency) ValMaxAbs() float64 {
+	if na.valMaxAbsHint > 0 {
+		return na.valMaxAbsHint
+	}
 	mx := 0.0
 	for _, v := range na.Val {
 		if a := math.Abs(v); a > mx {
@@ -149,8 +154,8 @@ func (na *NormAdjacency) mulDense32Range(dst, h *mat.Matrix32, lo, hi int, bias 
 // op must arrive pre-prefixed ("graph: …") so the happy path performs no
 // string concatenation — these checks run on every hot-loop call.
 func (na *NormAdjacency) require32(dst, h *mat.Matrix32, lo, hi, dstRows int, bias []float32, res *mat.Matrix32, op string) {
-	if h.Rows != na.N {
-		panic(fmt.Sprintf("%s rows %d != n %d", op, h.Rows, na.N))
+	if h.Rows != na.ColCount() {
+		panic(fmt.Sprintf("%s rows %d != n %d", op, h.Rows, na.ColCount()))
 	}
 	if lo < 0 || hi > na.N || lo > hi {
 		panic(fmt.Sprintf("%s range [%d,%d) out of [0,%d)", op, lo, hi, na.N))
@@ -187,8 +192,8 @@ func (na *NormAdjacency) require32(dst, h *mat.Matrix32, lo, hi, dstRows int, bi
 // goroutine and never allocates; int32 accumulation makes the result
 // independent of tiling and banding by construction.
 func (na *NormAdjacency) MulDenseI8EpilogueRangeInto(dst, h *mat.MatrixI8, lo, hi int, valScale float64, deq, bias []float64, res *mat.MatrixI8, resScales []float64, relu bool, dstScales []float64, acc []int32, labels []int) {
-	if h.Rows != na.N {
-		panic(fmt.Sprintf("graph: MulDenseI8EpilogueRangeInto rows %d != n %d", h.Rows, na.N))
+	if h.Rows != na.ColCount() {
+		panic(fmt.Sprintf("graph: MulDenseI8EpilogueRangeInto rows %d != n %d", h.Rows, na.ColCount()))
 	}
 	if lo < 0 || hi > na.N || lo > hi {
 		panic(fmt.Sprintf("graph: MulDenseI8EpilogueRangeInto range [%d,%d) out of [0,%d)", lo, hi, na.N))

@@ -69,6 +69,7 @@ type APIConfig struct {
 // lives here.
 type API struct {
 	srv       *MultiServer
+	shard     *ShardedServer // non-nil routes the serving surface to a shard fleet
 	reg       *registry.Registry
 	cfg       APIConfig
 	lim       *limiter
@@ -99,6 +100,61 @@ func NewAPI(srv *MultiServer, reg *registry.Registry, cfg APIConfig) *API {
 		a.lim = newLimiter(*cfg.Limit)
 	}
 	return a
+}
+
+// NewShardedAPI builds the same serving surface over a shard fleet: every
+// endpoint, defense and metric behaves as under NewAPI, except that the
+// one catalogued vault is served by the ShardedServer's fan-out router
+// instead of a registry checkout, /metrics grows the per-shard families
+// (halo bytes, per-shard EPC, fan-out latency), and the score surface is
+// closed — sharded serving is label-only. There is no registry: residency
+// is static (every shard holds its slab for the deployment's lifetime),
+// so the scheduler metric families are not emitted.
+func NewShardedAPI(srv *ShardedServer, cfg APIConfig) *API {
+	a := NewAPI(nil, nil, cfg)
+	a.shard = srv
+	return a
+}
+
+// The serve* helpers dispatch one pool call to whichever back-end this API
+// fronts: the multi-vault registry pool or the shard fleet. The sharded
+// path ignores the vault ID — lookup already pinned it to the catalog —
+// and refuses score queries (label-only fleet).
+
+func (a *API) servePredict(vault string, x *mat.Matrix) ([]int, error) {
+	if a.shard != nil {
+		return a.shard.Predict(x)
+	}
+	return a.srv.Predict(vault, x)
+}
+
+func (a *API) servePredictScores(vault string, x *mat.Matrix) ([][]float64, []int, error) {
+	if a.shard != nil {
+		return a.shard.PredictScores(x)
+	}
+	return a.srv.PredictScores(vault, x)
+}
+
+func (a *API) servePredictNodes(vault string, nodes []int) ([]int, error) {
+	if a.shard != nil {
+		return a.shard.PredictNodes(nodes)
+	}
+	return a.srv.PredictNodes(vault, nodes)
+}
+
+func (a *API) servePredictNodesScores(vault string, nodes []int) ([][]float64, []int, error) {
+	if a.shard != nil {
+		return a.shard.PredictNodesScores(nodes)
+	}
+	return a.srv.PredictNodesScores(vault, nodes)
+}
+
+// serveStats snapshots whichever worker pool this API fronts.
+func (a *API) serveStats() Stats {
+	if a.shard != nil {
+		return a.shard.Stats()
+	}
+	return a.srv.Stats()
 }
 
 // lookup resolves a vault ID and validates the requested node indices.
@@ -147,7 +203,7 @@ func (a *API) predict(client, vault string, nodes []int) ([]int, error) {
 	if err := a.allow(client, cost); err != nil {
 		return nil, err
 	}
-	labels, err := a.srv.Predict(vault, a.cfg.Features(vault))
+	labels, err := a.servePredict(vault, a.cfg.Features(vault))
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +232,7 @@ func (a *API) predictScores(client, vault string, nodes []int) ([][]float64, []i
 	if err := a.allow(client, cost); err != nil {
 		return nil, nil, err
 	}
-	scores, labels, err := a.srv.PredictScores(vault, a.cfg.Features(vault))
+	scores, labels, err := a.servePredictScores(vault, a.cfg.Features(vault))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -205,7 +261,7 @@ func (a *API) predictNodes(client, vault string, nodes []int) ([]int, error) {
 	if err := a.allow(client, len(nodes)); err != nil {
 		return nil, err
 	}
-	return a.srv.PredictNodes(vault, nodes)
+	return a.servePredictNodes(vault, nodes)
 }
 
 // PredictNodesScores is PredictNodes over the defended score surface.
@@ -229,7 +285,7 @@ func (a *API) predictNodesScores(client, vault string, nodes []int) ([][]float64
 	if err := a.allow(client, len(nodes)); err != nil {
 		return nil, nil, err
 	}
-	return a.srv.PredictNodesScores(vault, nodes)
+	return a.servePredictNodesScores(vault, nodes)
 }
 
 // pickInts gathers the selected entries of all, or returns all when no
@@ -362,14 +418,21 @@ func (a *API) handleVaults(w http.ResponseWriter, r *http.Request) {
 		Plans      uint64 `json:"plans"`
 		Evictions  uint64 `json:"evictions"`
 	}
-	rst := a.reg.Stats()
 	byID := map[string]registry.VaultStats{}
-	for _, vs := range rst.PerVault {
-		byID[vs.ID] = vs
+	if a.reg != nil {
+		rst := a.reg.Stats()
+		for _, vs := range rst.PerVault {
+			byID[vs.ID] = vs
+		}
 	}
 	out := make([]vaultEntry, 0, len(a.cfg.Vaults))
 	for _, info := range a.cfg.Vaults {
 		vs := byID[info.ID]
+		if a.reg == nil {
+			// Shard fleet: no scheduler, residency is static for the
+			// deployment's lifetime.
+			vs.Resident = true
+		}
 		out = append(out, vaultEntry{
 			APIVault:   info,
 			Resident:   vs.Resident,
@@ -383,9 +446,8 @@ func (a *API) handleVaults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := a.srv.Stats()
-	rst := a.reg.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	st := a.serveStats()
+	resp := map[string]any{
 		"serving": map[string]any{
 			"requests":       st.Requests,
 			"completed":      st.Completed,
@@ -401,30 +463,68 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			"throughput_rps": st.Throughput,
 			"uptime_s":       st.Uptime.Seconds(),
 		},
-		"scheduler": map[string]any{
+	}
+	if a.reg != nil {
+		rst := a.reg.Stats()
+		resp["scheduler"] = map[string]any{
 			"vaults":    rst.Vaults,
 			"resident":  rst.Resident,
 			"requests":  rst.Requests,
 			"plans":     rst.Plans,
 			"evictions": rst.Evictions,
-		},
-		"enclave": map[string]any{
+		}
+		resp["enclave"] = map[string]any{
 			"epc_used_bytes":  rst.EPCUsed,
 			"epc_free_bytes":  rst.EPCFree,
 			"epc_limit_bytes": rst.EPCLimit,
 			"epc_used_mb":     float64(rst.EPCUsed) / (1 << 20),
 			"epc_limit_mb":    float64(rst.EPCLimit) / (1 << 20),
-		},
-	})
+		}
+	}
+	if a.shard != nil {
+		sst := a.shard.ShardStats()
+		var used, free, limit, halo int64
+		for i := 0; i < sst.Shards; i++ {
+			used += sst.EPCUsed[i]
+			free += sst.EPCFree[i]
+			limit += sst.EPCLimit[i]
+			halo += sst.HaloBytes[i]
+		}
+		resp["enclave"] = map[string]any{
+			"epc_used_bytes":  used,
+			"epc_free_bytes":  free,
+			"epc_limit_bytes": limit,
+			"epc_used_mb":     float64(used) / (1 << 20),
+			"epc_limit_mb":    float64(limit) / (1 << 20),
+		}
+		resp["shards"] = map[string]any{
+			"shards":               sst.Shards,
+			"available":            sst.Available,
+			"halo_bytes":           sst.HaloBytes,
+			"halo_bytes_total":     halo,
+			"epc_used_bytes":       sst.EPCUsed,
+			"epc_limit_bytes":      sst.EPCLimit,
+			"fanout_p50_ms":        float64(sst.Fanout.Quantile(0.50)) / 1e6,
+			"fanout_p99_ms":        float64(sst.Fanout.Quantile(0.99)) / 1e6,
+			"ocalls_total":         sst.Ledger.OCalls,
+			"ecall_bytes_in_total": sst.Ledger.BytesIn,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // httpStatus maps an API error to its HTTP status. Client-caused errors
 // are 4xx — a 503 would invite retries of requests that can never
-// succeed.
+// succeed. ErrShardUnavailable is listed explicitly even though it shares
+// the default's 503: a shard outage (like EPC exhaustion) is transient
+// server state where a retry is exactly right, and pinning it here keeps
+// the sentinel→status contract under test as the default evolves.
 func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShardUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrScoresDisabled):
 		return http.StatusForbidden
 	case errors.Is(err, registry.ErrUnknownVault):

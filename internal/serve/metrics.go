@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"gnnvault/internal/enclave"
 	"gnnvault/internal/exec"
 	"gnnvault/internal/obs"
 )
@@ -44,6 +45,12 @@ const (
 	mBytesIn   = "gnnvault_ecall_bytes_in_total"
 	mBytesOut  = "gnnvault_ecall_bytes_out_total"
 	mPageSwaps = "gnnvault_page_swaps_total"
+
+	// Shard fleet (sharded serving only): per-shard halo traffic and EPC
+	// occupancy, plus the full-graph fan-out latency distribution.
+	mHaloBytes    = "gnnvault_halo_bytes_total"
+	mShardEPCUsed = "gnnvault_shard_epc_used_bytes"
+	mShardFanout  = "gnnvault_shard_fanout_seconds"
 )
 
 // Endpoint label values.
@@ -120,7 +127,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.WriteSample(w, mRateLimited, []obs.Label{{Name: "vault", Value: id}}, float64(a.vm[id].rateLimited.Load()))
 	}
 
-	st := a.srv.Stats()
+	st := a.serveStats()
 	obs.WriteHeader(w, mServeRequests, "counter", "Requests accepted by the worker pool.")
 	obs.WriteSample(w, mServeRequests, nil, float64(st.Requests))
 	obs.WriteHeader(w, mServeCompleted, "counter", "Requests answered successfully by the worker pool.")
@@ -135,36 +142,66 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteHeader(w, mSpillBytes, "counter", "Modelled tile-flush traffic of answered full-graph requests.")
 	obs.WriteSample(w, mSpillBytes, nil, float64(st.SpillBytes))
 
-	rst := a.reg.Stats()
-	obs.WriteHeader(w, mVaultResident, "gauge", "Whether the vault currently holds workspace EPC (1) or not (0).")
-	for _, vs := range rst.PerVault {
-		val := 0.0
-		if vs.Resident {
-			val = 1
+	if a.reg != nil {
+		rst := a.reg.Stats()
+		obs.WriteHeader(w, mVaultResident, "gauge", "Whether the vault currently holds workspace EPC (1) or not (0).")
+		for _, vs := range rst.PerVault {
+			val := 0.0
+			if vs.Resident {
+				val = 1
+			}
+			obs.WriteSample(w, mVaultResident, []obs.Label{{Name: "vault", Value: vs.ID}}, val)
 		}
-		obs.WriteSample(w, mVaultResident, []obs.Label{{Name: "vault", Value: vs.ID}}, val)
-	}
-	obs.WriteHeader(w, mPlans, "counter", "Cold-start workspace plans across the fleet.")
-	obs.WriteSample(w, mPlans, nil, float64(rst.Plans))
-	obs.WriteHeader(w, mEvictions, "counter", "Workspaces evicted to admit other vaults.")
-	obs.WriteSample(w, mEvictions, nil, float64(rst.Evictions))
+		obs.WriteHeader(w, mPlans, "counter", "Cold-start workspace plans across the fleet.")
+		obs.WriteSample(w, mPlans, nil, float64(rst.Plans))
+		obs.WriteHeader(w, mEvictions, "counter", "Workspaces evicted to admit other vaults.")
+		obs.WriteSample(w, mEvictions, nil, float64(rst.Evictions))
 
+		writeEnclaveGauges(w, rst.EPCUsed, rst.EPCFree, rst.EPCLimit, rst.Ledger)
+	}
+	if a.shard != nil {
+		sst := a.shard.ShardStats()
+		var used, free, limit int64
+		for i := 0; i < sst.Shards; i++ {
+			used += sst.EPCUsed[i]
+			free += sst.EPCFree[i]
+			limit += sst.EPCLimit[i]
+		}
+		writeEnclaveGauges(w, used, free, limit, sst.Ledger)
+
+		obs.WriteHeader(w, mHaloBytes, "counter", "Boundary-activation bytes gathered across shard enclaves, by shard.")
+		for i := 0; i < sst.Shards; i++ {
+			obs.WriteSample(w, mHaloBytes, []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sst.HaloBytes[i]))
+		}
+		obs.WriteHeader(w, mShardEPCUsed, "gauge", "Enclave Page Cache bytes charged per shard enclave.")
+		for i := 0; i < sst.Shards; i++ {
+			obs.WriteSample(w, mShardEPCUsed, []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sst.EPCUsed[i]))
+		}
+		obs.WriteHeader(w, mShardFanout, "histogram", "Full-graph fan-out wall time across the shard fleet.")
+		obs.WriteHistogram(w, mShardFanout, nil, sst.Fanout, nsToSeconds)
+	}
+}
+
+// writeEnclaveGauges renders the EPC occupancy gauges and transition
+// ledger counters shared by the registry-backed and sharded expositions
+// (the sharded form sums them over shard enclaves).
+func writeEnclaveGauges(w http.ResponseWriter, used, free, limit int64, led enclave.Ledger) {
 	obs.WriteHeader(w, mEPCUsed, "gauge", "Enclave Page Cache bytes currently charged.")
-	obs.WriteSample(w, mEPCUsed, nil, float64(rst.EPCUsed))
+	obs.WriteSample(w, mEPCUsed, nil, float64(used))
 	obs.WriteHeader(w, mEPCFree, "gauge", "Enclave Page Cache headroom before the next plan must evict.")
-	obs.WriteSample(w, mEPCFree, nil, float64(rst.EPCFree))
+	obs.WriteSample(w, mEPCFree, nil, float64(free))
 	obs.WriteHeader(w, mEPCLimit, "gauge", "Enclave Page Cache capacity.")
-	obs.WriteSample(w, mEPCLimit, nil, float64(rst.EPCLimit))
+	obs.WriteSample(w, mEPCLimit, nil, float64(limit))
 	obs.WriteHeader(w, mECalls, "counter", "Modelled world switches into the enclave.")
-	obs.WriteSample(w, mECalls, nil, float64(rst.Ledger.ECalls))
+	obs.WriteSample(w, mECalls, nil, float64(led.ECalls))
 	obs.WriteHeader(w, mOCalls, "counter", "Modelled world switches out of the enclave.")
-	obs.WriteSample(w, mOCalls, nil, float64(rst.Ledger.OCalls))
+	obs.WriteSample(w, mOCalls, nil, float64(led.OCalls))
 	obs.WriteHeader(w, mBytesIn, "counter", "ECALL payload bytes crossing into the enclave (embeddings plus spill).")
-	obs.WriteSample(w, mBytesIn, nil, float64(rst.Ledger.BytesIn))
+	obs.WriteSample(w, mBytesIn, nil, float64(led.BytesIn))
 	obs.WriteHeader(w, mBytesOut, "counter", "ECALL result bytes crossing out of the enclave.")
-	obs.WriteSample(w, mBytesOut, nil, float64(rst.Ledger.BytesOut))
+	obs.WriteSample(w, mBytesOut, nil, float64(led.BytesOut))
 	obs.WriteHeader(w, mPageSwaps, "counter", "Modelled EPC page swaps.")
-	obs.WriteSample(w, mPageSwaps, nil, float64(rst.Ledger.PageSwaps))
+	obs.WriteSample(w, mPageSwaps, nil, float64(led.PageSwaps))
 }
 
 // --- /debug/trace ---------------------------------------------------------

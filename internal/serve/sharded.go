@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gnnvault/internal/core"
+	"gnnvault/internal/enclave"
+	"gnnvault/internal/mat"
+	"gnnvault/internal/obs"
+)
+
+// ErrShardUnavailable is returned when a query's target shard enclave is
+// offline (SetShardAvailable), or — for full-graph queries — when any
+// shard of the fleet is: the halo exchange barriers need every enclave.
+// It is deliberately distinct from both enclave.ErrEPCExhausted (a
+// capacity failure the registry answers with evictions) and ErrRateLimited
+// (a policy decision against one client): a shard outage is transient
+// infrastructure state, retryable once the shard rejoins, and must trigger
+// neither evictions nor throttle accounting.
+var ErrShardUnavailable = errors.New("serve: shard unavailable")
+
+// ShardedServer is the worker pool over a core.ShardedVault: the vault's
+// private CSR split across a fleet of shard enclaves. Each worker owns one
+// sharded full-graph workspace (the backbone plus one rectifier machine
+// per shard, coupled through halo-exchange barriers) and, when node
+// queries are enabled, one subgraph workspace per shard, planned against
+// that shard's own enclave.
+//
+// Routing: a full-graph query fans out to every shard — the fleet's
+// barriers make the per-layer halo exchange a joint step, so the whole
+// fleet must be up. A node query routes to the shard owning its first
+// seed; cross-shard rows its extraction touches are priced as OCALLs plus
+// halo bytes by the core layer and accumulated here per shard.
+//
+// Sharded serving is label-only: per-class scores are not wired through
+// the fleet, so NewSharded refuses Config.ExposeScores and the score
+// endpoints fail with ErrScoresDisabled.
+type ShardedServer struct {
+	sv   *core.ShardedVault
+	cfg  Config
+	reqs chan *request
+	pool sync.Pool
+
+	// sendMu lets Close wait out in-flight Predict sends before closing
+	// the queue channel (same protocol as Server).
+	sendMu sync.RWMutex
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	start  time.Time
+
+	counters
+
+	// Per-shard serving state: availability flags flipped by
+	// SetShardAvailable, accumulated halo traffic, and the full-graph
+	// fan-out latency histogram surfaced on /metrics.
+	avail     []atomic.Bool
+	shardHalo []atomic.Int64
+	fanout    obs.Histogram
+}
+
+// NewSharded plans one sharded workspace per worker against sv — plus one
+// subgraph workspace per worker per shard when cfg.NodeQuery is set — and
+// starts the pool. Config knobs keep their Server meaning; Plan applies
+// per shard (an EPC budget is each shard enclave's own budget). Fails,
+// releasing anything it planned, when a shard's share does not fit its
+// enclave, and refuses Config.ExposeScores: the sharded path is
+// label-only.
+func NewSharded(sv *core.ShardedVault, cfg Config) (*ShardedServer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ExposeScores {
+		return nil, fmt.Errorf("serve: sharded serving is label-only, scores cannot be exposed: %w", ErrScoresDisabled)
+	}
+	if cfg.NodeQuery != nil {
+		nq := cfg.NodeQuery.WithDefaults()
+		cfg.NodeQuery = &nq
+		if cfg.Features == nil || cfg.Features.Rows != sv.Nodes() {
+			return nil, fmt.Errorf("serve: node queries need the deployed graph's %d-row feature matrix", sv.Nodes())
+		}
+	}
+	rows := sv.Nodes()
+	if cfg.Features != nil {
+		if err := sv.SetCalibrationFeatures(cfg.Features); err != nil {
+			return nil, fmt.Errorf("serve: registering calibration features: %w", err)
+		}
+	}
+	workspaces := make([]*core.ShardedWorkspace, 0, cfg.Workers)
+	subWS := make([][]*core.SubgraphWorkspace, 0, cfg.Workers)
+	release := func() {
+		for _, w := range workspaces {
+			w.Release()
+		}
+		for _, subs := range subWS {
+			for _, w := range subs {
+				w.Release()
+			}
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		ws, err := sv.PlanSharded(rows, cfg.Plan)
+		if err != nil {
+			release()
+			return nil, fmt.Errorf("serve: planning sharded workspace for worker %d/%d: %w", i+1, cfg.Workers, err)
+		}
+		workspaces = append(workspaces, ws)
+		if cfg.NodeQuery != nil {
+			subWS = append(subWS, nil)
+			for sh := 0; sh < sv.Shards(); sh++ {
+				sw, err := sv.Shard(sh).PlanSubgraphWith(cfg.NodeQuery.MaxSeeds, cfg.NodeQuery.Subgraph(), cfg.Plan)
+				if err != nil {
+					release()
+					return nil, fmt.Errorf("serve: planning node-query workspace for worker %d/%d shard %d: %w", i+1, cfg.Workers, sh, err)
+				}
+				subWS[i] = append(subWS[i], sw)
+			}
+		}
+	}
+	s := &ShardedServer{
+		sv:        sv,
+		cfg:       cfg,
+		reqs:      make(chan *request, cfg.QueueDepth),
+		start:     time.Now(),
+		avail:     make([]atomic.Bool, sv.Shards()),
+		shardHalo: make([]atomic.Int64, sv.Shards()),
+	}
+	for i := range s.avail {
+		s.avail[i].Store(true)
+	}
+	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	for i, ws := range workspaces {
+		var subs []*core.SubgraphWorkspace
+		if cfg.NodeQuery != nil {
+			subs = subWS[i]
+		}
+		s.wg.Add(1)
+		go s.worker(ws, subs)
+	}
+	return s, nil
+}
+
+// Shards returns the served fleet's shard count.
+func (s *ShardedServer) Shards() int { return s.sv.Shards() }
+
+// SetShardAvailable marks shard sh as serving or offline. An offline
+// shard fails node queries it owns — and every full-graph query, since
+// the fleet's halo barriers need all shards — with ErrShardUnavailable.
+// In-flight requests are unaffected; the flag gates admission only, so
+// flipping it is safe at any time from any goroutine.
+func (s *ShardedServer) SetShardAvailable(sh int, ok bool) {
+	s.avail[sh].Store(ok)
+}
+
+// offlineShard returns the lowest offline shard, or -1 when the whole
+// fleet is serving.
+func (s *ShardedServer) offlineShard() int {
+	for i := range s.avail {
+		if !s.avail[i].Load() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Predict enqueues one full-graph inference over x, fanned out across the
+// shard fleet, and blocks until a worker answers. The returned slice is
+// freshly allocated and owned by the caller; labels are bit-identical to
+// a single-enclave server's. Safe for concurrent use; blocks for
+// backpressure when the queue is full.
+func (s *ShardedServer) Predict(x *mat.Matrix) ([]int, error) {
+	req := s.pool.Get().(*request)
+	req.x = x
+	req.out = make([]int, x.Rows)
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	out, err := req.out, req.err
+	req.x, req.out, req.err = nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictScores always fails with ErrScoresDisabled: the sharded path is
+// label-only (scores are not wired through the fleet).
+func (s *ShardedServer) PredictScores(x *mat.Matrix) ([][]float64, []int, error) {
+	return nil, nil, ErrScoresDisabled
+}
+
+// PredictNodesScores always fails with ErrScoresDisabled: the sharded
+// path is label-only.
+func (s *ShardedServer) PredictNodesScores(nodes []int) ([][]float64, []int, error) {
+	return nil, nil, ErrScoresDisabled
+}
+
+// PredictNodes enqueues one node-level query and blocks until a worker
+// answers with one label per requested node. The query routes to the
+// shard owning its first seed; an offline owner fails the query with
+// ErrShardUnavailable. Other semantics match Server.PredictNodes.
+func (s *ShardedServer) PredictNodes(nodes []int) ([]int, error) {
+	if s.cfg.NodeQuery == nil {
+		return nil, ErrNodeQueriesDisabled
+	}
+	if len(nodes) == 0 {
+		return []int{}, nil
+	}
+	req := s.pool.Get().(*request)
+	req.x = nil
+	req.nodes = nodes
+	req.out = make([]int, len(nodes))
+	req.err = nil
+	req.enq = time.Now()
+
+	s.sendMu.RLock()
+	if s.closed.Load() {
+		s.sendMu.RUnlock()
+		s.pool.Put(req)
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+	s.reqs <- req
+	s.sendMu.RUnlock()
+
+	<-req.done
+	out, err := req.out, req.err
+	req.nodes, req.out, req.err = nil, nil, nil
+	s.pool.Put(req)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// shardWorkerState is one worker's reusable node-query routing buffers:
+// requests bucketed by owning shard, and one seed coalescer per shard so
+// unions never mix shards.
+type shardWorkerState struct {
+	byShard [][]*request
+	cos     []coalescer
+}
+
+// worker drains the queue in micro-batches. Full-graph requests each fan
+// out across the fleet through the worker's sharded workspace; node
+// queries in a drained batch are routed to their owning shards and
+// coalesced per shard, so a burst of same-shard queries pays for one
+// extraction.
+func (s *ShardedServer) worker(ws *core.ShardedWorkspace, subs []*core.SubgraphWorkspace) {
+	defer s.wg.Done()
+	defer ws.Release()
+	for _, sw := range subs {
+		defer sw.Release()
+	}
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	nodeReqs := make([]*request, 0, s.cfg.MaxBatch)
+	var st shardWorkerState
+	if subs != nil {
+		st.byShard = make([][]*request, len(subs))
+		st.cos = make([]coalescer, len(subs))
+		for i := range st.cos {
+			st.cos[i] = newCoalescer(subs[i].MaxSeeds())
+		}
+	}
+	for {
+		req, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+	drain:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.batches.Add(1)
+		nodeReqs = nodeReqs[:0]
+		for _, r := range batch {
+			if r.nodes != nil {
+				nodeReqs = append(nodeReqs, r)
+				continue
+			}
+			s.answer(r, ws)
+		}
+		if len(nodeReqs) > 0 {
+			if subs == nil {
+				// Unreachable through PredictNodes' guard; defence in depth.
+				for _, r := range nodeReqs {
+					r.err = ErrNodeQueriesDisabled
+					s.observe(r.err, r.enq, true)
+					r.done <- struct{}{}
+				}
+			} else {
+				s.answerNodeBatch(nodeReqs, subs, &st)
+			}
+		}
+	}
+}
+
+// answer serves one full-graph request: admission first (the whole fleet
+// must be up), then one fan-out through the sharded workspace, timed into
+// the fan-out histogram and its halo traffic accumulated per shard.
+func (s *ShardedServer) answer(r *request, ws *core.ShardedWorkspace) {
+	var labels []int
+	var err error
+	if off := s.offlineShard(); off >= 0 {
+		err = fmt.Errorf("%w: shard %d is offline and full-graph inference needs the whole fleet", ErrShardUnavailable, off)
+	} else {
+		fan := time.Now()
+		labels, _, err = s.sv.PredictInto(r.x, ws)
+		s.fanout.Observe(time.Since(fan).Nanoseconds())
+	}
+	if err != nil {
+		r.err = err
+	} else {
+		copy(r.out, labels) // the workspace's label buffer is reused
+		s.spillBytes.Add(ws.SpillBytes())
+		for sh := range s.shardHalo {
+			s.shardHalo[sh].Add(ws.ShardHaloBytes(sh))
+		}
+	}
+	s.observe(err, r.enq, false)
+	r.done <- struct{}{}
+}
+
+// answerNodeBatch serves one wake-up's node queries: per-request
+// validation and routing first — out-of-range seeds and offline owners
+// fail individually, so one bad query never poisons its batch — then each
+// shard's run is coalesced into shared extractions and answered on that
+// shard's subgraph workspace, with the cross-shard rows the extraction
+// touched accumulated as that shard's halo traffic.
+func (s *ShardedServer) answerNodeBatch(reqs []*request, subs []*core.SubgraphWorkspace, st *shardWorkerState) {
+	n := s.sv.Nodes()
+	for i := range st.byShard {
+		st.byShard[i] = st.byShard[i][:0]
+	}
+	for _, r := range reqs {
+		if !nodesInRange(r.nodes, n) {
+			s.reject(r, core.ErrNodeOutOfRange)
+			continue
+		}
+		sh, err := s.sv.RouteSeeds(r.nodes)
+		if err != nil {
+			s.reject(r, err)
+			continue
+		}
+		if !s.avail[sh].Load() {
+			s.reject(r, fmt.Errorf("%w: shard %d owning node %d is offline", ErrShardUnavailable, sh, r.nodes[0]))
+			continue
+		}
+		st.byShard[sh] = append(st.byShard[sh], r)
+	}
+	for sh := range st.byShard {
+		run := st.byShard[sh]
+		if len(run) == 0 {
+			continue
+		}
+		st.cos[sh].pack(len(run),
+			func(i int) []int { return run[i].nodes },
+			func(i int, err error) {
+				run[i].err = err
+				s.observe(err, run[i].enq, true)
+				run[i].done <- struct{}{}
+			},
+			func(idxs, union []int) {
+				labels, halo, _, err := s.sv.PredictNodesAt(s.cfg.Features, union, sh, subs[sh])
+				if err == nil {
+					s.shardHalo[sh].Add(halo)
+				}
+				for _, i := range idxs {
+					r := run[i]
+					if err != nil {
+						r.err = err
+					} else {
+						for k, u := range r.nodes {
+							r.out[k] = labels[indexOf(union, u)]
+						}
+					}
+					s.observe(err, r.enq, true)
+					r.done <- struct{}{}
+				}
+			})
+	}
+}
+
+// reject completes one node request with an error.
+func (s *ShardedServer) reject(r *request, err error) {
+	r.err = err
+	s.observe(err, r.enq, true)
+	r.done <- struct{}{}
+}
+
+// ShardStats is a per-shard snapshot of the fleet's serving state: the
+// availability flags, accumulated halo traffic, each shard enclave's EPC
+// occupancy, the full-graph fan-out latency distribution and the summed
+// transition ledger (PeakEPCBytes is the busiest single enclave — each
+// shard has its own EPC).
+type ShardStats struct {
+	Shards    int
+	Available []bool
+	HaloBytes []int64 // accumulated boundary-activation bytes gathered per shard
+	EPCUsed   []int64
+	EPCFree   []int64
+	EPCLimit  []int64
+
+	Fanout obs.HistSnapshot // full-graph fan-out wall time, ns samples
+	Ledger enclave.Ledger   // summed over shard enclaves
+}
+
+// ShardStats returns the current per-shard snapshot.
+func (s *ShardedServer) ShardStats() ShardStats {
+	shards := s.sv.Shards()
+	st := ShardStats{
+		Shards:    shards,
+		Available: make([]bool, shards),
+		HaloBytes: make([]int64, shards),
+		EPCUsed:   make([]int64, shards),
+		EPCFree:   make([]int64, shards),
+		EPCLimit:  make([]int64, shards),
+		Fanout:    s.fanout.Snapshot(),
+	}
+	for i := 0; i < shards; i++ {
+		st.Available[i] = s.avail[i].Load()
+		st.HaloBytes[i] = s.shardHalo[i].Load()
+		encl := s.sv.Shard(i).Enclave
+		st.EPCUsed[i] = encl.EPCUsed()
+		st.EPCFree[i] = encl.EPCFree()
+		st.EPCLimit[i] = encl.EPCLimit()
+		led := encl.Ledger()
+		st.Ledger.ECalls += led.ECalls
+		st.Ledger.OCalls += led.OCalls
+		st.Ledger.BytesIn += led.BytesIn
+		st.Ledger.BytesOut += led.BytesOut
+		st.Ledger.PageSwaps += led.PageSwaps
+		st.Ledger.TransitionNs += led.TransitionNs
+		st.Ledger.TransferNs += led.TransferNs
+		st.Ledger.PagingNs += led.PagingNs
+		st.Ledger.ComputeNs += led.ComputeNs
+		st.Ledger.AllocFailures += led.AllocFailures
+		if led.PeakEPCBytes > st.Ledger.PeakEPCBytes {
+			st.Ledger.PeakEPCBytes = led.PeakEPCBytes
+		}
+	}
+	return st
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *ShardedServer) Stats() Stats {
+	return s.snapshot(s.start)
+}
+
+// Close stops accepting requests, waits for queued work to finish, and
+// releases every worker workspace across every shard enclave. The fleet
+// itself stays deployed. Idempotent.
+func (s *ShardedServer) Close() {
+	if s.closed.Swap(true) {
+		s.wg.Wait()
+		return
+	}
+	s.sendMu.Lock()
+	close(s.reqs)
+	s.sendMu.Unlock()
+	s.wg.Wait()
+}
