@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fuzz-smoke vet
+.PHONY: build test race bench bench-json fuzz-smoke chaos-smoke vet
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,14 @@ bench-json:
 # sharded-vs-single-enclave bit-identity across fuzzed shapes × shard
 # counts × precisions, and the attack math (AUC/Fidelity in [0,1], no
 # panics) under degenerate observation surfaces.
+# The chaos regression: seeded shard kills (ECALL-abort storms and
+# enclave loss) under a concurrent /predict + /predict_nodes + /metrics
+# client mix, plus the availability-flip race, all under the race
+# detector — no deadlocks, counters reconcile, post-recovery answers
+# stay bit-identical.
+chaos-smoke:
+	$(GO) test -race -run 'TestShardedChaosHammer|TestSetShardAvailableMidPass|TestShardedBreakerTripAndRecover' ./internal/serve/
+
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzInducedSubgraph -fuzztime $(FUZZTIME) ./internal/subgraph/

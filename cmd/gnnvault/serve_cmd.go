@@ -72,6 +72,9 @@ func cmdServe(args []string) {
 	rateLimit := fs.Float64("rate-limit", 0, "per-client sustained answered-labels/second over the HTTP API (0 = unlimited)")
 	rateBurst := fs.Int("rate-burst", 0, "per-client token-bucket capacity in labels (0 = derived from -rate-limit)")
 	queryBudget := fs.Int("query-budget", 0, "per-client lifetime cap on total answered labels (0 = unlimited)")
+	deadline := fs.Duration("deadline", 0, "per-request serving deadline on a shard fleet, enqueue to answer — expired requests fail with 503 and a Retry-After (0 = unbounded; sharded only)")
+	maxRetries := fs.Int("max-retries", 0, "node-query admission retries while the owning shard's breaker is open, each a jittered backoff bounded by -deadline (sharded only)")
+	chaosKills := fs.Int("chaos", 0, "inject this many seeded shard kills (alternating ECALL-abort storms and enclave loss) during the sharded synthetic stream and report breaker trips, restarts and time-to-recovery (requires -shards > 1, no -http)")
 	metricsOn := fs.Bool("metrics", false, "record flight-recorder spans (per-op, ECALL, plan/evict) into a live telemetry ring; implied by -trace-buffer")
 	traceBuffer := fs.Int("trace-buffer", 0, "span ring capacity behind GET /debug/trace (0 = 4096 when -metrics is set, else tracing off)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the HTTP API")
@@ -117,6 +120,10 @@ func cmdServe(args []string) {
 			fmt.Fprintln(os.Stderr, "serve: -shards is label-only; -expose-scores is not supported on a shard fleet")
 			os.Exit(2)
 		}
+		if *chaosKills > 0 && *httpAddr != "" {
+			fmt.Fprintln(os.Stderr, "serve: -chaos drives the synthetic stream; it cannot be combined with -http")
+			os.Exit(2)
+		}
 		runSharded(shardedServeConfig{
 			dataset: *dataset, design: *design, sub: *sub,
 			epochs: *epochs, seed: *seed, shards: *shards, epcMB: *epcMB,
@@ -124,8 +131,13 @@ func cmdServe(args []string) {
 			clients: *clients, requests: *requests,
 			httpAddr: *httpAddr, limit: limit, precision: prec.String(),
 			ring: ring, recorder: recorder, pprof: *pprofOn,
+			deadline: *deadline, maxRetries: *maxRetries, chaos: *chaosKills,
 		})
 		return
+	}
+	if *deadline > 0 || *maxRetries > 0 || *chaosKills > 0 {
+		fmt.Fprintln(os.Stderr, "serve: -deadline, -max-retries and -chaos apply to a shard fleet; set -shards > 1")
+		os.Exit(2)
 	}
 	fl := buildFleet(*dataset, *design, *sub, *epochs, *seed, *epcMB, *wsPerVault, plan, nq, recorder)
 	srv := serve.NewMulti(fl.reg, serve.Config{

@@ -2,9 +2,11 @@ package main
 
 import (
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gnnvault/internal/core"
@@ -34,6 +36,9 @@ type shardedServeConfig struct {
 	ring                 *obs.Ring
 	recorder             obs.Recorder
 	pprof                bool
+	deadline             time.Duration
+	maxRetries           int
+	chaos                int
 }
 
 // runSharded trains one dataset × design vault and deploys it across a
@@ -70,12 +75,21 @@ func runSharded(cfg shardedServeConfig) {
 
 	plan := cfg.plan
 	plan.Recorder = cfg.recorder
+	// -chaos reports per-outage recovery times from the fault/recover
+	// spans, so it gets a trace ring even when -metrics is off.
+	if cfg.ring == nil && cfg.chaos > 0 {
+		cfg.ring = obs.NewRing(256)
+	}
 	srv, err := serve.NewSharded(sv, serve.Config{
-		Workers:   cfg.workers,
-		MaxBatch:  cfg.batch,
-		Plan:      plan,
-		NodeQuery: cfg.nq,
-		Features:  ds.X,
+		Workers:    cfg.workers,
+		MaxBatch:   cfg.batch,
+		Plan:       plan,
+		NodeQuery:  cfg.nq,
+		Features:   ds.X,
+		Deadline:   cfg.deadline,
+		MaxRetries: cfg.maxRetries,
+		Seed:       cfg.seed,
+		Trace:      cfg.ring,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sharded serve failed: %v\n", err)
@@ -102,7 +116,7 @@ func runSharded(cfg shardedServeConfig) {
 		runShardedHTTP(cfg, srv, info, ds)
 		return
 	}
-	runShardedStream(srv, info, ds, cfg.clients, cfg.requests, cfg.nq != nil)
+	runShardedStream(cfg, srv, sv, info, ds)
 }
 
 // runShardedHTTP serves the shard fleet behind the same HTTP surface as
@@ -135,40 +149,79 @@ func runShardedHTTP(cfg shardedServeConfig, srv *serve.ShardedServer, info vault
 }
 
 // runShardedStream drives the synthetic client mix against the shard
-// router and prints serving plus per-shard statistics.
-func runShardedStream(srv *serve.ShardedServer, info vaultInfo, ds *datasets.Dataset, clients, requests int, nodeQueries bool) {
+// router and prints serving plus per-shard statistics. With -chaos > 0
+// a seeded injector kills shards mid-stream — alternating ECALL-abort
+// storms with outright enclave loss — and the report gains a recovery
+// section: outage errors become expected (counted, not fatal) and the
+// run ends by proving the fleet settled back to bit-identical answers.
+func runShardedStream(cfg shardedServeConfig, srv *serve.ShardedServer, sv *core.ShardedVault, info vaultInfo, ds *datasets.Dataset) {
+	clients, requests := cfg.clients, cfg.requests
+	nodeQueries := cfg.nq != nil
 	mix := ""
 	if nodeQueries {
 		mix = " (50% node queries)"
 	}
 	fmt.Printf("synthetic stream: %d clients × %d requests across %d shards%s\n",
 		clients, requests, srv.Shards(), mix)
+	var baseline []int
+	if cfg.chaos > 0 {
+		fmt.Printf("chaos: %d seeded shard kills over the stream (seed %d)\n", cfg.chaos, cfg.seed)
+		var err error
+		if baseline, err = srv.Predict(ds.X); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos baseline predict:", err)
+			os.Exit(1)
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
+	var outageErrs atomic.Uint64
 	errs := make(chan error, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			for r := 0; r < requests; r++ {
+				var err error
 				if nodeQueries && r%2 == 1 {
 					n := info.Nodes
 					seeds := [2]int{(c*131 + r*17) % n, (c*257 + r*37 + 1) % n}
 					if seeds[0] == seeds[1] {
 						seeds[1] = (seeds[1] + 1) % n
 					}
-					if _, err := srv.PredictNodes(seeds[:]); err != nil {
-						errs <- fmt.Errorf("%s node query: %w", info.ID, err)
-						return
+					if _, err = srv.PredictNodes(seeds[:]); err != nil {
+						err = fmt.Errorf("%s node query: %w", info.ID, err)
 					}
-					continue
+				} else if _, err = srv.Predict(ds.X); err != nil {
+					err = fmt.Errorf("%s: %w", info.ID, err)
 				}
-				if _, err := srv.Predict(ds.X); err != nil {
-					errs <- fmt.Errorf("%s: %w", info.ID, err)
+				if err != nil {
+					if cfg.chaos > 0 {
+						outageErrs.Add(1)
+						continue
+					}
+					errs <- err
 					return
 				}
 			}
 		}(c)
+	}
+	if cfg.chaos > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed))
+			for k := 0; k < cfg.chaos; k++ {
+				time.Sleep(time.Duration(2+rng.Intn(8)) * time.Millisecond)
+				sh := rng.Intn(sv.Shards())
+				if k%2 == 0 {
+					sv.Shard(sh).Enclave.SetFaultPlan(&enclave.FaultPlan{AbortRate: 1, Seed: int64(k + 1)})
+					fmt.Printf("chaos: kill %d — shard %d ECALL-abort storm\n", k, sh)
+				} else {
+					sv.Shard(sh).Enclave.MarkLost()
+					fmt.Printf("chaos: kill %d — shard %d enclave lost\n", k, sh)
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	close(errs)
@@ -177,6 +230,32 @@ func runShardedStream(srv *serve.ShardedServer, info vaultInfo, ds *datasets.Dat
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+
+	if cfg.chaos > 0 {
+		settleStart := time.Now()
+		settled := false
+		for time.Since(settleStart) < 30*time.Second {
+			if labels, err := srv.Predict(ds.X); err == nil {
+				if len(labels) != len(baseline) {
+					fmt.Fprintln(os.Stderr, "chaos: post-recovery prediction has wrong length")
+					os.Exit(1)
+				}
+				for i := range labels {
+					if labels[i] != baseline[i] {
+						fmt.Fprintf(os.Stderr, "chaos: post-recovery prediction diverged at node %d\n", i)
+						os.Exit(1)
+					}
+				}
+				settled = true
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if !settled {
+			fmt.Fprintln(os.Stderr, "chaos: fleet did not settle within 30s")
+			os.Exit(1)
+		}
+	}
 
 	st := srv.Stats()
 	sst := srv.ShardStats()
@@ -207,4 +286,23 @@ func runShardedStream(srv *serve.ShardedServer, info vaultInfo, ds *datasets.Dat
 		float64(sst.Ledger.BytesOut)/(1<<20), float64(halo)/(1<<20))
 	fmt.Printf("  spill       %.2f MB streamed through untrusted scratch\n",
 		float64(st.SpillBytes)/(1<<20))
+
+	if cfg.chaos > 0 {
+		fmt.Printf("\nchaos report: %d kills injected, %d requests failed during outages, "+
+			"%d requests past deadline\n", cfg.chaos, outageErrs.Load(), st.DeadlineExceeded)
+		breakerName := map[int32]string{0: "closed", 1: "open", 2: "half-open"}
+		for i := 0; i < sst.Shards; i++ {
+			fmt.Printf("  shard %d     %d restarts, breaker %s\n",
+				i, sst.Restarts[i], breakerName[sst.Breaker[i]])
+		}
+		if cfg.ring != nil {
+			for _, sp := range cfg.ring.Last(0) {
+				if sp.Kind == obs.SpanRecover {
+					fmt.Printf("  recovery    shard %d back in %v\n",
+						sp.Rows, time.Duration(sp.Dur).Round(time.Microsecond))
+				}
+			}
+		}
+		fmt.Println("  post-recovery predictions bit-identical with pre-chaos baseline")
+	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gnnvault/internal/enclave"
@@ -37,17 +39,41 @@ import (
 // participate in barrier-synchronised fleet execution.
 var ErrShardUnsupported = errors.New("core: deployment not shardable (GCN rectifier required)")
 
+// ShardFault attributes a sharded-inference failure to the shard whose
+// enclave caused it, so the serving layer can trip that shard's circuit
+// breaker instead of guessing from an opaque error string. It wraps the
+// underlying cause (errors.Is sees enclave.ErrEnclaveLost through it)
+// and also rides inside the abort cause every peer unwinds with, so
+// errors.As recovers the culprit shard from echo errors too.
+type ShardFault struct {
+	// Shard is the index of the shard whose enclave failed.
+	Shard int
+	// Err is the underlying failure — typically wrapping
+	// enclave.ErrEnclaveLost.
+	Err error
+}
+
+// Error formats the fault with its shard index.
+func (f *ShardFault) Error() string { return fmt.Sprintf("core: shard %d: %v", f.Shard, f.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (f *ShardFault) Unwrap() error { return f.Err }
+
 // ShardedVault is a GNNVault deployment split across a fleet of shard
 // enclaves. The backbone and rectifier objects are shared (the same
 // trained parameters everywhere); each shard holds its own enclave,
-// sealed with the shard's row-range slab of the private adjacency.
+// sealed with the shard's row-range slab of the private adjacency. The
+// vault pointers are atomic so RecoverShard can swap a dead shard's
+// vault for a freshly provisioned one while stats readers keep loading
+// a consistent snapshot.
 type ShardedVault struct {
 	Backbone *Backbone
 	Part     *graph.Partition
 
 	rectifier    *Rectifier
 	privateGraph *graph.Graph
-	vaults       []*Vault
+	cost         enclave.CostModel
+	vaults       []atomic.Pointer[Vault]
 }
 
 // DeploySharded provisions a trained GNNVault across shards enclaves,
@@ -68,27 +94,37 @@ func DeploySharded(bb *Backbone, rec *Rectifier, private *graph.Graph, cost encl
 		}
 	}
 	part := graph.NewPartition(rec.Adjacency(), shards)
-	sv := &ShardedVault{Backbone: bb, Part: part, rectifier: rec, privateGraph: private}
+	sv := &ShardedVault{Backbone: bb, Part: part, rectifier: rec, privateGraph: private, cost: cost}
+	sv.vaults = make([]atomic.Pointer[Vault], shards)
 	for s := 0; s < shards; s++ {
-		// Each shard enclave's measurement covers the rectifier identity
-		// plus its shard index, so peers have distinct sealing keys.
-		encl := enclave.New(cost, rec.Identity(), []byte{byte(s)})
-		v, err := deployInto(encl, bb, rec, private, nil, part.CSR[s].NumBytes())
+		v, err := sv.provisionShard(s)
 		if err != nil {
 			sv.Undeploy()
 			return nil, fmt.Errorf("core: deploying shard %d: %w", s, err)
 		}
-		sv.vaults = append(sv.vaults, v)
+		sv.vaults[s].Store(v)
 	}
 	return sv, nil
+}
+
+// provisionShard creates and seals one shard vault: a fresh enclave under
+// the deployment's cost model, charged for the rectifier parameters plus
+// the shard's CSR slab. Used at deploy time and again by RecoverShard.
+func (sv *ShardedVault) provisionShard(s int) (*Vault, error) {
+	// Each shard enclave's measurement covers the rectifier identity
+	// plus its shard index, so peers have distinct sealing keys.
+	encl := enclave.New(sv.cost, sv.rectifier.Identity(), []byte{byte(s)})
+	return deployInto(encl, sv.Backbone, sv.rectifier, sv.privateGraph, nil, sv.Part.CSR[s].NumBytes())
 }
 
 // Shards returns the fleet's shard count.
 func (sv *ShardedVault) Shards() int { return len(sv.vaults) }
 
-// Shard returns shard s's vault — its own enclave over the shared model.
-// Node-query serving plans per-shard subgraph workspaces through it.
-func (sv *ShardedVault) Shard(s int) *Vault { return sv.vaults[s] }
+// Shard returns shard s's current vault — its own enclave over the
+// shared model. Node-query serving plans per-shard subgraph workspaces
+// through it. The pointer is a snapshot: after a RecoverShard it names
+// the replaced vault, so callers must not cache it across failures.
+func (sv *ShardedVault) Shard(s int) *Vault { return sv.vaults[s].Load() }
 
 // Owner returns the shard owning global node u.
 func (sv *ShardedVault) Owner(u int) int { return sv.Part.Owner(u) }
@@ -97,15 +133,17 @@ func (sv *ShardedVault) Owner(u int) int { return sv.Part.Owner(u) }
 func (sv *ShardedVault) Nodes() int { return sv.privateGraph.N() }
 
 // Classes returns the label-space width every served prediction reduces to.
-func (sv *ShardedVault) Classes() int { return sv.vaults[0].Classes() }
+func (sv *ShardedVault) Classes() int { return sv.vaults[0].Load().Classes() }
 
 // Design returns the deployed rectifier's communication scheme.
 func (sv *ShardedVault) Design() RectifierDesign { return sv.rectifier.Design }
 
 // Undeploy returns every shard's persistent EPC. Idempotent.
 func (sv *ShardedVault) Undeploy() {
-	for _, v := range sv.vaults {
-		v.Undeploy()
+	for s := range sv.vaults {
+		if v := sv.vaults[s].Load(); v != nil {
+			v.Undeploy()
+		}
 	}
 }
 
@@ -113,8 +151,8 @@ func (sv *ShardedVault) Undeploy() {
 // vault, so both the sharded planner and per-shard subgraph planners can
 // gate reduced-precision plans against the fp64 reference.
 func (sv *ShardedVault) SetCalibrationFeatures(x *mat.Matrix) error {
-	for _, v := range sv.vaults {
-		if err := v.SetCalibrationFeatures(x); err != nil {
+	for s := range sv.vaults {
+		if err := sv.vaults[s].Load().SetCalibrationFeatures(x); err != nil {
 			return err
 		}
 	}
@@ -153,6 +191,20 @@ type ShardedWorkspace struct {
 	ecalls      []func() (int64, error)
 	errs        []error
 	ecIDs       []uint64
+
+	// Replan state for shard recovery: the per-shard programs and machine
+	// configs (including the calibrated scales, so a rebuilt machine
+	// quantizes on the identical grid), the fp64 reference labels of the
+	// calibration batch, and the plan config — everything rejoinShard
+	// needs to rebuild one shard's machine and re-prove bit-identity.
+	progs     []*exec.Program
+	mcfgs     []exec.Config
+	refLabels []int
+	planCfg   PlanConfig
+
+	// inflight guards the workspace's single-pass-at-a-time contract and
+	// lets Abort know whether a poison could still reach a live pass.
+	inflight atomic.Bool
 
 	labels   []int
 	rec      obs.Recorder
@@ -217,7 +269,7 @@ func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace
 	var refLabels []int
 	if elem != exec.F64 {
 		fullProg, _ := sv.rectifier.compileRectifier(rows, nil, nil)
-		scales, ref, _, err := sv.vaults[0].calibrateReduced(fullProg, bbMach, blocks, cfg)
+		scales, ref, _, err := sv.vaults[0].Load().calibrateReduced(fullProg, bbMach, blocks, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +281,7 @@ func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace
 		workers = 1
 	}
 	machines := make([]*exec.Machine, shards)
+	mcfgs := make([]exec.Config, shards)
 	for s := range machines {
 		mcfg := exec.Config{Workers: 1, Elem: elem, Recorder: rec} // direct in-enclave: single-threaded
 		if cfg.tiled() {
@@ -243,6 +296,7 @@ func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace
 			}
 			mcfg.Scales = shardScales
 		}
+		mcfgs[s] = mcfg
 		m, err := progs[s].NewMachine(mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: compiling shard %d plan: %w", s, err)
@@ -271,6 +325,10 @@ func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace
 		ecalls:      make([]func() (int64, error), shards),
 		errs:        make([]error, shards),
 		ecIDs:       make([]uint64, shards),
+		progs:       progs,
+		mcfgs:       mcfgs,
+		refLabels:   refLabels,
+		planCfg:     cfg,
 		labels:      make([]int, rows),
 		rec:         rec,
 	}
@@ -299,10 +357,10 @@ func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace
 			ws.epc[s] = m.BufferBytes() + ws.payload[s]
 		}
 		ws.ecalls[s] = func() (int64, error) {
-			ws.fleet.RunShard(s, local, ws.shardEmbs[s], ws.shardLabels[s])
+			_, err := ws.fleet.RunShard(s, local, ws.shardEmbs[s], ws.shardLabels[s])
 			// The machine's busy time — kernels and halo copies, not
 			// fleet-barrier waits — is this ECALL's in-enclave compute.
-			return ws.fleet.Machine(s).TakeBusyNs(), nil
+			return ws.fleet.Machine(s).TakeBusyNs(), err
 		}
 	}
 
@@ -312,16 +370,18 @@ func (sv *ShardedVault) PlanSharded(rows int, cfg PlanConfig) (*ShardedWorkspace
 	if refLabels != nil {
 		check := make([]int, rows)
 		ws.bindShardEmbs()
-		ws.runFleet(check)
+		if err := ws.runFleet(check); err != nil {
+			return nil, fmt.Errorf("core: calibration fleet round: %w", err)
+		}
 		if err := agreementFloor(check, refLabels, cfg); err != nil {
 			return nil, err
 		}
 	}
 
 	for s := 0; s < shards; s++ {
-		if err := sv.vaults[s].Enclave.Alloc(ws.epc[s]); err != nil {
+		if err := sv.vaults[s].Load().Enclave.Alloc(ws.epc[s]); err != nil {
 			for t := 0; t < s; t++ {
-				sv.vaults[t].Enclave.Free(ws.epc[t])
+				sv.vaults[t].Load().Enclave.Free(ws.epc[t])
 			}
 			return nil, fmt.Errorf("core: shard %d inference workspace does not fit EPC: %w", s, err)
 		}
@@ -343,10 +403,11 @@ func (ws *ShardedWorkspace) bindShardEmbs() {
 }
 
 // runFleet executes one fleet round outside any enclave accounting —
-// plan-time only (the calibration agreement gate). labels must have Rows
-// entries; each shard writes its own range.
-func (ws *ShardedWorkspace) runFleet(labels []int) {
+// plan-time and recovery only (the calibration agreement gate). labels
+// must have Rows entries; each shard writes its own range.
+func (ws *ShardedWorkspace) runFleet(labels []int) error {
 	part := ws.sv.Part
+	errs := make([]error, ws.fleet.Shards())
 	var wg sync.WaitGroup
 	for s := 0; s < ws.fleet.Shards(); s++ {
 		s := s
@@ -354,7 +415,7 @@ func (ws *ShardedWorkspace) runFleet(labels []int) {
 		go func() {
 			defer wg.Done()
 			lo, hi := part.Bounds[s], part.Bounds[s+1]
-			ws.fleet.RunShard(s, hi-lo, ws.shardEmbs[s], labels[lo:hi])
+			_, errs[s] = ws.fleet.RunShard(s, hi-lo, ws.shardEmbs[s], labels[lo:hi])
 		}()
 	}
 	wg.Wait()
@@ -363,6 +424,12 @@ func (ws *ShardedWorkspace) runFleet(labels []int) {
 	for s := 0; s < ws.fleet.Shards(); s++ {
 		ws.fleet.Machine(s).TakeBusyNs()
 	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Shards returns the workspace's shard count.
@@ -410,31 +477,60 @@ func (ws *ShardedWorkspace) SpillBytes() int64 {
 	return n
 }
 
-// Release returns every shard's workspace EPC. Idempotent.
+// Release returns every shard's workspace EPC (on each shard's current
+// vault — after a recovery the charge lives on the replacement enclave).
+// Idempotent.
 func (ws *ShardedWorkspace) Release() {
 	if ws.released {
 		return
 	}
 	ws.released = true
-	for s, v := range ws.sv.vaults {
-		v.Enclave.Free(ws.epc[s])
+	for s := range ws.sv.vaults {
+		ws.sv.vaults[s].Load().Enclave.Free(ws.epc[s])
 	}
 }
 
-// PredictInto runs one full sharded inference: the backbone once at full
-// height in the normal world, then one modelled ECALL per shard, fanned
-// out concurrently — each carries the shard's embedding rows plus its
-// spill and halo traffic in, and its rows of the label vector out, while
-// the fleet's barriers synchronise the per-layer halo exchange between
-// the enclaves. The returned labels are in seed (global row) order,
-// owned by the workspace and overwritten by the next call; they are
-// bit-identical to the single-enclave plan's at every precision tier.
+// Abort poisons any pass currently in flight on this workspace with the
+// given cause: every shard unwinds at its next fleet barrier and the
+// pass returns an error wrapping the cause instead of hanging — the hook
+// the serving layer uses when a shard is administratively pulled or a
+// deadline expires from outside. Aborting an idle workspace is a no-op,
+// and a pass already past its last barrier may still complete
+// successfully; the contract is "clean error or clean success, never a
+// hung barrier".
+func (ws *ShardedWorkspace) Abort(cause error) {
+	if ws.inflight.Load() {
+		ws.fleet.Abort(cause)
+	}
+}
+
+// PredictInto runs one full sharded inference with no deadline; see
+// PredictIntoContext.
+func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int, InferenceBreakdown, error) {
+	return sv.PredictIntoContext(context.Background(), x, ws)
+}
+
+// PredictIntoContext runs one full sharded inference: the backbone once
+// at full height in the normal world, then one modelled ECALL per shard,
+// fanned out concurrently — each carries the shard's embedding rows plus
+// its spill and halo traffic in, and its rows of the label vector out,
+// while the fleet's barriers synchronise the per-layer halo exchange
+// between the enclaves. The returned labels are in seed (global row)
+// order, owned by the workspace and overwritten by the next call; they
+// are bit-identical to the single-enclave plan's at every precision tier.
+//
+// Cancelling or expiring ctx aborts the fleet pass: every shard unwinds
+// at its next barrier and the call returns an error wrapping ctx.Err()
+// — bounded unwind, never a hung barrier. A shard enclave failure (e.g.
+// enclave.ErrEnclaveLost under a fault plan) likewise aborts the pass;
+// the returned error is a *ShardFault naming the culprit shard, so the
+// serving layer can trip that shard's breaker and recover it.
 //
 // The breakdown's byte and call counts sum over shards; its modelled time
 // components follow the slowest shard, since the fleet runs them in
 // parallel. PeakEPCBytes is the busiest single enclave — each shard has
 // its own EPC.
-func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int, InferenceBreakdown, error) {
+func (sv *ShardedVault) PredictIntoContext(ctx context.Context, x *mat.Matrix, ws *ShardedWorkspace) ([]int, InferenceBreakdown, error) {
 	var bd InferenceBreakdown
 	if ws.released {
 		return nil, bd, fmt.Errorf("core: PredictInto on released sharded workspace")
@@ -448,9 +544,23 @@ func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int,
 	if x.Cols != sv.Backbone.FeatureDim {
 		return nil, bd, fmt.Errorf("core: input features %d != backbone feature dim %d", x.Cols, sv.Backbone.FeatureDim)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, bd, fmt.Errorf("core: sharded inference: %w", err)
+	}
+	if !ws.inflight.CompareAndSwap(false, true) {
+		return nil, bd, fmt.Errorf("core: sharded workspace already has a pass in flight")
+	}
+	defer ws.inflight.Store(false)
+	// An Abort that landed while the workspace was idle left the barrier
+	// poisoned with a stale cause; re-arm before the pass begins.
+	ws.fleet.Reset()
+
 	shards := sv.Shards()
+	vaults := make([]*Vault, shards)
 	before := make([]enclave.Ledger, shards)
-	for s, v := range sv.vaults {
+	for s := range vaults {
+		v := sv.vaults[s].Load()
+		vaults[s] = v
 		before[s] = v.Enclave.Ledger()
 		v.Enclave.ResetPeak()
 	}
@@ -486,8 +596,24 @@ func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int,
 	}
 
 	// Fan out: one ECALL per shard, necessarily concurrent — every shard
-	// must reach the fleet barriers for any to pass them.
+	// must reach the fleet barriers for any to pass them. A watcher
+	// poisons the fleet when ctx expires, and a shard whose ECALL fails
+	// at the enclave gate (fault plan, lost enclave) poisons it too — its
+	// peers would otherwise wait forever on a barrier it never reaches.
 	ws.bindShardEmbs()
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if ctx.Done() != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctx.Done():
+				ws.fleet.Abort(ctx.Err())
+			case <-watchDone:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		s := s
@@ -495,14 +621,25 @@ func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int,
 		go func() {
 			defer wg.Done()
 			resultBytes := int64(len(ws.shardLabels[s])) * 8
-			ws.errs[s] = sv.vaults[s].Enclave.EcallMeasured(ws.payload[s]+ws.spill[s]+ws.halo[s], resultBytes, ws.ecalls[s])
+			err := vaults[s].Enclave.EcallMeasured(ws.payload[s]+ws.spill[s]+ws.halo[s], resultBytes, ws.ecalls[s])
+			if err != nil {
+				ws.errs[s] = err
+				if !errors.Is(err, exec.ErrFleetAborted) {
+					ws.fleet.Abort(&ShardFault{Shard: s, Err: err})
+				}
+				return
+			}
+			ws.errs[s] = nil
 		}()
 	}
 	wg.Wait()
-	for s, err := range ws.errs {
-		if err != nil {
-			return nil, bd, fmt.Errorf("core: shard %d enclave inference: %w", s, err)
-		}
+	close(watchDone)
+	watchWG.Wait()
+	// Re-arm the barrier for the next pass whether or not this one was
+	// poisoned; every RunShard of this pass has returned.
+	ws.fleet.Reset()
+	if err := ws.firstFault(); err != nil {
+		return nil, bd, err
 	}
 	if recOn {
 		now := rec.Clock()
@@ -517,7 +654,7 @@ func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int,
 	}
 
 	var slowest time.Duration
-	for s, v := range sv.vaults {
+	for s, v := range vaults {
 		after := v.Enclave.Ledger()
 		tr := after.TransferTime() - before[s].TransferTime()
 		en := after.EnclaveTime() - before[s].EnclaveTime()
@@ -532,6 +669,122 @@ func (sv *ShardedVault) PredictInto(x *mat.Matrix, ws *ShardedWorkspace) ([]int,
 		}
 	}
 	return ws.labels, bd, nil
+}
+
+// firstFault selects the error a failed sharded pass returns. A shard
+// that failed for its own reason — not merely the poisoned barrier — is
+// the culprit and is reported as a *ShardFault; otherwise the first echo
+// error is returned (it wraps the abort cause, so errors.Is still sees
+// the context error or the culprit's ShardFault through it). Nil when
+// every shard succeeded.
+func (ws *ShardedWorkspace) firstFault() error {
+	var echo error
+	for s, err := range ws.errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, exec.ErrFleetAborted) {
+			return &ShardFault{Shard: s, Err: err}
+		}
+		if echo == nil {
+			echo = fmt.Errorf("core: sharded inference: %w", err)
+		}
+	}
+	return echo
+}
+
+// RecoverShard replaces shard s's lost enclave with a freshly
+// provisioned one and rejoins it to every given workspace: the shard's
+// CSR slab and the rectifier parameters are re-sealed into a new enclave
+// (same cost model and measurement as the original deploy), the
+// calibration batch is re-registered, the vault pointer is swapped
+// atomically, and each workspace rebuilds the shard's machine under its
+// original plan config — including the calibrated int8 scales, so the
+// rebuilt shard quantizes on the identical grid — and re-proves label
+// agreement with the stored fp64 reference through a live fleet round.
+//
+// No pass may be in flight on any of the workspaces (the serving layer
+// quiesces first); RecoverShard refuses busy workspaces — and *claims*
+// each idle workspace's in-flight slot for the duration, so a pass
+// racing the recovery is refused by the same CAS rather than running
+// through a fleet whose machine is being swapped. On a mid-recovery
+// error the shard stays dead and the call can simply be retried.
+func (sv *ShardedVault) RecoverShard(s int, wss ...*ShardedWorkspace) error {
+	if s < 0 || s >= len(sv.vaults) {
+		return fmt.Errorf("core: recover shard %d of %d", s, len(sv.vaults))
+	}
+	claimed := make([]*ShardedWorkspace, 0, len(wss))
+	defer func() {
+		for _, ws := range claimed {
+			ws.inflight.Store(false)
+		}
+	}()
+	for _, ws := range wss {
+		if ws.sv != sv {
+			return fmt.Errorf("core: recover shard %d: workspace planned for a different sharded vault", s)
+		}
+		if !ws.inflight.CompareAndSwap(false, true) {
+			return fmt.Errorf("core: recover shard %d: workspace has a pass in flight", s)
+		}
+		claimed = append(claimed, ws)
+	}
+	old := sv.vaults[s].Load()
+	calibX := old.calibX.Load()
+	// The old enclave is gone with everything charged to it; Undeploy
+	// only keeps the vault's own books consistent.
+	old.Undeploy()
+	v, err := sv.provisionShard(s)
+	if err != nil {
+		return fmt.Errorf("core: re-provisioning shard %d: %w", s, err)
+	}
+	if calibX != nil {
+		if err := v.SetCalibrationFeatures(calibX); err != nil {
+			return fmt.Errorf("core: re-registering shard %d calibration batch: %w", s, err)
+		}
+	}
+	sv.vaults[s].Store(v)
+	for _, ws := range wss {
+		if err := ws.rejoinShard(s); err != nil {
+			return fmt.Errorf("core: rejoining shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// rejoinShard rebuilds shard s's machine from the stored plan state,
+// swaps it into the fleet, charges the workspace EPC on the replacement
+// enclave, and — for reduced precision tiers — re-runs the calibration
+// agreement gate through a fleet round so the recovered shard is proven
+// bit-compatible before it serves.
+func (ws *ShardedWorkspace) rejoinShard(s int) error {
+	m, err := ws.progs[s].NewMachine(ws.mcfgs[s])
+	if err != nil {
+		return fmt.Errorf("recompiling machine: %w", err)
+	}
+	if err := ws.sv.vaults[s].Load().Enclave.Alloc(ws.epc[s]); err != nil {
+		return fmt.Errorf("workspace does not fit replacement EPC: %w", err)
+	}
+	if err := ws.fleet.Replace(s, m); err != nil {
+		ws.sv.vaults[s].Load().Enclave.Free(ws.epc[s])
+		return err
+	}
+	if ws.refLabels != nil {
+		calibX := ws.sv.vaults[s].Load().calibX.Load()
+		if calibX == nil {
+			return fmt.Errorf("reduced-precision plan lost its calibration batch")
+		}
+		ws.bbIn[0] = calibX
+		ws.bbMach.Run(ws.Rows, ws.bbIn, nil)
+		ws.bindShardEmbs()
+		check := make([]int, ws.Rows)
+		if err := ws.runFleet(check); err != nil {
+			return fmt.Errorf("agreement fleet round: %w", err)
+		}
+		if err := agreementFloor(check, ws.refLabels, ws.planCfg); err != nil {
+			return fmt.Errorf("recovered shard failed calibration agreement: %w", err)
+		}
+	}
+	return nil
 }
 
 // RouteSeeds returns the shard a node-query batch routes to: the owner of
@@ -550,21 +803,30 @@ func (sv *ShardedVault) RouteSeeds(seeds []int) (int, error) {
 	return 0, ErrNodeOutOfRange
 }
 
-// PredictNodesAt answers a node-level query on shard s's vault (ws must
-// be a subgraph workspace planned from that vault) and prices the
-// cross-shard traffic the query induced: every extracted node owned by a
-// peer shard models one OCALL from s's enclave — the sealed fetch of that
-// node's embedding row — and the fetched bytes are returned as halo
-// traffic for the caller's accounting. Labels alias ws, one per seed.
+// PredictNodesAt answers a node-level query on shard s's vault with no
+// deadline; see PredictNodesAtContext.
 func (sv *ShardedVault) PredictNodesAt(x *mat.Matrix, seeds []int, s int, ws *SubgraphWorkspace) ([]int, int64, InferenceBreakdown, error) {
-	labels, bd, err := sv.vaults[s].PredictNodesInto(x, seeds, ws)
+	return sv.PredictNodesAtContext(context.Background(), x, seeds, s, ws)
+}
+
+// PredictNodesAtContext answers a node-level query on shard s's vault
+// (ws must be a subgraph workspace planned from that vault) and prices
+// the cross-shard traffic the query induced: every extracted node owned
+// by a peer shard models one OCALL from s's enclave — the sealed fetch
+// of that node's embedding row — and the fetched bytes are returned as
+// halo traffic for the caller's accounting. Labels alias ws, one per
+// seed. A cancelled or expired ctx fails the query before its ECALL; a
+// lost shard enclave fails it with enclave.ErrEnclaveLost (wrapped).
+func (sv *ShardedVault) PredictNodesAtContext(ctx context.Context, x *mat.Matrix, seeds []int, s int, ws *SubgraphWorkspace) ([]int, int64, InferenceBreakdown, error) {
+	v := sv.vaults[s].Load()
+	labels, bd, err := v.PredictNodesIntoContext(ctx, x, seeds, ws)
 	if err != nil {
 		return nil, 0, bd, err
 	}
 	var haloBytes int64
 	for _, u := range ws.ExtractedNodes() {
 		if sv.Part.Owner(u) != s {
-			sv.vaults[s].Enclave.Ocall()
+			v.Enclave.Ocall()
 			haloBytes += ws.payload
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -318,7 +319,16 @@ func (ws *SubgraphWorkspace) Release() {
 // exact full-graph Predict (allocating — the subgraph plan's buffers
 // cannot hold the whole graph) and returns exact-GCN labels.
 func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace) ([]int, InferenceBreakdown, error) {
-	labels, _, bd, err := v.predictNodesInto(x, seeds, ws, false)
+	labels, _, bd, err := v.predictNodesInto(context.Background(), x, seeds, ws, false)
+	return labels, bd, err
+}
+
+// PredictNodesIntoContext is PredictNodesInto with a deadline: a
+// cancelled or expired ctx fails the query at the next boundary — on
+// entry or just before the ECALL — with an error wrapping ctx.Err(),
+// so a query routed to a slow or dead shard never outlives its budget.
+func (v *Vault) PredictNodesIntoContext(ctx context.Context, x *mat.Matrix, seeds []int, ws *SubgraphWorkspace) ([]int, InferenceBreakdown, error) {
+	labels, _, bd, err := v.predictNodesInto(ctx, x, seeds, ws, false)
 	return labels, bd, err
 }
 
@@ -330,12 +340,15 @@ func (v *Vault) PredictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 // where it is freshly allocated. See Vault.PredictScoresInto for what
 // exposing scores means for the threat model.
 func (v *Vault) PredictNodesScoresInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace) (*mat.Matrix, []int, InferenceBreakdown, error) {
-	labels, scores, bd, err := v.predictNodesInto(x, seeds, ws, true)
+	labels, scores, bd, err := v.predictNodesInto(context.Background(), x, seeds, ws, true)
 	return scores, labels, bd, err
 }
 
-func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspace, wantScores bool) ([]int, *mat.Matrix, InferenceBreakdown, error) {
+func (v *Vault) predictNodesInto(ctx context.Context, x *mat.Matrix, seeds []int, ws *SubgraphWorkspace, wantScores bool) ([]int, *mat.Matrix, InferenceBreakdown, error) {
 	var bd InferenceBreakdown
+	if err := ctx.Err(); err != nil {
+		return nil, nil, bd, fmt.Errorf("core: node query: %w", err)
+	}
 	if ws.released {
 		return nil, nil, bd, fmt.Errorf("core: PredictNodesInto on released workspace")
 	}
@@ -446,6 +459,12 @@ func (v *Vault) predictNodesInto(x *mat.Matrix, seeds []int, ws *SubgraphWorkspa
 	resultBytes := int64(len(seeds)) * 8
 	if wantScores {
 		resultBytes += int64(len(seeds)) * int64(ws.rectMach.OutputWidth()) * 8
+	}
+	// Last deadline check before the enclave transition: the ECALL itself
+	// is modelled (not wall-clock), so the boundary is the right place to
+	// observe an expired budget.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, bd, fmt.Errorf("core: node query: %w", err)
 	}
 	if err := v.Enclave.Ecall(payload, resultBytes, ws.ecall); err != nil {
 		return nil, nil, bd, fmt.Errorf("core: enclave subgraph inference: %w", err)

@@ -25,6 +25,7 @@ package enclave
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -123,6 +124,15 @@ type Enclave struct {
 	// beyond EPCBytes succeed but pay PageSwapLatency per page on every
 	// subsequent touch; if false they fail with ErrEPCExhausted.
 	AllowPaging bool
+
+	// Fault-injection state (fault.go): the installed plan, the ECALL
+	// ordinal counter it schedules against, the seeded random-abort
+	// stream, and the crashed flag — once lost, every ECALL fails with
+	// ErrEnclaveLost until the deployment replaces the enclave.
+	fault      *FaultPlan
+	faultCalls int64
+	faultRNG   *rand.Rand
+	lost       bool
 }
 
 // New creates an enclave with the given cost model and an initial
@@ -194,13 +204,14 @@ func (e *Enclave) Alloc(n int64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	capacity := e.cost.EPCBytes - e.squeezeLocked()
 	newUsed := e.epcUsed + n
-	if newUsed > e.cost.EPCBytes {
+	if newUsed > capacity {
 		if !e.AllowPaging {
 			e.ledger.AllocFailures++
-			return fmt.Errorf("%w: %d + %d > %d", ErrEPCExhausted, e.epcUsed, n, e.cost.EPCBytes)
+			return fmt.Errorf("%w: %d + %d > %d", ErrEPCExhausted, e.epcUsed, n, capacity)
 		}
-		over := newUsed - e.cost.EPCBytes
+		over := newUsed - capacity
 		pages := (over + e.cost.PageBytes - 1) / e.cost.PageBytes
 		e.ledger.PageSwaps += pages
 		e.ledger.PagingNs += pages * e.cost.PageSwapLatency.Nanoseconds()
@@ -228,8 +239,15 @@ func (e *Enclave) Free(n int64) {
 //
 // fn runs on the calling goroutine; in-enclave code must be written
 // single-threaded (the nn layers' Serial mode) for the model to be honest.
+//
+// When a FaultPlan aborts the call (or the enclave is already lost), fn
+// never runs, nothing is charged, and the error wraps ErrEnclaveLost.
 func (e *Enclave) Ecall(payloadBytes, resultBytes int64, fn func() error) error {
 	e.mu.Lock()
+	if err := e.faultECallLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	e.ledger.ECalls++
 	e.ledger.BytesIn += payloadBytes
 	e.ledger.BytesOut += resultBytes
@@ -261,6 +279,10 @@ func (e *Enclave) Ecall(payloadBytes, resultBytes int64, fn func() error) error 
 // the whole fleet's work to every shard.
 func (e *Enclave) EcallMeasured(payloadBytes, resultBytes int64, fn func() (busyNs int64, err error)) error {
 	e.mu.Lock()
+	if err := e.faultECallLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	e.ledger.ECalls++
 	e.ledger.BytesIn += payloadBytes
 	e.ledger.BytesOut += resultBytes

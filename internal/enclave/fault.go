@@ -1,0 +1,138 @@
+package enclave
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Fault injection. Real SGX enclaves die: the EPC is reclaimed on machine
+// reboot or S3 sleep, attestation can be revoked, and the AEX path kills
+// an enclave whose host thread faults. A production deployment must treat
+// every ECALL as fallible, so the simulator makes enclave loss a first-
+// class, deterministic event: a FaultPlan scripts (or seeds) exactly when
+// an enclave aborts, slows down, or loses EPC headroom, and the rest of
+// the stack — fleet barriers, shard recovery, circuit breakers — is built
+// and tested against it. Like every other cost in this package the faults
+// are modelled, not measured, so chaos runs reproduce bit-for-bit.
+
+// ErrEnclaveLost is returned by Ecall/EcallMeasured when the enclave has
+// crashed (a FaultPlan abort, standing in for reboot, EPC reclaim or
+// attestation revocation on real hardware). It is deliberately distinct
+// from ErrEPCExhausted: exhaustion is a capacity failure answered by
+// eviction or tiling, while a lost enclave is gone — the only remedy is
+// re-creating and re-provisioning it (core.ShardedVault.RecoverShard).
+var ErrEnclaveLost = errors.New("enclave: enclave lost")
+
+// FaultPlan is a deterministic fault schedule for one enclave, installed
+// with SetFaultPlan. Every trigger counts ECALL ordinals — 0-based,
+// counted from installation — so tests and benches inject crashes at
+// exact points without touching call sites.
+type FaultPlan struct {
+	// AbortECalls lists ECALL ordinals that abort with ErrEnclaveLost
+	// before the body runs. An abort marks the enclave lost for good:
+	// every subsequent ECALL fails the same way until the deployment
+	// replaces the enclave.
+	AbortECalls []int64
+	// AbortRate injects seeded random crashes: each ECALL aborts with
+	// this probability, drawn from a rand.Rand seeded with Seed at
+	// installation. 0 disables random aborts.
+	AbortRate float64
+	// Seed seeds the random-abort stream; two enclaves given the same
+	// plan crash on the same ordinals.
+	Seed int64
+	// SpikeEvery charges SpikeNs of extra modelled transition latency on
+	// every SpikeEvery-th ECALL (a periodic latency spike — host
+	// preemption, interrupt storms). 0 disables spikes.
+	SpikeEvery int64
+	// SpikeNs is the modelled nanoseconds one latency spike adds.
+	SpikeNs int64
+	// SqueezeBytes models a transient EPC squeeze (another enclave on the
+	// platform ballooning): while the ECALL ordinal is in [SqueezeFrom,
+	// SqueezeUntil), Alloc sees the EPC capacity reduced by this many
+	// bytes. 0 disables the squeeze.
+	SqueezeBytes int64
+	// SqueezeFrom is the first ECALL ordinal of the squeeze window.
+	SqueezeFrom int64
+	// SqueezeUntil is the first ordinal past the squeeze window.
+	SqueezeUntil int64
+}
+
+// SetFaultPlan installs (or, with nil, removes) the enclave's fault plan
+// and restarts its ECALL ordinal count. Installing a plan does not revive
+// a lost enclave — loss is permanent by design.
+func (e *Enclave) SetFaultPlan(p *FaultPlan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fault = p
+	e.faultCalls = 0
+	e.faultRNG = nil
+	if p != nil && p.AbortRate > 0 {
+		e.faultRNG = rand.New(rand.NewSource(p.Seed))
+	}
+}
+
+// Lost reports whether the enclave has crashed. A lost enclave fails
+// every ECALL with ErrEnclaveLost; its ledger and EPC accounting remain
+// readable for post-mortems.
+func (e *Enclave) Lost() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lost
+}
+
+// MarkLost force-crashes the enclave, as if a fault plan had aborted its
+// next ECALL — the hook chaos drivers use to kill a shard "now" without
+// waiting for a scheduled ordinal.
+func (e *Enclave) MarkLost() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lost = true
+}
+
+// faultECallLocked runs the fault plan for one ECALL: called with e.mu
+// held, before any ledger accounting, so an aborted call charges nothing
+// (real SGX rejects entry to a dead enclave at the gate). It returns the
+// error the ECALL must fail with, or nil to proceed.
+func (e *Enclave) faultECallLocked() error {
+	if e.lost {
+		return fmt.Errorf("%w: ECALL into a dead enclave", ErrEnclaveLost)
+	}
+	p := e.fault
+	if p == nil {
+		return nil
+	}
+	ord := e.faultCalls
+	e.faultCalls++
+	abort := false
+	for _, a := range p.AbortECalls {
+		if a == ord {
+			abort = true
+			break
+		}
+	}
+	if !abort && e.faultRNG != nil && e.faultRNG.Float64() < p.AbortRate {
+		abort = true
+	}
+	if abort {
+		e.lost = true
+		return fmt.Errorf("%w: ECALL %d aborted by fault plan", ErrEnclaveLost, ord)
+	}
+	if p.SpikeEvery > 0 && (ord+1)%p.SpikeEvery == 0 {
+		e.ledger.TransitionNs += p.SpikeNs
+	}
+	return nil
+}
+
+// squeezeLocked returns the EPC bytes a transient squeeze currently
+// withholds from Alloc. Called with e.mu held.
+func (e *Enclave) squeezeLocked() int64 {
+	p := e.fault
+	if p == nil || p.SqueezeBytes <= 0 {
+		return 0
+	}
+	if e.faultCalls >= p.SqueezeFrom && e.faultCalls < p.SqueezeUntil {
+		return p.SqueezeBytes
+	}
+	return 0
+}

@@ -1,0 +1,134 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+)
+
+func noopEcall() error { return nil }
+
+// TestFaultScriptedAbort pins the scripted crash: the listed ECALL
+// ordinal aborts with ErrEnclaveLost before the body runs, charges
+// nothing, and the enclave stays lost afterwards.
+func TestFaultScriptedAbort(t *testing.T) {
+	e := New(DefaultCostModel(), []byte("m"))
+	e.SetFaultPlan(&FaultPlan{AbortECalls: []int64{2}})
+
+	ran := 0
+	body := func() error { ran++; return nil }
+	for i := 0; i < 2; i++ {
+		if err := e.Ecall(8, 8, body); err != nil {
+			t.Fatalf("ECALL %d before the scripted abort failed: %v", i, err)
+		}
+	}
+	ledgerBefore := e.Ledger()
+	if err := e.Ecall(8, 8, body); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("scripted ECALL 2 returned %v, want ErrEnclaveLost", err)
+	}
+	if ran != 2 {
+		t.Fatalf("aborted ECALL ran its body (%d bodies ran, want 2)", ran)
+	}
+	if !e.Lost() {
+		t.Fatal("enclave not marked lost after the abort")
+	}
+	if got := e.Ledger(); got != ledgerBefore {
+		t.Fatalf("aborted ECALL changed the ledger: %+v -> %+v", ledgerBefore, got)
+	}
+	// Loss is permanent: later calls fail too, including EcallMeasured.
+	if err := e.Ecall(8, 8, body); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("post-loss Ecall returned %v, want ErrEnclaveLost", err)
+	}
+	if err := e.EcallMeasured(8, 8, func() (int64, error) { return 0, nil }); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("post-loss EcallMeasured returned %v, want ErrEnclaveLost", err)
+	}
+	// Installing a new plan does not revive a lost enclave.
+	e.SetFaultPlan(nil)
+	if err := e.Ecall(8, 8, body); !errors.Is(err, ErrEnclaveLost) {
+		t.Fatalf("lost enclave revived by SetFaultPlan(nil): %v", err)
+	}
+}
+
+// TestFaultSeededAbortDeterministic pins that two enclaves under the same
+// seeded plan crash on the same ECALL ordinal.
+func TestFaultSeededAbortDeterministic(t *testing.T) {
+	crashOrdinal := func(seed int64) int {
+		e := New(DefaultCostModel(), []byte("m"))
+		e.SetFaultPlan(&FaultPlan{AbortRate: 0.05, Seed: seed})
+		for i := 0; i < 10_000; i++ {
+			if err := e.Ecall(0, 0, noopEcall); err != nil {
+				if !errors.Is(err, ErrEnclaveLost) {
+					t.Fatalf("seeded abort returned %v, want ErrEnclaveLost", err)
+				}
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := crashOrdinal(7), crashOrdinal(7)
+	if a != b {
+		t.Fatalf("same seed crashed at ordinals %d and %d", a, b)
+	}
+	if a < 0 {
+		t.Fatal("rate 0.05 never crashed in 10k ECALLs")
+	}
+}
+
+// TestFaultLatencySpike pins the periodic latency spike: every
+// SpikeEvery-th ECALL charges SpikeNs extra transition time and nothing
+// else changes.
+func TestFaultLatencySpike(t *testing.T) {
+	cost := DefaultCostModel()
+	e := New(cost, []byte("m"))
+	e.SetFaultPlan(&FaultPlan{SpikeEvery: 3, SpikeNs: 1_000_000})
+
+	perCall := cost.ECallLatency.Nanoseconds() + cost.OCallLatency.Nanoseconds()
+	for i := 0; i < 6; i++ {
+		if err := e.Ecall(0, 0, noopEcall); err != nil {
+			t.Fatalf("ECALL %d: %v", i, err)
+		}
+	}
+	want := 6*perCall + 2*1_000_000 // spikes on ordinals 2 and 5
+	if got := e.Ledger().TransitionNs; got != want {
+		t.Fatalf("TransitionNs = %d, want %d (2 spikes over 6 ECALLs)", got, want)
+	}
+}
+
+// TestFaultEPCSqueeze pins the transient squeeze: Alloc fails with
+// ErrEPCExhausted while the ECALL ordinal is inside the window and
+// succeeds again once it passes.
+func TestFaultEPCSqueeze(t *testing.T) {
+	cost := DefaultCostModel()
+	cost.EPCBytes = 1 << 20
+	e := New(cost, []byte("m"))
+	e.SetFaultPlan(&FaultPlan{SqueezeBytes: 1 << 20, SqueezeFrom: 1, SqueezeUntil: 2})
+
+	if err := e.Alloc(512); err != nil {
+		t.Fatalf("Alloc before the squeeze window: %v", err)
+	}
+	if err := e.Ecall(0, 0, noopEcall); err != nil { // ordinal 0 -> counter now 1
+		t.Fatalf("Ecall: %v", err)
+	}
+	if err := e.Alloc(512); !errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("Alloc inside the squeeze returned %v, want ErrEPCExhausted", err)
+	}
+	if err := e.Ecall(0, 0, noopEcall); err != nil { // counter now 2, window closed
+		t.Fatalf("Ecall: %v", err)
+	}
+	if err := e.Alloc(512); err != nil {
+		t.Fatalf("Alloc after the squeeze window: %v", err)
+	}
+}
+
+// TestEnclaveLostDisjointFromEPCExhausted pins the sentinel contract the
+// serving layers map to distinct HTTP statuses and recovery actions.
+func TestEnclaveLostDisjointFromEPCExhausted(t *testing.T) {
+	if errors.Is(ErrEnclaveLost, ErrEPCExhausted) || errors.Is(ErrEPCExhausted, ErrEnclaveLost) {
+		t.Fatal("ErrEnclaveLost and ErrEPCExhausted must be disjoint")
+	}
+	e := New(DefaultCostModel(), []byte("m"))
+	e.MarkLost()
+	err := e.Ecall(0, 0, noopEcall)
+	if !errors.Is(err, ErrEnclaveLost) || errors.Is(err, ErrEPCExhausted) {
+		t.Fatalf("lost-enclave error %v must wrap ErrEnclaveLost only", err)
+	}
+}

@@ -469,10 +469,13 @@ type Machine struct {
 	// Fleet wiring for halo-exchange programs: peers[s] is shard s's
 	// machine (including this one at its own index) and sync is the
 	// fleet barrier, called after input binding and again before each
-	// halo op so every peer's gathered value is complete. Both are set
-	// by NewFleet; nil outside a fleet.
+	// halo op so every peer's gathered value is complete. A non-nil
+	// error from sync means the pass was poisoned (a peer aborted); the
+	// machine unwinds by panicking with *fleetAbort, which Fleet.RunShard
+	// recovers into an error. Both fields are set by NewFleet; nil
+	// outside a fleet.
 	peers []*Machine
-	sync  func()
+	sync  func() error
 
 	scratch []workerScratch // per tile worker (index 0 serves direct mode too)
 	fns     []func()        // pre-built worker bodies, spawned per op
@@ -816,7 +819,9 @@ func (m *Machine) Run(rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix 
 	if m.sync != nil {
 		// Fleet entry barrier: every peer's views are bound before any
 		// shard starts reading across the fleet.
-		m.sync()
+		if err := m.sync(); err != nil {
+			panic(&fleetAbort{cause: err})
+		}
 	}
 	for i := range p.ops {
 		op := &p.ops[i]
@@ -1008,7 +1013,9 @@ func (m *Machine) runHalo(op *Op, rows int) {
 	if m.peers == nil {
 		panic("exec: halo op outside a fleet (plan through NewFleet)")
 	}
-	m.sync()
+	if err := m.sync(); err != nil {
+		panic(&fleetAbort{cause: err})
+	}
 	// Busy time starts after the barrier: only the gather copies are this
 	// shard's own work; the wait is peer compute that real multi-enclave
 	// hardware would overlap.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,17 +22,37 @@ import (
 // "your value from op < i is complete"). Values are written exactly once
 // per run, so no further synchronisation is needed: a shard that races
 // ahead only writes values no peer reads anymore.
+//
+// The barrier is also the fleet's failure domain. A shard whose ECALL
+// never starts (a lost enclave) never arrives, which would strand its
+// peers forever — so the barrier is poisonable: Abort wakes every waiter
+// and fails every later wait with the abort cause, each machine unwinds
+// its run (no gather ever reads a half-written value, because unwinding
+// happens only at barrier points and passing a barrier proves every peer
+// completed the ops before it), and Reset re-arms the same fleet for the
+// next pass.
+
+// ErrFleetAborted is wrapped into the error every shard of an aborted
+// fleet pass unwinds with, alongside the abort cause — a peer that only
+// saw the poisoned barrier reports both "the pass was aborted" and why.
+var ErrFleetAborted = errors.New("exec: fleet pass aborted")
+
+// fleetAbort carries the abort cause through the panic that unwinds a
+// machine's op loop when a barrier wait fails; RunShard recovers it.
+type fleetAbort struct{ cause error }
 
 // barrier is a reusable counting barrier. Each wait blocks until all n
 // parties arrive; the phase counter makes it safely reusable because a
 // party cannot start its k+1-th wait before its k-th completed, so all
-// parties always sit in the same phase.
+// parties always sit in the same phase. A non-nil cause poisons the
+// barrier: every current and future wait fails with it until reset.
 type barrier struct {
 	mu    sync.Mutex
 	cond  sync.Cond
 	n     int
 	count int
 	phase uint64
+	cause error
 }
 
 func newBarrier(n int) *barrier {
@@ -40,21 +61,50 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait() error {
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cause != nil {
+		return b.cause
+	}
 	ph := b.phase
 	b.count++
 	if b.count == b.n {
 		b.count = 0
 		b.phase++
 		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
+		return nil
 	}
-	for b.phase == ph {
+	for b.phase == ph && b.cause == nil {
 		b.cond.Wait()
 	}
-	b.mu.Unlock()
+	if b.phase == ph {
+		// Woken by poison before the phase completed: withdraw this
+		// arrival so reset sees a consistent count.
+		b.count--
+		return b.cause
+	}
+	return nil
+}
+
+// poison marks the barrier failed (first cause wins) and wakes every
+// waiter.
+func (b *barrier) poison(cause error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cause == nil {
+		b.cause = cause
+		b.cond.Broadcast()
+	}
+}
+
+// reset re-arms a (possibly poisoned) barrier for the next round. The
+// caller must have joined every party of the aborted round first.
+func (b *barrier) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cause = nil
+	b.count = 0
 }
 
 // Fleet couples one machine per shard of a partitioned program so their
@@ -75,43 +125,15 @@ type Fleet struct {
 // the peer table and barrier into each machine. Machines may belong to
 // at most one fleet. Programs containing OpFunc are rejected — an opaque
 // kernel could fail mid-run between barriers, and fleet execution must
-// be infallible after the entry barrier.
+// be infallible between barrier points (failure enters only through the
+// poisonable barrier itself: Abort / RunShard errors).
 func NewFleet(machines []*Machine) (*Fleet, error) {
 	if len(machines) == 0 {
 		return nil, fmt.Errorf("exec: fleet of zero machines")
 	}
-	ref := machines[0].prog
 	for s, m := range machines {
-		if m.peers != nil {
-			return nil, fmt.Errorf("exec: shard %d machine already belongs to a fleet", s)
-		}
-		if !m.prog.tileable {
-			return nil, fmt.Errorf("exec: shard %d program contains non-tileable ops (OpFunc cannot run in a fleet)", s)
-		}
-		if m.elem != machines[0].elem {
-			return nil, fmt.Errorf("exec: shard %d element type %s != shard 0 %s", s, m.elem, machines[0].elem)
-		}
-		if len(m.prog.ops) != len(ref.ops) {
-			return nil, fmt.Errorf("exec: shard %d has %d ops, shard 0 has %d — shards must lower identically", s, len(m.prog.ops), len(ref.ops))
-		}
-		for i := range m.prog.ops {
-			if m.prog.ops[i].Kind != ref.ops[i].Kind {
-				return nil, fmt.Errorf("exec: shard %d op %d is %s, shard 0 has %s — shards must lower identically", s, i, m.prog.ops[i].Kind, ref.ops[i].Kind)
-			}
-		}
-		for i := range m.prog.ops {
-			op := &m.prog.ops[i]
-			if op.Kind != OpHalo {
-				continue
-			}
-			for _, sl := range op.Halo {
-				if sl.Shard < 0 || sl.Shard >= len(machines) {
-					return nil, fmt.Errorf("exec: shard %d halo slot names shard %d of %d", s, sl.Shard, len(machines))
-				}
-				if sl.Row < 0 || sl.Row >= machines[sl.Shard].prog.MaxRows {
-					return nil, fmt.Errorf("exec: shard %d halo slot row %d outside peer %d's %d rows", s, sl.Row, sl.Shard, machines[sl.Shard].prog.MaxRows)
-				}
-			}
+		if err := validateFleetMachine(machines, s, m); err != nil {
+			return nil, err
 		}
 	}
 	f := &Fleet{machines: machines, bar: newBarrier(len(machines))}
@@ -120,6 +142,100 @@ func NewFleet(machines []*Machine) (*Fleet, error) {
 		m.sync = f.bar.wait
 	}
 	return f, nil
+}
+
+// validateFleetMachine checks machine m as shard s of the fleet: not yet
+// fleet-bound, tileable, same element type and op-kind sequence as shard
+// 0 (or, when validating a replacement for shard 0 itself, as another
+// shard), and every halo slot in range of its peer.
+func validateFleetMachine(machines []*Machine, s int, m *Machine) error {
+	ref := machines[0]
+	if s == 0 && m != machines[0] {
+		ref = machines[len(machines)-1]
+	}
+	if m.peers != nil {
+		return fmt.Errorf("exec: shard %d machine already belongs to a fleet", s)
+	}
+	if !m.prog.tileable {
+		return fmt.Errorf("exec: shard %d program contains non-tileable ops (OpFunc cannot run in a fleet)", s)
+	}
+	if m.elem != ref.elem {
+		return fmt.Errorf("exec: shard %d element type %s != shard 0 %s", s, m.elem, ref.elem)
+	}
+	if len(m.prog.ops) != len(ref.prog.ops) {
+		return fmt.Errorf("exec: shard %d has %d ops, shard 0 has %d — shards must lower identically", s, len(m.prog.ops), len(ref.prog.ops))
+	}
+	for i := range m.prog.ops {
+		if m.prog.ops[i].Kind != ref.prog.ops[i].Kind {
+			return fmt.Errorf("exec: shard %d op %d is %s, shard 0 has %s — shards must lower identically", s, i, m.prog.ops[i].Kind, ref.prog.ops[i].Kind)
+		}
+	}
+	for i := range m.prog.ops {
+		op := &m.prog.ops[i]
+		if op.Kind != OpHalo {
+			continue
+		}
+		for _, sl := range op.Halo {
+			if sl.Shard < 0 || sl.Shard >= len(machines) {
+				return fmt.Errorf("exec: shard %d halo slot names shard %d of %d", s, sl.Shard, len(machines))
+			}
+			if sl.Row < 0 || sl.Row >= machines[sl.Shard].prog.MaxRows {
+				return fmt.Errorf("exec: shard %d halo slot row %d outside peer %d's %d rows", s, sl.Row, sl.Shard, machines[sl.Shard].prog.MaxRows)
+			}
+		}
+	}
+	return nil
+}
+
+// Replace swaps a fresh machine in as shard s — the rejoin step of shard
+// recovery, after the shard's enclave was lost and re-provisioned. The
+// replacement must lower identically to its peers (same validation as
+// NewFleet) and match the old machine's height, since peer halo slots
+// address its rows. The peer table is shared, so every machine in the
+// fleet sees the replacement immediately; the caller must guarantee no
+// pass is in flight.
+func (f *Fleet) Replace(s int, m *Machine) error {
+	if s < 0 || s >= len(f.machines) {
+		return fmt.Errorf("exec: replace shard %d of %d", s, len(f.machines))
+	}
+	if m.peers != nil {
+		return fmt.Errorf("exec: replacement machine already belongs to a fleet")
+	}
+	if m.prog.MaxRows != f.machines[s].prog.MaxRows {
+		return fmt.Errorf("exec: replacement shard %d is %d rows, fleet expects %d", s, m.prog.MaxRows, f.machines[s].prog.MaxRows)
+	}
+	if err := validateFleetMachine(f.machines, s, m); err != nil {
+		return err
+	}
+	old := f.machines[s]
+	f.machines[s] = m // shared peer slice: visible to every machine
+	old.peers, old.sync = nil, nil
+	m.peers = f.machines
+	m.sync = f.bar.wait
+	return nil
+}
+
+// Abort poisons the fleet's barrier: every shard blocked at (or later
+// arriving at) a barrier unwinds its RunShard with an error wrapping
+// ErrFleetAborted and the given cause, instead of deadlocking on a peer
+// that will never arrive. The first cause wins; nil is recorded as a
+// bare ErrFleetAborted. Safe from any goroutine — including one watching
+// a context deadline. After every RunShard of the aborted pass has
+// returned, Reset re-arms the fleet.
+func (f *Fleet) Abort(cause error) {
+	if cause == nil {
+		f.bar.poison(ErrFleetAborted)
+		return
+	}
+	f.bar.poison(fmt.Errorf("%w: %w", ErrFleetAborted, cause))
+}
+
+// Reset re-arms the fleet for the next pass after an aborted one. The
+// caller must have joined every RunShard of the aborted pass first; the
+// machines, their buffers and the peer table are untouched, so the fleet
+// serves the next pass as if the abort never happened.
+func (f *Fleet) Reset() {
+	f.bar.reset()
 }
 
 // Shards returns the fleet's shard count.
@@ -137,14 +253,30 @@ func (f *Fleet) Machine(s int) *Machine { return f.machines[s] }
 // shard's rows of the global label vector, so passing labels[lo:hi] per
 // shard stitches the full result with no extra copy.
 //
+// When the pass is aborted (Fleet.Abort — a peer's enclave lost, a
+// deadline expired) RunShard returns a nil matrix and an error wrapping
+// ErrFleetAborted and the abort cause: the shard unwinds at its next
+// barrier instead of deadlocking on a peer that will never arrive. A
+// shard that had already passed its last barrier may still return its
+// completed output; the caller discards the pass either way.
+//
 // The calling goroutine is pinned to its OS thread for the duration so
 // the machine's busy accounting can read the per-thread CPU clock:
 // only this shard's own cycles are charged, no matter how the host
 // scheduler interleaves the peers.
-func (f *Fleet) RunShard(s, rows int, inputs []*mat.Matrix, labels []int) *mat.Matrix {
+func (f *Fleet) RunShard(s, rows int, inputs []*mat.Matrix, labels []int) (out *mat.Matrix, err error) {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
-	return f.machines[s].Run(rows, inputs, labels)
+	defer func() {
+		if r := recover(); r != nil {
+			fa, ok := r.(*fleetAbort)
+			if !ok {
+				panic(r)
+			}
+			out, err = nil, fmt.Errorf("exec: shard %d unwound: %w", s, fa.cause)
+		}
+	}()
+	return f.machines[s].Run(rows, inputs, labels), nil
 }
 
 // HaloBytes returns the total boundary-activation traffic one fleet

@@ -372,7 +372,9 @@ func (m *Machine) runReduced(rows int, inputs []*mat.Matrix, labels []int) *mat.
 	if m.sync != nil {
 		// Fleet entry barrier: every peer's typed views are bound (and
 		// boundary-converted) before any shard starts reading across.
-		m.sync()
+		if err := m.sync(); err != nil {
+			panic(&fleetAbort{cause: err})
+		}
 	}
 	for i := range p.ops {
 		op := &p.ops[i]

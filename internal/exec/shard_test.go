@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -64,11 +65,9 @@ func buildShardProgs(part *graph.Partition, d0 int, pr *gcnParams) []*Program {
 	return progs
 }
 
-// runFleet plans one machine per shard under cfg, wires the fleet, and
-// runs every shard concurrently over its row range of x; labels is the
-// global label vector, stitched by row-range slicing. Returns the
-// per-shard outputs.
-func runFleet(t testing.TB, part *graph.Partition, progs []*Program, cfg func(s int) Config, x *mat.Matrix, labels []int) []*mat.Matrix {
+// newTestFleet plans one machine per shard under cfg and wires them into
+// a fleet.
+func newTestFleet(t testing.TB, progs []*Program, cfg func(s int) Config) *Fleet {
 	t.Helper()
 	machines := make([]*Machine, len(progs))
 	for s := range progs {
@@ -82,9 +81,23 @@ func runFleet(t testing.TB, part *graph.Partition, progs []*Program, cfg func(s 
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := make([]*mat.Matrix, len(progs))
+	return fleet
+}
+
+// fleetPass runs one pass of the fleet over x, every shard on its own
+// goroutine. If skip >= 0 that shard never calls RunShard — modelling an
+// enclave lost before its ECALL — and the pass is instead aborted with
+// cause once the survivors have launched. Returns per-shard outputs and
+// errors.
+func fleetPass(fleet *Fleet, part *graph.Partition, x *mat.Matrix, labels []int, skip int, cause error) ([]*mat.Matrix, []error) {
+	shards := fleet.Shards()
+	outs := make([]*mat.Matrix, shards)
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
-	for s := range progs {
+	for s := 0; s < shards; s++ {
+		if s == skip {
+			continue
+		}
 		s := s
 		lo, hi := part.Bounds[s], part.Bounds[s+1]
 		xs := &mat.Matrix{}
@@ -92,11 +105,35 @@ func runFleet(t testing.TB, part *graph.Partition, progs []*Program, cfg func(s 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outs[s] = fleet.RunShard(s, hi-lo, []*mat.Matrix{xs}, labels[lo:hi])
+			outs[s], errs[s] = fleet.RunShard(s, hi-lo, []*mat.Matrix{xs}, labels[lo:hi])
 		}()
 	}
+	if skip >= 0 {
+		fleet.Abort(cause)
+	}
 	wg.Wait()
+	return outs, errs
+}
+
+// runFleetPass runs one pass that must succeed on every shard.
+func runFleetPass(t testing.TB, fleet *Fleet, part *graph.Partition, x *mat.Matrix, labels []int) []*mat.Matrix {
+	t.Helper()
+	outs, errs := fleetPass(fleet, part, x, labels, -1, nil)
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
 	return outs
+}
+
+// runFleet plans one machine per shard under cfg, wires the fleet, and
+// runs every shard concurrently over its row range of x; labels is the
+// global label vector, stitched by row-range slicing. Returns the
+// per-shard outputs.
+func runFleet(t testing.TB, part *graph.Partition, progs []*Program, cfg func(s int) Config, x *mat.Matrix, labels []int) []*mat.Matrix {
+	t.Helper()
+	return runFleetPass(t, newTestFleet(t, progs, cfg), part, x, labels)
 }
 
 // checkSharded asserts the fleet's stitched outputs and labels are
@@ -317,6 +354,94 @@ func TestFleetValidation(t *testing.T) {
 	}
 }
 
+// TestFleetAbortUnwindAndReuse pins the poisonable-barrier contract: a
+// shard that never arrives (lost enclave) plus an Abort unwinds every
+// peer with ErrFleetAborted wrapping the cause instead of deadlocking;
+// after Reset the same fleet — and the fleet after a Replace of the dead
+// shard — reproduces the baseline bit-for-bit.
+func TestFleetAbortUnwindAndReuse(t *testing.T) {
+	const n, d0, h, classes = 48, 4, 6, 3
+	rng := rand.New(rand.NewSource(17))
+	pr := newGCNParams(rng, d0, h, classes)
+	csr := testCSR(n, 6)
+	x := randMat(rng, n, d0)
+	part := graph.NewPartition(csr, 3)
+	progs := buildShardProgs(part, d0, pr)
+	cfg := func(int) Config { return Config{Workers: 1} }
+
+	fleet := newTestFleet(t, progs, cfg)
+	baseLabels := make([]int, n)
+	base := runFleetPass(t, fleet, part, x, baseLabels)
+	want := make([]*mat.Matrix, len(base))
+	for s, o := range base {
+		want[s] = o.Clone()
+	}
+
+	// Shard 2 dies before its ECALL: shards 0 and 1 block on the entry
+	// barrier until the abort poisons it, then unwind with the cause.
+	cause := errors.New("shard 2 enclave lost")
+	labels := make([]int, n)
+	_, errs := fleetPass(fleet, part, x, labels, 2, cause)
+	for s := 0; s < 2; s++ {
+		if !errors.Is(errs[s], ErrFleetAborted) {
+			t.Fatalf("shard %d error %v does not wrap ErrFleetAborted", s, errs[s])
+		}
+		if !errors.Is(errs[s], cause) {
+			t.Fatalf("shard %d error %v does not wrap the abort cause", s, errs[s])
+		}
+	}
+
+	// The poison outlives the pass until Reset: a new pass fails fast.
+	_, errs = fleetPass(fleet, part, x, labels, -1, nil)
+	for s, err := range errs {
+		if !errors.Is(err, ErrFleetAborted) {
+			t.Fatalf("pre-Reset shard %d error %v, want ErrFleetAborted", s, err)
+		}
+	}
+
+	// Reset re-arms the same fleet; the next pass is bit-identical.
+	fleet.Reset()
+	outs := runFleetPass(t, fleet, part, x, labels)
+	for s := range outs {
+		for i, v := range outs[s].Data {
+			if math.Float64bits(v) != math.Float64bits(want[s].Data[i]) {
+				t.Fatalf("post-Reset shard %d element %d: %g != %g", s, i, v, want[s].Data[i])
+			}
+		}
+	}
+	for i, l := range labels {
+		if l != baseLabels[i] {
+			t.Fatalf("post-Reset label %d: %d != %d", i, l, baseLabels[i])
+		}
+	}
+
+	// Replace the dead shard with a fresh machine — the recovery rejoin —
+	// and the fleet is again bit-identical.
+	fresh, err := progs[2].NewMachine(cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Replace(2, fresh); err != nil {
+		t.Fatal(err)
+	}
+	outs = runFleetPass(t, fleet, part, x, labels)
+	for s := range outs {
+		for i, v := range outs[s].Data {
+			if math.Float64bits(v) != math.Float64bits(want[s].Data[i]) {
+				t.Fatalf("post-Replace shard %d element %d: %g != %g", s, i, v, want[s].Data[i])
+			}
+		}
+	}
+
+	// Replace refusals: out-of-range shard, machine already fleet-bound.
+	if err := fleet.Replace(9, fresh); err == nil {
+		t.Fatal("Replace accepted an out-of-range shard")
+	}
+	if err := fleet.Replace(2, fleet.Machine(0)); err == nil {
+		t.Fatal("Replace accepted a machine already in a fleet")
+	}
+}
+
 func mustPanicExec(t *testing.T, f func()) {
 	t.Helper()
 	defer func() {
@@ -371,7 +496,7 @@ func FuzzShardedExec(f *testing.F) {
 			part := graph.NewPartition(csr, shards)
 			progs := buildShardProgs(part, d0, pr)
 			labels := make([]int, n)
-			outs := runFleet(t, part, progs, func(s int) Config {
+			cfgFn := func(s int) Config {
 				cfg := Config{Elem: elem, Workers: 1}
 				if tiled && part.Rows(s) > 1 {
 					cfg.TileRows = part.Rows(s)/2 + 1
@@ -384,8 +509,32 @@ func FuzzShardedExec(f *testing.F) {
 					cfg.Scales = ss
 				}
 				return cfg
-			}, x, labels)
+			}
+			fleet := newTestFleet(t, progs, cfgFn)
+			outs := runFleetPass(t, fleet, part, x, labels)
 			checkSharded(t, elem.String(), part, outs, labels, want, wantLabels)
+
+			if shards < 2 {
+				continue
+			}
+			// Injected fault: a fuzz-chosen shard dies before its ECALL.
+			// Every survivor must unwind with ErrFleetAborted (no
+			// deadlock), and after Reset the same fleet must reproduce
+			// the reference bit-for-bit.
+			dead := int(seed%int64(shards)+int64(shards)) % shards
+			cause := errors.New("injected enclave loss")
+			_, errs := fleetPass(fleet, part, x, labels, dead, cause)
+			for s, err := range errs {
+				if s == dead {
+					continue
+				}
+				if !errors.Is(err, ErrFleetAborted) || !errors.Is(err, cause) {
+					t.Fatalf("shard %d after injected fault: %v", s, err)
+				}
+			}
+			fleet.Reset()
+			outs = runFleetPass(t, fleet, part, x, labels)
+			checkSharded(t, elem.String()+"/post-fault", part, outs, labels, want, wantLabels)
 		}
 	})
 }

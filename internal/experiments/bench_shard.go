@@ -11,6 +11,7 @@ import (
 	"gnnvault/internal/datasets"
 	"gnnvault/internal/enclave"
 	"gnnvault/internal/graph"
+	"gnnvault/internal/subgraph"
 	"gnnvault/internal/substitute"
 )
 
@@ -65,6 +66,35 @@ type ExtShardRow struct {
 	// (shards × per-shard budget) admits. Grows with the shard count
 	// while each enclave's budget stays fixed.
 	MaxAdmissibleNodes int `json:"max_admissible_nodes"`
+	// Failure is the injected-outage leg, measured on the widest fleet
+	// (shards=4) only: nodes/s with one enclave lost vs healthy, the
+	// wall time to re-seal and rejoin the shard, and whether the
+	// recovered fleet answers bit-identically.
+	Failure *ExtShardFailure `json:"failure,omitempty"`
+}
+
+// ExtShardFailure is the shards=4 row's injected-failure leg: one
+// enclave of the fleet is marked lost mid-serving, node-query
+// throughput is measured while the fleet runs degraded, then the
+// shard's re-provision + re-seal + rejoin is timed and the recovered
+// fleet is required to reproduce the pre-fault full-graph labels.
+type ExtShardFailure struct {
+	KilledShard int `json:"killed_shard"`
+	// RecoveryMS is the wall time of RecoverShard: provisioning a fresh
+	// enclave, re-sealing the shard's CSR slice and models, rejoining
+	// the halo topology and re-proving fleet agreement.
+	RecoveryMS float64 `json:"recovery_ms"`
+	// HealthyNodesPerSec and DegradedNodesPerSec are seed nodes
+	// labelled per wall second by a round-robin node-query stream over
+	// every shard. During the outage, queries routed to the dead shard
+	// fail fast and label nothing, so the degraded rate is what the
+	// surviving shards can sustain — graceful degradation, not an
+	// outage of the whole fleet.
+	HealthyNodesPerSec  float64 `json:"healthy_nodes_per_sec"`
+	DegradedNodesPerSec float64 `json:"degraded_nodes_per_sec"`
+	// RecoveredBitIdentical records that the post-recovery full-graph
+	// pass matched the pre-fault labels exactly.
+	RecoveredBitIdentical bool `json:"recovered_bit_identical"`
 }
 
 // ExtShard sweeps full-graph inference across multi-enclave shard fleets
@@ -182,6 +212,9 @@ func ExtShard(opts Options) ([]ExtShardRow, string) {
 			PeakShardEPCMB:     float64(peakEPC) / (1 << 20),
 			MaxAdmissibleNodes: int(budget / perNode),
 		}
+		if shards == 4 {
+			r.Failure = extShardFailureLeg(sv, ds, ws)
+		}
 		rows = append(rows, r)
 		cells = append(cells, []string{
 			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.Shards), r.Mode,
@@ -196,5 +229,111 @@ func ExtShard(opts Options) ([]ExtShardRow, string) {
 	}
 	text := fmt.Sprintf("Ext: multi-enclave shard fleet, modelled full-graph serving (per-shard EPC %d MB)\n", extShardEPCMB) +
 		table([]string{"Nodes", "Shards", "mode", "nodes/s", "p50 µs", "p99 µs", "halo MB", "spill MB", "peak EPC(MB)", "max admissible"}, cells)
+	for _, r := range rows {
+		if f := r.Failure; f != nil {
+			text += fmt.Sprintf("failure leg (shards=%d): killed shard %d, node queries %.0f/s degraded vs %.0f/s healthy, recovered in %.1f ms, bit-identical=%v\n",
+				r.Shards, f.KilledShard, f.DegradedNodesPerSec, f.HealthyNodesPerSec, f.RecoveryMS, f.RecoveredBitIdentical)
+		}
+	}
 	return rows, text
+}
+
+// extShardFailureLeg runs the injected-outage measurement on a deployed
+// fleet: a round-robin node-query stream prices the fleet's healthy
+// capacity, one shard's enclave is marked lost and the stream re-run to
+// price graceful degradation (dead-shard queries fail fast, the
+// survivors keep answering), then RecoverShard is timed and the
+// recovered fleet must reproduce the pre-fault full-graph labels.
+func extShardFailureLeg(sv *core.ShardedVault, ds *datasets.Dataset, ws *core.ShardedWorkspace) *ExtShardFailure {
+	baseline, _, err := sv.PredictInto(ds.X, ws)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtShard failure-leg baseline: %v", err))
+	}
+	baseline = append([]int{}, baseline...)
+
+	shards := sv.Shards()
+	scfg := subgraph.Config{Hops: 2, Fanout: 8, Seed: 7}
+	const seedsPerQuery = 8
+	subWS := make([]*core.SubgraphWorkspace, shards)
+	for s := range subWS {
+		if subWS[s], err = sv.Shard(s).PlanSubgraph(seedsPerQuery, scfg); err != nil {
+			panic(fmt.Sprintf("experiments: ExtShard failure-leg subgraph plan shard %d: %v", s, err))
+		}
+	}
+	defer func() {
+		for _, w := range subWS {
+			w.Release()
+		}
+	}()
+
+	// shardSeeds picks seedsPerQuery distinct rows owned by shard s,
+	// sliding the window with q so successive queries touch fresh
+	// neighbourhoods.
+	shardSeeds := func(s, q int) []int {
+		lo, rows := sv.Part.Bounds[s], sv.Part.Rows(s)
+		seeds := make([]int, seedsPerQuery)
+		base := (q * 131) % rows
+		for i := range seeds {
+			seeds[i] = lo + (base+i)%rows
+		}
+		return seeds
+	}
+
+	// stream round-robins node queries over every shard and returns seed
+	// nodes labelled per wall second. Queries routed to the lost shard
+	// fail fast with ErrEnclaveLost and label nothing — that shortfall
+	// is exactly the degradation being priced.
+	const queriesPerShard = 24
+	stream := func(lost int) float64 {
+		labelled := 0
+		start := time.Now()
+		for q := 0; q < queriesPerShard; q++ {
+			for s := 0; s < shards; s++ {
+				labels, _, _, err := sv.PredictNodesAt(ds.X, shardSeeds(s, q), s, subWS[s])
+				if err != nil {
+					if s == lost && errors.Is(err, enclave.ErrEnclaveLost) {
+						continue
+					}
+					panic(fmt.Sprintf("experiments: ExtShard failure-leg query shard %d: %v", s, err))
+				}
+				labelled += len(labels)
+			}
+		}
+		return float64(labelled) / time.Since(start).Seconds()
+	}
+
+	healthy := stream(-1)
+	const killed = 1
+	sv.Shard(killed).Enclave.MarkLost()
+	degraded := stream(killed)
+
+	recStart := time.Now()
+	if err := sv.RecoverShard(killed, ws); err != nil {
+		panic(fmt.Sprintf("experiments: ExtShard failure-leg recover: %v", err))
+	}
+	recovery := time.Since(recStart)
+	// The killed shard's subgraph workspace died with its enclave;
+	// replan it on the recovered vault so the deferred releases stay
+	// uniform.
+	subWS[killed].Release()
+	if subWS[killed], err = sv.Shard(killed).PlanSubgraph(seedsPerQuery, scfg); err != nil {
+		panic(fmt.Sprintf("experiments: ExtShard failure-leg replan: %v", err))
+	}
+
+	after, _, err := sv.PredictInto(ds.X, ws)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: ExtShard failure-leg post-recovery predict: %v", err))
+	}
+	identical := len(after) == len(baseline)
+	for i := 0; identical && i < len(after); i++ {
+		identical = after[i] == baseline[i]
+	}
+
+	return &ExtShardFailure{
+		KilledShard:           killed,
+		RecoveryMS:            float64(recovery.Microseconds()) / 1e3,
+		HealthyNodesPerSec:    healthy,
+		DegradedNodesPerSec:   degraded,
+		RecoveredBitIdentical: identical,
+	}
 }

@@ -70,6 +70,8 @@ const (
 	SpanOp                                // one executor op (see Span.Op)
 	SpanPlan                              // registry cold-start workspace plan
 	SpanEvict                             // registry LRU eviction
+	SpanFault                             // shard enclave lost / breaker tripped (Rows = shard)
+	SpanRecover                           // shard recovered and rejoined (Rows = shard, Dur = outage)
 )
 
 // String names the span kind for trace output.
@@ -95,6 +97,10 @@ func (k SpanKind) String() string {
 		return "plan"
 	case SpanEvict:
 		return "evict"
+	case SpanFault:
+		return "fault"
+	case SpanRecover:
+		return "recover"
 	default:
 		return "unknown"
 	}

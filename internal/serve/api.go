@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"gnnvault/internal/core"
+	"gnnvault/internal/enclave"
 	"gnnvault/internal/mat"
 	"gnnvault/internal/obs"
 	"gnnvault/internal/registry"
@@ -362,6 +364,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /vaults", a.handleVaults)
 	mux.HandleFunc("GET /stats", a.handleStats)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
 	mux.HandleFunc("GET /debug/trace", a.handleTrace)
 	if a.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -513,17 +517,66 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is the liveness probe: the process is up and the serving
+// surface answers. It stays 200 through shard outages — degraded is not
+// dead; that distinction belongs to /readyz.
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe. A registry-backed fleet is ready
+// whenever it is up (residency is the scheduler's business). A shard
+// fleet is ready only when every shard admits queries: a degraded fleet
+// answers 503 with Retry-After and the per-shard availability, breaker
+// state and restart counts, so a load balancer drains it while node
+// queries on healthy shards keep being served to whoever still asks.
+func (a *API) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if a.shard == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	sst := a.shard.ShardStats()
+	ready := true
+	for _, ok := range sst.Available {
+		if !ok {
+			ready = false
+			break
+		}
+	}
+	body := map[string]any{
+		"shards":    sst.Shards,
+		"available": sst.Available,
+		"breaker":   sst.Breaker,
+		"restarts":  sst.Restarts,
+	}
+	if ready {
+		body["status"] = "ready"
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	body["status"] = "degraded"
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
 // httpStatus maps an API error to its HTTP status. Client-caused errors
 // are 4xx — a 503 would invite retries of requests that can never
-// succeed. ErrShardUnavailable is listed explicitly even though it shares
-// the default's 503: a shard outage (like EPC exhaustion) is transient
-// server state where a retry is exactly right, and pinning it here keeps
-// the sentinel→status contract under test as the default evolves.
+// succeed. ErrShardUnavailable, enclave.ErrEnclaveLost and the deadline
+// errors are listed explicitly even though they share the default's 503:
+// each is transient server state where a retry is exactly right (a lost
+// shard is being re-sealed by the recovery loop; a deadline says the
+// fleet was too slow this time, not that the query is bad), and pinning
+// them here keeps the sentinel→status contract under test as the default
+// evolves. Every 503 and 429 carries a Retry-After header (httpError).
 func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShardUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, enclave.ErrEnclaveLost):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrScoresDisabled):
 		return http.StatusForbidden
@@ -547,7 +600,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// httpError sends a JSON error body with the given status.
+// retryAfterSeconds is the Retry-After hint attached to every throttled
+// (429) and transiently failed (503) response: long enough for a breaker
+// recovery round or a token refill, short enough that clients re-probe a
+// recovered fleet promptly.
+const retryAfterSeconds = "1"
+
+// httpError sends a JSON error body with the given status. Retryable
+// statuses (429, 503) carry a Retry-After header so well-behaved clients
+// back off instead of hammering a recovering fleet.
 func httpError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

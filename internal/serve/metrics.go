@@ -51,6 +51,13 @@ const (
 	mHaloBytes    = "gnnvault_halo_bytes_total"
 	mShardEPCUsed = "gnnvault_shard_epc_used_bytes"
 	mShardFanout  = "gnnvault_shard_fanout_seconds"
+
+	// Fault tolerance (sharded serving only): breaker and recovery state
+	// plus the degradation and deadline counters.
+	mShardRestarts    = "gnnvault_shard_restarts_total"
+	mBreakerState     = "gnnvault_breaker_state"
+	mDegraded         = "gnnvault_requests_degraded_total"
+	mDeadlineExceeded = "gnnvault_deadline_exceeded_total"
 )
 
 // Endpoint label values.
@@ -179,6 +186,19 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		obs.WriteHeader(w, mShardFanout, "histogram", "Full-graph fan-out wall time across the shard fleet.")
 		obs.WriteHistogram(w, mShardFanout, nil, sst.Fanout, nsToSeconds)
+
+		obs.WriteHeader(w, mShardRestarts, "counter", "Successful automatic shard recoveries (re-seal, rejoin, re-prove), by shard.")
+		for i := 0; i < sst.Shards; i++ {
+			obs.WriteSample(w, mShardRestarts, []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sst.Restarts[i]))
+		}
+		obs.WriteHeader(w, mBreakerState, "gauge", "Per-shard circuit breaker state: 0 closed, 1 open, 2 half-open.")
+		for i := 0; i < sst.Shards; i++ {
+			obs.WriteSample(w, mBreakerState, []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(sst.Breaker[i]))
+		}
+		obs.WriteHeader(w, mDegraded, "counter", "Node queries answered successfully while some shard was offline.")
+		obs.WriteSample(w, mDegraded, nil, float64(st.Degraded))
+		obs.WriteHeader(w, mDeadlineExceeded, "counter", "Requests that failed their serving deadline (queued or mid-fan-out).")
+		obs.WriteSample(w, mDeadlineExceeded, nil, float64(st.DeadlineExceeded))
 	}
 }
 

@@ -85,6 +85,33 @@ type Config struct {
 	// TopK, when > 0, keeps only the K largest entries of each exposed
 	// score row and zeroes the rest (the argmax entry always survives).
 	TopK int
+	// Deadline, when > 0, bounds each request's enqueue→answer time on
+	// the sharded path: a request still queued past its deadline fails
+	// without running, and a fan-out in flight past it is aborted through
+	// the fleet's poisonable barriers (context.DeadlineExceeded, HTTP
+	// 503). Zero serves without a deadline.
+	Deadline time.Duration
+	// MaxRetries is how many times a node query routed to a tripped
+	// shard waits out a jittered exponential backoff for the shard to
+	// recover before failing with ErrShardUnavailable. Each wait is
+	// bounded by the request's remaining Deadline. Default 0: fail fast.
+	MaxRetries int
+	// BreakerThreshold is how many consecutive failures on one shard trip
+	// its circuit breaker (an enclave loss trips it immediately
+	// regardless). Default 3.
+	BreakerThreshold int
+	// RecoveryBackoff is the base delay of the breaker's automatic
+	// recovery loop; attempts back off exponentially (with deterministic
+	// jitter) from it. It also paces the node-query retry waits. Default
+	// 5ms.
+	RecoveryBackoff time.Duration
+	// Seed seeds the deterministic jitter applied to recovery and retry
+	// backoff, so chaos runs replay exactly. Default 1.
+	Seed int64
+	// Trace, when non-nil, records shard fault and recovery events into
+	// the flight recorder's span ring (the same ring APIConfig.Trace
+	// serves on /debug/trace).
+	Trace *obs.Ring
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +123,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = c.Workers * c.MaxBatch * 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.RecoveryBackoff <= 0 {
+		c.RecoveryBackoff = 5 * time.Millisecond
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -129,6 +168,14 @@ type Stats struct {
 	// SpillBytes is the accumulated modelled tile-flush traffic of every
 	// answered full-graph request (0 for untiled plans).
 	SpillBytes int64
+
+	// Degraded counts node queries answered successfully while at least
+	// one shard of the fleet was offline — served work the fleet kept
+	// doing through an outage.
+	Degraded uint64
+	// DeadlineExceeded counts requests that failed their Config.Deadline,
+	// whether still queued or aborted mid-fan-out.
+	DeadlineExceeded uint64
 }
 
 type request struct {
@@ -156,6 +203,9 @@ type counters struct {
 	latFull    obs.Histogram // full-graph enqueue→answer ns
 	latNode    obs.Histogram // node-query enqueue→answer ns
 	spillBytes atomic.Int64  // modelled tile-flush traffic of answered full-graph requests
+
+	degraded         atomic.Uint64 // node queries answered during a shard outage
+	deadlineExceeded atomic.Uint64 // requests failed by Config.Deadline
 }
 
 // observe records one answered request: its outcome and its
@@ -194,6 +244,9 @@ func (c *counters) snapshot(start time.Time) Stats {
 		FullLatency: full,
 		NodeLatency: node,
 		SpillBytes:  c.spillBytes.Load(),
+
+		Degraded:         c.degraded.Load(),
+		DeadlineExceeded: c.deadlineExceeded.Load(),
 	}
 	answered := st.Completed + st.Errors
 	if st.Batches > 0 {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,14 +15,25 @@ import (
 )
 
 // ErrShardUnavailable is returned when a query's target shard enclave is
-// offline (SetShardAvailable), or — for full-graph queries — when any
-// shard of the fleet is: the halo exchange barriers need every enclave.
-// It is deliberately distinct from both enclave.ErrEPCExhausted (a
-// capacity failure the registry answers with evictions) and ErrRateLimited
-// (a policy decision against one client): a shard outage is transient
-// infrastructure state, retryable once the shard rejoins, and must trigger
-// neither evictions nor throttle accounting.
+// offline (SetShardAvailable or a tripped circuit breaker), or — for
+// full-graph queries — when any shard of the fleet is: the halo exchange
+// barriers need every enclave. It is deliberately distinct from both
+// enclave.ErrEPCExhausted (a capacity failure the registry answers with
+// evictions) and ErrRateLimited (a policy decision against one client):
+// a shard outage is transient infrastructure state, retryable once the
+// shard rejoins, and must trigger neither evictions nor throttle
+// accounting.
 var ErrShardUnavailable = errors.New("serve: shard unavailable")
+
+// Circuit-breaker states, per shard. The life cycle is closed → open
+// (BreakerThreshold consecutive failures, or one enclave loss) →
+// half-open (the recovery loop re-sealed and re-proved the shard, and it
+// serves again on probation) → closed (first successful query).
+const (
+	breakerClosed   int32 = 0
+	breakerOpen     int32 = 1
+	breakerHalfOpen int32 = 2
+)
 
 // ShardedServer is the worker pool over a core.ShardedVault: the vault's
 // private CSR split across a fleet of shard enclaves. Each worker owns one
@@ -36,6 +48,14 @@ var ErrShardUnavailable = errors.New("serve: shard unavailable")
 // seed; cross-shard rows its extraction touches are priced as OCALLs plus
 // halo bytes by the core layer and accumulated here per shard.
 //
+// Failure domain: each shard has a circuit breaker. An enclave loss (or
+// BreakerThreshold consecutive failures) trips it: the shard goes
+// offline, in-flight full-graph passes are aborted through the fleet's
+// poisonable barriers, and a per-shard recovery loop re-seals the shard
+// (core.ShardedVault.RecoverShard) under jittered exponential backoff
+// while healthy-shard node queries keep serving — graceful degradation
+// instead of an outage. Config.Deadline bounds every request end to end.
+//
 // Sharded serving is label-only: per-class scores are not wired through
 // the fleet, so NewSharded refuses Config.ExposeScores and the score
 // endpoints fail with ErrScoresDisabled.
@@ -47,19 +67,34 @@ type ShardedServer struct {
 
 	// sendMu lets Close wait out in-flight Predict sends before closing
 	// the queue channel (same protocol as Server).
-	sendMu sync.RWMutex
-	closed atomic.Bool
-	wg     sync.WaitGroup
-	start  time.Time
+	sendMu    sync.RWMutex
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	start     time.Time
 
 	counters
 
 	// Per-shard serving state: availability flags flipped by
-	// SetShardAvailable, accumulated halo traffic, and the full-graph
-	// fan-out latency histogram surfaced on /metrics.
+	// SetShardAvailable and the breakers, accumulated halo traffic, and
+	// the full-graph fan-out latency histogram surfaced on /metrics.
 	avail     []atomic.Bool
 	shardHalo []atomic.Int64
 	fanout    obs.Histogram
+
+	// Fault domain. The worker workspaces are shared with the recovery
+	// loop so a re-sealed shard can rejoin every pass; node-query
+	// workspaces are atomic pointers so recovery can swap in replacements
+	// planned against the fresh enclave while workers keep serving.
+	workspaces   []*core.ShardedWorkspace
+	subs         [][]atomic.Pointer[core.SubgraphWorkspace] // [worker][shard]; nil without NodeQuery
+	breaker      []atomic.Int32                             // breakerClosed / breakerOpen / breakerHalfOpen
+	fails        []atomic.Int32                             // consecutive failures toward BreakerThreshold
+	restarts     []atomic.Uint64                            // successful recoveries per shard
+	nodeInflight []atomic.Int64                             // node queries executing per shard (workspace-swap fence)
+	trippedAt    []atomic.Int64                             // wall ns of the breaker trip, for the recovery span
+	stop         chan struct{}
+	healthWG     sync.WaitGroup
 }
 
 // NewSharded plans one sharded workspace per worker against sv — plus one
@@ -119,24 +154,36 @@ func NewSharded(sv *core.ShardedVault, cfg Config) (*ShardedServer, error) {
 		}
 	}
 	s := &ShardedServer{
-		sv:        sv,
-		cfg:       cfg,
-		reqs:      make(chan *request, cfg.QueueDepth),
-		start:     time.Now(),
-		avail:     make([]atomic.Bool, sv.Shards()),
-		shardHalo: make([]atomic.Int64, sv.Shards()),
+		sv:           sv,
+		cfg:          cfg,
+		reqs:         make(chan *request, cfg.QueueDepth),
+		start:        time.Now(),
+		avail:        make([]atomic.Bool, sv.Shards()),
+		shardHalo:    make([]atomic.Int64, sv.Shards()),
+		workspaces:   workspaces,
+		breaker:      make([]atomic.Int32, sv.Shards()),
+		fails:        make([]atomic.Int32, sv.Shards()),
+		restarts:     make([]atomic.Uint64, sv.Shards()),
+		nodeInflight: make([]atomic.Int64, sv.Shards()),
+		trippedAt:    make([]atomic.Int64, sv.Shards()),
+		stop:         make(chan struct{}),
+	}
+	if cfg.NodeQuery != nil {
+		s.subs = make([][]atomic.Pointer[core.SubgraphWorkspace], cfg.Workers)
+		for i := range s.subs {
+			s.subs[i] = make([]atomic.Pointer[core.SubgraphWorkspace], sv.Shards())
+			for sh := range s.subs[i] {
+				s.subs[i][sh].Store(subWS[i][sh])
+			}
+		}
 	}
 	for i := range s.avail {
 		s.avail[i].Store(true)
 	}
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
-	for i, ws := range workspaces {
-		var subs []*core.SubgraphWorkspace
-		if cfg.NodeQuery != nil {
-			subs = subWS[i]
-		}
+	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker(ws, subs)
+		go s.worker(i)
 	}
 	return s, nil
 }
@@ -147,10 +194,25 @@ func (s *ShardedServer) Shards() int { return s.sv.Shards() }
 // SetShardAvailable marks shard sh as serving or offline. An offline
 // shard fails node queries it owns — and every full-graph query, since
 // the fleet's halo barriers need all shards — with ErrShardUnavailable.
-// In-flight requests are unaffected; the flag gates admission only, so
-// flipping it is safe at any time from any goroutine.
+// Taking a shard offline also aborts any full-graph pass currently in
+// flight through the fleet's poisonable barriers, so a fan-out racing
+// the flip gets a clean ErrShardUnavailable instead of a hung barrier.
+// Safe at any time from any goroutine; it does not touch the breaker, so
+// an administratively pulled shard is not "recovered" behind the
+// operator's back.
 func (s *ShardedServer) SetShardAvailable(sh int, ok bool) {
 	s.avail[sh].Store(ok)
+	if !ok {
+		s.abortFullGraph(fmt.Errorf("%w: shard %d taken offline mid-pass", ErrShardUnavailable, sh))
+	}
+}
+
+// abortFullGraph poisons every worker's in-flight full-graph pass with
+// cause; idle workspaces ignore it (core.ShardedWorkspace.Abort).
+func (s *ShardedServer) abortFullGraph(cause error) {
+	for _, ws := range s.workspaces {
+		ws.Abort(cause)
+	}
 }
 
 // offlineShard returns the lowest offline shard, or -1 when the whole
@@ -211,7 +273,9 @@ func (s *ShardedServer) PredictNodesScores(nodes []int) ([][]float64, []int, err
 // PredictNodes enqueues one node-level query and blocks until a worker
 // answers with one label per requested node. The query routes to the
 // shard owning its first seed; an offline owner fails the query with
-// ErrShardUnavailable. Other semantics match Server.PredictNodes.
+// ErrShardUnavailable after up to Config.MaxRetries jittered backoff
+// waits for the shard to recover. Other semantics match
+// Server.PredictNodes.
 func (s *ShardedServer) PredictNodes(nodes []int) ([]int, error) {
 	if s.cfg.NodeQuery == nil {
 		return nil, ErrNodeQueriesDisabled
@@ -258,21 +322,20 @@ type shardWorkerState struct {
 // out across the fleet through the worker's sharded workspace; node
 // queries in a drained batch are routed to their owning shards and
 // coalesced per shard, so a burst of same-shard queries pays for one
-// extraction.
-func (s *ShardedServer) worker(ws *core.ShardedWorkspace, subs []*core.SubgraphWorkspace) {
+// extraction. Workspaces are released by Close, not here: the recovery
+// loop may still be rejoining a re-sealed shard into them after the
+// queue drains.
+func (s *ShardedServer) worker(w int) {
 	defer s.wg.Done()
-	defer ws.Release()
-	for _, sw := range subs {
-		defer sw.Release()
-	}
+	ws := s.workspaces[w]
 	batch := make([]*request, 0, s.cfg.MaxBatch)
 	nodeReqs := make([]*request, 0, s.cfg.MaxBatch)
 	var st shardWorkerState
-	if subs != nil {
-		st.byShard = make([][]*request, len(subs))
-		st.cos = make([]coalescer, len(subs))
+	if s.subs != nil {
+		st.byShard = make([][]*request, s.sv.Shards())
+		st.cos = make([]coalescer, s.sv.Shards())
 		for i := range st.cos {
-			st.cos[i] = newCoalescer(subs[i].MaxSeeds())
+			st.cos[i] = newCoalescer(s.cfg.NodeQuery.MaxSeeds)
 		}
 	}
 	for {
@@ -303,7 +366,7 @@ func (s *ShardedServer) worker(ws *core.ShardedWorkspace, subs []*core.SubgraphW
 			s.answer(r, ws)
 		}
 		if len(nodeReqs) > 0 {
-			if subs == nil {
+			if s.subs == nil {
 				// Unreachable through PredictNodes' guard; defence in depth.
 				for _, r := range nodeReqs {
 					r.err = ErrNodeQueriesDisabled
@@ -311,27 +374,56 @@ func (s *ShardedServer) worker(ws *core.ShardedWorkspace, subs []*core.SubgraphW
 					r.done <- struct{}{}
 				}
 			} else {
-				s.answerNodeBatch(nodeReqs, subs, &st)
+				s.answerNodeBatch(nodeReqs, w, &st)
 			}
 		}
 	}
 }
 
+// requestContext derives the execution context for a request enqueued at
+// enq under Config.Deadline: a deadline-bounded context carrying the
+// remaining budget, or an error when the request already overstayed it
+// in the queue. Without a configured deadline the background context
+// comes back with a no-op cancel.
+func (s *ShardedServer) requestContext(enq time.Time) (context.Context, context.CancelFunc, error) {
+	if s.cfg.Deadline <= 0 {
+		return context.Background(), func() {}, nil
+	}
+	remaining := s.cfg.Deadline - time.Since(enq)
+	if remaining <= 0 {
+		return nil, nil, fmt.Errorf("serve: request exceeded its %v deadline in queue: %w", s.cfg.Deadline, context.DeadlineExceeded)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), remaining)
+	return ctx, cancel, nil
+}
+
 // answer serves one full-graph request: admission first (the whole fleet
-// must be up), then one fan-out through the sharded workspace, timed into
-// the fan-out histogram and its halo traffic accumulated per shard.
+// must be up — a degraded fleet fails fast so clients retry after
+// recovery), then one deadline-bounded fan-out through the sharded
+// workspace, timed into the fan-out histogram, its halo traffic
+// accumulated per shard and its outcome fed to the breakers.
 func (s *ShardedServer) answer(r *request, ws *core.ShardedWorkspace) {
 	var labels []int
 	var err error
 	if off := s.offlineShard(); off >= 0 {
 		err = fmt.Errorf("%w: shard %d is offline and full-graph inference needs the whole fleet", ErrShardUnavailable, off)
 	} else {
-		fan := time.Now()
-		labels, _, err = s.sv.PredictInto(r.x, ws)
-		s.fanout.Observe(time.Since(fan).Nanoseconds())
+		var ctx context.Context
+		var cancel context.CancelFunc
+		ctx, cancel, err = s.requestContext(r.enq)
+		if err == nil {
+			fan := time.Now()
+			labels, _, err = s.sv.PredictIntoContext(ctx, r.x, ws)
+			s.fanout.Observe(time.Since(fan).Nanoseconds())
+			cancel()
+			s.noteFullGraph(err)
+		}
 	}
 	if err != nil {
 		r.err = err
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlineExceeded.Add(1)
+		}
 	} else {
 		copy(r.out, labels) // the workspace's label buffer is reused
 		s.spillBytes.Add(ws.SpillBytes())
@@ -343,13 +435,207 @@ func (s *ShardedServer) answer(r *request, ws *core.ShardedWorkspace) {
 	r.done <- struct{}{}
 }
 
+// noteFullGraph feeds one fan-out's outcome to the breakers: a success
+// proved every shard (closing any half-open breaker), a failure blamed
+// on a specific shard by core.ShardFault counts against that shard
+// alone. Unattributable failures (validation, a deadline that poisoned
+// the whole fleet at once) touch no breaker.
+func (s *ShardedServer) noteFullGraph(err error) {
+	if err == nil {
+		for sh := range s.breaker {
+			s.noteShardSuccess(sh)
+		}
+		return
+	}
+	var sf *core.ShardFault
+	if errors.As(err, &sf) {
+		s.noteShardError(sf.Shard, err)
+	}
+}
+
+// noteShardError counts one shard-attributed failure. Enclave loss is
+// unambiguous and trips the breaker immediately; other faults trip it
+// after BreakerThreshold consecutive failures. Outage echoes
+// (ErrShardUnavailable) and deadline/cancellation errors never count —
+// tripping a healthy shard because a client's deadline was tight would
+// turn load into an outage.
+func (s *ShardedServer) noteShardError(sh int, err error) {
+	switch {
+	case errors.Is(err, ErrShardUnavailable),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return
+	case errors.Is(err, enclave.ErrEnclaveLost):
+		s.tripShard(sh, err)
+	default:
+		if int(s.fails[sh].Add(1)) >= s.cfg.BreakerThreshold {
+			s.tripShard(sh, err)
+		}
+	}
+}
+
+// noteShardSuccess resets the shard's consecutive-failure count and
+// closes a half-open breaker: the recovered shard answered a real query,
+// probation is over.
+func (s *ShardedServer) noteShardSuccess(sh int) {
+	s.fails[sh].Store(0)
+	s.breaker[sh].CompareAndSwap(breakerHalfOpen, breakerClosed)
+}
+
+// tripShard opens shard sh's breaker (first trip wins), takes the shard
+// out of admission, aborts in-flight full-graph passes so no barrier
+// hangs waiting for a dead enclave, and starts the shard's background
+// recovery loop.
+func (s *ShardedServer) tripShard(sh int, cause error) {
+	if !s.breaker[sh].CompareAndSwap(breakerClosed, breakerOpen) &&
+		!s.breaker[sh].CompareAndSwap(breakerHalfOpen, breakerOpen) {
+		return // already open: its recovery loop is running
+	}
+	s.trippedAt[sh].Store(time.Now().UnixNano())
+	s.avail[sh].Store(false)
+	s.abortFullGraph(fmt.Errorf("%w: shard %d breaker tripped: %w", ErrShardUnavailable, sh, cause))
+	s.recordEvent(obs.SpanFault, sh, 0)
+	s.healthWG.Add(1)
+	go s.recoverLoop(sh)
+}
+
+// recoverLoop drives one tripped shard back to serving: jittered
+// exponential backoff between attempts, each attempt a full
+// RecoverShard (re-seal, re-calibrate, rejoin every worker workspace)
+// plus replacement node-query workspaces planned against the fresh
+// enclave. Runs until recovery succeeds or the server closes.
+func (s *ShardedServer) recoverLoop(sh int) {
+	defer s.healthWG.Done()
+	backoff := s.cfg.RecoveryBackoff
+	maxBackoff := 64 * s.cfg.RecoveryBackoff
+	for attempt := 0; ; attempt++ {
+		d := backoff + s.jitter(uint64(sh)<<32|uint64(attempt), backoff)
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(d):
+		}
+		if s.tryRecover(sh) {
+			return
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// tryRecover attempts one recovery round for shard sh. It fails (to be
+// retried under backoff) when a full-graph pass is still draining or
+// the re-seal itself fails. On success the shard re-enters admission
+// half-open.
+func (s *ShardedServer) tryRecover(sh int) bool {
+	if err := s.sv.RecoverShard(sh, s.workspaces...); err != nil {
+		return false
+	}
+	if s.subs != nil {
+		fresh := make([]*core.SubgraphWorkspace, len(s.subs))
+		for w := range s.subs {
+			sw, err := s.sv.Shard(sh).PlanSubgraphWith(s.cfg.NodeQuery.MaxSeeds, s.cfg.NodeQuery.Subgraph(), s.cfg.Plan)
+			if err != nil {
+				for _, f := range fresh {
+					if f != nil {
+						f.Release()
+					}
+				}
+				return false
+			}
+			fresh[w] = sw
+		}
+		old := make([]*core.SubgraphWorkspace, len(s.subs))
+		for w := range s.subs {
+			old[w] = s.subs[w][sh].Swap(fresh[w])
+		}
+		// Workers load the workspace pointer inside their per-shard
+		// inflight window, so once the count drains no worker can still
+		// hold one of the swapped-out workspaces.
+		for s.nodeInflight[sh].Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		for _, o := range old {
+			if o != nil {
+				o.Release()
+			}
+		}
+	}
+	s.restarts[sh].Add(1)
+	s.fails[sh].Store(0)
+	s.breaker[sh].Store(breakerHalfOpen)
+	s.avail[sh].Store(true)
+	s.recordEvent(obs.SpanRecover, sh, time.Now().UnixNano()-s.trippedAt[sh].Load())
+	return true
+}
+
+// jitter derives a deterministic delay in [0, base/2] from the server
+// seed and a stream identifier, de-synchronising backoff schedules
+// without nondeterminism: the same seed replays the same chaos run.
+func (s *ShardedServer) jitter(stream uint64, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	h := uint64(s.cfg.Seed)*0x9E3779B97F4A7C15 + stream
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return time.Duration(h % uint64(base/2+1))
+}
+
+// awaitShard reports whether shard sh is admitting node queries, waiting
+// out up to Config.MaxRetries jittered exponential backoffs for a
+// tripped shard to recover. Each wait is bounded by the request's
+// remaining deadline and the server's shutdown.
+func (s *ShardedServer) awaitShard(sh int, enq time.Time) bool {
+	if s.avail[sh].Load() {
+		return true
+	}
+	backoff := s.cfg.RecoveryBackoff
+	for attempt := 0; attempt < s.cfg.MaxRetries; attempt++ {
+		d := backoff + s.jitter(1<<48|uint64(sh)<<32|uint64(attempt), backoff)
+		if dl := s.cfg.Deadline; dl > 0 {
+			remaining := dl - time.Since(enq)
+			if remaining <= 0 {
+				return false
+			}
+			if d > remaining {
+				d = remaining
+			}
+		}
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(d):
+		}
+		if s.avail[sh].Load() {
+			return true
+		}
+		backoff *= 2
+	}
+	return s.avail[sh].Load()
+}
+
+// recordEvent stores one trace-less fault/recovery span (Rows carries the
+// shard) when a flight-recorder ring is wired in.
+func (s *ShardedServer) recordEvent(kind obs.SpanKind, sh int, dur int64) {
+	ring := s.cfg.Trace
+	if ring == nil || !ring.Enabled() {
+		return
+	}
+	ring.Record(obs.Span{Kind: kind, Rows: int32(sh), Start: ring.Clock(), Dur: dur})
+}
+
 // answerNodeBatch serves one wake-up's node queries: per-request
-// validation and routing first — out-of-range seeds and offline owners
-// fail individually, so one bad query never poisons its batch — then each
-// shard's run is coalesced into shared extractions and answered on that
-// shard's subgraph workspace, with the cross-shard rows the extraction
-// touched accumulated as that shard's halo traffic.
-func (s *ShardedServer) answerNodeBatch(reqs []*request, subs []*core.SubgraphWorkspace, st *shardWorkerState) {
+// validation and routing first — out-of-range seeds fail individually
+// and tripped owners are waited out under the retry policy, so one bad
+// query never poisons its batch — then each shard's run is coalesced
+// into shared extractions and answered on that shard's subgraph
+// workspace, deadline-bounded, with the cross-shard rows the extraction
+// touched accumulated as that shard's halo traffic. Queries answered
+// while another shard is down count as degraded serving.
+func (s *ShardedServer) answerNodeBatch(reqs []*request, w int, st *shardWorkerState) {
 	n := s.sv.Nodes()
 	for i := range st.byShard {
 		st.byShard[i] = st.byShard[i][:0]
@@ -364,7 +650,7 @@ func (s *ShardedServer) answerNodeBatch(reqs []*request, subs []*core.SubgraphWo
 			s.reject(r, err)
 			continue
 		}
-		if !s.avail[sh].Load() {
+		if !s.awaitShard(sh, r.enq) {
 			s.reject(r, fmt.Errorf("%w: shard %d owning node %d is offline", ErrShardUnavailable, sh, r.nodes[0]))
 			continue
 		}
@@ -383,17 +669,39 @@ func (s *ShardedServer) answerNodeBatch(reqs []*request, subs []*core.SubgraphWo
 				run[i].done <- struct{}{}
 			},
 			func(idxs, union []int) {
-				labels, halo, _, err := s.sv.PredictNodesAt(s.cfg.Features, union, sh, subs[sh])
+				// The chunk shares one extraction; its deadline budget is
+				// the oldest member's (requests are packed in arrival
+				// order, so that is the first index).
+				ctx, cancel, err := s.requestContext(run[idxs[0]].enq)
+				var labels []int
 				if err == nil {
-					s.shardHalo[sh].Add(halo)
+					s.nodeInflight[sh].Add(1)
+					sw := s.subs[w][sh].Load()
+					var halo int64
+					labels, halo, _, err = s.sv.PredictNodesAtContext(ctx, s.cfg.Features, union, sh, sw)
+					s.nodeInflight[sh].Add(-1)
+					cancel()
+					if err != nil {
+						s.noteShardError(sh, err)
+					} else {
+						s.noteShardSuccess(sh)
+						s.shardHalo[sh].Add(halo)
+					}
 				}
+				degraded := err == nil && s.offlineShard() >= 0
 				for _, i := range idxs {
 					r := run[i]
 					if err != nil {
 						r.err = err
+						if errors.Is(err, context.DeadlineExceeded) {
+							s.deadlineExceeded.Add(1)
+						}
 					} else {
 						for k, u := range r.nodes {
 							r.out[k] = labels[indexOf(union, u)]
+						}
+						if degraded {
+							s.degraded.Add(1)
 						}
 					}
 					s.observe(err, r.enq, true)
@@ -411,14 +719,17 @@ func (s *ShardedServer) reject(r *request, err error) {
 }
 
 // ShardStats is a per-shard snapshot of the fleet's serving state: the
-// availability flags, accumulated halo traffic, each shard enclave's EPC
-// occupancy, the full-graph fan-out latency distribution and the summed
-// transition ledger (PeakEPCBytes is the busiest single enclave — each
-// shard has its own EPC).
+// availability flags, breaker states and restart counts, accumulated
+// halo traffic, each shard enclave's EPC occupancy, the full-graph
+// fan-out latency distribution and the summed transition ledger
+// (PeakEPCBytes is the busiest single enclave — each shard has its own
+// EPC).
 type ShardStats struct {
 	Shards    int
 	Available []bool
-	HaloBytes []int64 // accumulated boundary-activation bytes gathered per shard
+	Breaker   []int32  // 0 closed, 1 open, 2 half-open
+	Restarts  []uint64 // successful automatic recoveries per shard
+	HaloBytes []int64  // accumulated boundary-activation bytes gathered per shard
 	EPCUsed   []int64
 	EPCFree   []int64
 	EPCLimit  []int64
@@ -433,6 +744,8 @@ func (s *ShardedServer) ShardStats() ShardStats {
 	st := ShardStats{
 		Shards:    shards,
 		Available: make([]bool, shards),
+		Breaker:   make([]int32, shards),
+		Restarts:  make([]uint64, shards),
 		HaloBytes: make([]int64, shards),
 		EPCUsed:   make([]int64, shards),
 		EPCFree:   make([]int64, shards),
@@ -441,6 +754,8 @@ func (s *ShardedServer) ShardStats() ShardStats {
 	}
 	for i := 0; i < shards; i++ {
 		st.Available[i] = s.avail[i].Load()
+		st.Breaker[i] = s.breaker[i].Load()
+		st.Restarts[i] = s.restarts[i].Load()
 		st.HaloBytes[i] = s.shardHalo[i].Load()
 		encl := s.sv.Shard(i).Enclave
 		st.EPCUsed[i] = encl.EPCUsed()
@@ -469,16 +784,30 @@ func (s *ShardedServer) Stats() Stats {
 	return s.snapshot(s.start)
 }
 
-// Close stops accepting requests, waits for queued work to finish, and
-// releases every worker workspace across every shard enclave. The fleet
-// itself stays deployed. Idempotent.
+// Close stops accepting requests, waits for queued work to finish, stops
+// the recovery loops, and releases every worker workspace across every
+// shard enclave (workspaces are released here, not by the workers,
+// because a recovery loop may hold them past queue drain). The fleet
+// itself stays deployed. Idempotent; concurrent callers block until
+// teardown completes.
 func (s *ShardedServer) Close() {
-	if s.closed.Swap(true) {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.sendMu.Lock()
+		close(s.reqs)
+		s.sendMu.Unlock()
 		s.wg.Wait()
-		return
-	}
-	s.sendMu.Lock()
-	close(s.reqs)
-	s.sendMu.Unlock()
-	s.wg.Wait()
+		close(s.stop)
+		s.healthWG.Wait()
+		for _, ws := range s.workspaces {
+			ws.Release()
+		}
+		for w := range s.subs {
+			for sh := range s.subs[w] {
+				if sw := s.subs[w][sh].Load(); sw != nil {
+					sw.Release()
+				}
+			}
+		}
+	})
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,8 @@ import (
 var (
 	shardOnce  sync.Once
 	shardDS    *datasets.Dataset
+	shardBB    *core.Backbone
+	shardRec   *core.Rectifier
 	shardRef   *core.Vault        // single-enclave reference deployment
 	shardFleet *core.ShardedVault // 3-shard fleet over the same model
 )
@@ -35,13 +38,13 @@ func testShardedVault(t testing.TB) (*datasets.Dataset, *core.Vault, *core.Shard
 		shardDS = datasets.Load("cora")
 		cfg := core.TrainConfig{Epochs: 20, LR: 0.01, WeightDecay: 5e-4, Seed: 1}
 		spec := core.SpecForDataset("cora")
-		bb := core.TrainBackbone(shardDS, spec, substitute.KindKNN, substitute.KNN(shardDS.X, 2), cfg)
-		rec := core.TrainRectifier(shardDS, bb, core.Parallel, cfg)
-		ref, err := core.Deploy(bb, rec, shardDS.Graph, enclave.DefaultCostModel())
+		shardBB = core.TrainBackbone(shardDS, spec, substitute.KindKNN, substitute.KNN(shardDS.X, 2), cfg)
+		shardRec = core.TrainRectifier(shardDS, shardBB, core.Parallel, cfg)
+		ref, err := core.Deploy(shardBB, shardRec, shardDS.Graph, enclave.DefaultCostModel())
 		if err != nil {
 			panic(err)
 		}
-		fleet, err := core.DeploySharded(bb, rec, shardDS.Graph, enclave.DefaultCostModel(), 3)
+		fleet, err := core.DeploySharded(shardBB, shardRec, shardDS.Graph, enclave.DefaultCostModel(), 3)
 		if err != nil {
 			panic(err)
 		}
@@ -49,6 +52,20 @@ func testShardedVault(t testing.TB) (*datasets.Dataset, *core.Vault, *core.Shard
 		shardFleet = fleet
 	})
 	return shardDS, shardRef, shardFleet
+}
+
+// testFreshFleet deploys a private shard fleet from the shared trained
+// model, for tests that kill enclaves: chaos must never poison the
+// package-shared fleet.
+func testFreshFleet(t testing.TB, shards int) (*datasets.Dataset, *core.Vault, *core.ShardedVault) {
+	t.Helper()
+	ds, ref, _ := testShardedVault(t)
+	fleet, err := core.DeploySharded(shardBB, shardRec, ds.Graph, enclave.DefaultCostModel(), shards)
+	if err != nil {
+		t.Fatalf("deploying fresh fleet: %v", err)
+	}
+	t.Cleanup(fleet.Undeploy)
+	return ds, ref, fleet
 }
 
 func TestShardedServerMatchesSingleEnclave(t *testing.T) {
@@ -170,12 +187,15 @@ func TestShardedServerLabelOnly(t *testing.T) {
 	}
 }
 
-// TestHTTPStatusSentinels pins the sentinel→status contract for the three
-// capacity/policy refusals — a throttle is the client's problem (429),
-// while EPC exhaustion and a shard outage are transient server state
-// (503) — and checks the sentinels stay pairwise disjoint, so one can
-// never be mistaken for another by errors.Is-based handling (the registry
-// evicts on EPC pressure; it must not evict on throttles or outages).
+// TestHTTPStatusSentinels pins the sentinel→status contract for the
+// capacity/policy/fault refusals — a throttle is the client's problem
+// (429), while EPC exhaustion, a shard outage, a lost enclave and a
+// blown deadline are transient server state (503) — and checks the
+// sentinels stay pairwise disjoint, so one can never be mistaken for
+// another by errors.Is-based handling (the registry evicts on EPC
+// pressure; it must not evict on throttles, outages or lost enclaves,
+// and a lost enclave must trip the breaker where an outage echo must
+// not). Retryable statuses must carry a Retry-After header.
 func TestHTTPStatusSentinels(t *testing.T) {
 	cases := []struct {
 		name string
@@ -185,22 +205,40 @@ func TestHTTPStatusSentinels(t *testing.T) {
 		{"rate limited", ErrRateLimited, http.StatusTooManyRequests},
 		{"shard unavailable", ErrShardUnavailable, http.StatusServiceUnavailable},
 		{"epc exhausted", enclave.ErrEPCExhausted, http.StatusServiceUnavailable},
+		{"enclave lost", enclave.ErrEnclaveLost, http.StatusServiceUnavailable},
+		{"deadline exceeded", context.DeadlineExceeded, http.StatusServiceUnavailable},
 		{"wrapped rate limited", fmt.Errorf("api: %w", ErrRateLimited), http.StatusTooManyRequests},
 		{"wrapped shard unavailable", fmt.Errorf("api: %w", ErrShardUnavailable), http.StatusServiceUnavailable},
 		{"wrapped epc exhausted", fmt.Errorf("api: %w", enclave.ErrEPCExhausted), http.StatusServiceUnavailable},
+		{"wrapped enclave lost", fmt.Errorf("api: %w", enclave.ErrEnclaveLost), http.StatusServiceUnavailable},
+		{"double-wrapped enclave lost", fmt.Errorf("serve: %w", fmt.Errorf("core: shard 1: %w", enclave.ErrEnclaveLost)), http.StatusServiceUnavailable},
+		{"wrapped deadline", fmt.Errorf("serve: %w", context.DeadlineExceeded), http.StatusServiceUnavailable},
 	}
 	for _, tc := range cases {
 		if got := httpStatus(tc.err); got != tc.want {
 			t.Errorf("httpStatus(%s) = %d, want %d", tc.name, got, tc.want)
 		}
 	}
-	sentinels := []error{ErrRateLimited, ErrShardUnavailable, enclave.ErrEPCExhausted}
+	sentinels := []error{ErrRateLimited, ErrShardUnavailable, enclave.ErrEPCExhausted, enclave.ErrEnclaveLost}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
 			if i != j && errors.Is(a, b) {
 				t.Errorf("sentinel %v is not disjoint from %v", a, b)
 			}
 		}
+	}
+	// Retryable refusals tell clients when to come back.
+	for _, err := range []error{ErrRateLimited, ErrShardUnavailable, enclave.ErrEnclaveLost} {
+		w := httptest.NewRecorder()
+		httpError(w, httpStatus(err), err)
+		if w.Header().Get("Retry-After") == "" {
+			t.Errorf("httpError(%v) carries no Retry-After header", err)
+		}
+	}
+	w := httptest.NewRecorder()
+	httpError(w, httpStatus(core.ErrNodeOutOfRange), core.ErrNodeOutOfRange)
+	if w.Header().Get("Retry-After") != "" {
+		t.Error("client error (400) should not invite a retry")
 	}
 }
 
